@@ -1,0 +1,183 @@
+//! Synthetic datasets matching the paper's case-study scales (§6.3).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use quorumstore::{Key, Value};
+
+/// Namespace of ad-system user profiles.
+pub const PROFILE_NS: u8 = 1;
+/// Namespace of ad objects.
+pub const AD_NS: u8 = 2;
+/// Namespace of Twissandra timelines.
+pub const TIMELINE_NS: u8 = 3;
+/// Namespace of Twissandra tweets.
+pub const TWEET_NS: u8 = 4;
+
+/// Key of a user profile.
+pub fn profile_key(uid: u64) -> Key {
+    Key {
+        ns: PROFILE_NS,
+        id: uid,
+    }
+}
+
+/// Key of an ad object.
+pub fn ad_key(id: u64) -> Key {
+    Key { ns: AD_NS, id }
+}
+
+/// Key of a user timeline.
+pub fn timeline_key(uid: u64) -> Key {
+    Key {
+        ns: TIMELINE_NS,
+        id: uid,
+    }
+}
+
+/// Key of a tweet.
+pub fn tweet_key(id: u64) -> Key {
+    Key { ns: TWEET_NS, id }
+}
+
+/// The ad-serving dataset (§6.3.1): `profiles` user profiles referencing
+/// between 1 and 40 random ads out of `ads` ad objects of `ad_bytes` each.
+pub struct AdsDataset {
+    /// Number of user profiles.
+    pub profiles: u64,
+    /// Number of distinct ads.
+    pub ads: u64,
+    /// Size of each ad object.
+    pub ad_bytes: u32,
+}
+
+impl AdsDataset {
+    /// The paper's scale: 100 k profiles, 230 k ads.
+    pub fn paper() -> Self {
+        AdsDataset {
+            profiles: 100_000,
+            ads: 230_000,
+            ad_bytes: 200,
+        }
+    }
+
+    /// A miniature variant for tests.
+    pub fn small() -> Self {
+        AdsDataset {
+            profiles: 200,
+            ads: 500,
+            ad_bytes: 200,
+        }
+    }
+
+    /// Draws a random reference list for one profile (1..=40 ads).
+    pub fn draw_refs(&self, rng: &mut SmallRng) -> Vec<u64> {
+        let n = rng.gen_range(1..=40usize);
+        (0..n).map(|_| rng.gen_range(0..self.ads)).collect()
+    }
+
+    /// All records to preload, deterministically from `seed`.
+    pub fn records(&self, seed: u64) -> Vec<(Key, Value)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity((self.profiles + self.ads) as usize);
+        for uid in 0..self.profiles {
+            out.push((profile_key(uid), Value::Ids(self.draw_refs(&mut rng))));
+        }
+        for ad in 0..self.ads {
+            out.push((ad_key(ad), Value::Opaque(self.ad_bytes)));
+        }
+        out
+    }
+}
+
+/// The Twissandra dataset (§6.3.1): a 65 k-tweet corpus spread over 22 k
+/// user timelines.
+pub struct TwissandraDataset {
+    /// Number of user timelines.
+    pub timelines: u64,
+    /// Number of tweets.
+    pub tweets: u64,
+    /// Size of one tweet body.
+    pub tweet_bytes: u32,
+}
+
+impl TwissandraDataset {
+    /// The paper's scale: 65 k tweets over 22 k timelines.
+    pub fn paper() -> Self {
+        TwissandraDataset {
+            timelines: 22_000,
+            tweets: 65_000,
+            tweet_bytes: 140,
+        }
+    }
+
+    /// A miniature variant for tests.
+    pub fn small() -> Self {
+        TwissandraDataset {
+            timelines: 100,
+            tweets: 300,
+            tweet_bytes: 140,
+        }
+    }
+
+    /// All records to preload: tweets assigned round-robin to timelines.
+    pub fn records(&self, seed: u64) -> Vec<(Key, Value)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut timelines: Vec<Vec<u64>> = vec![Vec::new(); self.timelines as usize];
+        for tweet in 0..self.tweets {
+            let owner = rng.gen_range(0..self.timelines) as usize;
+            timelines[owner].push(tweet);
+        }
+        let mut out = Vec::with_capacity((self.timelines + self.tweets) as usize);
+        for (uid, ids) in timelines.into_iter().enumerate() {
+            out.push((timeline_key(uid as u64), Value::Ids(ids)));
+        }
+        for tweet in 0..self.tweets {
+            out.push((tweet_key(tweet), Value::Opaque(self.tweet_bytes)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ads_refs_are_in_range_and_bounded() {
+        let d = AdsDataset::small();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let refs = d.draw_refs(&mut rng);
+            assert!((1..=40).contains(&refs.len()));
+            assert!(refs.iter().all(|r| *r < d.ads));
+        }
+    }
+
+    #[test]
+    fn ads_records_cover_profiles_and_ads() {
+        let d = AdsDataset::small();
+        let recs = d.records(7);
+        assert_eq!(recs.len() as u64, d.profiles + d.ads);
+        assert!(recs.iter().any(|(k, _)| k.ns == PROFILE_NS));
+        assert!(recs.iter().any(|(k, _)| k.ns == AD_NS));
+    }
+
+    #[test]
+    fn twissandra_assigns_every_tweet_once() {
+        let d = TwissandraDataset::small();
+        let recs = d.records(3);
+        let total_refs: usize = recs
+            .iter()
+            .filter(|(k, _)| k.ns == TIMELINE_NS)
+            .map(|(_, v)| v.ids().map(|i| i.len()).unwrap_or(0))
+            .sum();
+        assert_eq!(total_refs as u64, d.tweets);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let d = AdsDataset::small();
+        assert_eq!(d.records(9), d.records(9));
+    }
+}

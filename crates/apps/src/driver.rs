@@ -1,0 +1,185 @@
+//! A closed-loop load driver running *application code* through the
+//! Correctables API inside the simulation.
+//!
+//! Each virtual user keeps one application-level operation outstanding:
+//! when the Correctable returned by the operation factory closes, the
+//! completion is recorded and the next operation is issued — from inside
+//! the callback, at the correct virtual instant. The whole load loop
+//! therefore exercises exactly the code path a real application would:
+//! `invoke → speculate → callbacks`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::Correctable;
+use simnet::{Histogram, SimDuration};
+
+/// Measurement results of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadStats {
+    /// Latency of operations completing inside the window.
+    pub latency: Histogram,
+    /// Operations completed inside the window.
+    pub completed: u64,
+    /// Operations that failed.
+    pub failed: u64,
+    /// Total operations completed (any time).
+    pub total: u64,
+}
+
+impl LoadStats {
+    /// Throughput over the measurement window.
+    pub fn throughput(&self, window: SimDuration) -> f64 {
+        self.completed as f64 / window.as_secs_f64()
+    }
+}
+
+struct DriverState {
+    clock: Arc<AtomicU64>,
+    window_from_ns: u64,
+    window_until_ns: u64,
+    end_ns: u64,
+    stats: Mutex<LoadStats>,
+    seq: AtomicU64,
+    factory: Box<dyn Fn(u64) -> MeasuredOp + Send + Sync>,
+}
+
+/// One issued operation plus whether its latency should be recorded
+/// (e.g. the paper's Figure 11 reports the latency of serving ads, while
+/// profile updates only contribute load).
+pub struct MeasuredOp {
+    /// The operation's Correctable (unit-mapped).
+    pub op: Correctable<()>,
+    /// Whether to record this operation's latency.
+    pub measured: bool,
+}
+
+impl MeasuredOp {
+    /// A measured operation.
+    pub fn measured(op: Correctable<()>) -> Self {
+        MeasuredOp { op, measured: true }
+    }
+
+    /// A background (load-only) operation.
+    pub fn background(op: Correctable<()>) -> Self {
+        MeasuredOp {
+            op,
+            measured: false,
+        }
+    }
+}
+
+/// A closed-loop driver over an operation factory.
+pub struct LoadDriver {
+    state: Arc<DriverState>,
+}
+
+impl LoadDriver {
+    /// Creates a driver. `clock` mirrors virtual time (from
+    /// `SimStore::clock`); `factory(seq)` issues one application
+    /// operation; measurements are taken in `[window_from, window_until)`
+    /// and no new operations start after `end`.
+    pub fn new(
+        clock: Arc<AtomicU64>,
+        window_from: SimDuration,
+        window_until: SimDuration,
+        end: SimDuration,
+        factory: impl Fn(u64) -> MeasuredOp + Send + Sync + 'static,
+    ) -> Self {
+        LoadDriver {
+            state: Arc::new(DriverState {
+                clock,
+                window_from_ns: window_from.as_nanos(),
+                window_until_ns: window_until.as_nanos(),
+                end_ns: end.as_nanos(),
+                stats: Mutex::new(LoadStats::default()),
+                seq: AtomicU64::new(0),
+                factory: Box::new(factory),
+            }),
+        }
+    }
+
+    /// Starts `threads` concurrent virtual users. Call `settle()` on the
+    /// underlying store afterwards to run them to completion.
+    pub fn start(&self, threads: u32) {
+        for _ in 0..threads {
+            Self::issue(&self.state);
+        }
+    }
+
+    fn issue(state: &Arc<DriverState>) {
+        let now = state.clock.load(Ordering::Relaxed);
+        if now >= state.end_ns {
+            return;
+        }
+        let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+        let MeasuredOp { op, measured } = (state.factory)(seq);
+        let st_ok = Arc::clone(state);
+        let start = now;
+        op.on_final(move |_| {
+            let end = st_ok.clock.load(Ordering::Relaxed);
+            {
+                let mut stats = st_ok.stats.lock();
+                stats.total += 1;
+                if end >= st_ok.window_from_ns && end < st_ok.window_until_ns {
+                    stats.completed += 1;
+                    if measured {
+                        stats
+                            .latency
+                            .record(SimDuration::from_nanos(end.saturating_sub(start)));
+                    }
+                }
+            }
+            Self::issue(&st_ok);
+        });
+        let st_err = Arc::clone(state);
+        op.on_error(move |_| {
+            st_err.stats.lock().failed += 1;
+            Self::issue(&st_err);
+        });
+    }
+
+    /// The collected statistics (call after the simulation settles).
+    pub fn stats(&self) -> LoadStats {
+        self.state.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::Client;
+    use quorumstore::{Key, ReplicaConfig, SimStore, StoreOp, Value};
+
+    #[test]
+    fn closed_loop_driver_runs_until_end_and_measures_window() {
+        let store = SimStore::ec2(ReplicaConfig::default(), 2, false, "IRL", 0, 5);
+        store.preload((0..16).map(|i| (Key::plain(i), Value::Opaque(100))));
+        let client = Arc::new(Client::new(store.binding()));
+        let driver = LoadDriver::new(
+            store.clock(),
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(1200),
+            SimDuration::from_millis(1500),
+            move |seq| {
+                MeasuredOp::measured(
+                    client
+                        .invoke_strong(StoreOp::Read(Key::plain(seq % 16)))
+                        .map(|_| ()),
+                )
+            },
+        );
+        driver.start(2);
+        store.settle();
+        let stats = driver.stats();
+        // A strong read takes ~40 ms; 2 threads over a 1 s window ≈ 50 ops.
+        assert!(stats.completed > 30, "completed {}", stats.completed);
+        assert!(stats.completed < 80, "completed {}", stats.completed);
+        assert!(stats.total >= stats.completed);
+        let mut lat = stats.latency.clone();
+        let mean = lat.summary().mean.as_millis_f64();
+        assert!((35.0..55.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # icg-apps — the paper's case-study applications
+//!
+//! Four applications built on the Correctables API, matching §4 and §6.3
+//! of the paper:
+//!
+//! - [`ads`] — the ad-serving system (Listing 4): speculative prefetch of
+//!   referenced ads on the preliminary reference list;
+//! - [`twissandra`] — the microblogging service: two-step `get_timeline`
+//!   with speculative tweet prefetch;
+//! - [`tickets`] — the ticket seller (Listing 5): dynamic selection
+//!   between preliminary and final dequeue results around a stock
+//!   threshold;
+//! - [`news`] — the smartphone news reader (Listing 6): progressive
+//!   display over cache / causal / strong views.
+//!
+//! [`driver`] provides the closed-loop load machinery that runs these
+//! applications under YCSB-style load for the Figure 11 harness, and
+//! [`dataset`] generates the paper-scale synthetic datasets.
+
+pub mod ads;
+pub mod dataset;
+pub mod driver;
+pub mod news;
+pub mod tickets;
+pub mod twissandra;
+
+pub use ads::AdSystem;
+pub use dataset::{AdsDataset, TwissandraDataset};
+pub use driver::{LoadDriver, LoadStats, MeasuredOp};
+pub use news::{NewsReader, Refresh, LATEST};
+pub use tickets::{Purchase, TicketOffice};
+pub use twissandra::Twissandra;

@@ -1,0 +1,175 @@
+//! The ticket-selling system (§4.3, Listing 5; evaluated in §6.3.2).
+//!
+//! Tickets are a replicated queue: organizers enqueue, retailers dequeue.
+//! Tickets carry no seating, so *which* element is dequeued is irrelevant —
+//! the preliminary view (a local simulation of the dequeue) is safe to act
+//! on while the stock is comfortably above a threshold; only the last few
+//! tickets pay for atomic (final) semantics, avoiding overselling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use consensusq::{QueueBinding, QueueOp, SimQueue};
+use correctables::{Client, Correctable};
+
+/// The outcome of one purchase attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Purchase {
+    /// A ticket was secured.
+    Confirmed {
+        /// Whether the preliminary view confirmed it (fast path).
+        via_prelim: bool,
+        /// The ticket's queue element, when known.
+        ticket: Option<String>,
+    },
+    /// No tickets left.
+    SoldOut,
+}
+
+/// The retailer-side application.
+pub struct TicketOffice {
+    queue: SimQueue,
+    client: Arc<Client<QueueBinding>>,
+    /// Stock level below which purchases wait for the final view.
+    pub threshold: u64,
+}
+
+impl TicketOffice {
+    /// Opens an office over a queue, with the paper's threshold of 20.
+    pub fn new(queue: SimQueue) -> Self {
+        let client = Arc::new(Client::new(queue.binding()));
+        TicketOffice {
+            queue,
+            client,
+            threshold: 20,
+        }
+    }
+
+    /// The underlying queue (for `settle` and timings).
+    pub fn queue(&self) -> &SimQueue {
+        &self.queue
+    }
+
+    /// Listing 5's `purchaseTicket`, verbatim in Correctables form:
+    /// confirm on the preliminary when the stock is high, otherwise wait
+    /// for the final (atomic) dequeue.
+    pub fn purchase_ticket(&self) -> Correctable<Purchase> {
+        let (out, handle) = Correctable::<Purchase>::pending();
+        let done = Arc::new(AtomicBool::new(false));
+        let threshold = self.threshold;
+        let c = self.client.invoke(QueueOp::Dequeue);
+        let h_u = handle.clone();
+        let done_u = Arc::clone(&done);
+        c.on_update(move |weak| {
+            // `onUpdate`: many tickets left — buy on the preliminary.
+            if weak.value.name.is_some() && weak.value.remaining > threshold {
+                done_u.store(true, Ordering::Relaxed);
+                let _ = h_u.close(
+                    Purchase::Confirmed {
+                        via_prelim: true,
+                        ticket: weak.value.name.clone(),
+                    },
+                    weak.level,
+                );
+            }
+        });
+        let h_f = handle.clone();
+        let done_f = done;
+        c.on_final(move |strong| {
+            // `onFinal`: if not already confirmed, the atomic result
+            // decides — a ticket, or "Sold out. Sorry!".
+            if !done_f.load(Ordering::Relaxed) {
+                let outcome = match &strong.value.name {
+                    Some(name) => Purchase::Confirmed {
+                        via_prelim: false,
+                        ticket: Some(name.clone()),
+                    },
+                    None => Purchase::SoldOut,
+                };
+                let _ = h_f.close(outcome, strong.level);
+            }
+        });
+        let h_e = handle;
+        c.on_error(move |e| {
+            let _ = h_e.fail(e.clone());
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensusq::ServerConfig;
+
+    fn office(stock: u64) -> TicketOffice {
+        let q = SimQueue::ec2(ServerConfig::default(), "IRL", "FRK", "FRK", 13);
+        q.prefill(stock, 20);
+        TicketOffice::new(q)
+    }
+
+    #[test]
+    fn high_stock_confirms_on_preliminary() {
+        let office = office(100);
+        let p = office.purchase_ticket();
+        office.queue().settle();
+        match p.final_view().unwrap().value {
+            Purchase::Confirmed { via_prelim, ticket } => {
+                assert!(via_prelim, "stock of 100 must use the fast path");
+                assert!(ticket.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The fast path closes at the weak level.
+        assert_eq!(
+            p.final_view().unwrap().level,
+            correctables::ConsistencyLevel::Weak
+        );
+    }
+
+    #[test]
+    fn low_stock_waits_for_final_atomic_view() {
+        let office = office(5);
+        let p = office.purchase_ticket();
+        office.queue().settle();
+        match p.final_view().unwrap().value {
+            Purchase::Confirmed { via_prelim, ticket } => {
+                assert!(!via_prelim, "stock of 5 must wait for the final");
+                assert!(ticket.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            p.final_view().unwrap().level,
+            correctables::ConsistencyLevel::Strong
+        );
+    }
+
+    #[test]
+    fn empty_queue_sells_out() {
+        let office = office(0);
+        let p = office.purchase_ticket();
+        office.queue().settle();
+        assert_eq!(p.final_view().unwrap().value, Purchase::SoldOut);
+    }
+
+    #[test]
+    fn draining_the_stock_never_oversells() {
+        let office = office(30);
+        let mut confirmed = 0;
+        let mut sold_out = false;
+        for _ in 0..35 {
+            let p = office.purchase_ticket();
+            office.queue().settle();
+            match p.final_view().unwrap().value {
+                Purchase::Confirmed { .. } => confirmed += 1,
+                Purchase::SoldOut => {
+                    sold_out = true;
+                    break;
+                }
+            }
+        }
+        assert_eq!(confirmed, 30, "exactly the stock is sold");
+        assert!(sold_out);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 5 — single-request read latencies in (Correctable) Cassandra
+//! for different quorum configurations.
+//!
+//! Setup (§6.2.1): read-only microbenchmark on 100-byte objects; client in
+//! IRL contacting the coordinator replica in FRK; replicas in FRK, IRL,
+//! and VRG. Compared systems, grouped by read quorum: C3 vs CC3-final,
+//! C2 vs CC2-final, C1 vs CC2/CC3 preliminaries. Reported: average and
+//! 99th-percentile latency.
+//!
+//! Paper's headline numbers: preliminary ≈ C1 ≈ 20 ms (the IRL–FRK RTT);
+//! CC2 final − preliminary gap ≈ 20 ms (FRK gathers IRL); CC3 gap up to
+//! ~140 ms at the 99th percentile (FRK must reach VRG).
+
+use icg_bench::{f2, quick, Table};
+use quorumstore::{Cluster, ReplicaConfig, SystemConfig, WorkloadClient};
+use simnet::{EuUsSites, SimDuration, Topology};
+use ycsb::{Distribution, Workload};
+
+struct RunOut {
+    prelim: Option<(f64, f64)>,
+    fin: (f64, f64),
+}
+
+fn run(sys: SystemConfig, seed: u64, seconds: u64) -> RunOut {
+    let topo = Topology::ec2_frk_irl_vrg();
+    let sites = EuUsSites::resolve(&topo);
+    let mut cluster = Cluster::build(topo, &["FRK", "IRL", "VRG"], ReplicaConfig::default(), seed);
+    let workload = Workload::c(Distribution::Zipfian, 1_000).with_sizes(100, 100);
+    cluster
+        .preload((0..1_000).map(|i| (quorumstore::Key::plain(i), quorumstore::Value::Opaque(100))));
+    let warmup = SimDuration::from_secs(1);
+    let window = SimDuration::from_secs(seconds);
+    let (from, until) = Cluster::window(warmup, window);
+    let frk = cluster.replicas[0];
+    // One sequential requester: single-request latency, no queueing.
+    let client = WorkloadClient::new(frk, sys, &workload, 1, seed ^ 0xABCD, from, until);
+    cluster.add_client(sites.irl, client);
+    cluster.run_measured(warmup, window);
+    let id = cluster.clients[0];
+    let m = &mut cluster.engine.node_as::<WorkloadClient>(id).metrics;
+    let fin = (
+        m.final_latency.mean().as_millis_f64(),
+        m.final_latency.p99().as_millis_f64(),
+    );
+    let prelim = (!m.prelim_latency.is_empty()).then(|| {
+        (
+            m.prelim_latency.mean().as_millis_f64(),
+            m.prelim_latency.p99().as_millis_f64(),
+        )
+    });
+    RunOut { prelim, fin }
+}
+
+fn main() {
+    let seconds = if quick() { 5 } else { 30 };
+    let mut table = Table::new(
+        "Figure 5: single-request read latency (client IRL, coordinator FRK)",
+        &["system", "view", "avg_ms", "p99_ms"],
+    );
+    let systems: Vec<(SystemConfig, &str)> = vec![
+        (SystemConfig::baseline(1), "C1"),
+        (SystemConfig::baseline(2), "C2"),
+        (SystemConfig::baseline(3), "C3"),
+        (SystemConfig::correctable(2), "CC2"),
+        (SystemConfig::correctable(3), "CC3"),
+    ];
+    for (i, (sys, label)) in systems.into_iter().enumerate() {
+        let out = run(sys, 42 + i as u64, seconds);
+        if let Some((avg, p99)) = out.prelim {
+            table.row(vec![
+                label.to_string(),
+                "preliminary".into(),
+                f2(avg),
+                f2(p99),
+            ]);
+        }
+        table.row(vec![
+            label.to_string(),
+            "final".into(),
+            f2(out.fin.0),
+            f2(out.fin.1),
+        ]);
+    }
+    table.print();
+    table.write_csv("fig5_single_request");
+    println!(
+        "\nExpected shape (paper): prelim ~= C1 ~= 20ms; CC2 final ~= C2 ~= 40ms \
+         (gap = FRK-IRL RTT); CC3 final ~= C3 with a much larger gap (FRK-VRG)."
+    );
+}

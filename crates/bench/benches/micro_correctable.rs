@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the core Correctables abstraction:
+//! the per-operation cost of the library itself (object creation, view
+//! delivery, callback dispatch, speculation bookkeeping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use correctables::{ConsistencyLevel, Correctable};
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("correctable/create+close", |b| {
+        b.iter(|| {
+            let (c, h) = Correctable::<u64>::pending();
+            h.close(black_box(7), ConsistencyLevel::Strong).unwrap();
+            black_box(c.final_view())
+        })
+    });
+
+    c.bench_function("correctable/update+close", |b| {
+        b.iter(|| {
+            let (c, h) = Correctable::<u64>::pending();
+            h.update(black_box(1), ConsistencyLevel::Weak).unwrap();
+            h.close(black_box(2), ConsistencyLevel::Strong).unwrap();
+            black_box(c.final_view())
+        })
+    });
+
+    c.bench_function("correctable/callback-dispatch", |b| {
+        b.iter(|| {
+            let (c, h) = Correctable::<u64>::pending();
+            let sink = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let s = std::sync::Arc::clone(&sink);
+            c.on_update(move |v| {
+                s.fetch_add(v.value, std::sync::atomic::Ordering::Relaxed);
+            });
+            let s2 = std::sync::Arc::clone(&sink);
+            c.on_final(move |v| {
+                s2.fetch_add(v.value, std::sync::atomic::Ordering::Relaxed);
+            });
+            h.update(1, ConsistencyLevel::Weak).unwrap();
+            h.close(2, ConsistencyLevel::Strong).unwrap();
+            black_box(sink.load(std::sync::atomic::Ordering::Relaxed))
+        })
+    });
+
+    c.bench_function("correctable/speculate-confirmed", |b| {
+        b.iter(|| {
+            let (c, h) = Correctable::<u64>::pending();
+            let out = c.speculate(|x| x * 2);
+            h.update(black_box(21), ConsistencyLevel::Weak).unwrap();
+            h.close(black_box(21), ConsistencyLevel::Strong).unwrap();
+            black_box(out.final_view())
+        })
+    });
+
+    c.bench_function("correctable/speculate-misspeculated", |b| {
+        b.iter(|| {
+            let (c, h) = Correctable::<u64>::pending();
+            let out = c.speculate(|x| x * 2);
+            h.update(black_box(1), ConsistencyLevel::Weak).unwrap();
+            h.close(black_box(2), ConsistencyLevel::Strong).unwrap();
+            black_box(out.final_view())
+        })
+    });
+
+    c.bench_function("correctable/join_all-16", |b| {
+        b.iter(|| {
+            let pairs: Vec<_> = (0..16).map(|_| Correctable::<u64>::pending()).collect();
+            let joined = Correctable::join_all(pairs.iter().map(|(c, _)| c.clone()).collect());
+            for (i, (_, h)) in pairs.iter().enumerate() {
+                h.close(i as u64, ConsistencyLevel::Strong).unwrap();
+            }
+            black_box(joined.final_view())
+        })
+    });
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

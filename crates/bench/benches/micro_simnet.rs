@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the simulation substrate: raw event
+//! throughput of the engine and the cost of workload generation — these
+//! bound how fast the paper-figure harnesses can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use simnet::{Ctx, Engine, Node, NodeId, SimDuration, Topology, Wire};
+use ycsb::{Distribution, Workload};
+
+#[derive(Debug)]
+struct Ball(u32);
+impl Wire for Ball {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+struct Bouncer {
+    peer: Option<NodeId>,
+    remaining: u32,
+}
+
+impl Node<Ball> for Bouncer {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Ball>, from: NodeId, msg: Ball) {
+        self.peer = Some(from);
+        if msg.0 > 0 && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, Ball(msg.0));
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("simnet/ping-pong-10k-events", |b| {
+        b.iter(|| {
+            let topo = Topology::ec2_frk_irl_vrg();
+            let frk = topo.site_named("FRK").unwrap();
+            let irl = topo.site_named("IRL").unwrap();
+            let mut eng = Engine::new(topo, 1);
+            let a = eng.add_node(
+                frk,
+                Box::new(Bouncer {
+                    peer: None,
+                    remaining: 5_000,
+                }),
+            );
+            let bnode = eng.add_node(
+                irl,
+                Box::new(Bouncer {
+                    peer: None,
+                    remaining: 5_000,
+                }),
+            );
+            eng.schedule_message(a, bnode, SimDuration::ZERO, Ball(1));
+            black_box(eng.run_until_idle(100_000))
+        })
+    });
+}
+
+fn bench_ycsb(c: &mut Criterion) {
+    c.bench_function("ycsb/zipfian-draw", |b| {
+        let w = Workload::a(Distribution::Zipfian, 10_000);
+        let mut g = w.generator(9);
+        b.iter(|| black_box(g.next_op()))
+    });
+    c.bench_function("ycsb/latest-draw", |b| {
+        let w = Workload::a(Distribution::Latest, 10_000);
+        let mut g = w.generator(9);
+        b.iter(|| black_box(g.next_op()))
+    });
+    c.bench_function("ycsb/scrambled-zipfian-draw", |b| {
+        let w = Workload::a(Distribution::ScrambledZipfian, 10_000);
+        let mut g = w.generator(9);
+        b.iter(|| black_box(g.next_op()))
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_ycsb);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! # icg-bench — harness utilities for regenerating the paper's figures
+//!
+//! Each `benches/figN_*.rs` target (run via `cargo bench`) regenerates one
+//! table or figure of the paper's evaluation on the simulator, printing
+//! the series to stdout and writing CSV files under
+//! `target/paper_results/`. Set `ICG_QUICK=1` to run abbreviated sweeps.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Whether abbreviated sweeps were requested (`ICG_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("ICG_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// The directory experiment CSVs are written to
+/// (`<workspace>/target/paper_results`, or under `CARGO_TARGET_DIR`).
+pub fn out_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // This crate lives at <workspace>/crates/bench.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let dir = target.join("paper_results");
+    fs::create_dir_all(&dir).expect("create paper_results dir");
+    dir
+}
+
+/// A printable, CSV-exportable results table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as `<name>.csv` under [`out_dir`].
+    pub fn write_csv(&self, name: &str) {
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        let path = out_dir().join(format!("{name}.csv"));
+        fs::write(&path, csv).expect("write csv");
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_checks_columns() {
+        let mut t = Table::new("demo", &["a", "bee"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("bee"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_is_enforced() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f1(2.34), "2.3");
+        assert_eq!(pct(0.256), "25.6%");
+    }
+}
+
+/// Shared deployment runner for the Cassandra-side experiments
+/// (Figures 6, 7, and 8): the paper's three-region setup with one client
+/// per region, each connected to a remote coordinator.
+pub mod ring {
+    use quorumstore::{
+        ClientMetrics, Cluster, Key, ReplicaConfig, SystemConfig, Value, WorkloadClient,
+    };
+    use simnet::{EuUsSites, Faults, SimDuration, Topology};
+    use ycsb::Workload;
+
+    /// One trial's configuration.
+    pub struct RingSpec {
+        /// System under test (C1/C2/CC2/*CC2…).
+        pub sys: SystemConfig,
+        /// YCSB workload.
+        pub workload: Workload,
+        /// Virtual client threads per region client.
+        pub threads_per_client: u32,
+        /// Warm-up before measurement starts.
+        pub warmup: SimDuration,
+        /// Measurement window.
+        pub window: SimDuration,
+        /// RNG seed.
+        pub seed: u64,
+        /// Replica tuning.
+        pub cfg: ReplicaConfig,
+        /// Uniform message-loss probability (0 = fault free).
+        pub drop_probability: f64,
+    }
+
+    /// One trial's results.
+    pub struct RingOut {
+        /// Per-client metrics, in order IRL, FRK, VRG.
+        pub clients: Vec<ClientMetrics>,
+        /// Bytes crossing all client links during the window.
+        pub client_link_bytes: u64,
+        /// The measurement window.
+        pub window: SimDuration,
+    }
+
+    impl RingOut {
+        /// Aggregate operations completed in the window.
+        pub fn completed(&self) -> u64 {
+            self.clients.iter().map(|c| c.completed()).sum()
+        }
+
+        /// Aggregate divergence across all clients' ICG reads.
+        pub fn divergence(&self) -> f64 {
+            let icg: u64 = self.clients.iter().map(|c| c.icg_reads).sum();
+            let div: u64 = self.clients.iter().map(|c| c.divergent).sum();
+            if icg == 0 {
+                0.0
+            } else {
+                div as f64 / icg as f64
+            }
+        }
+
+        /// Client-link bandwidth per completed operation, in kB.
+        pub fn kb_per_op(&self) -> f64 {
+            let ops = self.completed();
+            if ops == 0 {
+                0.0
+            } else {
+                self.client_link_bytes as f64 / ops as f64 / 1000.0
+            }
+        }
+
+        /// The IRL client's throughput over the window (the paper reports
+        /// the IRL client).
+        pub fn irl_throughput(&self) -> f64 {
+            self.clients[0].completed() as f64 / self.window.as_secs_f64()
+        }
+    }
+
+    /// Runs one trial: replicas FRK/IRL/VRG; clients IRL→FRK, FRK→VRG,
+    /// VRG→IRL (each to a remote coordinator, as in §6.2.1).
+    pub fn run_ring(spec: &RingSpec) -> RingOut {
+        let topo = Topology::ec2_frk_irl_vrg();
+        let sites = EuUsSites::resolve(&topo);
+        let mut cluster = Cluster::build(topo, &["FRK", "IRL", "VRG"], spec.cfg, spec.seed);
+        if spec.drop_probability > 0.0 {
+            cluster
+                .engine
+                .set_faults(Faults::none().with_drop_probability(spec.drop_probability));
+        }
+        let records = spec.workload.record_count;
+        let len = spec.workload.value_size as u32;
+        cluster.preload((0..records).map(|i| (Key::plain(i), Value::Opaque(len))));
+        let (from, until) = Cluster::window(spec.warmup, spec.window);
+        // Client placements: (client site, coordinator replica index).
+        let placements = [
+            (sites.irl, 0usize), // IRL client → FRK coordinator
+            (sites.frk, 2),      // FRK client → VRG coordinator
+            (sites.vrg, 1),      // VRG client → IRL coordinator
+        ];
+        for (i, (site, coord)) in placements.iter().enumerate() {
+            let client = WorkloadClient::new(
+                cluster.replicas[*coord],
+                spec.sys,
+                &spec.workload,
+                spec.threads_per_client,
+                spec.seed.wrapping_add(i as u64 * 7919),
+                from,
+                until,
+            );
+            cluster.add_client(*site, client);
+        }
+        cluster.run_measured(spec.warmup, spec.window);
+        let mut link_bytes = 0;
+        for id in cluster.clients.clone() {
+            link_bytes += cluster.engine.bandwidth().link_bytes(id);
+        }
+        let clients: Vec<ClientMetrics> = cluster
+            .clients
+            .clone()
+            .into_iter()
+            .map(|id| cluster.engine.node_as::<WorkloadClient>(id).metrics.clone())
+            .collect();
+        RingOut {
+            clients,
+            client_link_bytes: link_bytes,
+            window: spec.window,
+        }
+    }
+}

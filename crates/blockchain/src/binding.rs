@@ -1,0 +1,327 @@
+//! The multi-view Correctables binding over the blockchain (§4.5).
+//!
+//! Consistency levels are *confirmation depths*: `conf-1` (in the tip
+//! block, weak — reorgs can still drop it) through `conf-6` (irreversible
+//! with overwhelming probability — "strongly consistent"). One
+//! `invoke(pay(...))` therefore delivers up to six incremental views, each
+//! strictly stronger than the last — the paper's prime example of an
+//! application wanting *many* preliminary views for user feedback, since
+//! finality takes tens of (virtual) minutes.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{Binding, ConsistencyLevel, Upcall};
+use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime, Timer, Topology};
+
+use crate::chain::TxId;
+use crate::network::{Miner, Msg};
+
+/// The confirmation depth treated as final ("strongly consistent with
+/// high probability" — Bitcoin's conventional six).
+pub const FINAL_DEPTH: u64 = 6;
+
+/// The consistency level of a given confirmation depth.
+pub fn conf_level(depth: u64) -> ConsistencyLevel {
+    const NAMES: [&str; 6] = ["conf-1", "conf-2", "conf-3", "conf-4", "conf-5", "conf-6"];
+    let d = depth.clamp(1, FINAL_DEPTH);
+    ConsistencyLevel::Custom {
+        rank: d as u8,
+        name: NAMES[(d - 1) as usize],
+    }
+}
+
+/// A submitted payment, as seen by the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxStatus {
+    /// The transaction.
+    pub tx: TxId,
+    /// Current confirmation depth.
+    pub confirmations: u64,
+}
+
+struct Queued {
+    tx: TxId,
+    upcall: Upcall<TxStatus>,
+}
+
+type OpQueue = Arc<Mutex<VecDeque<Queued>>>;
+
+struct WatchPending {
+    upcall: Upcall<TxStatus>,
+    submitted: SimTime,
+    confirmed_at: Vec<(u64, f64)>,
+}
+
+/// Per-transaction confirmation timeline (virtual milliseconds).
+#[derive(Clone, Debug)]
+pub struct TxTimeline {
+    /// The transaction.
+    pub tx: TxId,
+    /// (depth, ms after submission) per delivered view.
+    pub confirmations_ms: Vec<(u64, f64)>,
+}
+
+type Timelines = Arc<Mutex<Vec<TxTimeline>>>;
+
+const KICK: u64 = u64::MAX - 1;
+
+struct Wallet {
+    node: NodeId,
+    queue: OpQueue,
+    timelines: Timelines,
+    pending: HashMap<TxId, WatchPending>,
+}
+
+impl Wallet {
+    fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            let Some(q) = self.queue.lock().pop_front() else {
+                return;
+            };
+            self.pending.insert(
+                q.tx,
+                WatchPending {
+                    upcall: q.upcall,
+                    submitted: ctx.now(),
+                    confirmed_at: Vec::new(),
+                },
+            );
+            ctx.send(self.node, Msg::SubmitTx { tx: q.tx });
+        }
+    }
+}
+
+impl Node<Msg> for Wallet {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Confirmation { tx, depth } = msg {
+            let mut done = false;
+            if let Some(p) = self.pending.get_mut(&tx) {
+                let ms = ctx.now().since(p.submitted).as_millis_f64();
+                p.confirmed_at.push((depth, ms));
+                p.upcall.deliver(
+                    TxStatus {
+                        tx,
+                        confirmations: depth,
+                    },
+                    conf_level(depth),
+                );
+                done = depth >= FINAL_DEPTH;
+            }
+            if done {
+                let p = self.pending.remove(&tx).expect("present");
+                self.timelines.lock().push(TxTimeline {
+                    tx,
+                    confirmations_ms: p.confirmed_at,
+                });
+            }
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer.0 == KICK {
+            self.drain(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct ChainState {
+    engine: Engine<Msg>,
+    wallet: NodeId,
+    miners: Vec<NodeId>,
+}
+
+/// A simulated blockchain network with a wallet binding.
+#[derive(Clone)]
+pub struct SimChain {
+    state: Arc<Mutex<ChainState>>,
+    queue: OpQueue,
+    timelines: Timelines,
+}
+
+impl SimChain {
+    /// Builds a network with one miner per paper site plus a wallet in
+    /// `client_site`, with the given *global* mean block interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site name is unknown.
+    pub fn ec2(block_interval: SimDuration, client_site: &str, seed: u64) -> SimChain {
+        let topo = Topology::ec2_frk_irl_vrg();
+        let client_site_id = topo.site_named(client_site).expect("known site");
+        let mut engine = Engine::new(topo, seed);
+        let sites = ["FRK", "IRL", "VRG"];
+        let per_miner = block_interval * sites.len() as u64;
+        let miners: Vec<NodeId> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let site = engine.topology().site_named(s).expect("site");
+                engine.add_node(site, Box::new(Miner::new(i as u32, per_miner)))
+            })
+            .collect();
+        for (i, id) in miners.iter().enumerate() {
+            let peers: Vec<NodeId> = miners
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| *p)
+                .collect();
+            engine.node_as::<Miner>(*id).set_peers(peers);
+            // Kick off mining.
+            engine.schedule_timer(*id, SimDuration::ZERO, Timer(u64::MAX));
+        }
+        let queue: OpQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let timelines: Timelines = Arc::new(Mutex::new(Vec::new()));
+        let wallet = engine.add_node(
+            client_site_id,
+            Box::new(Wallet {
+                node: miners[0],
+                queue: Arc::clone(&queue),
+                timelines: Arc::clone(&timelines),
+                pending: HashMap::new(),
+            }),
+        );
+        SimChain {
+            state: Arc::new(Mutex::new(ChainState {
+                engine,
+                wallet,
+                miners,
+            })),
+            queue,
+            timelines,
+        }
+    }
+
+    /// The Correctables binding (six confirmation levels).
+    pub fn binding(&self) -> ChainBinding {
+        ChainBinding {
+            chain: self.clone(),
+        }
+    }
+
+    /// Runs the network for `d` of virtual time (mining never goes idle,
+    /// so the blockchain is driven by explicit time budgets).
+    pub fn run_for(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let kick = st.wallet;
+        st.engine
+            .schedule_timer(kick, SimDuration::ZERO, Timer(KICK));
+        let until = st.engine.now() + d;
+        st.engine.run_until(until);
+    }
+
+    /// Confirmation timelines of finalized transactions.
+    pub fn timelines(&self) -> Vec<TxTimeline> {
+        self.timelines.lock().clone()
+    }
+
+    /// Total reorganizations observed across all miners.
+    pub fn total_reorgs(&self) -> u64 {
+        let mut st = self.state.lock();
+        let miners = st.miners.clone();
+        miners
+            .into_iter()
+            .map(|m| st.engine.node_as::<Miner>(m).chain.reorgs)
+            .sum()
+    }
+
+    /// The main-chain height at the wallet's node.
+    pub fn height(&self) -> u64 {
+        let mut st = self.state.lock();
+        let m = st.miners[0];
+        st.engine.node_as::<Miner>(m).chain.height()
+    }
+}
+
+/// `Binding` implementation over [`SimChain`].
+#[derive(Clone)]
+pub struct ChainBinding {
+    chain: SimChain,
+}
+
+impl Binding for ChainBinding {
+    type Op = TxId;
+    type Val = TxStatus;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        (1..=FINAL_DEPTH).map(conf_level).collect()
+    }
+
+    fn submit(&self, tx: TxId, _levels: &[ConsistencyLevel], upcall: Upcall<TxStatus>) {
+        self.chain.queue.lock().push_back(Queued { tx, upcall });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::{Client, State};
+
+    fn network(seed: u64) -> SimChain {
+        // 30-second virtual blocks keep tests fast while preserving
+        // plenty of propagation-induced forks.
+        SimChain::ec2(SimDuration::from_secs(30), "IRL", seed)
+    }
+
+    #[test]
+    fn payment_accumulates_six_incremental_views() {
+        let chain = network(3);
+        let client = Client::new(chain.binding());
+        assert_eq!(client.consistency_levels().len(), 6);
+        let c = client.invoke(4242);
+        chain.run_for(SimDuration::from_secs(3600));
+        assert_eq!(c.state(), State::Final, "six confirmations within an hour");
+        let prelims = c.preliminary_views();
+        // Monotone depths, closing at 6.
+        let mut last = 0;
+        for v in &prelims {
+            assert!(v.value.confirmations > last);
+            last = v.value.confirmations;
+        }
+        let fin = c.final_view().unwrap();
+        assert_eq!(fin.value.confirmations, FINAL_DEPTH);
+        assert_eq!(fin.level, conf_level(FINAL_DEPTH));
+    }
+
+    #[test]
+    fn confirmation_levels_are_strictly_ordered() {
+        for d in 1..FINAL_DEPTH {
+            assert!(conf_level(d) < conf_level(d + 1));
+        }
+        assert!(conf_level(1) > ConsistencyLevel::Cache);
+    }
+
+    #[test]
+    fn chain_grows_and_forks_resolve() {
+        let chain = network(9);
+        chain.run_for(SimDuration::from_secs(3600));
+        // Expected ~120 blocks/hour at 30 s intervals.
+        let h = chain.height();
+        assert!((60..240).contains(&h), "height {h}");
+    }
+
+    #[test]
+    fn timelines_record_increasing_depths() {
+        let chain = network(11);
+        let client = Client::new(chain.binding());
+        let _c = client.invoke(7);
+        chain.run_for(SimDuration::from_secs(3600));
+        let t = chain.timelines();
+        assert_eq!(t.len(), 1);
+        let depths: Vec<u64> = t[0].confirmations_ms.iter().map(|(d, _)| *d).collect();
+        assert!(depths.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*depths.last().unwrap(), FINAL_DEPTH);
+        // Later confirmations take longer.
+        let times: Vec<f64> = t[0].confirmations_ms.iter().map(|(_, ms)| *ms).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+}

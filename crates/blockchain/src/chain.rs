@@ -1,0 +1,180 @@
+//! A minimal longest-chain blockchain: blocks, forks, and confirmation
+//! depths.
+//!
+//! Just enough consensus to exercise the paper's §4.5 use case: Correctables
+//! "can track transaction confirmations as they accumulate and eventually
+//! the transaction becomes an irrevocable part of the blockchain, i.e.,
+//! strongly-consistent with high probability".
+
+use std::collections::HashMap;
+
+/// A transaction identifier.
+pub type TxId = u64;
+/// A block identifier.
+pub type BlockId = u64;
+
+/// One mined block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Unique id.
+    pub id: BlockId,
+    /// Parent block id (`0` = the implicit genesis).
+    pub parent: BlockId,
+    /// Distance from genesis (genesis children have height 1).
+    pub height: u64,
+    /// Transactions included.
+    pub txs: Vec<TxId>,
+}
+
+/// A node's view of the block DAG with longest-chain fork choice.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    blocks: HashMap<BlockId, Block>,
+    tip: BlockId,
+    /// Height of a transaction's block on the main chain.
+    tx_heights: HashMap<TxId, u64>,
+    /// Number of reorganizations observed (tip moved off its ancestor).
+    pub reorgs: u64,
+}
+
+impl Chain {
+    /// An empty chain (only genesis, id 0, height 0).
+    pub fn new() -> Self {
+        Chain::default()
+    }
+
+    /// The current tip id (`0` = genesis).
+    pub fn tip(&self) -> BlockId {
+        self.tip
+    }
+
+    /// The current chain height.
+    pub fn height(&self) -> u64 {
+        self.blocks.get(&self.tip).map(|b| b.height).unwrap_or(0)
+    }
+
+    /// Whether a block id is known.
+    pub fn contains(&self, id: BlockId) -> bool {
+        id == 0 || self.blocks.contains_key(&id)
+    }
+
+    /// Inserts a block; returns `true` if it was new and its parent is
+    /// known (orphans are rejected — callers re-gossip them).
+    pub fn insert(&mut self, block: Block) -> bool {
+        if self.contains(block.id) || !self.contains(block.parent) {
+            return false;
+        }
+        let old_tip = self.tip;
+        let better = match self.blocks.get(&self.tip) {
+            None => true,
+            Some(t) => block.height > t.height || (block.height == t.height && block.id < t.id),
+        };
+        self.blocks.insert(block.id, block.clone());
+        if better {
+            self.tip = block.id;
+            // Detect a reorg: the new tip's parent is not the old tip.
+            if old_tip != 0 && block.parent != old_tip {
+                self.reorgs += 1;
+            }
+            self.reindex();
+        }
+        true
+    }
+
+    /// Confirmation depth of a transaction on the main chain
+    /// (1 = in the tip block; 0 = not on the main chain).
+    pub fn confirmations(&self, tx: TxId) -> u64 {
+        match self.tx_heights.get(&tx) {
+            Some(h) => self.height().saturating_sub(*h) + 1,
+            None => 0,
+        }
+    }
+
+    /// Whether a transaction is already on the main chain.
+    pub fn on_main_chain(&self, tx: TxId) -> bool {
+        self.tx_heights.contains_key(&tx)
+    }
+
+    /// Ids of the main-chain blocks, tip first.
+    pub fn main_chain(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut cur = self.tip;
+        while cur != 0 {
+            out.push(cur);
+            cur = self.blocks.get(&cur).map(|b| b.parent).unwrap_or(0);
+        }
+        out
+    }
+
+    fn reindex(&mut self) {
+        self.tx_heights.clear();
+        for id in self.main_chain() {
+            let b = &self.blocks[&id];
+            for tx in &b.txs {
+                self.tx_heights.insert(*tx, b.height);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(id: BlockId, parent: BlockId, height: u64, txs: Vec<TxId>) -> Block {
+        Block {
+            id,
+            parent,
+            height,
+            txs,
+        }
+    }
+
+    #[test]
+    fn confirmations_accumulate() {
+        let mut c = Chain::new();
+        assert!(c.insert(blk(1, 0, 1, vec![100])));
+        assert_eq!(c.confirmations(100), 1);
+        assert!(c.insert(blk(2, 1, 2, vec![])));
+        assert!(c.insert(blk(3, 2, 3, vec![])));
+        assert_eq!(c.confirmations(100), 3);
+        assert_eq!(c.confirmations(999), 0);
+    }
+
+    #[test]
+    fn longest_chain_wins_and_reorgs_are_counted() {
+        let mut c = Chain::new();
+        c.insert(blk(1, 0, 1, vec![100]));
+        c.insert(blk(2, 1, 2, vec![]));
+        // A competing fork from genesis overtakes with height 3.
+        c.insert(blk(10, 0, 1, vec![200]));
+        c.insert(blk(11, 10, 2, vec![]));
+        assert_eq!(c.tip(), 2, "shorter fork must not displace the tip");
+        c.insert(blk(12, 11, 3, vec![]));
+        assert_eq!(c.tip(), 12);
+        assert_eq!(c.reorgs, 1);
+        // Tx 100 fell off the main chain; tx 200 is now deep.
+        assert_eq!(c.confirmations(100), 0);
+        assert_eq!(c.confirmations(200), 3);
+    }
+
+    #[test]
+    fn equal_height_ties_break_deterministically() {
+        let mut a = Chain::new();
+        a.insert(blk(5, 0, 1, vec![]));
+        a.insert(blk(3, 0, 1, vec![]));
+        let mut b = Chain::new();
+        b.insert(blk(3, 0, 1, vec![]));
+        b.insert(blk(5, 0, 1, vec![]));
+        assert_eq!(a.tip(), b.tip(), "insertion order must not matter");
+        assert_eq!(a.tip(), 3);
+    }
+
+    #[test]
+    fn orphans_are_rejected() {
+        let mut c = Chain::new();
+        assert!(!c.insert(blk(2, 1, 2, vec![])), "parent 1 unknown");
+        assert!(c.insert(blk(1, 0, 1, vec![])));
+        assert!(c.insert(blk(2, 1, 2, vec![])));
+    }
+}

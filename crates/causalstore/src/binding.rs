@@ -1,0 +1,545 @@
+//! The three-level binding: client cache / causal backup / primary.
+//!
+//! This is the binding of §4.4's smartphone news reader (Listing 6): one
+//! logical `invoke(get(...))` fans out into (1) an instant answer from the
+//! client-side cache, (2) a fresher causally consistent view from the
+//! closest backup, and (3) the most up-to-date view from the (distant)
+//! primary. The binding also keeps the cache write-through coherent, so
+//! `invoke_weak`/`invoke_strong` subsume the manual cache handling the
+//! paper criticizes in Reddit's code (Listings 1–2).
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{Binding, ConsistencyLevel, Upcall};
+use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime, Timer, Topology};
+
+use crate::store::{CausalReplica, Item, Msg, OpId};
+
+/// Operations of the cached causal store.
+#[derive(Clone, Debug)]
+pub enum CacheOp {
+    /// Read a key.
+    Get(String),
+    /// Write a key (write-through, serialized at the primary).
+    Put(String, Vec<u64>),
+}
+
+struct Queued {
+    op: CacheOp,
+    upcall: Upcall<Option<Item>>,
+    levels: Vec<ConsistencyLevel>,
+}
+
+type OpQueue = Arc<Mutex<VecDeque<Queued>>>;
+type Cache = Arc<Mutex<HashMap<String, Item>>>;
+
+/// Timing of one completed operation, per level, in virtual milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct LevelTiming {
+    /// (level name, milliseconds after submission) per delivered view.
+    pub views: Vec<(&'static str, f64)>,
+}
+
+type Timings = Arc<Mutex<Vec<LevelTiming>>>;
+
+const KICK: u64 = u64::MAX - 1;
+
+struct GwPending {
+    upcall: Upcall<Option<Item>>,
+    key: String,
+    want_causal: bool,
+    want_strong: bool,
+    start: SimTime,
+    timing: LevelTiming,
+    items_written: Option<Vec<u64>>,
+}
+
+struct Gateway {
+    backup: NodeId,
+    primary: NodeId,
+    cache: Cache,
+    queue: OpQueue,
+    timings: Timings,
+    next_seq: u64,
+    pending: HashMap<OpId, GwPending>,
+}
+
+impl Gateway {
+    fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            let Some(q) = self.queue.lock().pop_front() else {
+                return;
+            };
+            let op = OpId {
+                client: ctx.id(),
+                seq: self.next_seq,
+            };
+            self.next_seq += 1;
+            let has = |l: ConsistencyLevel| q.levels.contains(&l);
+            match q.op {
+                CacheOp::Get(key) => {
+                    let mut timing = LevelTiming::default();
+                    if has(ConsistencyLevel::Cache) {
+                        let hit = self.cache.lock().get(&key).cloned();
+                        timing.views.push(("cache", 0.0));
+                        q.upcall.deliver(hit, ConsistencyLevel::Cache);
+                    }
+                    let want_causal = has(ConsistencyLevel::Causal);
+                    let want_strong = has(ConsistencyLevel::Strong);
+                    if !want_causal && !want_strong {
+                        self.timings.lock().push(timing);
+                        continue;
+                    }
+                    if want_causal {
+                        ctx.send(
+                            self.backup,
+                            Msg::Read {
+                                op,
+                                key: key.clone(),
+                            },
+                        );
+                    }
+                    if want_strong {
+                        ctx.send(
+                            self.primary,
+                            Msg::Read {
+                                op,
+                                key: key.clone(),
+                            },
+                        );
+                    }
+                    self.pending.insert(
+                        op,
+                        GwPending {
+                            upcall: q.upcall,
+                            key,
+                            want_causal,
+                            want_strong,
+                            start: ctx.now(),
+                            timing,
+                            items_written: None,
+                        },
+                    );
+                }
+                CacheOp::Put(key, items) => {
+                    // Write-through: the cache adopts the value at once
+                    // (revision settles when the ack arrives).
+                    {
+                        let mut c = self.cache.lock();
+                        let rev = c.get(&key).map(|i| i.rev + 1).unwrap_or(1);
+                        c.insert(
+                            key.clone(),
+                            Item {
+                                rev,
+                                items: items.clone(),
+                            },
+                        );
+                    }
+                    ctx.send(
+                        self.primary,
+                        Msg::Write {
+                            op,
+                            key: key.clone(),
+                            items: items.clone(),
+                        },
+                    );
+                    self.pending.insert(
+                        op,
+                        GwPending {
+                            upcall: q.upcall,
+                            key,
+                            want_causal: false,
+                            want_strong: true,
+                            start: ctx.now(),
+                            timing: LevelTiming::default(),
+                            items_written: Some(items),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn refresh_cache(&self, key: &str, data: &Option<Item>) {
+        if let Some(item) = data {
+            let mut c = self.cache.lock();
+            let fresher = c.get(key).map(|cur| item.rev > cur.rev).unwrap_or(true);
+            if fresher {
+                c.insert(key.to_string(), item.clone());
+            }
+        }
+    }
+}
+
+impl Node<Msg> for Gateway {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ReadResp {
+                op,
+                data,
+                from_primary,
+            } => {
+                let action = self.pending.get_mut(&op).map(|p| {
+                    let ms = ctx.now().since(p.start).as_millis_f64();
+                    if from_primary {
+                        p.want_strong = false;
+                        p.timing.views.push(("strong", ms));
+                    } else {
+                        p.want_causal = false;
+                        p.timing.views.push(("causal", ms));
+                    }
+                    (
+                        p.key.clone(),
+                        p.upcall.clone(),
+                        !p.want_strong && !p.want_causal,
+                    )
+                });
+                if let Some((key, up, finished)) = action {
+                    let level = if from_primary {
+                        ConsistencyLevel::Strong
+                    } else {
+                        ConsistencyLevel::Causal
+                    };
+                    self.refresh_cache(&key, &data);
+                    up.deliver(data, level);
+                    if finished {
+                        let p = self.pending.remove(&op).expect("present");
+                        self.timings.lock().push(p.timing);
+                    }
+                }
+            }
+            Msg::WriteAck { op, rev } => {
+                if let Some(mut p) = self.pending.remove(&op) {
+                    let ms = ctx.now().since(p.start).as_millis_f64();
+                    p.timing.views.push(("strong", ms));
+                    let items = p.items_written.take().unwrap_or_default();
+                    // Settle the cache revision to the primary's.
+                    self.cache.lock().insert(
+                        p.key.clone(),
+                        Item {
+                            rev,
+                            items: items.clone(),
+                        },
+                    );
+                    p.upcall
+                        .deliver(Some(Item { rev, items }), ConsistencyLevel::Strong);
+                    self.timings.lock().push(p.timing);
+                }
+            }
+            _ => {}
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer.0 == KICK {
+            self.drain(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct NState {
+    engine: Engine<Msg>,
+    gateway: NodeId,
+    replicas: Vec<NodeId>,
+}
+
+/// A simulated cached causal store (primary + backups + client cache).
+#[derive(Clone)]
+pub struct SimCausal {
+    state: Arc<Mutex<NState>>,
+    queue: OpQueue,
+    timings: Timings,
+    cache: Cache,
+}
+
+impl SimCausal {
+    /// Builds the news-reader deployment: primary at `primary_site`,
+    /// backups at the remaining paper sites, client (and cache) at
+    /// `client_site` reading causally from the nearest backup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site name is unknown.
+    pub fn ec2(primary_site: &str, client_site: &str, seed: u64) -> SimCausal {
+        let topo = Topology::ec2_frk_irl_vrg();
+        let sites = ["FRK", "IRL", "VRG"];
+        let primary_idx = sites
+            .iter()
+            .position(|s| *s == primary_site)
+            .expect("known primary site");
+        let client_site_id = topo.site_named(client_site).expect("known client site");
+        let mut engine = Engine::new(topo, seed);
+        let replicas: Vec<NodeId> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let site = engine.topology().site_named(s).expect("site");
+                engine.add_node(site, Box::new(CausalReplica::new(i, 3, i == primary_idx)))
+            })
+            .collect();
+        for (i, id) in replicas.iter().enumerate() {
+            let peers: Vec<NodeId> = replicas
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| *p)
+                .collect();
+            engine.node_as::<CausalReplica>(*id).set_peers(peers);
+        }
+        // The causal backup is the non-primary replica closest to the client.
+        let backup = replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != primary_idx)
+            .min_by_key(|(_, id)| {
+                engine
+                    .topology()
+                    .base_one_way(client_site_id, engine.site_of(**id))
+            })
+            .map(|(_, id)| *id)
+            .expect("at least one backup");
+        let queue: OpQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let timings: Timings = Arc::new(Mutex::new(Vec::new()));
+        let cache: Cache = Arc::new(Mutex::new(HashMap::new()));
+        let gateway = engine.add_node(
+            client_site_id,
+            Box::new(Gateway {
+                backup,
+                primary: replicas[primary_idx],
+                cache: Arc::clone(&cache),
+                queue: Arc::clone(&queue),
+                timings: Arc::clone(&timings),
+                next_seq: 0,
+                pending: HashMap::new(),
+            }),
+        );
+        SimCausal {
+            state: Arc::new(Mutex::new(NState {
+                engine,
+                gateway,
+                replicas,
+            })),
+            queue,
+            timings,
+            cache,
+        }
+    }
+
+    /// The Correctables binding.
+    pub fn binding(&self) -> CausalBinding {
+        CausalBinding {
+            store: self.clone(),
+        }
+    }
+
+    /// Seeds a key on every replica and in the cache.
+    pub fn seed(&self, key: &str, rev: u64, items: Vec<u64>) {
+        let mut st = self.state.lock();
+        let item = Item { rev, items };
+        for id in st.replicas.clone() {
+            st.engine
+                .node_as::<CausalReplica>(id)
+                .seed(key, item.clone());
+        }
+        self.cache.lock().insert(key.to_string(), item);
+    }
+
+    /// Seeds a key only on the replicas (cold cache).
+    pub fn seed_remote_only(&self, key: &str, rev: u64, items: Vec<u64>) {
+        let mut st = self.state.lock();
+        let item = Item { rev, items };
+        for id in st.replicas.clone() {
+            st.engine
+                .node_as::<CausalReplica>(id)
+                .seed(key, item.clone());
+        }
+    }
+
+    /// Writes directly at the primary, bypassing the client (models other
+    /// users publishing news); backups receive it causally.
+    pub fn publish(&self, key: &str, items: Vec<u64>) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        // Find the primary by probing each replica's role flag.
+        let primary = {
+            let replicas = st.replicas.clone();
+            let mut found = replicas[0];
+            for id in replicas {
+                if st.engine.node_as::<CausalReplica>(id).is_primary {
+                    found = id;
+                    break;
+                }
+            }
+            found
+        };
+        st.engine.schedule_message(
+            gw,
+            primary,
+            SimDuration::ZERO,
+            Msg::Write {
+                op: OpId {
+                    client: gw,
+                    seq: u64::MAX,
+                },
+                key: key.to_string(),
+                items,
+            },
+        );
+    }
+
+    /// Drives the simulation until all submitted operations resolve.
+    pub fn settle(&self) {
+        let mut st = self.state.lock();
+        loop {
+            let gw = st.gateway;
+            st.engine.schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
+            st.engine.run_until_idle(10_000_000);
+            if self.queue.lock().is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Runs the simulation for `d` without submitting anything (lets
+    /// causal propagation progress).
+    pub fn advance(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let until = st.engine.now() + d;
+        st.engine.run_until(until);
+    }
+
+    /// Timings of completed operations.
+    pub fn timings(&self) -> Vec<LevelTiming> {
+        self.timings.lock().clone()
+    }
+
+    /// Direct cache inspection (tests).
+    pub fn cached(&self, key: &str) -> Option<Item> {
+        self.cache.lock().get(key).cloned()
+    }
+}
+
+/// `Binding` implementation over [`SimCausal`].
+#[derive(Clone)]
+pub struct CausalBinding {
+    store: SimCausal,
+}
+
+impl Binding for CausalBinding {
+    type Op = CacheOp;
+    type Val = Option<Item>;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        vec![
+            ConsistencyLevel::Cache,
+            ConsistencyLevel::Causal,
+            ConsistencyLevel::Strong,
+        ]
+    }
+
+    fn submit(&self, op: CacheOp, levels: &[ConsistencyLevel], upcall: Upcall<Option<Item>>) {
+        self.store.queue.lock().push_back(Queued {
+            op,
+            upcall,
+            levels: levels.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::Client;
+
+    #[test]
+    fn three_views_arrive_in_level_order() {
+        let s = SimCausal::ec2("VRG", "IRL", 3);
+        s.seed("news", 1, vec![100]);
+        let client = Client::new(s.binding());
+        let c = client.invoke(CacheOp::Get("news".into()));
+        s.settle();
+        let prelims = c.preliminary_views();
+        assert_eq!(prelims.len(), 2);
+        assert_eq!(prelims[0].level, ConsistencyLevel::Cache);
+        assert_eq!(prelims[1].level, ConsistencyLevel::Causal);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        // Cache is instant; causal ~RTT(IRL, FRK); strong ~RTT(IRL, VRG).
+        let t = &s.timings()[0];
+        assert_eq!(t.views[0], ("cache", 0.0));
+        assert!(t.views[1].1 < 30.0, "causal {:?}", t.views);
+        assert!(t.views[2].1 > 70.0, "strong {:?}", t.views);
+    }
+
+    #[test]
+    fn cache_miss_reads_none_then_refreshes() {
+        let s = SimCausal::ec2("VRG", "IRL", 4);
+        s.seed_remote_only("news", 3, vec![1, 2]);
+        let client = Client::new(s.binding());
+        let c = client.invoke(CacheOp::Get("news".into()));
+        s.settle();
+        assert_eq!(c.preliminary_views()[0].value, None, "cold cache");
+        assert!(c.final_view().unwrap().value.is_some());
+        // The read refreshed the cache.
+        assert_eq!(s.cached("news").map(|i| i.rev), Some(3));
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_primary() {
+        let s = SimCausal::ec2("VRG", "IRL", 5);
+        let client = Client::new(s.binding());
+        let w = client.invoke_strong(CacheOp::Put("news".into(), vec![9]));
+        s.settle();
+        assert_eq!(w.final_view().unwrap().value.map(|i| i.rev), Some(1));
+        assert_eq!(s.cached("news").map(|i| i.items), Some(vec![9]));
+        // Strong read sees it immediately.
+        let r = client.invoke_strong(CacheOp::Get("news".into()));
+        s.settle();
+        assert_eq!(
+            r.final_view().unwrap().value.map(|i| i.items),
+            Some(vec![9])
+        );
+    }
+
+    #[test]
+    fn stale_cache_diverges_from_primary_until_propagation() {
+        let s = SimCausal::ec2("VRG", "IRL", 6);
+        s.seed("news", 1, vec![1]);
+        // Someone else publishes fresher news directly at the primary.
+        s.publish("news", vec![1, 2]);
+        s.advance(SimDuration::from_millis(1));
+        let client = Client::new(s.binding());
+        let c = client.invoke(CacheOp::Get("news".into()));
+        s.settle();
+        let views = c.preliminary_views();
+        // Cache still shows the old revision; the final shows the new one.
+        assert_eq!(
+            views[0].value.as_ref().map(|i| i.items.clone()),
+            Some(vec![1])
+        );
+        assert_eq!(
+            c.final_view().unwrap().value.map(|i| i.items),
+            Some(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn invoke_weak_is_cache_only_and_instant() {
+        let s = SimCausal::ec2("VRG", "IRL", 7);
+        s.seed("k", 2, vec![5]);
+        let client = Client::new(s.binding());
+        let c = client.invoke_weak(CacheOp::Get("k".into()));
+        s.settle();
+        let v = c.final_view().unwrap();
+        assert_eq!(v.level, ConsistencyLevel::Cache);
+        assert_eq!(v.value.map(|i| i.items), Some(vec![5]));
+    }
+}

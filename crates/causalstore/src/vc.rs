@@ -1,0 +1,134 @@
+//! Vector clocks for causal consistency.
+
+use std::cmp::Ordering;
+
+/// A fixed-width vector clock (one entry per replica).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct VectorClock(pub Vec<u64>);
+
+/// The causal relationship between two clocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Causality {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock happens-before the right.
+    Before,
+    /// The right clock happens-before the left.
+    After,
+    /// Neither dominates: concurrent.
+    Concurrent,
+}
+
+impl VectorClock {
+    /// The zero clock for `n` replicas.
+    pub fn zero(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Number of replica entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the clock has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Increments the entry of replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bump(&mut self, i: usize) {
+        self.0[i] += 1;
+    }
+
+    /// Pointwise maximum.
+    pub fn merge(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares two clocks causally.
+    pub fn compare(&self, other: &VectorClock) -> Causality {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// Whether an update stamped `update` from `sender` is the *next*
+    /// causally deliverable message at a replica whose clock is `self`
+    /// (the CBCAST delivery condition).
+    pub fn deliverable(&self, update: &VectorClock, sender: usize) -> bool {
+        debug_assert_eq!(self.0.len(), update.0.len());
+        update.0[sender] == self.0[sender] + 1
+            && self
+                .0
+                .iter()
+                .zip(&update.0)
+                .enumerate()
+                .all(|(i, (mine, theirs))| i == sender || theirs <= mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_compare() {
+        let mut a = VectorClock::zero(3);
+        let b = a.clone();
+        a.bump(0);
+        assert_eq!(a.compare(&b), Causality::After);
+        assert_eq!(b.compare(&a), Causality::Before);
+        assert_eq!(a.compare(&a), Causality::Equal);
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let mut a = VectorClock::zero(2);
+        let mut b = VectorClock::zero(2);
+        a.bump(0);
+        b.bump(1);
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = VectorClock(vec![3, 0, 5]);
+        a.merge(&VectorClock(vec![1, 7, 5]));
+        assert_eq!(a, VectorClock(vec![3, 7, 5]));
+    }
+
+    #[test]
+    fn delivery_condition() {
+        // Replica state: has seen 2 updates from replica 0, none from 1.
+        let local = VectorClock(vec![2, 0]);
+        // The third update from replica 0, depending on nothing else.
+        let ok = VectorClock(vec![3, 0]);
+        assert!(local.deliverable(&ok, 0));
+        // A gap: the fourth update cannot be delivered yet.
+        let gap = VectorClock(vec![4, 0]);
+        assert!(!local.deliverable(&gap, 0));
+        // Depends on an unseen update from replica 1.
+        let dep = VectorClock(vec![3, 1]);
+        assert!(!local.deliverable(&dep, 0));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of vector clocks and causal delivery.
+
+use proptest::prelude::*;
+
+use causalstore::{Causality, VectorClock};
+
+fn arb_clock(n: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..20, n).prop_map(VectorClock)
+}
+
+proptest! {
+    /// Merge is commutative, associative, and idempotent (a join
+    /// semilattice — the foundation of convergence).
+    #[test]
+    fn merge_is_a_semilattice(
+        a in arb_clock(4),
+        b in arb_clock(4),
+        c in arb_clock(4),
+    ) {
+        // Commutativity.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Idempotence.
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(&aa, &a);
+    }
+
+    /// Comparison is antisymmetric and consistent with merge domination.
+    #[test]
+    fn compare_is_consistent(a in arb_clock(3), b in arb_clock(3)) {
+        match a.compare(&b) {
+            Causality::Equal => prop_assert_eq!(&a, &b),
+            Causality::Before => {
+                prop_assert_eq!(b.compare(&a), Causality::After);
+                // a merged into b changes nothing.
+                let mut m = b.clone();
+                m.merge(&a);
+                prop_assert_eq!(&m, &b);
+            }
+            Causality::After => {
+                prop_assert_eq!(b.compare(&a), Causality::Before);
+                let mut m = a.clone();
+                m.merge(&b);
+                prop_assert_eq!(&m, &a);
+            }
+            Causality::Concurrent => {
+                prop_assert_eq!(b.compare(&a), Causality::Concurrent);
+            }
+        }
+    }
+
+    /// A sender's updates are deliverable exactly in sequence order at any
+    /// receiver that has all their dependencies.
+    #[test]
+    fn delivery_is_gap_free(deliveries in 1u64..30) {
+        let mut local = VectorClock::zero(2);
+        for k in 1..=deliveries {
+            // The k-th update from replica 0 with no other dependencies.
+            let stamp = VectorClock(vec![k, 0]);
+            if k == local.0[0] + 1 {
+                prop_assert!(local.deliverable(&stamp, 0));
+                local.merge(&stamp);
+            }
+        }
+        prop_assert_eq!(local.0[0], deliveries);
+        // A gapped update is never deliverable.
+        let gap = VectorClock(vec![deliveries + 2, 0]);
+        prop_assert!(!local.deliverable(&gap, 0));
+    }
+}

@@ -1,0 +1,505 @@
+//! Driver clients for the queue experiments (Figures 9, 10, and 12).
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use simnet::{Ctx, Histogram, Node, NodeId, SimDuration, SimTime, Timer};
+
+use crate::messages::Msg;
+use crate::tree::join_path;
+use crate::types::{OpId, ReadCmd, ReadResult, Txn, TxnResult, ZkError};
+
+/// Timer token that starts a client.
+pub const KICKOFF: u64 = u64::MAX;
+/// Timer token for serving the next customer after the think time.
+const NEXT_CUSTOMER: u64 = u64::MAX - 2;
+
+/// A sequential enqueuer measuring per-operation latency (Figure 9).
+pub struct EnqueueClient {
+    server: NodeId,
+    /// Request CZK preliminaries.
+    pub icg: bool,
+    parent: String,
+    prefix: String,
+    data_len: u32,
+    total_ops: u64,
+    issued: u64,
+    next_seq: u64,
+    cur_start: Option<SimTime>,
+    /// Latency of preliminary responses (CZK only).
+    pub prelim_latency: Histogram,
+    /// Latency of final responses.
+    pub final_latency: Histogram,
+    /// Completed operations.
+    pub completed: u64,
+}
+
+impl EnqueueClient {
+    /// Creates a client that enqueues `total_ops` elements one at a time.
+    pub fn new(server: NodeId, icg: bool, parent: &str, total_ops: u64, data_len: u32) -> Self {
+        EnqueueClient {
+            server,
+            icg,
+            parent: parent.to_string(),
+            prefix: "qn-".to_string(),
+            data_len,
+            total_ops,
+            issued: 0,
+            next_seq: 0,
+            cur_start: None,
+            prelim_latency: Histogram::new(),
+            final_latency: Histogram::new(),
+            completed: 0,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.issued >= self.total_ops {
+            return;
+        }
+        self.issued += 1;
+        let op = OpId {
+            client: ctx.id(),
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.cur_start = Some(ctx.now());
+        ctx.send(
+            self.server,
+            Msg::Submit {
+                op,
+                txn: Txn::CreateSeq {
+                    parent: self.parent.clone(),
+                    prefix: self.prefix.clone(),
+                    data_len: self.data_len,
+                },
+                prelim: self.icg,
+            },
+        );
+    }
+}
+
+impl Node<Msg> for EnqueueClient {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::PrelimResp { .. } => {
+                if let Some(start) = self.cur_start {
+                    self.prelim_latency.record(ctx.now().since(start));
+                }
+            }
+            Msg::FinalResp { .. } => {
+                if let Some(start) = self.cur_start.take() {
+                    self.final_latency.record(ctx.now().since(start));
+                    self.completed += 1;
+                }
+                self.issue(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer.0 == KICKOFF {
+            self.issue(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// How a dequeuer executes its operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DequeueMode {
+    /// Vanilla ZooKeeper recipe: `getChildren` (whole queue!), then try to
+    /// delete candidates in order from the cached list; re-read when the
+    /// cached list is exhausted.
+    ZkRecipe,
+    /// CZK recipe: constant-size `GetHead` + delete; re-read on a lost
+    /// race.
+    CzkRecipe,
+    /// CZK atomic dequeue with ICG (`invoke(dequeue)`): a preliminary from
+    /// local simulation, a final via an atomic server-side pop. Purchases
+    /// confirm on the preliminary while `remaining > threshold`
+    /// (Listing 5), and subsequent customers are served while the final
+    /// completes in the background.
+    CzkAtomic {
+        /// Stock level below which the client waits for the final view.
+        threshold: u64,
+    },
+}
+
+/// One purchase (successful dequeue, or a revoked fast-path confirmation).
+#[derive(Clone, Debug)]
+pub struct PurchaseRecord {
+    /// When the purchase was confirmed to the user.
+    pub confirmed_at: SimTime,
+    /// User-visible confirmation latency in milliseconds.
+    pub latency_ms: f64,
+    /// Whether the preliminary view confirmed it (vs. the final).
+    pub used_prelim: bool,
+    /// The element eventually dequeued (`None` until/unless known).
+    pub final_name: Option<String>,
+    /// The preliminary predicted a different element than was popped
+    /// (harmless for unordered tickets; counted for observability).
+    pub prediction_changed: bool,
+    /// A prelim-confirmed purchase was revoked by the final view
+    /// (the queue turned out to be empty) — must be compensated.
+    pub revoked: bool,
+}
+
+struct PopOp {
+    start: SimTime,
+    /// Index into `purchases` if already confirmed from the preliminary.
+    confirmed_idx: Option<usize>,
+    prelim_name: Option<String>,
+}
+
+enum RecipePhase {
+    Idle,
+    AwaitRead {
+        op: OpId,
+    },
+    AwaitDelete {
+        op: OpId,
+        name: String,
+        /// Remaining cached candidates (ZkRecipe only).
+        rest: Vec<String>,
+    },
+}
+
+/// A closed-loop dequeuer (retailer) draining a queue.
+pub struct DequeueClient {
+    server: NodeId,
+    mode: DequeueMode,
+    parent: String,
+    next_seq: u64,
+    /// Sequential state for the recipe modes.
+    phase: RecipePhase,
+    op_start: Option<SimTime>,
+    /// Outstanding atomic pops (CzkAtomic pipelines them).
+    pops: HashMap<OpId, PopOp>,
+    /// Set while a low-stock pop gates new customers.
+    gated: bool,
+    /// Pause between customers (CzkAtomic; zero = serve back-to-back).
+    pub think_time: SimDuration,
+    /// Successful purchases, in confirmation order.
+    pub purchases: Vec<PurchaseRecord>,
+    /// Lost races (NoNode on delete) across all operations.
+    pub retries: u64,
+    /// Whole-queue / head re-reads performed.
+    pub reads: u64,
+    /// The client observed an empty queue and stopped.
+    pub sold_out: bool,
+    /// Optional cap on purchases (`None` = drain until empty).
+    pub max_ops: Option<u64>,
+}
+
+impl DequeueClient {
+    /// Creates a retailer draining `parent` through `server`.
+    pub fn new(server: NodeId, mode: DequeueMode, parent: &str) -> Self {
+        DequeueClient {
+            server,
+            mode,
+            parent: parent.to_string(),
+            next_seq: 0,
+            phase: RecipePhase::Idle,
+            op_start: None,
+            pops: HashMap::new(),
+            gated: false,
+            think_time: SimDuration::ZERO,
+            purchases: Vec::new(),
+            retries: 0,
+            reads: 0,
+            sold_out: false,
+            max_ops: None,
+        }
+    }
+
+    /// Sets the inter-customer think time (builder style).
+    pub fn with_think_time(mut self, t: SimDuration) -> Self {
+        self.think_time = t;
+        self
+    }
+
+    fn next_op_id(&mut self, ctx: &Ctx<'_, Msg>) -> OpId {
+        let op = OpId {
+            client: ctx.id(),
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        op
+    }
+
+    fn done(&self) -> bool {
+        self.sold_out
+            || self
+                .max_ops
+                .map(|m| self.purchases.len() as u64 >= m)
+                .unwrap_or(false)
+    }
+
+    fn serve_customer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.done() || self.gated {
+            return;
+        }
+        match self.mode {
+            DequeueMode::ZkRecipe | DequeueMode::CzkRecipe => {
+                if matches!(self.phase, RecipePhase::Idle) {
+                    self.op_start = Some(ctx.now());
+                    self.read_queue(ctx);
+                }
+            }
+            DequeueMode::CzkAtomic { .. } => {
+                let op = self.next_op_id(ctx);
+                self.pops.insert(
+                    op,
+                    PopOp {
+                        start: ctx.now(),
+                        confirmed_idx: None,
+                        prelim_name: None,
+                    },
+                );
+                ctx.send(
+                    self.server,
+                    Msg::Submit {
+                        op,
+                        txn: Txn::PopMin {
+                            parent: self.parent.clone(),
+                        },
+                        prelim: true,
+                    },
+                );
+            }
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.done() {
+            return;
+        }
+        if self.think_time == SimDuration::ZERO {
+            self.serve_customer(ctx);
+        } else {
+            ctx.set_timer(self.think_time, Timer(NEXT_CUSTOMER));
+        }
+    }
+
+    fn read_queue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let op = self.next_op_id(ctx);
+        self.reads += 1;
+        let cmd = match self.mode {
+            DequeueMode::ZkRecipe => ReadCmd::GetChildren {
+                parent: self.parent.clone(),
+            },
+            _ => ReadCmd::GetHead {
+                parent: self.parent.clone(),
+            },
+        };
+        self.phase = RecipePhase::AwaitRead { op };
+        ctx.send(self.server, Msg::Read { op, cmd });
+    }
+
+    fn try_delete(&mut self, ctx: &mut Ctx<'_, Msg>, mut candidates: Vec<String>) {
+        if candidates.is_empty() {
+            // Cached list exhausted; re-read (or conclude sold out at the
+            // read step if the queue is empty).
+            self.read_queue(ctx);
+            return;
+        }
+        let name = candidates.remove(0);
+        let op = self.next_op_id(ctx);
+        let path = join_path(&self.parent, &name);
+        self.phase = RecipePhase::AwaitDelete {
+            op,
+            name,
+            rest: candidates,
+        };
+        ctx.send(
+            self.server,
+            Msg::Submit {
+                op,
+                txn: Txn::Delete { path },
+                prelim: false,
+            },
+        );
+    }
+
+    fn recipe_success(&mut self, ctx: &mut Ctx<'_, Msg>, name: String) {
+        let start = self.op_start.expect("op in flight");
+        self.purchases.push(PurchaseRecord {
+            confirmed_at: ctx.now(),
+            latency_ms: ctx.now().since(start).as_millis_f64(),
+            used_prelim: false,
+            final_name: Some(name),
+            prediction_changed: false,
+            revoked: false,
+        });
+        self.phase = RecipePhase::Idle;
+        self.op_start = None;
+        self.schedule_next(ctx);
+    }
+
+    fn handle_pop_prelim(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId, result: TxnResult) {
+        let DequeueMode::CzkAtomic { threshold } = self.mode else {
+            return;
+        };
+        let TxnResult::Popped { name, remaining } = result else {
+            return;
+        };
+        let Some(pop) = self.pops.get_mut(&op) else {
+            return;
+        };
+        pop.prelim_name = name.clone();
+        if name.is_some() && remaining > threshold {
+            // Plenty of stock: confirm to the customer now; the atomic
+            // dequeue completes in the background (Listing 5's fast path).
+            let start = pop.start;
+            self.purchases.push(PurchaseRecord {
+                confirmed_at: ctx.now(),
+                latency_ms: ctx.now().since(start).as_millis_f64(),
+                used_prelim: true,
+                final_name: None,
+                prediction_changed: false,
+                revoked: false,
+            });
+            let idx = self.purchases.len() - 1;
+            self.pops.get_mut(&op).expect("present").confirmed_idx = Some(idx);
+            self.schedule_next(ctx);
+        } else {
+            // Low stock (or locally empty): gate on this pop's final view.
+            self.gated = true;
+        }
+    }
+
+    fn handle_pop_final(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId, result: TxnResult) {
+        let TxnResult::Popped { name, .. } = result else {
+            return;
+        };
+        let Some(pop) = self.pops.remove(&op) else {
+            return;
+        };
+        match pop.confirmed_idx {
+            Some(idx) => {
+                // Already confirmed on the preliminary; audit the outcome.
+                let rec = &mut self.purchases[idx];
+                rec.prediction_changed = pop.prelim_name != name;
+                match name {
+                    Some(n) => rec.final_name = Some(n),
+                    None => {
+                        // The queue ran dry before this pop committed: the
+                        // fast-path confirmation must be compensated.
+                        rec.revoked = true;
+                        self.sold_out = true;
+                    }
+                }
+            }
+            None => {
+                // This pop was gating (low stock): the final view decides.
+                self.gated = false;
+                match name {
+                    Some(n) => {
+                        self.purchases.push(PurchaseRecord {
+                            confirmed_at: ctx.now(),
+                            latency_ms: ctx.now().since(pop.start).as_millis_f64(),
+                            used_prelim: false,
+                            prediction_changed: pop.prelim_name.as_deref() != Some(n.as_str()),
+                            final_name: Some(n),
+                            revoked: false,
+                        });
+                        self.schedule_next(ctx);
+                    }
+                    None => {
+                        self.sold_out = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node<Msg> for DequeueClient {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ReadResp { op, result } => {
+                let RecipePhase::AwaitRead { op: want } = &self.phase else {
+                    return;
+                };
+                if op != *want {
+                    return;
+                }
+                let candidates = match result {
+                    ReadResult::Children(names) => names,
+                    ReadResult::Head { name, .. } => name.into_iter().collect(),
+                };
+                if candidates.is_empty() {
+                    self.sold_out = true;
+                    self.phase = RecipePhase::Idle;
+                    return;
+                }
+                self.try_delete(ctx, candidates);
+            }
+            Msg::PrelimResp { op, result } => {
+                self.handle_pop_prelim(ctx, op, result);
+            }
+            Msg::FinalResp { op, result } => {
+                if self.pops.contains_key(&op) {
+                    self.handle_pop_final(ctx, op, result);
+                    return;
+                }
+                let RecipePhase::AwaitDelete {
+                    op: want,
+                    name,
+                    rest,
+                } = &self.phase
+                else {
+                    return;
+                };
+                if op != *want {
+                    return;
+                }
+                let (name, rest) = (name.clone(), rest.clone());
+                match result {
+                    TxnResult::Deleted => self.recipe_success(ctx, name),
+                    TxnResult::Err(ZkError::NoNode) => {
+                        // Lost the race; try the next cached candidate.
+                        self.retries += 1;
+                        self.try_delete(ctx, rest);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer.0 == KICKOFF || timer.0 == NEXT_CUSTOMER {
+            self.serve_customer(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purchase_record_defaults() {
+        let r = PurchaseRecord {
+            confirmed_at: SimTime::ZERO,
+            latency_ms: 1.5,
+            used_prelim: true,
+            final_name: None,
+            prediction_changed: false,
+            revoked: false,
+        };
+        assert!(r.used_prelim);
+        assert!(!r.revoked);
+    }
+}

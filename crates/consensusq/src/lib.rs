@@ -1,0 +1,42 @@
+//! # consensusq — a ZooKeeper-model coordination service with CZK support
+//!
+//! The paper's second storage system is a modified Apache ZooKeeper
+//! ("Correctable ZooKeeper", CZK) exposing replicated queues. This crate
+//! rebuilds the relevant mechanics from scratch on the deterministic
+//! simulator:
+//!
+//! - **Atomic broadcast** ([`server::Server`]): a Zab-style protocol — the
+//!   leader sequences transactions, followers acknowledge, commits happen
+//!   on majority, every server applies in zxid order, and the origin
+//!   server answers its client after applying locally.
+//! - **Znode tree** ([`tree::ZnodeTree`]): persistent znodes with
+//!   per-parent ordered children and sequential-creation counters — enough
+//!   to express ZooKeeper's queue recipe.
+//! - **Queue recipe** ([`clients`]): vanilla dequeue reads the *whole*
+//!   child list and races on deleting the head (message size grows with
+//!   queue length — Figure 10); the CZK recipe reads a constant-size head;
+//!   CZK's `invoke(dequeue)` adds the fast path — the connected server
+//!   *simulates* the operation on local state and leaks the prediction as
+//!   a preliminary view before Zab coordination (§5.2).
+//! - **Binding** ([`binding::SimQueue`]): the Correctables binding used by
+//!   the ticket-selling application (Listing 5).
+//!
+//! A single Zab epoch is simulated (static leader); the paper's
+//! evaluation never fails the leader, and leader re-election is out of
+//! reproduced scope (see DESIGN.md §6).
+
+pub mod binding;
+pub mod clients;
+pub mod cluster;
+pub mod messages;
+pub mod server;
+pub mod tree;
+pub mod types;
+
+pub use binding::{QueueBinding, QueueOp, QueueTiming, QueueView, SimQueue};
+pub use clients::{DequeueClient, DequeueMode, EnqueueClient, PurchaseRecord, KICKOFF};
+pub use cluster::ZkCluster;
+pub use messages::{Msg, FRAME_BYTES};
+pub use server::{Server, ServerConfig};
+pub use tree::{join_path, Znode, ZnodeTree};
+pub use types::{seq_of, OpId, ReadCmd, ReadResult, Txn, TxnResult, ZkError, Zxid};

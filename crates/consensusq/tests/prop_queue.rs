@@ -1,0 +1,131 @@
+//! Property-based tests of the znode tree and queue determinism — the
+//! foundations of Zab's state-machine replication.
+
+use proptest::prelude::*;
+
+use consensusq::{seq_of, Txn, TxnResult, ZnodeTree};
+
+#[derive(Clone, Debug)]
+enum QOp {
+    Enqueue(u32),
+    Pop,
+    DeleteHead,
+}
+
+fn qop() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        3 => (1u32..64).prop_map(QOp::Enqueue),
+        2 => Just(QOp::Pop),
+        1 => Just(QOp::DeleteHead),
+    ]
+}
+
+fn to_txns(ops: &[QOp], tree: &mut ZnodeTree) -> Vec<TxnResult> {
+    let mut out = Vec::new();
+    for op in ops {
+        let txn = match op {
+            QOp::Enqueue(len) => Txn::CreateSeq {
+                parent: "/q".into(),
+                prefix: "qn-".into(),
+                data_len: *len,
+            },
+            QOp::Pop => Txn::PopMin {
+                parent: "/q".into(),
+            },
+            QOp::DeleteHead => match tree.min_child("/q") {
+                Some(name) => Txn::Delete {
+                    path: consensusq::join_path("/q", &name),
+                },
+                None => Txn::PopMin {
+                    parent: "/q".into(),
+                },
+            },
+        };
+        out.push(tree.apply(&txn));
+    }
+    out
+}
+
+proptest! {
+    /// Replicas applying the same operation sequence produce identical
+    /// results and identical trees (determinism — the Zab prerequisite).
+    #[test]
+    fn identical_sequences_identical_state(ops in proptest::collection::vec(qop(), 0..80)) {
+        let mut a = ZnodeTree::new();
+        let mut b = ZnodeTree::new();
+        let ra = to_txns(&ops, &mut a);
+        let rb = to_txns(&ops, &mut b);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(a.children_of("/q"), b.children_of("/q"));
+    }
+
+    /// The queue is FIFO: pops return elements in creation order, and
+    /// sequence numbers are unique and increasing.
+    #[test]
+    fn queue_is_fifo_with_unique_sequence_numbers(
+        enqueues in 1u64..50,
+        pops in 0u64..60,
+    ) {
+        let mut t = ZnodeTree::new();
+        let mut created = Vec::new();
+        for _ in 0..enqueues {
+            match t.apply(&Txn::CreateSeq {
+                parent: "/q".into(),
+                prefix: "qn-".into(),
+                data_len: 8,
+            }) {
+                TxnResult::Created { name } => created.push(name),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        // Unique, strictly increasing sequence numbers.
+        let seqs: Vec<u64> = created.iter().map(|n| seq_of(n).unwrap()).collect();
+        for w in seqs.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let mut popped = Vec::new();
+        for _ in 0..pops {
+            if let TxnResult::Popped { name: Some(n), .. } =
+                t.apply(&Txn::PopMin { parent: "/q".into() })
+            {
+                popped.push(n);
+            }
+        }
+        let expect: Vec<String> =
+            created.iter().take(popped.len()).cloned().collect();
+        prop_assert_eq!(popped, expect, "pops must be FIFO");
+    }
+
+    /// `simulate` never mutates and always predicts what `apply` would
+    /// return on an otherwise-quiescent tree.
+    #[test]
+    fn simulate_is_a_pure_predictor(ops in proptest::collection::vec(qop(), 0..40)) {
+        let mut t = ZnodeTree::new();
+        let _ = to_txns(&ops, &mut t);
+        let probe = Txn::PopMin { parent: "/q".into() };
+        let before = t.children_of("/q");
+        let predicted = t.simulate(&probe);
+        prop_assert_eq!(t.children_of("/q"), before, "simulate mutated the tree");
+        let actual = t.apply(&probe);
+        prop_assert_eq!(predicted, actual);
+    }
+
+    /// Element count bookkeeping: enqueues minus successful pops equals
+    /// the residual child count.
+    #[test]
+    fn conservation_of_elements(ops in proptest::collection::vec(qop(), 0..100)) {
+        let mut t = ZnodeTree::new();
+        let results = to_txns(&ops, &mut t);
+        let mut created = 0i64;
+        let mut removed = 0i64;
+        for r in &results {
+            match r {
+                TxnResult::Created { .. } => created += 1,
+                TxnResult::Popped { name: Some(_), .. } => removed += 1,
+                TxnResult::Deleted => removed += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(t.child_count("/q") as i64, created - removed);
+    }
+}

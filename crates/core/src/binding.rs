@@ -1,0 +1,125 @@
+//! The binding API (§5.1 of the paper): the boundary between the
+//! consistency-based Correctables interface and storage-specific protocols.
+//!
+//! A binding encapsulates (1) the configuration of a storage stack, (2) the
+//! consistency levels it offers, and (3) every storage-specific protocol.
+//! The paper's API is two functions — `consistencyLevels()` and
+//! `submitOperation(op, consLevels, callback)` — mirrored here as
+//! [`Binding::consistency_levels`] and [`Binding::submit`]. The callback
+//! is an [`Upcall`]: the binding calls [`Upcall::deliver`] once per
+//! requested level, and the library routes each delivery into the right
+//! Correctable transition (update for intermediate levels, close for the
+//! strongest requested one).
+
+use crate::correctable::Handle;
+use crate::error::Error;
+use crate::level::ConsistencyLevel;
+
+/// Storage-side interface implemented once per storage stack.
+pub trait Binding {
+    /// The operation type this storage accepts (reads, writes, queue ops…).
+    type Op;
+    /// The result type of operations.
+    type Val: Clone + Send + 'static;
+
+    /// The consistency levels this binding offers, weakest first.
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel>;
+
+    /// Executes `op`, delivering one result per level in `levels`
+    /// (weakest-first) through `upcall`.
+    ///
+    /// Implementations must eventually either deliver the strongest
+    /// requested level or fail the upcall; they should skip levels not in
+    /// `levels` to save work (§3.2's optimization argument).
+    fn submit(&self, op: Self::Op, levels: &[ConsistencyLevel], upcall: Upcall<Self::Val>);
+}
+
+/// The callback surface handed to a binding for one operation.
+pub struct Upcall<T> {
+    handle: Handle<T>,
+    strongest: ConsistencyLevel,
+}
+
+impl<T: Clone + Send + 'static> Upcall<T> {
+    /// Creates an upcall that closes its Correctable at `strongest`.
+    pub fn new(handle: Handle<T>, strongest: ConsistencyLevel) -> Self {
+        Upcall { handle, strongest }
+    }
+
+    /// Delivers one view. A view at (or above) the strongest requested
+    /// level closes the Correctable; weaker views are preliminary updates.
+    ///
+    /// Deliveries after the close are ignored (e.g. a slow weak response
+    /// racing a fast strong one), matching the paper's state machine.
+    pub fn deliver(&self, value: T, level: ConsistencyLevel) {
+        if level.at_least(self.strongest) {
+            let _ = self.handle.close(value, level);
+        } else {
+            let _ = self.handle.update(value, level);
+        }
+    }
+
+    /// Fails the operation; ignored if already closed.
+    pub fn fail(&self, err: Error) {
+        let _ = self.handle.fail(err);
+    }
+
+    /// The strongest level this upcall was configured with.
+    pub fn strongest(&self) -> ConsistencyLevel {
+        self.strongest
+    }
+}
+
+impl<T> Clone for Upcall<T> {
+    fn clone(&self) -> Self {
+        Upcall {
+            handle: self.handle.clone(),
+            strongest: self.strongest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctable::{Correctable, State};
+    use crate::level::ConsistencyLevel::{Strong, Weak};
+
+    #[test]
+    fn deliver_routes_update_vs_close() {
+        let (c, h) = Correctable::<i32>::pending();
+        let up = Upcall::new(h, Strong);
+        up.deliver(1, Weak);
+        assert_eq!(c.state(), State::Updating);
+        up.deliver(2, Strong);
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(c.final_view().unwrap().value, 2);
+    }
+
+    #[test]
+    fn weak_only_invocation_closes_on_weak() {
+        let (c, h) = Correctable::<i32>::pending();
+        let up = Upcall::new(h, Weak);
+        up.deliver(1, Weak);
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(c.final_view().unwrap().level, Weak);
+    }
+
+    #[test]
+    fn late_deliveries_are_ignored() {
+        let (c, h) = Correctable::<i32>::pending();
+        let up = Upcall::new(h, Weak);
+        up.deliver(1, Weak);
+        up.deliver(2, Strong);
+        up.fail(Error::Timeout);
+        assert_eq!(c.final_view().unwrap().value, 1);
+    }
+
+    #[test]
+    fn fail_closes_exceptionally() {
+        let (c, h) = Correctable::<i32>::pending();
+        let up = Upcall::new(h, Strong);
+        up.fail(Error::Unavailable("no quorum".into()));
+        assert_eq!(c.state(), State::Error);
+    }
+}

@@ -1,0 +1,181 @@
+//! The application-facing API (§3.2 of the paper): `invokeWeak`,
+//! `invokeStrong`, and `invoke`.
+//!
+//! A [`Client`] wraps a [`Binding`] and exposes the three methods of the
+//! paper verbatim. `invoke_weak` and `invoke_strong` return Correctables
+//! that close directly with a single view at one extreme of the
+//! consistency/performance trade-off; `invoke` delivers incremental views
+//! across all (or a chosen subset of) the binding's levels.
+
+use crate::binding::{Binding, Upcall};
+use crate::correctable::Correctable;
+use crate::error::Error;
+use crate::level::{ConsistencyLevel, LevelSelection};
+
+/// A Correctables client bound to one storage stack.
+pub struct Client<B: Binding> {
+    binding: B,
+}
+
+impl<B: Binding> Client<B> {
+    /// Wraps a binding.
+    pub fn new(binding: B) -> Self {
+        Client { binding }
+    }
+
+    /// The underlying binding.
+    pub fn binding(&self) -> &B {
+        &self.binding
+    }
+
+    /// The consistency levels available through this client, weakest first.
+    pub fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        let mut ls = self.binding.consistency_levels();
+        ls.sort();
+        ls
+    }
+
+    /// Invokes `op` with the weakest available consistency; the result
+    /// closes with that single view.
+    pub fn invoke_weak(&self, op: B::Op) -> Correctable<B::Val> {
+        match self.consistency_levels().first().copied() {
+            Some(weakest) => self.submit(op, vec![weakest]),
+            None => Correctable::failed(Error::Unavailable(
+                "binding advertises no consistency levels".into(),
+            )),
+        }
+    }
+
+    /// Invokes `op` with the strongest available consistency; the result
+    /// closes with that single view.
+    pub fn invoke_strong(&self, op: B::Op) -> Correctable<B::Val> {
+        match self.consistency_levels().last().copied() {
+            Some(strongest) => self.submit(op, vec![strongest]),
+            None => Correctable::failed(Error::Unavailable(
+                "binding advertises no consistency levels".into(),
+            )),
+        }
+    }
+
+    /// Invokes `op` with incremental consistency guarantees across all
+    /// available levels: one preliminary view per intermediate level, then
+    /// a final view at the strongest.
+    pub fn invoke(&self, op: B::Op) -> Correctable<B::Val> {
+        self.invoke_with(op, &LevelSelection::All)
+    }
+
+    /// Invokes `op` delivering only the selected levels (the optional
+    /// `levels` argument of the paper's `invoke`).
+    pub fn invoke_with(&self, op: B::Op, selection: &LevelSelection) -> Correctable<B::Val> {
+        let available = self.consistency_levels();
+        match selection.resolve(&available) {
+            Ok(levels) if levels.is_empty() => {
+                Correctable::failed(Error::Unavailable("no consistency level selected".into()))
+            }
+            Ok(levels) => self.submit(op, levels),
+            Err(bad) => Correctable::failed(Error::UnsupportedLevel(bad)),
+        }
+    }
+
+    fn submit(&self, op: B::Op, levels: Vec<ConsistencyLevel>) -> Correctable<B::Val> {
+        let strongest = *levels.last().expect("levels non-empty");
+        let (c, handle) = Correctable::pending();
+        let upcall = Upcall::new(handle, strongest);
+        self.binding.submit(op, &levels, upcall);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctable::State;
+    use crate::level::ConsistencyLevel::{Causal, Strong, Weak};
+    use parking_lot::Mutex;
+
+    /// A binding that synchronously answers with `level.rank()` per level,
+    /// recording which levels were requested.
+    struct RankBinding {
+        requested: Mutex<Vec<Vec<ConsistencyLevel>>>,
+    }
+
+    impl RankBinding {
+        fn new() -> Self {
+            RankBinding {
+                requested: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Binding for RankBinding {
+        type Op = ();
+        type Val = u8;
+
+        fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+            vec![Weak, Causal, Strong]
+        }
+
+        fn submit(&self, _op: (), levels: &[ConsistencyLevel], upcall: Upcall<u8>) {
+            self.requested.lock().push(levels.to_vec());
+            for l in levels {
+                upcall.deliver(l.rank(), *l);
+            }
+        }
+    }
+
+    #[test]
+    fn invoke_weak_closes_at_weakest() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke_weak(());
+        assert_eq!(c.state(), State::Final);
+        let v = c.final_view().unwrap();
+        assert_eq!(v.level, Weak);
+        assert_eq!(v.value, Weak.rank());
+        assert_eq!(client.binding().requested.lock()[0], vec![Weak]);
+    }
+
+    #[test]
+    fn invoke_strong_closes_at_strongest() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke_strong(());
+        let v = c.final_view().unwrap();
+        assert_eq!(v.level, Strong);
+        assert_eq!(client.binding().requested.lock()[0], vec![Strong]);
+    }
+
+    #[test]
+    fn invoke_delivers_all_levels_incrementally() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke(());
+        assert_eq!(c.state(), State::Final);
+        let prelims = c.preliminary_views();
+        assert_eq!(prelims.len(), 2);
+        assert_eq!(prelims[0].level, Weak);
+        assert_eq!(prelims[1].level, Causal);
+        assert_eq!(c.final_view().unwrap().level, Strong);
+    }
+
+    #[test]
+    fn invoke_with_subset_skips_extraneous_levels() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke_with((), &LevelSelection::Only(vec![Strong, Weak]));
+        assert_eq!(c.preliminary_views().len(), 1);
+        assert_eq!(
+            client.binding().requested.lock()[0],
+            vec![Weak, Strong],
+            "causal must not be requested from the binding"
+        );
+        let _ = c;
+    }
+
+    #[test]
+    fn invoke_with_unknown_level_fails() {
+        let client = Client::new(RankBinding::new());
+        let bogus = ConsistencyLevel::Custom {
+            rank: 99,
+            name: "x",
+        };
+        let c = client.invoke_with((), &LevelSelection::Only(vec![bogus]));
+        assert_eq!(c.error(), Some(Error::UnsupportedLevel(bogus)));
+    }
+}

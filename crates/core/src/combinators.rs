@@ -1,0 +1,259 @@
+//! Promise-style combinators inherited from modern Promises (§3 of the
+//! paper mentions aggregation and monadic-style chaining; this module
+//! provides them for Correctables).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::correctable::Correctable;
+use crate::error::Error;
+use crate::view::View;
+
+impl<T: Clone + Send + 'static> Correctable<T> {
+    /// Transforms every view (preliminary and final) with `f`.
+    pub fn map<U, F>(&self, f: F) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+        F: FnMut(&T) -> U + Send + 'static,
+    {
+        let (out, handle) = Correctable::<U>::pending();
+        let f = Arc::new(Mutex::new(f));
+        let h_u = handle.clone();
+        let f_u = Arc::clone(&f);
+        self.on_update(move |v: &View<T>| {
+            let mapped = (f_u.lock())(&v.value);
+            let _ = h_u.update(mapped, v.level);
+        });
+        let h_f = handle.clone();
+        let f_f = Arc::clone(&f);
+        self.on_final(move |v: &View<T>| {
+            let mapped = (f_f.lock())(&v.value);
+            let _ = h_f.close(mapped, v.level);
+        });
+        let h_e = handle;
+        self.on_error(move |e: &Error| {
+            let _ = h_e.fail(e.clone());
+        });
+        out
+    }
+
+    /// Chains an asynchronous continuation on the final view; preliminary
+    /// views of `self` are forwarded as preliminary views of the result
+    /// (mapped through nothing — the continuation only sees the final).
+    pub fn then<U, F>(&self, f: F) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+        F: FnOnce(&View<T>) -> Correctable<U> + Send + 'static,
+    {
+        let (out, handle) = Correctable::<U>::pending();
+        let h_f = handle.clone();
+        self.on_final(move |v: &View<T>| {
+            let next = f(v);
+            let h_u = h_f.clone();
+            next.on_update(move |u: &View<U>| {
+                let _ = h_u.update(u.value.clone(), u.level);
+            });
+            let h_c = h_f.clone();
+            next.on_final(move |u: &View<U>| {
+                let _ = h_c.close(u.value.clone(), u.level);
+            });
+            let h_e = h_f.clone();
+            next.on_error(move |e: &Error| {
+                let _ = h_e.fail(e.clone());
+            });
+        });
+        let h_e = handle;
+        self.on_error(move |e: &Error| {
+            let _ = h_e.fail(e.clone());
+        });
+        out
+    }
+
+    /// Aggregates many Correctables: the result closes with all final
+    /// values, in input order, once every input has closed.
+    ///
+    /// The first input error fails the aggregate immediately.
+    pub fn join_all(items: Vec<Correctable<T>>) -> Correctable<Vec<T>> {
+        let (out, handle) = Correctable::<Vec<T>>::pending();
+        let n = items.len();
+        if n == 0 {
+            let _ = handle.close(Vec::new(), crate::level::ConsistencyLevel::Strong);
+            return out;
+        }
+        struct JoinState<T> {
+            slots: Vec<Option<View<T>>>,
+            remaining: usize,
+        }
+        let state = Arc::new(Mutex::new(JoinState {
+            slots: (0..n).map(|_| None).collect(),
+            remaining: n,
+        }));
+        for (i, item) in items.iter().enumerate() {
+            let st = Arc::clone(&state);
+            let h = handle.clone();
+            item.on_final(move |v: &View<T>| {
+                let done = {
+                    let mut g = st.lock();
+                    if g.slots[i].is_none() {
+                        g.slots[i] = Some(v.clone());
+                        g.remaining -= 1;
+                    }
+                    if g.remaining == 0 {
+                        // The aggregate is only as strong as its weakest view.
+                        let level = g
+                            .slots
+                            .iter()
+                            .map(|s| s.as_ref().expect("all slots filled").level)
+                            .min()
+                            .expect("non-empty");
+                        let values = g
+                            .slots
+                            .iter_mut()
+                            .map(|s| s.take().expect("all slots filled").value)
+                            .collect::<Vec<_>>();
+                        Some((values, level))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((values, level)) = done {
+                    let _ = h.close(values, level);
+                }
+            });
+            let h_e = handle.clone();
+            item.on_error(move |e: &Error| {
+                let _ = h_e.fail(e.clone());
+            });
+        }
+        out
+    }
+
+    /// Races many Correctables: the result closes with the first final view
+    /// to arrive. It fails only if every input fails.
+    pub fn first_final(items: Vec<Correctable<T>>) -> Correctable<T> {
+        let (out, handle) = Correctable::<T>::pending();
+        let n = items.len();
+        if n == 0 {
+            let _ = handle.fail(Error::Unavailable("first_final of no inputs".into()));
+            return out;
+        }
+        let errors = Arc::new(Mutex::new(0usize));
+        for item in &items {
+            let h = handle.clone();
+            item.on_final(move |v: &View<T>| {
+                let _ = h.close(v.value.clone(), v.level);
+            });
+            let h_e = handle.clone();
+            let errs = Arc::clone(&errors);
+            item.on_error(move |e: &Error| {
+                let mut g = errs.lock();
+                *g += 1;
+                if *g == n {
+                    let _ = h_e.fail(e.clone());
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctable::State;
+    use crate::level::ConsistencyLevel::{Causal, Strong, Weak};
+
+    #[test]
+    fn map_transforms_updates_and_final() {
+        let (c, h) = Correctable::<i32>::pending();
+        let m = c.map(|x| x * 2);
+        h.update(1, Weak).unwrap();
+        assert_eq!(m.latest().unwrap().value, 2);
+        assert_eq!(m.latest().unwrap().level, Weak);
+        h.close(3, Strong).unwrap();
+        assert_eq!(m.final_view().unwrap().value, 6);
+    }
+
+    #[test]
+    fn map_propagates_error() {
+        let (c, h) = Correctable::<i32>::pending();
+        let m = c.map(|x| *x);
+        h.fail(Error::Timeout).unwrap();
+        assert_eq!(m.state(), State::Error);
+    }
+
+    #[test]
+    fn then_chains_on_final() {
+        let (c, h) = Correctable::<i32>::pending();
+        let t = c.then(|v| Correctable::ready(v.value + 100));
+        h.update(1, Weak).unwrap();
+        assert_eq!(t.state(), State::Updating);
+        h.close(2, Strong).unwrap();
+        assert_eq!(t.final_view().unwrap().value, 102);
+    }
+
+    #[test]
+    fn then_propagates_inner_error() {
+        let (c, h) = Correctable::<i32>::pending();
+        let t: Correctable<i32> = c.then(|_| Correctable::failed(Error::Aborted));
+        h.close(1, Strong).unwrap();
+        assert_eq!(t.error(), Some(Error::Aborted));
+    }
+
+    #[test]
+    fn join_all_waits_for_everything_in_order() {
+        let (a, ha) = Correctable::<i32>::pending();
+        let (b, hb) = Correctable::<i32>::pending();
+        let j = Correctable::join_all(vec![a, b]);
+        hb.close(2, Strong).unwrap();
+        assert_eq!(j.state(), State::Updating);
+        ha.close(1, Strong).unwrap();
+        assert_eq!(j.final_view().unwrap().value, vec![1, 2]);
+    }
+
+    #[test]
+    fn join_all_level_is_weakest() {
+        let (a, ha) = Correctable::<i32>::pending();
+        let (b, hb) = Correctable::<i32>::pending();
+        let j = Correctable::join_all(vec![a, b]);
+        ha.close(1, Strong).unwrap();
+        hb.close(2, Causal).unwrap();
+        assert_eq!(j.final_view().unwrap().level, Causal);
+    }
+
+    #[test]
+    fn join_all_empty_closes_immediately() {
+        let j = Correctable::<i32>::join_all(vec![]);
+        assert_eq!(j.final_view().unwrap().value, Vec::<i32>::new());
+    }
+
+    #[test]
+    fn join_all_fails_fast() {
+        let (a, ha) = Correctable::<i32>::pending();
+        let (b, _hb) = Correctable::<i32>::pending();
+        let j = Correctable::join_all(vec![a, b]);
+        ha.fail(Error::Timeout).unwrap();
+        assert_eq!(j.state(), State::Error);
+    }
+
+    #[test]
+    fn first_final_takes_the_winner() {
+        let (a, _ha) = Correctable::<i32>::pending();
+        let (b, hb) = Correctable::<i32>::pending();
+        let r = Correctable::first_final(vec![a, b]);
+        hb.close(7, Weak).unwrap();
+        assert_eq!(r.final_view().unwrap().value, 7);
+    }
+
+    #[test]
+    fn first_final_fails_only_when_all_fail() {
+        let (a, ha) = Correctable::<i32>::pending();
+        let (b, hb) = Correctable::<i32>::pending();
+        let r = Correctable::first_final(vec![a, b]);
+        ha.fail(Error::Timeout).unwrap();
+        assert_eq!(r.state(), State::Updating);
+        hb.fail(Error::Aborted).unwrap();
+        assert_eq!(r.state(), State::Error);
+    }
+}

@@ -1,0 +1,592 @@
+//! The `Correctable` abstraction itself: a multi-view generalization of
+//! Promises (Figure 3 of the paper).
+//!
+//! A `Correctable` starts in the **updating** state. Each preliminary view
+//! triggers an *updating → updating* transition and the `on_update`
+//! callbacks; the final view closes it (*updating → final*, `on_final`);
+//! an error closes it exceptionally (*updating → error*, `on_error`).
+//! Once closed, the state never changes again.
+//!
+//! The consumer side is [`Correctable`]; the producer side (the library /
+//! binding) drives it through a [`Handle`]. Both are cheaply cloneable and
+//! thread-safe; callbacks never run while internal locks are held, so they
+//! may freely create, update, or wait on other Correctables.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{ClosedError, Error};
+use crate::level::ConsistencyLevel;
+use crate::view::View;
+
+/// Observable state of a [`Correctable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum State {
+    /// Still expecting stronger views.
+    Updating,
+    /// Closed with a final (strongest requested) view.
+    Final,
+    /// Closed with an error.
+    Error,
+}
+
+type UpdateFn<T> = Box<dyn FnMut(&View<T>) + Send>;
+type FinalFn<T> = Box<dyn FnOnce(&View<T>) + Send>;
+type ErrorFn = Box<dyn FnOnce(&Error) + Send>;
+
+struct UpdateEntry<T> {
+    /// Taken out while the callback runs so re-entrant dispatch skips it.
+    f: Option<UpdateFn<T>>,
+    /// Number of preliminary views already delivered to this callback.
+    seen: usize,
+}
+
+struct Shared<T> {
+    state: State,
+    /// Preliminary views, in delivery order.
+    updates: Vec<View<T>>,
+    /// The closing view, if `state == Final`.
+    final_view: Option<View<T>>,
+    /// The closing error, if `state == Error`.
+    error: Option<Error>,
+    update_cbs: Vec<UpdateEntry<T>>,
+    final_cbs: Vec<FinalFn<T>>,
+    error_cbs: Vec<ErrorFn>,
+}
+
+struct Inner<T> {
+    shared: Mutex<Shared<T>>,
+    cond: Condvar,
+}
+
+/// Consumer handle to an operation with incremental consistency guarantees.
+///
+/// Cloning is cheap and observes the same underlying operation.
+pub struct Correctable<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Producer handle used by the library and bindings to deliver views.
+///
+/// Cloning is cheap; all clones drive the same `Correctable`, and the
+/// state machine guarantees at most one closing transition overall.
+pub struct Handle<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Correctable<T> {
+    fn clone(&self) -> Self {
+        Correctable {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        Handle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> Correctable<T> {
+    /// Creates an open Correctable and its producer handle.
+    pub fn pending() -> (Correctable<T>, Handle<T>) {
+        let inner = Arc::new(Inner {
+            shared: Mutex::new(Shared {
+                state: State::Updating,
+                updates: Vec::new(),
+                final_view: None,
+                error: None,
+                update_cbs: Vec::new(),
+                final_cbs: Vec::new(),
+                error_cbs: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Correctable {
+                inner: Arc::clone(&inner),
+            },
+            Handle { inner },
+        )
+    }
+
+    /// A Correctable that is already final with `value` at [`ConsistencyLevel::Strong`].
+    pub fn ready(value: T) -> Correctable<T> {
+        Correctable::ready_at(value, ConsistencyLevel::Strong)
+    }
+
+    /// A Correctable that is already final with `value` at `level`.
+    pub fn ready_at(value: T, level: ConsistencyLevel) -> Correctable<T> {
+        let (c, h) = Correctable::pending();
+        h.close(value, level)
+            .expect("fresh correctable accepts close");
+        c
+    }
+
+    /// A Correctable that has already failed with `err`.
+    pub fn failed(err: Error) -> Correctable<T> {
+        let (c, h) = Correctable::pending();
+        h.fail(err).expect("fresh correctable accepts fail");
+        c
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.inner.shared.lock().state
+    }
+
+    /// Whether the Correctable has closed (final or error).
+    pub fn is_closed(&self) -> bool {
+        self.state() != State::Updating
+    }
+
+    /// The most recent view of any kind (final wins over preliminaries).
+    pub fn latest(&self) -> Option<View<T>> {
+        let g = self.inner.shared.lock();
+        g.final_view.clone().or_else(|| g.updates.last().cloned())
+    }
+
+    /// The final view, if closed successfully.
+    pub fn final_view(&self) -> Option<View<T>> {
+        self.inner.shared.lock().final_view.clone()
+    }
+
+    /// The error, if closed exceptionally.
+    pub fn error(&self) -> Option<Error> {
+        self.inner.shared.lock().error.clone()
+    }
+
+    /// All preliminary views delivered so far (excludes the final view).
+    pub fn preliminary_views(&self) -> Vec<View<T>> {
+        self.inner.shared.lock().updates.clone()
+    }
+
+    /// Registers a callback for every preliminary view.
+    ///
+    /// Views delivered before registration are replayed to the callback
+    /// immediately, so late observers see the full incremental history.
+    /// Returns `self` for chaining.
+    pub fn on_update(&self, f: impl FnMut(&View<T>) + Send + 'static) -> &Self {
+        {
+            let mut g = self.inner.shared.lock();
+            g.update_cbs.push(UpdateEntry {
+                f: Some(Box::new(f)),
+                seen: 0,
+            });
+        }
+        Self::pump_updates(&self.inner);
+        self
+    }
+
+    /// Registers a callback for the final view. If already final, the
+    /// callback runs immediately. Returns `self` for chaining.
+    pub fn on_final(&self, f: impl FnOnce(&View<T>) + Send + 'static) -> &Self {
+        let ready = {
+            let mut g = self.inner.shared.lock();
+            match g.state {
+                State::Final => g.final_view.clone(),
+                State::Updating => {
+                    g.final_cbs.push(Box::new(f));
+                    return self;
+                }
+                State::Error => return self,
+            }
+        };
+        if let Some(v) = ready {
+            f(&v);
+        }
+        self
+    }
+
+    /// Registers a callback for the error outcome. If already failed, the
+    /// callback runs immediately. Returns `self` for chaining.
+    pub fn on_error(&self, f: impl FnOnce(&Error) + Send + 'static) -> &Self {
+        let ready = {
+            let mut g = self.inner.shared.lock();
+            match g.state {
+                State::Error => g.error.clone(),
+                State::Updating => {
+                    g.error_cbs.push(Box::new(f));
+                    return self;
+                }
+                State::Final => return self,
+            }
+        };
+        if let Some(e) = ready {
+            f(&e);
+        }
+        self
+    }
+
+    /// Registers all three callbacks at once — the paper's `setCallbacks`.
+    /// Returns a clone for chaining.
+    pub fn set_callbacks(
+        &self,
+        on_update: impl FnMut(&View<T>) + Send + 'static,
+        on_final: impl FnOnce(&View<T>) + Send + 'static,
+        on_error: impl FnOnce(&Error) + Send + 'static,
+    ) -> Correctable<T> {
+        self.on_update(on_update);
+        self.on_final(on_final);
+        self.on_error(on_error);
+        self.clone()
+    }
+
+    /// Blocks the calling thread until the Correctable closes, returning
+    /// the final view.
+    ///
+    /// # Errors
+    ///
+    /// Returns the closing [`Error`], or [`Error::Timeout`] if `timeout`
+    /// elapses first.
+    pub fn wait_final(&self, timeout: Duration) -> Result<View<T>, Error> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.shared.lock();
+        loop {
+            match g.state {
+                State::Final => return Ok(g.final_view.clone().expect("final state has a view")),
+                State::Error => return Err(g.error.clone().expect("error state has an error")),
+                State::Updating => {}
+            }
+            // Preliminary views also notify the condvar, so loop until the
+            // state actually closes or the deadline passes.
+            let now = std::time::Instant::now();
+            if now >= deadline || self.inner.cond.wait_for(&mut g, deadline - now).timed_out() {
+                return Err(Error::Timeout);
+            }
+        }
+    }
+
+    /// Blocks until at least one view (preliminary or final) is available
+    /// and returns the latest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the closing [`Error`] if the operation failed without
+    /// delivering any view, or [`Error::Timeout`] on timeout.
+    pub fn wait_any(&self, timeout: Duration) -> Result<View<T>, Error> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.shared.lock();
+        loop {
+            if let Some(v) = g.final_view.clone().or_else(|| g.updates.last().cloned()) {
+                return Ok(v);
+            }
+            if g.state == State::Error {
+                return Err(g.error.clone().expect("error state has an error"));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline || self.inner.cond.wait_for(&mut g, deadline - now).timed_out() {
+                return Err(Error::Timeout);
+            }
+        }
+    }
+
+    /// Dispatches pending preliminary views to update callbacks.
+    ///
+    /// Invariant: no user callback runs while the lock is held, and each
+    /// callback sees each view exactly once, in order. Re-entrant calls
+    /// (a callback delivering more views) are safe: the running entry is
+    /// temporarily vacated, so the nested pump skips it.
+    fn pump_updates(inner: &Arc<Inner<T>>) {
+        loop {
+            let mut work: Option<(usize, UpdateFn<T>, View<T>)> = None;
+            {
+                let mut g = inner.shared.lock();
+                let n = g.updates.len();
+                for i in 0..g.update_cbs.len() {
+                    let entry = &mut g.update_cbs[i];
+                    if entry.f.is_some() && entry.seen < n {
+                        let seen = entry.seen;
+                        entry.seen += 1;
+                        let f = entry.f.take().expect("checked is_some");
+                        let view = g.updates[seen].clone();
+                        work = Some((i, f, view));
+                        break;
+                    }
+                }
+            }
+            match work {
+                None => return,
+                Some((i, mut f, view)) => {
+                    f(&view);
+                    let mut g = inner.shared.lock();
+                    g.update_cbs[i].f = Some(f);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> Handle<T> {
+    /// Delivers a preliminary view (*updating → updating*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedError`] if the Correctable already closed.
+    pub fn update(&self, value: T, level: ConsistencyLevel) -> Result<(), ClosedError> {
+        {
+            let mut g = self.inner.shared.lock();
+            if g.state != State::Updating {
+                return Err(ClosedError);
+            }
+            g.updates.push(View::new(value, level));
+        }
+        self.inner.cond.notify_all();
+        Correctable::pump_updates(&self.inner);
+        Ok(())
+    }
+
+    /// Closes with the final view (*updating → final*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedError`] if the Correctable already closed.
+    pub fn close(&self, value: T, level: ConsistencyLevel) -> Result<(), ClosedError> {
+        let (view, cbs) = {
+            let mut g = self.inner.shared.lock();
+            if g.state != State::Updating {
+                return Err(ClosedError);
+            }
+            g.state = State::Final;
+            let view = View::new(value, level);
+            g.final_view = Some(view.clone());
+            // Error callbacks can never fire now; drop them.
+            g.error_cbs.clear();
+            (view, std::mem::take(&mut g.final_cbs))
+        };
+        self.inner.cond.notify_all();
+        for cb in cbs {
+            cb(&view);
+        }
+        Ok(())
+    }
+
+    /// Closes with an error (*updating → error*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedError`] if the Correctable already closed.
+    pub fn fail(&self, err: Error) -> Result<(), ClosedError> {
+        let cbs = {
+            let mut g = self.inner.shared.lock();
+            if g.state != State::Updating {
+                return Err(ClosedError);
+            }
+            g.state = State::Error;
+            g.error = Some(err.clone());
+            g.final_cbs.clear();
+            std::mem::take(&mut g.error_cbs)
+        };
+        self.inner.cond.notify_all();
+        for cb in cbs {
+            cb(&err);
+        }
+        Ok(())
+    }
+
+    /// Whether the Correctable is still open.
+    pub fn is_open(&self) -> bool {
+        self.inner.shared.lock().state == State::Updating
+    }
+
+    /// A consumer handle for the same operation.
+    pub fn correctable(&self) -> Correctable<T> {
+        Correctable {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static + std::fmt::Debug> std::fmt::Debug for Correctable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.shared.lock();
+        f.debug_struct("Correctable")
+            .field("state", &g.state)
+            .field("updates", &g.updates.len())
+            .field("final", &g.final_view)
+            .field("error", &g.error)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    use crate::level::ConsistencyLevel::{Strong, Weak};
+
+    #[test]
+    fn lifecycle_update_then_close() {
+        let (c, h) = Correctable::<i32>::pending();
+        assert_eq!(c.state(), State::Updating);
+        h.update(1, Weak).unwrap();
+        assert_eq!(c.state(), State::Updating);
+        assert_eq!(c.latest().unwrap().value, 1);
+        h.close(2, Strong).unwrap();
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(c.final_view().unwrap().value, 2);
+        assert_eq!(c.latest().unwrap().value, 2);
+        assert_eq!(c.preliminary_views().len(), 1);
+    }
+
+    #[test]
+    fn no_transitions_after_close() {
+        let (c, h) = Correctable::<i32>::pending();
+        h.close(1, Strong).unwrap();
+        assert_eq!(h.update(2, Weak), Err(ClosedError));
+        assert_eq!(h.close(3, Strong), Err(ClosedError));
+        assert_eq!(h.fail(Error::Timeout), Err(ClosedError));
+        assert_eq!(c.final_view().unwrap().value, 1);
+    }
+
+    #[test]
+    fn no_transitions_after_fail() {
+        let (c, h) = Correctable::<i32>::pending();
+        h.fail(Error::Timeout).unwrap();
+        assert_eq!(c.state(), State::Error);
+        assert_eq!(h.update(1, Weak), Err(ClosedError));
+        assert_eq!(c.error(), Some(Error::Timeout));
+    }
+
+    #[test]
+    fn callbacks_fire_in_order() {
+        let (c, h) = Correctable::<i32>::pending();
+        let log = StdArc::new(Mutex::new(Vec::<String>::new()));
+        let l1 = StdArc::clone(&log);
+        let l2 = StdArc::clone(&log);
+        c.on_update(move |v| l1.lock().push(format!("u{}", v.value)));
+        c.on_final(move |v| l2.lock().push(format!("f{}", v.value)));
+        h.update(1, Weak).unwrap();
+        h.update(2, Weak).unwrap();
+        h.close(3, Strong).unwrap();
+        assert_eq!(*log.lock(), vec!["u1", "u2", "f3"]);
+    }
+
+    #[test]
+    fn late_callbacks_replay_history() {
+        let (c, h) = Correctable::<i32>::pending();
+        h.update(1, Weak).unwrap();
+        h.close(2, Strong).unwrap();
+        let log = StdArc::new(Mutex::new(Vec::<i32>::new()));
+        let (l1, l2) = (StdArc::clone(&log), StdArc::clone(&log));
+        c.on_update(move |v| l1.lock().push(v.value));
+        c.on_final(move |v| l2.lock().push(v.value * 100));
+        assert_eq!(*log.lock(), vec![1, 200]);
+    }
+
+    #[test]
+    fn error_callback_fires_and_final_does_not() {
+        let (c, h) = Correctable::<i32>::pending();
+        let fired = StdArc::new(AtomicUsize::new(0));
+        let (f1, f2) = (StdArc::clone(&fired), StdArc::clone(&fired));
+        c.on_final(move |_| {
+            f1.fetch_add(100, Ordering::SeqCst);
+        });
+        c.on_error(move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        h.fail(Error::Aborted).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reentrant_callback_is_safe() {
+        let (c, h) = Correctable::<i32>::pending();
+        let h2 = h.clone();
+        let seen = StdArc::new(Mutex::new(Vec::new()));
+        let s = StdArc::clone(&seen);
+        c.on_update(move |v| {
+            s.lock().push(v.value);
+            if v.value == 1 {
+                // Deliver another view from inside the callback.
+                h2.update(2, Weak).unwrap();
+            }
+        });
+        h.update(1, Weak).unwrap();
+        assert_eq!(*seen.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn ready_and_failed_constructors() {
+        let c = Correctable::ready(9);
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(c.final_view().unwrap().level, Strong);
+        let f = Correctable::<i32>::failed(Error::Aborted);
+        assert_eq!(f.state(), State::Error);
+    }
+
+    #[test]
+    fn wait_final_across_threads() {
+        let (c, h) = Correctable::<i32>::pending();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            h.update(1, Weak).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            h.close(2, Strong).unwrap();
+        });
+        let v = c.wait_final(Duration::from_secs(5)).unwrap();
+        assert_eq!(v.value, 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_any_returns_preliminary() {
+        let (c, h) = Correctable::<i32>::pending();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            h.update(7, Weak).unwrap();
+            // Never closes; wait_any must still return.
+        });
+        let v = c.wait_any(Duration::from_secs(5)).unwrap();
+        assert_eq!(v.value, 7);
+        assert_eq!(v.level, Weak);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_final_times_out() {
+        let (c, _h) = Correctable::<i32>::pending();
+        assert_eq!(c.wait_final(Duration::from_millis(10)), Err(Error::Timeout));
+    }
+
+    #[test]
+    fn wait_final_propagates_error() {
+        let (c, h) = Correctable::<i32>::pending();
+        h.fail(Error::Unavailable("down".into())).unwrap();
+        assert_eq!(
+            c.wait_final(Duration::from_millis(10)),
+            Err(Error::Unavailable("down".into()))
+        );
+    }
+
+    #[test]
+    fn multiple_update_callbacks_each_see_all_views() {
+        let (c, h) = Correctable::<i32>::pending();
+        let a = StdArc::new(Mutex::new(Vec::new()));
+        let b = StdArc::new(Mutex::new(Vec::new()));
+        let (ca, cb) = (StdArc::clone(&a), StdArc::clone(&b));
+        c.on_update(move |v| ca.lock().push(v.value));
+        c.on_update(move |v| cb.lock().push(v.value));
+        h.update(1, Weak).unwrap();
+        h.update(2, Weak).unwrap();
+        assert_eq!(*a.lock(), vec![1, 2]);
+        assert_eq!(*b.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn handle_correctable_accessor() {
+        let (_, h) = Correctable::<i32>::pending();
+        assert!(h.is_open());
+        let c = h.correctable();
+        h.close(5, Strong).unwrap();
+        assert!(!h.is_open());
+        assert_eq!(c.final_view().unwrap().value, 5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for Correctable operations.
+
+use std::fmt;
+
+use crate::level::ConsistencyLevel;
+
+/// Why an operation on a replicated object failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The operation did not complete within its deadline.
+    Timeout,
+    /// The storage stack could not serve the operation (e.g. quorum lost).
+    Unavailable(String),
+    /// A requested consistency level is not offered by the binding.
+    UnsupportedLevel(ConsistencyLevel),
+    /// The storage rejected or failed the operation.
+    Storage(String),
+    /// The operation was aborted by the application.
+    Aborted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Timeout => write!(f, "operation timed out"),
+            Error::Unavailable(why) => write!(f, "storage unavailable: {why}"),
+            Error::UnsupportedLevel(l) => {
+                write!(f, "consistency level '{l}' not offered by this binding")
+            }
+            Error::Storage(why) => write!(f, "storage error: {why}"),
+            Error::Aborted => write!(f, "operation aborted"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Error returned by producer-side [`Handle`](crate::Handle) methods when
+/// the Correctable has already closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosedError;
+
+impl fmt::Display for ClosedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "correctable already closed")
+    }
+}
+
+impl std::error::Error for ClosedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert_eq!(Error::Timeout.to_string(), "operation timed out");
+        assert!(Error::Unavailable("quorum lost".into())
+            .to_string()
+            .contains("quorum lost"));
+        assert!(Error::UnsupportedLevel(ConsistencyLevel::Causal)
+            .to_string()
+            .contains("causal"));
+        assert_eq!(ClosedError.to_string(), "correctable already closed");
+    }
+}

@@ -1,0 +1,180 @@
+//! Consistency levels: the vocabulary shared between applications and
+//! storage bindings.
+//!
+//! The paper's API is "centered around consistency levels" (§3.2): an
+//! application asks for *weak* or *strong* (or everything in between) and
+//! the binding maps each level onto a storage-specific mechanism (quorum
+//! size, cache access, leader read, …). Levels are totally ordered from
+//! weakest to strongest by their [`rank`](ConsistencyLevel::rank).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A consistency guarantee an operation result can satisfy.
+///
+/// The well-known levels cover the bindings shipped in this repository;
+/// `Custom` lets a binding expose anything else (e.g. per-confirmation
+/// levels of a blockchain binding) while keeping the total order.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum ConsistencyLevel {
+    /// Client-local cache: fastest, no freshness guarantee at all.
+    Cache,
+    /// Weak / eventual consistency (e.g. a single-replica read).
+    Weak,
+    /// Causal consistency.
+    Causal,
+    /// Strong consistency (linearizability or the strongest the store has).
+    Strong,
+    /// A binding-defined level with an explicit rank and name.
+    Custom {
+        /// Position in the weak-to-strong order (higher is stronger).
+        rank: u8,
+        /// Human-readable label.
+        name: &'static str,
+    },
+}
+
+impl ConsistencyLevel {
+    /// Position of this level in the weak-to-strong total order.
+    pub fn rank(&self) -> u8 {
+        match self {
+            ConsistencyLevel::Cache => 0,
+            ConsistencyLevel::Weak => 10,
+            ConsistencyLevel::Causal => 20,
+            ConsistencyLevel::Strong => 40,
+            ConsistencyLevel::Custom { rank, .. } => *rank,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConsistencyLevel::Cache => "cache",
+            ConsistencyLevel::Weak => "weak",
+            ConsistencyLevel::Causal => "causal",
+            ConsistencyLevel::Strong => "strong",
+            ConsistencyLevel::Custom { name, .. } => name,
+        }
+    }
+
+    /// Whether this level is at least as strong as `other`.
+    pub fn at_least(&self, other: ConsistencyLevel) -> bool {
+        self.rank() >= other.rank()
+    }
+}
+
+impl PartialOrd for ConsistencyLevel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ConsistencyLevel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl fmt::Display for ConsistencyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which of a binding's levels an `invoke` should deliver.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum LevelSelection {
+    /// Deliver every level the binding supports (the default of `invoke`).
+    #[default]
+    All,
+    /// Deliver only the listed levels (must be a subset of the binding's).
+    Only(Vec<ConsistencyLevel>),
+}
+
+impl LevelSelection {
+    /// Resolves the selection against a binding's advertised levels,
+    /// returning the requested levels sorted weakest-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending level if it is not advertised by the binding.
+    pub fn resolve(
+        &self,
+        available: &[ConsistencyLevel],
+    ) -> Result<Vec<ConsistencyLevel>, ConsistencyLevel> {
+        let mut chosen = match self {
+            LevelSelection::All => available.to_vec(),
+            LevelSelection::Only(ls) => {
+                for l in ls {
+                    if !available.contains(l) {
+                        return Err(*l);
+                    }
+                }
+                ls.clone()
+            }
+        };
+        chosen.sort();
+        chosen.dedup();
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_weak_to_strong() {
+        use ConsistencyLevel::*;
+        assert!(Cache < Weak);
+        assert!(Weak < Causal);
+        assert!(Causal < Strong);
+        assert!(
+            Weak < Custom {
+                rank: 15,
+                name: "quorum-2"
+            }
+        );
+        assert!(Strong.at_least(Weak));
+        assert!(!Weak.at_least(Strong));
+        assert!(Weak.at_least(Weak));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ConsistencyLevel::Strong.to_string(), "strong");
+        let c = ConsistencyLevel::Custom {
+            rank: 3,
+            name: "one-conf",
+        };
+        assert_eq!(c.to_string(), "one-conf");
+    }
+
+    #[test]
+    fn selection_all_resolves_sorted() {
+        use ConsistencyLevel::*;
+        let avail = vec![Strong, Weak];
+        let got = LevelSelection::All.resolve(&avail).unwrap();
+        assert_eq!(got, vec![Weak, Strong]);
+    }
+
+    #[test]
+    fn selection_subset_validated() {
+        use ConsistencyLevel::*;
+        let avail = vec![Weak, Strong];
+        let ok = LevelSelection::Only(vec![Strong]).resolve(&avail).unwrap();
+        assert_eq!(ok, vec![Strong]);
+        let err = LevelSelection::Only(vec![Causal]).resolve(&avail);
+        assert_eq!(err, Err(Causal));
+    }
+
+    #[test]
+    fn selection_dedups() {
+        use ConsistencyLevel::*;
+        let avail = vec![Weak, Strong];
+        let got = LevelSelection::Only(vec![Strong, Weak, Strong])
+            .resolve(&avail)
+            .unwrap();
+        assert_eq!(got, vec![Weak, Strong]);
+    }
+}

@@ -1,0 +1,391 @@
+//! A small threaded replicated store with a Correctables binding.
+//!
+//! This module exists so the core abstraction can be exercised with real
+//! threads and real (wall-clock) delays — the quickstart example and the
+//! doctests use it. It models a primary-backup pair: writes apply at the
+//! primary and propagate to the backup after a replication delay, weak
+//! reads hit the (possibly stale) backup quickly, and strong reads pay the
+//! longer round trip to the primary. The large WAN-scale experiments use
+//! the deterministic simulator substrates instead.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::binding::{Binding, Upcall};
+use crate::level::ConsistencyLevel;
+
+/// Artificial latencies of the toy cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Delays {
+    /// Client → backup round trip (weak reads).
+    pub weak_read: Duration,
+    /// Client → primary round trip (strong reads).
+    pub strong_read: Duration,
+    /// Primary → backup propagation delay (staleness window).
+    pub replication: Duration,
+    /// Client → primary write acknowledgment.
+    pub write_ack: Duration,
+}
+
+impl Default for Delays {
+    fn default() -> Self {
+        Delays {
+            weak_read: Duration::from_millis(2),
+            strong_read: Duration::from_millis(40),
+            replication: Duration::from_millis(60),
+            write_ack: Duration::from_millis(40),
+        }
+    }
+}
+
+/// Operations of the toy store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalOp {
+    /// Read a key.
+    Get(String),
+    /// Write a key; the result views carry the written value.
+    Put(String, String),
+}
+
+type Store = HashMap<String, (u64, String)>;
+
+struct ClusterState {
+    primary: Mutex<Store>,
+    backup: Mutex<Store>,
+    delays: Delays,
+}
+
+/// A two-replica in-process cluster with asynchronous backup replication.
+#[derive(Clone)]
+pub struct LocalCluster {
+    state: Arc<ClusterState>,
+    sched: Arc<Scheduler>,
+}
+
+impl LocalCluster {
+    /// Creates a cluster with the given artificial delays.
+    pub fn new(delays: Delays) -> Self {
+        LocalCluster {
+            state: Arc::new(ClusterState {
+                primary: Mutex::new(HashMap::new()),
+                backup: Mutex::new(HashMap::new()),
+                delays,
+            }),
+            sched: Arc::new(Scheduler::new()),
+        }
+    }
+
+    /// A binding over this cluster offering `Weak` and `Strong` levels.
+    pub fn binding(&self) -> LocalBinding {
+        LocalBinding {
+            cluster: self.clone(),
+        }
+    }
+
+    /// Writes directly, synchronously, to both replicas (test setup aid).
+    pub fn seed(&self, key: &str, value: &str) {
+        let mut p = self.state.primary.lock();
+        let ver = p.get(key).map(|(v, _)| v + 1).unwrap_or(1);
+        p.insert(key.to_string(), (ver, value.to_string()));
+        drop(p);
+        self.state
+            .backup
+            .lock()
+            .insert(key.to_string(), (ver, value.to_string()));
+    }
+}
+
+/// The Correctables binding for [`LocalCluster`].
+#[derive(Clone)]
+pub struct LocalBinding {
+    cluster: LocalCluster,
+}
+
+impl Binding for LocalBinding {
+    type Op = LocalOp;
+    type Val = Option<String>;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    }
+
+    fn submit(&self, op: LocalOp, levels: &[ConsistencyLevel], upcall: Upcall<Option<String>>) {
+        let st = Arc::clone(&self.cluster.state);
+        let d = st.delays;
+        match op {
+            LocalOp::Get(key) => {
+                if levels.contains(&ConsistencyLevel::Weak) {
+                    let st2 = Arc::clone(&st);
+                    let key2 = key.clone();
+                    let up = upcall.clone();
+                    self.cluster.sched.schedule(d.weak_read, move || {
+                        let v = st2.backup.lock().get(&key2).map(|(_, s)| s.clone());
+                        up.deliver(v, ConsistencyLevel::Weak);
+                    });
+                }
+                if levels.contains(&ConsistencyLevel::Strong) {
+                    let up = upcall;
+                    self.cluster.sched.schedule(d.strong_read, move || {
+                        let v = st.primary.lock().get(&key).map(|(_, s)| s.clone());
+                        up.deliver(v, ConsistencyLevel::Strong);
+                    });
+                }
+            }
+            LocalOp::Put(key, value) => {
+                let sched = Arc::clone(&self.cluster.sched);
+                let levels = levels.to_vec();
+                self.cluster.sched.schedule(d.write_ack, move || {
+                    let ver = {
+                        let mut p = st.primary.lock();
+                        let ver = p.get(&key).map(|(v, _)| v + 1).unwrap_or(1);
+                        p.insert(key.clone(), (ver, value.clone()));
+                        ver
+                    };
+                    // Propagate to the backup after the replication delay;
+                    // last-writer-wins on version.
+                    let st2 = Arc::clone(&st);
+                    let key2 = key.clone();
+                    let value2 = value.clone();
+                    sched.schedule(d.replication, move || {
+                        let mut b = st2.backup.lock();
+                        let stale = b.get(&key2).map(|(v, _)| *v < ver).unwrap_or(true);
+                        if stale {
+                            b.insert(key2, (ver, value2));
+                        }
+                    });
+                    for l in levels {
+                        upcall.deliver(Some(value.clone()), l);
+                    }
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel scheduler
+// ---------------------------------------------------------------------------
+
+struct Task {
+    at: Instant,
+    seq: u64,
+    run: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for Task {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Task {}
+impl PartialOrd for Task {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Task {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted into a min-heap on (time, sequence).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct SchedShared {
+    queue: Mutex<(BinaryHeap<Task>, u64)>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// A single background thread executing closures at deadlines.
+pub struct Scheduler {
+    shared: Arc<SchedShared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts the scheduler thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(SchedShared {
+            queue: Mutex::new((BinaryHeap::new(), 0)),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("correctables-local-sched".into())
+            .spawn(move || Scheduler::run(&worker))
+            .expect("spawn scheduler thread");
+        Scheduler {
+            shared,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Schedules `f` to run after `delay` on the scheduler thread.
+    pub fn schedule(&self, delay: Duration, f: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock();
+        let seq = q.1;
+        q.1 += 1;
+        q.0.push(Task {
+            at: Instant::now() + delay,
+            seq,
+            run: Box::new(f),
+        });
+        drop(q);
+        self.shared.cv.notify_one();
+    }
+
+    fn run(shared: &SchedShared) {
+        loop {
+            let task = {
+                let mut q = shared.queue.lock();
+                loop {
+                    if shared.stop.load(AtomicOrdering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    match q.0.peek() {
+                        Some(t) if t.at <= now => break q.0.pop().expect("peeked"),
+                        Some(t) => {
+                            let at = t.at;
+                            let _ = shared.cv.wait_until(&mut q, at);
+                        }
+                        None => shared.cv.wait(&mut q),
+                    }
+                }
+            };
+            (task.run)();
+        }
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, AtomicOrdering::Release);
+        self.shared.cv.notify_all();
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::correctable::State;
+
+    fn fast_delays() -> Delays {
+        Delays {
+            weak_read: Duration::from_millis(1),
+            strong_read: Duration::from_millis(25),
+            replication: Duration::from_millis(50),
+            write_ack: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn scheduler_runs_tasks_in_deadline_order() {
+        let s = Scheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (Arc::clone(&log), Arc::clone(&log));
+        s.schedule(Duration::from_millis(30), move || l1.lock().push(2));
+        s.schedule(Duration::from_millis(5), move || l2.lock().push(1));
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(*log.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn weak_read_beats_strong_read() {
+        let cluster = LocalCluster::new(fast_delays());
+        cluster.seed("k", "v0");
+        let client = Client::new(cluster.binding());
+        let c = client.invoke(LocalOp::Get("k".into()));
+        let first = c.wait_any(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.level, ConsistencyLevel::Weak);
+        assert_eq!(first.value.as_deref(), Some("v0"));
+        let last = c.wait_final(Duration::from_secs(5)).unwrap();
+        assert_eq!(last.level, ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn stale_backup_is_visible_to_weak_reads_then_converges() {
+        let cluster = LocalCluster::new(fast_delays());
+        cluster.seed("k", "old");
+        let client = Client::new(cluster.binding());
+        client
+            .invoke_strong(LocalOp::Put("k".into(), "new".into()))
+            .wait_final(Duration::from_secs(5))
+            .unwrap();
+        // Immediately after the ack the backup is still stale.
+        let weak = client
+            .invoke_weak(LocalOp::Get("k".into()))
+            .wait_final(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(weak.value.as_deref(), Some("old"));
+        // The ICG invocation sees divergence: weak=old, strong=new.
+        let icg = client.invoke(LocalOp::Get("k".into()));
+        let fin = icg.wait_final(Duration::from_secs(5)).unwrap();
+        assert_eq!(fin.value.as_deref(), Some("new"));
+        // After the replication delay the backup converges.
+        std::thread::sleep(Duration::from_millis(80));
+        let weak2 = client
+            .invoke_weak(LocalOp::Get("k".into()))
+            .wait_final(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(weak2.value.as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn speculation_over_local_cluster() {
+        let cluster = LocalCluster::new(fast_delays());
+        cluster.seed("ref", "target-1");
+        cluster.seed("target-1", "payload");
+        let client = Client::new(cluster.binding());
+        let cluster2 = cluster.clone();
+        // Chase the pointer speculatively: fetch `target` named by `ref`.
+        let out = client.invoke(LocalOp::Get("ref".into())).speculate_async(
+            move |r: &Option<String>| {
+                let key = r.clone().unwrap_or_default();
+                Client::new(cluster2.binding()).invoke_strong(LocalOp::Get(key))
+            },
+            |_| {},
+        );
+        let v = out.wait_final(Duration::from_secs(5)).unwrap();
+        assert_eq!(v.value.as_deref(), Some("payload"));
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let cluster = LocalCluster::new(fast_delays());
+        let client = Client::new(cluster.binding());
+        let v = client
+            .invoke(LocalOp::Get("absent".into()))
+            .wait_final(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(v.value, None);
+        assert_eq!(v.level, ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn put_views_carry_written_value() {
+        let cluster = LocalCluster::new(fast_delays());
+        let client = Client::new(cluster.binding());
+        let c = client.invoke(LocalOp::Put("k".into(), "v".into()));
+        let fin = c.wait_final(Duration::from_secs(5)).unwrap();
+        assert_eq!(fin.value.as_deref(), Some("v"));
+        assert_eq!(c.state(), State::Final);
+    }
+}

@@ -1,0 +1,447 @@
+//! The `speculate` combinator (Listing 3 of the paper).
+//!
+//! `speculate` captures the canonical ICG pattern: run dependent work on
+//! each preliminary view, and
+//!
+//! - if the final view **matches** a preliminary one (the common case), the
+//!   derived Correctable closes as soon as both the final view and the
+//!   speculative work are available — hiding the latency of strong
+//!   consistency behind the speculation;
+//! - if the final view **diverges** (misspeculation), the optional abort
+//!   function undoes side effects and the speculation function re-executes
+//!   on the correct input before the derived Correctable closes.
+//!
+//! The speculation function may itself be asynchronous (e.g. prefetching
+//! dependent objects from storage): it returns a [`Correctable`] of the
+//! derived result. The synchronous convenience wrapper lifts a plain
+//! function over [`Correctable::ready`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::correctable::{Correctable, Handle};
+use crate::error::Error;
+use crate::level::ConsistencyLevel;
+use crate::view::View;
+
+type SpecFn<T, U> = Box<dyn FnMut(&T) -> Correctable<U> + Send>;
+type AbortFn<T> = Box<dyn FnMut(&T) + Send>;
+
+struct SpecState<T, U> {
+    /// Input of the speculation currently in flight (or completed).
+    cur_input: Option<T>,
+    /// Result view of the completed speculation for `cur_input`.
+    cur_done: Option<View<U>>,
+    /// The underlying operation's final view, once it arrives.
+    final_view: Option<View<T>>,
+    /// Bumped whenever the speculation input changes; stale completions
+    /// compare epochs and drop themselves.
+    epoch: u64,
+    spec: SpecFn<T, U>,
+    abort: AbortFn<T>,
+    out: Handle<U>,
+    closed: bool,
+}
+
+/// Statistics about speculation outcomes, exposed for tests and harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Speculations whose input was confirmed by the final view.
+    pub confirmed: u64,
+    /// Speculations aborted because a newer view diverged.
+    pub misspeculated: u64,
+}
+
+impl<T: Clone + PartialEq + Send + 'static> Correctable<T> {
+    /// Applies an asynchronous speculation function to every distinct view
+    /// and returns a Correctable of the speculation result.
+    ///
+    /// `abort` runs whenever in-flight speculative work is invalidated by a
+    /// newer, different view (including the divergence of the final view) —
+    /// use it to undo externalized side effects.
+    pub fn speculate_async<U, F, A>(&self, spec: F, abort: A) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+        F: FnMut(&T) -> Correctable<U> + Send + 'static,
+        A: FnMut(&T) + Send + 'static,
+    {
+        let (out, out_handle) = Correctable::<U>::pending();
+        let state = Arc::new(Mutex::new(SpecState {
+            cur_input: None,
+            cur_done: None,
+            final_view: None,
+            epoch: 0,
+            spec: Box::new(spec),
+            abort: Box::new(abort),
+            out: out_handle,
+            closed: false,
+        }));
+
+        let st_u = Arc::clone(&state);
+        self.on_update(move |v: &View<T>| on_view(&st_u, v, false));
+        let st_f = Arc::clone(&state);
+        self.on_final(move |v: &View<T>| on_view(&st_f, v, true));
+        let st_e = Arc::clone(&state);
+        self.on_error(move |e: &Error| {
+            let (out, aborted) = {
+                let mut g = st_e.lock();
+                if g.closed {
+                    return;
+                }
+                g.closed = true;
+                let aborted = if g.cur_done.is_none() {
+                    g.cur_input.take()
+                } else {
+                    None
+                };
+                (g.out.clone(), aborted)
+            };
+            // Undo in-flight speculative work before surfacing the error.
+            if let Some(input) = aborted {
+                run_abort(&st_e, &input);
+            }
+            let _ = out.fail(e.clone());
+        });
+        out
+    }
+
+    /// Synchronous speculation: Listing 3's
+    /// `invoke(read(...)).speculate(speculationFunc)`.
+    pub fn speculate<U, F>(&self, mut spec: F) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+        F: FnMut(&T) -> U + Send + 'static,
+    {
+        self.speculate_async(move |t| Correctable::ready(spec(t)), |_| {})
+    }
+
+    /// Synchronous speculation with an abort function, mirroring
+    /// `speculate(speculationFunc, abortFunc)`.
+    pub fn speculate_with_abort<U, F, A>(&self, mut spec: F, abort: A) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+        F: FnMut(&T) -> U + Send + 'static,
+        A: FnMut(&T) + Send + 'static,
+    {
+        self.speculate_async(move |t| Correctable::ready(spec(t)), abort)
+    }
+}
+
+/// Runs the user abort function with the state lock released, so it may
+/// freely interact with other Correctables.
+fn run_abort<T, U>(state: &Arc<Mutex<SpecState<T, U>>>, input: &T) {
+    let mut abort = {
+        let mut g = state.lock();
+        std::mem::replace(&mut g.abort, Box::new(|_| {}))
+    };
+    abort(input);
+    let mut g = state.lock();
+    g.abort = abort;
+}
+
+/// Handles one incoming view (preliminary or final).
+///
+/// Locking discipline: user code (`spec`, `abort`, handle operations) never
+/// runs while the state lock is held; the `epoch` field detects staleness
+/// across the unlock/relock gaps.
+fn on_view<T, U>(state: &Arc<Mutex<SpecState<T, U>>>, v: &View<T>, is_final: bool)
+where
+    T: Clone + PartialEq + Send + 'static,
+    U: Clone + Send + 'static,
+{
+    enum Action<T, U> {
+        Nothing,
+        /// Close the output now with the completed speculation result.
+        Close(Handle<U>, View<U>, ConsistencyLevel),
+        /// Launch (or relaunch) the speculation for this input.
+        Launch {
+            aborted: Option<T>,
+            input: T,
+            epoch: u64,
+        },
+    }
+
+    let action: Action<T, U> = {
+        let mut g = state.lock();
+        if g.closed {
+            Action::Nothing
+        } else if is_final {
+            g.final_view = Some(v.clone());
+            if g.cur_input.as_ref() == Some(&v.value) {
+                // Speculation input confirmed by the final view.
+                match g.cur_done.clone() {
+                    Some(done) => {
+                        g.closed = true;
+                        Action::Close(g.out.clone(), done, v.level)
+                    }
+                    // Work still in flight; its completion closes us.
+                    None => Action::Nothing,
+                }
+            } else {
+                // Misspeculation (or no preliminary at all): redo on the
+                // final input.
+                let aborted = g.cur_input.take();
+                g.epoch += 1;
+                g.cur_input = Some(v.value.clone());
+                g.cur_done = None;
+                Action::Launch {
+                    aborted,
+                    input: v.value.clone(),
+                    epoch: g.epoch,
+                }
+            }
+        } else if g.cur_input.as_ref() == Some(&v.value) {
+            // Same value as the current speculation; nothing to redo.
+            Action::Nothing
+        } else {
+            let aborted = g.cur_input.take();
+            g.epoch += 1;
+            g.cur_input = Some(v.value.clone());
+            g.cur_done = None;
+            Action::Launch {
+                aborted,
+                input: v.value.clone(),
+                epoch: g.epoch,
+            }
+        }
+    };
+
+    match action {
+        Action::Nothing => {}
+        Action::Close(out, done, level) => {
+            let _ = out.close(done.value, level);
+        }
+        Action::Launch {
+            aborted,
+            input,
+            epoch,
+        } => {
+            if let Some(old) = aborted {
+                run_abort(state, &old);
+            }
+            // Take the spec function out so user code runs unlocked.
+            let mut spec = {
+                let mut g = state.lock();
+                std::mem::replace(&mut g.spec, Box::new(|_| unreachable!("spec in flight")))
+            };
+            let result = spec(&input);
+            {
+                let mut g = state.lock();
+                g.spec = spec;
+            }
+            let st_done = Arc::clone(state);
+            result.on_final(move |u: &View<U>| {
+                let act = {
+                    let mut g = st_done.lock();
+                    if g.closed || g.epoch != epoch {
+                        None
+                    } else {
+                        g.cur_done = Some(u.clone());
+                        match g.final_view.clone() {
+                            Some(fv) if g.cur_input.as_ref() == Some(&fv.value) => {
+                                g.closed = true;
+                                Some((g.out.clone(), u.clone(), fv.level))
+                            }
+                            _ => None,
+                        }
+                    }
+                };
+                if let Some((out, done, level)) = act {
+                    let _ = out.close(done.value, level);
+                }
+            });
+            let st_err = Arc::clone(state);
+            result.on_error(move |e: &Error| {
+                let out = {
+                    let mut g = st_err.lock();
+                    if g.closed || g.epoch != epoch {
+                        return;
+                    }
+                    g.closed = true;
+                    g.out.clone()
+                };
+                let _ = out.fail(e.clone());
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    use crate::correctable::State;
+    use crate::level::ConsistencyLevel::{Strong, Weak};
+
+    #[test]
+    fn confirmed_speculation_closes_with_spec_result() {
+        let (c, h) = Correctable::<i32>::pending();
+        let calls = StdArc::new(AtomicU64::new(0));
+        let calls2 = StdArc::clone(&calls);
+        let out = c.speculate(move |x| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            x * 10
+        });
+        h.update(4, Weak).unwrap();
+        assert_eq!(out.state(), State::Updating);
+        h.close(4, Strong).unwrap();
+        let v = out.final_view().expect("closed");
+        assert_eq!(v.value, 40);
+        assert_eq!(v.level, Strong);
+        // The speculation ran exactly once: no redo on confirmation.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn misspeculation_reexecutes_and_aborts() {
+        let (c, h) = Correctable::<i32>::pending();
+        let aborted = StdArc::new(Mutex::new(Vec::<i32>::new()));
+        let ab = StdArc::clone(&aborted);
+        let out = c.speculate_with_abort(|x| x * 10, move |bad| ab.lock().push(*bad));
+        h.update(4, Weak).unwrap();
+        h.close(5, Strong).unwrap();
+        assert_eq!(out.final_view().unwrap().value, 50);
+        assert_eq!(*aborted.lock(), vec![4]);
+    }
+
+    #[test]
+    fn no_preliminary_still_produces_result() {
+        let (c, h) = Correctable::<i32>::pending();
+        let out = c.speculate(|x| x + 1);
+        h.close(9, Strong).unwrap();
+        assert_eq!(out.final_view().unwrap().value, 10);
+    }
+
+    #[test]
+    fn duplicate_preliminaries_do_not_respeculate() {
+        let (c, h) = Correctable::<i32>::pending();
+        let calls = StdArc::new(AtomicU64::new(0));
+        let calls2 = StdArc::clone(&calls);
+        let out = c.speculate(move |x| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            *x
+        });
+        h.update(7, Weak).unwrap();
+        h.update(7, Weak).unwrap();
+        h.close(7, Strong).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(out.final_view().unwrap().value, 7);
+    }
+
+    #[test]
+    fn async_speculation_closes_after_both_complete() {
+        let (c, h) = Correctable::<i32>::pending();
+        // The speculative work completes only when we close `work_h`.
+        let pending: StdArc<Mutex<Vec<Handle<i32>>>> = StdArc::new(Mutex::new(Vec::new()));
+        let p2 = StdArc::clone(&pending);
+        let out = c.speculate_async(
+            move |x| {
+                let (w, wh) = Correctable::<i32>::pending();
+                let seed = *x;
+                p2.lock().push(wh);
+                let _ = seed;
+                w
+            },
+            |_| {},
+        );
+        h.update(1, Weak).unwrap();
+        h.close(1, Strong).unwrap();
+        // Final view arrived, but the speculative work is still running.
+        assert_eq!(out.state(), State::Updating);
+        let wh = pending.lock().pop().unwrap();
+        wh.close(111, Strong).unwrap();
+        assert_eq!(out.final_view().unwrap().value, 111);
+    }
+
+    #[test]
+    fn async_speculation_completing_before_final_closes_on_final() {
+        let (c, h) = Correctable::<i32>::pending();
+        let out = c.speculate_async(|x| Correctable::ready(x * 2), |_| {});
+        h.update(3, Weak).unwrap();
+        assert_eq!(out.state(), State::Updating);
+        h.close(3, Strong).unwrap();
+        assert_eq!(out.final_view().unwrap().value, 6);
+    }
+
+    #[test]
+    fn stale_async_result_is_ignored() {
+        let (c, h) = Correctable::<i32>::pending();
+        let handles: StdArc<Mutex<Vec<(i32, Handle<i32>)>>> = StdArc::new(Mutex::new(Vec::new()));
+        let h2 = StdArc::clone(&handles);
+        let out = c.speculate_async(
+            move |x| {
+                let (w, wh) = Correctable::<i32>::pending();
+                h2.lock().push((*x, wh));
+                w
+            },
+            |_| {},
+        );
+        h.update(1, Weak).unwrap();
+        h.close(2, Strong).unwrap();
+        // Finish the stale speculation (input 1) after the relaunch (input 2).
+        let mut hs = handles.lock();
+        assert_eq!(hs.len(), 2);
+        let (stale_in, stale_h) = hs.remove(0);
+        let (fresh_in, fresh_h) = hs.remove(0);
+        drop(hs);
+        assert_eq!((stale_in, fresh_in), (1, 2));
+        stale_h.close(-1, Strong).unwrap();
+        assert_eq!(out.state(), State::Updating, "stale result must not close");
+        fresh_h.close(22, Strong).unwrap();
+        assert_eq!(out.final_view().unwrap().value, 22);
+    }
+
+    #[test]
+    fn underlying_error_propagates_and_aborts() {
+        let (c, h) = Correctable::<i32>::pending();
+        let aborted = StdArc::new(Mutex::new(Vec::<i32>::new()));
+        let ab = StdArc::clone(&aborted);
+        let out = c.speculate_async(
+            |_| Correctable::<i32>::pending().0, // never completes
+            move |bad| ab.lock().push(*bad),
+        );
+        h.update(5, Weak).unwrap();
+        h.fail(Error::Timeout).unwrap();
+        assert_eq!(out.state(), State::Error);
+        assert_eq!(out.error(), Some(Error::Timeout));
+        assert_eq!(*aborted.lock(), vec![5]);
+    }
+
+    #[test]
+    fn spec_work_error_propagates() {
+        let (c, h) = Correctable::<i32>::pending();
+        let out = c.speculate_async(
+            |_| Correctable::<i32>::failed(Error::Storage("boom".into())),
+            |_| {},
+        );
+        h.update(5, Weak).unwrap();
+        assert_eq!(out.state(), State::Error);
+        assert_eq!(out.error(), Some(Error::Storage("boom".into())));
+    }
+
+    #[test]
+    fn changing_preliminaries_each_respeculate() {
+        let (c, h) = Correctable::<i32>::pending();
+        let calls = StdArc::new(AtomicU64::new(0));
+        let aborts = StdArc::new(AtomicU64::new(0));
+        let (c2, a2) = (StdArc::clone(&calls), StdArc::clone(&aborts));
+        let out = c.speculate_with_abort(
+            move |x| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                *x
+            },
+            move |_| {
+                a2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        h.update(1, Weak).unwrap();
+        h.update(2, Weak).unwrap();
+        h.close(2, Strong).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(aborts.load(Ordering::SeqCst), 1);
+        assert_eq!(out.final_view().unwrap().value, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Views: the per-level results an operation delivers incrementally.
+
+use crate::level::ConsistencyLevel;
+
+/// One incremental result of an operation, tagged with the consistency
+/// level it satisfies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct View<T> {
+    /// The operation result under this view's consistency level.
+    pub value: T,
+    /// The guarantee this view satisfies.
+    pub level: ConsistencyLevel,
+}
+
+impl<T> View<T> {
+    /// Creates a view.
+    pub fn new(value: T, level: ConsistencyLevel) -> Self {
+        View { value, level }
+    }
+
+    /// Maps the value, preserving the level.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> View<U> {
+        View {
+            value: f(self.value),
+            level: self.level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_level() {
+        let v = View::new(21, ConsistencyLevel::Weak);
+        let w = v.map(|x| x * 2);
+        assert_eq!(w.value, 42);
+        assert_eq!(w.level, ConsistencyLevel::Weak);
+    }
+}

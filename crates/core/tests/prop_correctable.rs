@@ -1,0 +1,158 @@
+//! Property-based tests of the Correctable state machine (Figure 3).
+
+use proptest::prelude::*;
+
+use correctables::{ConsistencyLevel, Correctable, Error, State};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Producer-side actions a binding might perform, in arbitrary order.
+#[derive(Clone, Debug)]
+enum Action {
+    Update(i64),
+    Close(i64),
+    Fail,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Action::Update),
+        1 => any::<i64>().prop_map(Action::Close),
+        1 => Just(Action::Fail),
+    ]
+}
+
+proptest! {
+    /// Whatever a producer does, the state machine admits at most one
+    /// closing transition, preliminary views precede it, and the final
+    /// state is immutable.
+    #[test]
+    fn at_most_one_close_and_views_are_stable(
+        actions in proptest::collection::vec(action_strategy(), 1..40)
+    ) {
+        let (c, h) = Correctable::<i64>::pending();
+        let mut expected_updates = Vec::new();
+        let mut closed: Option<Result<i64, ()>> = None;
+        for a in &actions {
+            match a {
+                Action::Update(v) => {
+                    let r = h.update(*v, ConsistencyLevel::Weak);
+                    if closed.is_none() {
+                        prop_assert!(r.is_ok());
+                        expected_updates.push(*v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Action::Close(v) => {
+                    let r = h.close(*v, ConsistencyLevel::Strong);
+                    if closed.is_none() {
+                        prop_assert!(r.is_ok());
+                        closed = Some(Ok(*v));
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Action::Fail => {
+                    let r = h.fail(Error::Aborted);
+                    if closed.is_none() {
+                        prop_assert!(r.is_ok());
+                        closed = Some(Err(()));
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+            }
+        }
+        // Observed views equal the accepted preliminary sequence.
+        let seen: Vec<i64> = c.preliminary_views().iter().map(|v| v.value).collect();
+        prop_assert_eq!(seen, expected_updates);
+        match closed {
+            Some(Ok(v)) => {
+                prop_assert_eq!(c.state(), State::Final);
+                prop_assert_eq!(c.final_view().unwrap().value, v);
+            }
+            Some(Err(())) => {
+                prop_assert_eq!(c.state(), State::Error);
+                prop_assert_eq!(c.error(), Some(Error::Aborted));
+            }
+            None => prop_assert_eq!(c.state(), State::Updating),
+        }
+    }
+
+    /// Callbacks observe exactly the accepted views, in order, regardless
+    /// of when they are registered (before, during, or after delivery).
+    #[test]
+    fn callbacks_see_all_views_in_order(
+        values in proptest::collection::vec(any::<i64>(), 0..20),
+        fin in any::<i64>(),
+        register_at in 0usize..21,
+    ) {
+        let (c, h) = Correctable::<i64>::pending();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let attach = |log: &Arc<Mutex<Vec<i64>>>, c: &Correctable<i64>| {
+            let l = Arc::clone(log);
+            c.on_update(move |v| l.lock().push(v.value));
+        };
+        let mut attached = false;
+        for (i, v) in values.iter().enumerate() {
+            if i == register_at {
+                attach(&log, &c);
+                attached = true;
+            }
+            h.update(*v, ConsistencyLevel::Weak).unwrap();
+        }
+        if !attached {
+            attach(&log, &c);
+        }
+        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        prop_assert_eq!(log.lock().clone(), values);
+    }
+
+    /// `speculate` always produces `spec(final_value)` no matter which
+    /// preliminary views preceded it.
+    #[test]
+    fn speculation_result_equals_function_of_final(
+        prelims in proptest::collection::vec(-100i64..100, 0..10),
+        fin in -100i64..100,
+    ) {
+        let (c, h) = Correctable::<i64>::pending();
+        let out = c.speculate(|x| x.wrapping_mul(3) ^ 0x55);
+        for p in &prelims {
+            h.update(*p, ConsistencyLevel::Weak).unwrap();
+        }
+        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        prop_assert_eq!(out.final_view().unwrap().value, fin.wrapping_mul(3) ^ 0x55);
+    }
+
+    /// `map` commutes with view delivery.
+    #[test]
+    fn map_commutes_with_views(
+        prelims in proptest::collection::vec(any::<i32>(), 0..10),
+        fin in any::<i32>(),
+    ) {
+        let (c, h) = Correctable::<i32>::pending();
+        let mapped = c.map(|x| i64::from(*x) + 1);
+        for p in &prelims {
+            h.update(*p, ConsistencyLevel::Weak).unwrap();
+        }
+        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        let got: Vec<i64> = mapped.preliminary_views().iter().map(|v| v.value).collect();
+        let want: Vec<i64> = prelims.iter().map(|p| i64::from(*p) + 1).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(mapped.final_view().unwrap().value, i64::from(fin) + 1);
+    }
+
+    /// `join_all` preserves order and closes exactly when all inputs do.
+    #[test]
+    fn join_all_orders_results(values in proptest::collection::vec(any::<i64>(), 1..12)) {
+        let pairs: Vec<_> = values.iter().map(|_| Correctable::<i64>::pending()).collect();
+        let joined = Correctable::join_all(pairs.iter().map(|(c, _)| c.clone()).collect());
+        // Close in reverse order; the aggregate must still be input-ordered.
+        for (i, (_, h)) in pairs.iter().enumerate().rev() {
+            prop_assert_eq!(joined.is_closed(), false);
+            h.close(values[i], ConsistencyLevel::Strong).unwrap();
+        }
+        prop_assert_eq!(joined.final_view().unwrap().value, values);
+    }
+}

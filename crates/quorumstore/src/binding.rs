@@ -1,0 +1,508 @@
+//! The Correctables binding for the quorum store (the paper's "CC binding").
+//!
+//! [`SimStore`] wraps a simulated cluster plus a **gateway** client node and
+//! exposes a [`Binding`] whose levels are `Weak` (R = 1) and `Strong`
+//! (R = `r_strong`):
+//!
+//! - `invoke_weak`  → a single `R = 1` read (baseline C1);
+//! - `invoke_strong` → a single quorum read (baseline C2/C3);
+//! - `invoke` → a server-side ICG read: preliminary flush + final quorum
+//!   view (CC), with the confirmation optimization if enabled (*CC).
+//!
+//! Because the simulator is single-threaded, `submit` only *enqueues*
+//! operations; [`SimStore::settle`] drives the engine until every
+//! outstanding Correctable resolves. Operations issued from inside
+//! callbacks (speculative prefetches!) are picked up by the gateway at the
+//! very simulation instant the callback runs, so chained latencies are
+//! measured exactly as a real asynchronous client would experience them.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{Binding, ConsistencyLevel, Error, Upcall};
+use simnet::{Ctx, Node, NodeId, SimDuration, SimTime, Timer, Topology};
+
+use crate::cluster::Cluster;
+use crate::messages::{Msg, Phase};
+use crate::replica::ReplicaConfig;
+use crate::types::{Key, OpId, ReadKind, Value, Versioned};
+
+/// Operations accepted by the binding.
+#[derive(Clone, Debug)]
+pub enum StoreOp {
+    /// Read a key.
+    Read(Key),
+    /// Write a key (always `W = 1`, as in the paper's evaluation).
+    Write(Key, Value),
+}
+
+/// Timing of one completed gateway operation, in virtual milliseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct OpTiming {
+    /// When the preliminary view arrived (ICG reads only).
+    pub prelim_ms: Option<f64>,
+    /// When the final view arrived.
+    pub final_ms: f64,
+    /// Whether this was a read.
+    pub is_read: bool,
+}
+
+struct QueuedOp {
+    op: StoreOp,
+    upcall: Upcall<Versioned>,
+    kind: ReadKind,
+    close_level: ConsistencyLevel,
+}
+
+type OpQueue = Arc<Mutex<VecDeque<QueuedOp>>>;
+type Timings = Arc<Mutex<Vec<OpTiming>>>;
+
+struct GwPending {
+    upcall: Upcall<Versioned>,
+    close_level: ConsistencyLevel,
+    start: SimTime,
+    prelim: Option<Versioned>,
+    prelim_at: Option<SimTime>,
+    is_read: bool,
+    written: Option<Versioned>,
+}
+
+/// The in-simulation client node that executes queued operations.
+pub struct Gateway {
+    coordinator: NodeId,
+    queue: OpQueue,
+    timings: Timings,
+    /// Virtual now (nanoseconds), mirrored for callback-side reading.
+    clock: Arc<AtomicU64>,
+    next_seq: u64,
+    pending: HashMap<OpId, GwPending>,
+}
+
+const KICK: u64 = u64::MAX - 1;
+
+impl Gateway {
+    fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            let Some(q) = self.queue.lock().pop_front() else {
+                return;
+            };
+            let id = OpId {
+                client: ctx.id(),
+                seq: self.next_seq,
+            };
+            self.next_seq += 1;
+            let (msg, is_read, written) = match q.op {
+                StoreOp::Read(key) => (
+                    Msg::ClientRead {
+                        op: id,
+                        key,
+                        kind: q.kind,
+                    },
+                    true,
+                    None,
+                ),
+                StoreOp::Write(key, value) => {
+                    let written = Versioned {
+                        value: value.clone(),
+                        version: crate::types::Version::ZERO,
+                    };
+                    (
+                        Msg::ClientWrite {
+                            op: id,
+                            key,
+                            value,
+                            w: 1,
+                        },
+                        false,
+                        Some(written),
+                    )
+                }
+            };
+            self.pending.insert(
+                id,
+                GwPending {
+                    upcall: q.upcall,
+                    close_level: q.close_level,
+                    start: ctx.now(),
+                    prelim: None,
+                    prelim_at: None,
+                    is_read,
+                    written,
+                },
+            );
+            ctx.send(self.coordinator, msg);
+        }
+    }
+
+    fn finish(&mut self, ctx: &Ctx<'_, Msg>, id: OpId, data: Option<Versioned>) {
+        let Some(p) = self.pending.remove(&id) else {
+            return;
+        };
+        let now = ctx.now();
+        self.timings.lock().push(OpTiming {
+            prelim_ms: p.prelim_at.map(|t| t.since(p.start).as_millis_f64()),
+            final_ms: now.since(p.start).as_millis_f64(),
+            is_read: p.is_read,
+        });
+        let value = data
+            .or(p.prelim)
+            .or(p.written)
+            .unwrap_or_else(Versioned::absent);
+        p.upcall.deliver(value, p.close_level);
+    }
+}
+
+impl Node<Msg> for Gateway {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        self.clock.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        match msg {
+            Msg::ReadReply {
+                op,
+                phase: Phase::Preliminary,
+                data,
+            } => {
+                if let Some(p) = self.pending.get_mut(&op) {
+                    p.prelim = Some(data.clone());
+                    p.prelim_at = Some(ctx.now());
+                    let up = p.upcall.clone();
+                    up.deliver(data, ConsistencyLevel::Weak);
+                }
+            }
+            Msg::ReadReply { op, data, .. } => {
+                self.finish(ctx, op, Some(data));
+            }
+            Msg::ReadConfirm { op } => {
+                // *CC: the final view equals the preliminary.
+                let prelim = self.pending.get(&op).and_then(|p| p.prelim.clone());
+                self.finish(ctx, op, prelim);
+            }
+            Msg::WriteReply { op } => {
+                self.finish(ctx, op, None);
+            }
+            Msg::OpFailed { op, .. } => {
+                if let Some(p) = self.pending.remove(&op) {
+                    p.upcall.fail(Error::Timeout);
+                }
+            }
+            _ => {}
+        }
+        // Callbacks above may have enqueued nested operations; pick them up
+        // at this exact simulation instant.
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        self.clock.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        if timer.0 == KICK {
+            self.drain(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct SimState {
+    cluster: Cluster,
+    gateway: NodeId,
+}
+
+/// A simulated quorum store with a synchronously driveable binding.
+#[derive(Clone)]
+pub struct SimStore {
+    state: Arc<Mutex<SimState>>,
+    queue: OpQueue,
+    timings: Timings,
+    clock: Arc<AtomicU64>,
+    r_strong: u8,
+    confirm: bool,
+}
+
+impl SimStore {
+    /// Builds the paper's FRK/IRL/VRG deployment with the client gateway at
+    /// `client_site` (by name) connected to `coordinator_idx` (index into
+    /// the replica list, FRK/IRL/VRG order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site name is unknown.
+    pub fn ec2(
+        cfg: ReplicaConfig,
+        r_strong: u8,
+        confirm: bool,
+        client_site: &str,
+        coordinator_idx: usize,
+        seed: u64,
+    ) -> SimStore {
+        SimStore::custom(
+            Topology::ec2_frk_irl_vrg(),
+            &["FRK", "IRL", "VRG"],
+            cfg,
+            r_strong,
+            confirm,
+            client_site,
+            coordinator_idx,
+            seed,
+        )
+    }
+
+    /// Builds a deployment over an arbitrary topology (e.g. the Twissandra
+    /// US-wide deployment of §6.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site name is unknown or `coordinator_idx` is out of
+    /// range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        topology: Topology,
+        replica_sites: &[&str],
+        cfg: ReplicaConfig,
+        r_strong: u8,
+        confirm: bool,
+        client_site: &str,
+        coordinator_idx: usize,
+        seed: u64,
+    ) -> SimStore {
+        let site = topology.site_named(client_site).expect("known site");
+        let mut cluster = Cluster::build(topology, replica_sites, cfg, seed);
+        let queue: OpQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let timings: Timings = Arc::new(Mutex::new(Vec::new()));
+        let clock = Arc::new(AtomicU64::new(0));
+        let coordinator = cluster.replicas[coordinator_idx];
+        let gateway = cluster.engine.add_node(
+            site,
+            Box::new(Gateway {
+                coordinator,
+                queue: Arc::clone(&queue),
+                timings: Arc::clone(&timings),
+                clock: Arc::clone(&clock),
+                next_seq: 0,
+                pending: HashMap::new(),
+            }),
+        );
+        SimStore {
+            state: Arc::new(Mutex::new(SimState { cluster, gateway })),
+            queue,
+            timings,
+            clock,
+            r_strong,
+            confirm,
+        }
+    }
+
+    /// A handle mirroring the current virtual time (nanoseconds), readable
+    /// from inside Correctable callbacks while the simulation runs.
+    pub fn clock(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Total bytes that crossed the gateway's client link so far.
+    pub fn gateway_link_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        st.cluster.engine.bandwidth().link_bytes(st.gateway)
+    }
+
+    /// The Correctables binding over this store.
+    pub fn binding(&self) -> QuorumBinding {
+        QuorumBinding {
+            store: self.clone(),
+        }
+    }
+
+    /// Seeds records on every replica (converged dataset).
+    pub fn preload<I>(&self, records: I)
+    where
+        I: IntoIterator<Item = (Key, Value)>,
+    {
+        self.state.lock().cluster.preload(records);
+    }
+
+    /// Drives the simulation until every submitted operation (including
+    /// operations issued from inside callbacks) has resolved.
+    ///
+    /// Runs in bounded virtual-time slices rather than to full quiescence,
+    /// so coordinator op-timeout timers (armed several seconds out) do not
+    /// drag the virtual clock forward once all work is done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations fail to resolve within a very large horizon
+    /// (indicating a protocol bug).
+    pub fn settle(&self) {
+        let mut st = self.state.lock();
+        let slice = SimDuration::from_millis(5);
+        for _ in 0..2_000_000 {
+            let gw = st.gateway;
+            st.cluster
+                .engine
+                .schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
+            let limit = st.cluster.engine.now() + slice;
+            st.cluster.engine.run_until(limit);
+            let gateway_idle = st.cluster.engine.node_as::<Gateway>(gw).pending.is_empty();
+            if gateway_idle && self.queue.lock().is_empty() {
+                return;
+            }
+        }
+        panic!("operations failed to settle within the simulation horizon");
+    }
+
+    /// Timings of all completed operations so far.
+    pub fn timings(&self) -> Vec<OpTiming> {
+        self.timings.lock().clone()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.state.lock().cluster.engine.now().as_millis_f64()
+    }
+
+    /// Advances virtual time without any work (models client think time).
+    pub fn advance(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let until = st.cluster.engine.now() + d;
+        st.cluster.engine.run_until(until);
+    }
+}
+
+/// `Binding` implementation over [`SimStore`].
+#[derive(Clone)]
+pub struct QuorumBinding {
+    store: SimStore,
+}
+
+impl Binding for QuorumBinding {
+    type Op = StoreOp;
+    type Val = Versioned;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    }
+
+    fn submit(&self, op: StoreOp, levels: &[ConsistencyLevel], upcall: Upcall<Versioned>) {
+        let weak = levels.contains(&ConsistencyLevel::Weak);
+        let strong = levels.contains(&ConsistencyLevel::Strong);
+        let kind = match (weak, strong) {
+            (true, true) => ReadKind::Icg {
+                r: self.store.r_strong,
+                confirm: self.store.confirm,
+            },
+            (false, _) => ReadKind::Single {
+                r: self.store.r_strong,
+            },
+            (true, false) => ReadKind::Single { r: 1 },
+        };
+        let close_level = upcall.strongest();
+        self.store.queue.lock().push_back(QueuedOp {
+            op,
+            upcall,
+            kind,
+            close_level,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::{Client, State};
+
+    fn store(confirm: bool) -> SimStore {
+        // Client in IRL, coordinator in FRK — the paper's §6.1 setup.
+        let s = SimStore::ec2(ReplicaConfig::default(), 2, confirm, "IRL", 0, 42);
+        s.preload((0..32).map(|i| (Key::plain(i), Value::Opaque(100))));
+        s
+    }
+
+    #[test]
+    fn invoke_weak_closes_with_single_view() {
+        let s = store(false);
+        let client = Client::new(s.binding());
+        let c = client.invoke_weak(StoreOp::Read(Key::plain(1)));
+        assert_eq!(c.state(), State::Updating);
+        s.settle();
+        let v = c.final_view().expect("settled");
+        assert_eq!(v.level, ConsistencyLevel::Weak);
+        assert_eq!(v.value.value, Value::Opaque(100));
+        assert!(c.preliminary_views().is_empty());
+    }
+
+    #[test]
+    fn invoke_gives_preliminary_then_final() {
+        let s = store(false);
+        let client = Client::new(s.binding());
+        let c = client.invoke(StoreOp::Read(Key::plain(1)));
+        s.settle();
+        assert_eq!(c.preliminary_views().len(), 1);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        // Preliminary (local flush) must beat final (quorum of 2) by ~ the
+        // FRK–IRL RTT.
+        let t = s.timings();
+        assert_eq!(t.len(), 1);
+        let gap = t[0].final_ms - t[0].prelim_ms.unwrap();
+        assert!((15.0..30.0).contains(&gap), "gap {gap}ms");
+    }
+
+    #[test]
+    fn preliminary_latency_tracks_client_coordinator_rtt() {
+        let s = store(false);
+        let client = Client::new(s.binding());
+        let _c = client.invoke(StoreOp::Read(Key::plain(3)));
+        s.settle();
+        let t = s.timings()[0];
+        let p = t.prelim_ms.unwrap();
+        assert!((18.0..26.0).contains(&p), "prelim {p}ms");
+    }
+
+    #[test]
+    fn write_then_strong_read_sees_value() {
+        let s = store(false);
+        let client = Client::new(s.binding());
+        let w = client.invoke_strong(StoreOp::Write(Key::plain(5), Value::Opaque(77)));
+        s.settle();
+        assert_eq!(w.state(), State::Final);
+        let r = client.invoke_strong(StoreOp::Read(Key::plain(5)));
+        s.settle();
+        assert_eq!(r.final_view().unwrap().value.value, Value::Opaque(77));
+    }
+
+    #[test]
+    fn confirmation_mode_still_delivers_final_value() {
+        let s = store(true);
+        let client = Client::new(s.binding());
+        let c = client.invoke(StoreOp::Read(Key::plain(2)));
+        s.settle();
+        // No write raced, so the final equals the preliminary and arrived
+        // as a confirmation — the value must still be the real record.
+        let v = c.final_view().unwrap();
+        assert_eq!(v.value.value, Value::Opaque(100));
+        assert_eq!(v.level, ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn nested_invoke_from_callback_resolves_in_same_settle() {
+        let s = store(false);
+        let client = Client::new(s.binding());
+        let binding = s.binding();
+        // Speculatively chase a pointer: read key 1, then read key 2.
+        let out = client.invoke(StoreOp::Read(Key::plain(1))).speculate_async(
+            move |_v: &Versioned| {
+                Client::new(binding.clone())
+                    .invoke_strong(StoreOp::Read(Key::plain(2)))
+                    .map(|v| v.clone())
+            },
+            |_| {},
+        );
+        s.settle();
+        assert_eq!(out.state(), State::Final);
+        // Speculation started at the preliminary (~20ms) and took a strong
+        // read (~40ms): total ~60ms, well before prelim+final+strong (~80).
+        let ts = s.timings();
+        assert_eq!(ts.len(), 2, "outer read + nested read");
+    }
+}

@@ -1,0 +1,329 @@
+//! Closed-loop YCSB client driver for the quorum store.
+//!
+//! A [`WorkloadClient`] models one YCSB process with `threads` virtual
+//! client threads: each thread keeps exactly one operation outstanding and
+//! issues the next as soon as the previous completes. Latency, divergence
+//! (preliminary ≠ final), and completion counts are recorded inside a
+//! configurable measurement window, mirroring the paper's practice of
+//! running 60-second trials and eliding the first and last 15 seconds.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use simnet::{Ctx, Histogram, Node, NodeId, SimTime, Timer};
+use ycsb::{Generator, Op, Workload};
+
+use crate::messages::{Msg, Phase};
+use crate::types::{Key, OpId, ReadKind, Value, Version};
+
+/// Timer token that kicks off the client's virtual threads.
+pub const KICKOFF: u64 = u64::MAX;
+
+/// Client-side per-operation deadline: if neither a reply nor a
+/// coordinator failure arrives (e.g. the request itself was lost), the
+/// virtual thread gives up and moves on.
+pub const CLIENT_OP_TIMEOUT_MS: u64 = 2_000;
+
+/// Which system variant the client exercises (paper notation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Read execution mode: `C1`/`C2`/`C3` use [`ReadKind::Single`],
+    /// `CC2`/`CC3` use [`ReadKind::Icg`] (with `confirm` for `*CC`).
+    pub read_kind: ReadKind,
+    /// Write quorum size (the paper uses `W = 1` throughout).
+    pub write_w: u8,
+}
+
+impl SystemConfig {
+    /// Baseline Cassandra with read quorum `r`.
+    pub fn baseline(r: u8) -> Self {
+        SystemConfig {
+            read_kind: ReadKind::Single { r },
+            write_w: 1,
+        }
+    }
+
+    /// Correctable Cassandra with final read quorum `r`.
+    pub fn correctable(r: u8) -> Self {
+        SystemConfig {
+            read_kind: ReadKind::Icg { r, confirm: false },
+            write_w: 1,
+        }
+    }
+
+    /// *CC: Correctable Cassandra with the confirmation optimization.
+    pub fn correctable_optimized(r: u8) -> Self {
+        SystemConfig {
+            read_kind: ReadKind::Icg { r, confirm: true },
+            write_w: 1,
+        }
+    }
+
+    /// Display label in the paper's notation (C1, CC2, *CC2, …).
+    pub fn label(&self) -> String {
+        match self.read_kind {
+            ReadKind::Single { r } => format!("C{r}"),
+            ReadKind::Icg { r, confirm: false } => format!("CC{r}"),
+            ReadKind::Icg { r, confirm: true } => format!("*CC{r}"),
+        }
+    }
+}
+
+/// Everything a client measures.
+#[derive(Clone, Debug, Default)]
+pub struct ClientMetrics {
+    /// Latency of preliminary views (ICG reads only).
+    pub prelim_latency: Histogram,
+    /// Latency of the final (or only) read reply.
+    pub final_latency: Histogram,
+    /// Latency of write acknowledgments.
+    pub write_latency: Histogram,
+    /// Reads completed inside the measurement window.
+    pub reads: u64,
+    /// Writes completed inside the measurement window.
+    pub writes: u64,
+    /// ICG reads whose preliminary version differed from the final.
+    pub divergent: u64,
+    /// ICG reads measured for divergence.
+    pub icg_reads: u64,
+    /// Operations that failed (timeouts under fault injection).
+    pub failed: u64,
+    /// Operations completed regardless of the window (progress check).
+    pub total_completed: u64,
+}
+
+impl ClientMetrics {
+    /// Operations (reads + writes) completed inside the window.
+    pub fn completed(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of ICG reads that diverged.
+    pub fn divergence(&self) -> f64 {
+        if self.icg_reads == 0 {
+            0.0
+        } else {
+            self.divergent as f64 / self.icg_reads as f64
+        }
+    }
+}
+
+struct PendingOp {
+    thread: u32,
+    start: SimTime,
+    prelim: Option<(SimTime, Version)>,
+    is_read: bool,
+}
+
+/// A closed-loop YCSB client node.
+pub struct WorkloadClient {
+    coordinator: NodeId,
+    sys: SystemConfig,
+    record_len: u32,
+    gens: Vec<Generator>,
+    next_seq: u64,
+    pending: HashMap<OpId, PendingOp>,
+    measure_from: SimTime,
+    measure_until: SimTime,
+    /// Collected measurements (readable after the run via `node_as`).
+    pub metrics: ClientMetrics,
+}
+
+impl WorkloadClient {
+    /// Creates a client with `threads` virtual threads driving `workload`
+    /// against `coordinator`, measuring inside `[measure_from, measure_until)`.
+    pub fn new(
+        coordinator: NodeId,
+        sys: SystemConfig,
+        workload: &Workload,
+        threads: u32,
+        seed: u64,
+        measure_from: SimTime,
+        measure_until: SimTime,
+    ) -> Self {
+        let gens = (0..threads)
+            .map(|t| workload.generator(seed.wrapping_mul(0x9E37_79B9).wrapping_add(t as u64)))
+            .collect();
+        WorkloadClient {
+            coordinator,
+            sys,
+            record_len: workload.value_size as u32,
+            gens,
+            next_seq: 0,
+            pending: HashMap::new(),
+            measure_from,
+            measure_until,
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        self.measure_from <= t && t < self.measure_until
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, Msg>, thread: u32) {
+        let op = self.gens[thread as usize].next_op();
+        let id = OpId {
+            client: ctx.id(),
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        // Client-side deadline guards against lost requests/replies.
+        ctx.set_timer(
+            simnet::SimDuration::from_millis(CLIENT_OP_TIMEOUT_MS),
+            Timer(id.seq),
+        );
+        let (msg, is_read) = match op {
+            Op::Read(k) => (
+                Msg::ClientRead {
+                    op: id,
+                    key: Key::plain(k),
+                    kind: self.sys.read_kind,
+                },
+                true,
+            ),
+            Op::Update { key, len } => (
+                Msg::ClientWrite {
+                    op: id,
+                    key: Key::plain(key),
+                    value: Value::Delta {
+                        field_len: len as u32,
+                        record_len: self.record_len,
+                    },
+                    w: self.sys.write_w,
+                },
+                false,
+            ),
+        };
+        self.pending.insert(
+            id,
+            PendingOp {
+                thread,
+                start: ctx.now(),
+                prelim: None,
+                is_read,
+            },
+        );
+        ctx.send(self.coordinator, msg);
+    }
+
+    fn complete(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        id: OpId,
+        final_version: Option<Version>,
+        failed: bool,
+    ) {
+        let Some(p) = self.pending.remove(&id) else {
+            return;
+        };
+        let now = ctx.now();
+        self.metrics.total_completed += 1;
+        if self.in_window(now) {
+            if failed {
+                self.metrics.failed += 1;
+            } else if p.is_read {
+                self.metrics.reads += 1;
+                self.metrics.final_latency.record(now.since(p.start));
+                if let Some((pt, pv)) = p.prelim {
+                    self.metrics.prelim_latency.record(pt.since(p.start));
+                    self.metrics.icg_reads += 1;
+                    if Some(pv) != final_version {
+                        self.metrics.divergent += 1;
+                    }
+                }
+            } else {
+                self.metrics.writes += 1;
+                self.metrics.write_latency.record(now.since(p.start));
+            }
+        }
+        self.issue_next(ctx, p.thread);
+    }
+}
+
+impl Node<Msg> for WorkloadClient {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ReadReply {
+                op,
+                phase: Phase::Preliminary,
+                data,
+            } => {
+                if let Some(p) = self.pending.get_mut(&op) {
+                    p.prelim = Some((ctx.now(), data.version));
+                }
+            }
+            Msg::ReadReply {
+                op,
+                phase: Phase::Final,
+                data,
+            }
+            | Msg::ReadReply {
+                op,
+                phase: Phase::Single,
+                data,
+            } => {
+                self.complete(ctx, op, Some(data.version), false);
+            }
+            Msg::ReadConfirm { op } => {
+                // The final view equals the preliminary one by definition.
+                let pv = self.pending.get(&op).and_then(|p| p.prelim.map(|(_, v)| v));
+                self.complete(ctx, op, pv, false);
+            }
+            Msg::WriteReply { op } => {
+                self.complete(ctx, op, None, false);
+            }
+            Msg::OpFailed { op, .. } => {
+                self.complete(ctx, op, None, true);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer.0 == KICKOFF {
+            for t in 0..self.gens.len() as u32 {
+                self.issue_next(ctx, t);
+            }
+            return;
+        }
+        // A per-operation deadline fired; give up if still outstanding.
+        let id = OpId {
+            client: ctx.id(),
+            seq: timer.0,
+        };
+        if self.pending.contains_key(&id) {
+            self.complete(ctx, id, None, true);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_labels_match_paper_notation() {
+        assert_eq!(SystemConfig::baseline(1).label(), "C1");
+        assert_eq!(SystemConfig::baseline(3).label(), "C3");
+        assert_eq!(SystemConfig::correctable(2).label(), "CC2");
+        assert_eq!(SystemConfig::correctable_optimized(2).label(), "*CC2");
+    }
+
+    #[test]
+    fn metrics_divergence_math() {
+        let m = ClientMetrics {
+            divergent: 25,
+            icg_reads: 100,
+            ..Default::default()
+        };
+        assert!((m.divergence() - 0.25).abs() < 1e-9);
+        let empty = ClientMetrics::default();
+        assert_eq!(empty.divergence(), 0.0);
+        assert_eq!(empty.completed(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # quorumstore — a Cassandra-model quorum store with Correctable support
+//!
+//! The paper evaluates Correctables on a modified Apache Cassandra
+//! ("Correctable Cassandra", CC). This crate rebuilds the relevant
+//! mechanics from scratch on the deterministic simulator:
+//!
+//! - **Replication**: every key on every replica (RF = 3 over the paper's
+//!   FRK/IRL/VRG EC2 sites), last-writer-wins versions.
+//! - **Coordination**: any replica coordinates; reads gather `R` replies,
+//!   writes stamp a version, apply locally, and propagate asynchronously
+//!   (`W = 1`), producing the staleness ICG exposes.
+//! - **CC** (§5.2): coordinators flush a preliminary response from local
+//!   state before gathering the read quorum (Figure 4), at a small extra
+//!   coordinator cost.
+//! - ***CC**: a final view equal to the preliminary is replaced by a tiny
+//!   confirmation message, cutting the bandwidth overhead of ICG.
+//! - **Read repair** (optional) and **operation timeouts** for fault runs.
+//!
+//! Drive it either with the closed-loop YCSB clients
+//! ([`client::WorkloadClient`], used by the Figure 5–8 harnesses) or
+//! through the Correctables [`binding::SimStore`] binding (used by the
+//! examples and the case studies).
+
+pub mod binding;
+pub mod client;
+pub mod cluster;
+pub mod messages;
+#[cfg(test)]
+mod proptests;
+pub mod replica;
+pub mod storage;
+pub mod types;
+
+pub use binding::{OpTiming, QuorumBinding, SimStore, StoreOp};
+pub use client::{ClientMetrics, SystemConfig, WorkloadClient, KICKOFF};
+pub use cluster::Cluster;
+pub use messages::{FailReason, Msg, Phase, FRAME_BYTES};
+pub use replica::{Replica, ReplicaConfig};
+pub use storage::LocalStore;
+pub use types::{Key, OpId, ReadKind, Value, Version, Versioned};

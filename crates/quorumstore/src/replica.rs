@@ -1,0 +1,398 @@
+//! The replica node: storage plus Cassandra-style read/write coordination.
+//!
+//! Every replica can act as a coordinator (as in Cassandra, where the
+//! contacted node coordinates the request). Reads gather a quorum of `R`
+//! replies — the coordinator's own state counts as one — and return the
+//! newest version. Writes stamp a last-writer-wins version, apply locally,
+//! and propagate to all peers; with `W = 1` (the paper's setting) the
+//! client is acknowledged immediately and propagation continues in the
+//! background, which is precisely the staleness window that ICG
+//! preliminaries expose.
+//!
+//! **Correctable Cassandra (CC)**: for ICG reads the coordinator performs a
+//! *preliminary flush* — it replies with its local state before gathering
+//! the quorum (§5.2, Figure 4). This costs extra coordinator service time
+//! (the paper observes a ~6% throughput drop). ***CC***: when the final
+//! view equals the preliminary, a small confirmation message replaces the
+//! full reply.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use simnet::{Ctx, Node, NodeId, SimDuration, Timer};
+
+use crate::messages::{FailReason, Msg, Phase};
+use crate::storage::LocalStore;
+use crate::types::{Key, OpId, ReadKind, Version, Versioned};
+
+/// Tuning knobs of a replica.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaConfig {
+    /// Coordinator CPU time per client read.
+    pub read_service: SimDuration,
+    /// Coordinator CPU time per client write.
+    pub write_service: SimDuration,
+    /// CPU time to serve a peer read.
+    pub peer_read_service: SimDuration,
+    /// CPU time to apply a peer write.
+    pub peer_write_service: SimDuration,
+    /// Extra coordinator CPU time for the preliminary flush of ICG reads.
+    pub prelim_flush_extra: SimDuration,
+    /// Whether coordinators push the newest version to stale replicas
+    /// after a quorum read (Cassandra's read repair).
+    pub read_repair: bool,
+    /// Deadline for gathering quorums before failing the operation.
+    pub op_timeout: SimDuration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            read_service: SimDuration::from_micros(500),
+            write_service: SimDuration::from_micros(500),
+            peer_read_service: SimDuration::from_micros(300),
+            peer_write_service: SimDuration::from_micros(250),
+            prelim_flush_extra: SimDuration::from_micros(30),
+            read_repair: false,
+            op_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+struct ReadSt {
+    client: NodeId,
+    key: Key,
+    kind: ReadKind,
+    best: Versioned,
+    responses: u8,
+    needed: u8,
+    prelim: Option<Version>,
+    /// Peers that answered with an older version (read-repair targets).
+    stale_peers: Vec<NodeId>,
+}
+
+struct WriteSt {
+    client: NodeId,
+    acks_left: u8,
+}
+
+/// A quorum-store replica (and coordinator).
+pub struct Replica {
+    /// All other replicas of the (single, fully replicated) keyspace.
+    peers: Vec<NodeId>,
+    /// Local storage.
+    pub store: LocalStore,
+    cfg: ReplicaConfig,
+    reads: HashMap<OpId, ReadSt>,
+    writes: HashMap<OpId, WriteSt>,
+    timer_ops: HashMap<u64, OpId>,
+    next_timer: u64,
+    /// Operations failed by timeout (observability for fault tests).
+    pub timed_out_ops: u64,
+}
+
+impl Replica {
+    /// Creates a replica; peers are wired afterwards via [`Replica::set_peers`].
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        Replica {
+            peers: Vec::new(),
+            store: LocalStore::new(),
+            cfg,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            timer_ops: HashMap::new(),
+            next_timer: 0,
+            timed_out_ops: 0,
+        }
+    }
+
+    /// Wires the other replicas (done by the cluster builder once all
+    /// nodes exist).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        self.peers = peers;
+    }
+
+    /// Peers sorted nearest-first from this replica's site.
+    fn peers_by_proximity(&self, ctx: &Ctx<'_, Msg>) -> Vec<NodeId> {
+        let my_site = ctx.site_of(ctx.id());
+        let mut ps = self.peers.clone();
+        ps.sort_by_key(|p| ctx.topology().base_one_way(my_site, ctx.site_of(*p)));
+        ps
+    }
+
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId) {
+        let t = self.next_timer;
+        self.next_timer += 1;
+        self.timer_ops.insert(t, op);
+        ctx.set_timer(self.cfg.op_timeout, Timer(t));
+    }
+
+    fn handle_client_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        op: OpId,
+        key: Key,
+        kind: ReadKind,
+    ) {
+        let local = self.store.get(key);
+        let max_quorum = (self.peers.len() + 1) as u8;
+        let needed = kind.quorum().clamp(1, max_quorum);
+
+        let mut prelim = None;
+        if kind.is_icg() {
+            // Preliminary flush: leak the local state before coordinating.
+            prelim = Some(local.version);
+            ctx.send(
+                client,
+                Msg::ReadReply {
+                    op,
+                    phase: Phase::Preliminary,
+                    data: local.clone(),
+                },
+            );
+        }
+
+        if needed <= 1 {
+            self.reply_read_final(ctx, client, op, kind, prelim, local);
+            return;
+        }
+
+        let targets: Vec<NodeId> = self
+            .peers_by_proximity(ctx)
+            .into_iter()
+            .take((needed - 1) as usize)
+            .collect();
+        for t in &targets {
+            ctx.send(*t, Msg::PeerRead { op, key });
+        }
+        self.reads.insert(
+            op,
+            ReadSt {
+                client,
+                key,
+                kind,
+                best: local,
+                responses: 1,
+                needed,
+                prelim,
+                stale_peers: Vec::new(),
+            },
+        );
+        self.arm_timeout(ctx, op);
+    }
+
+    fn reply_read_final(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        op: OpId,
+        kind: ReadKind,
+        prelim: Option<Version>,
+        best: Versioned,
+    ) {
+        match kind {
+            ReadKind::Icg { confirm: true, .. } if prelim == Some(best.version) => {
+                ctx.send(client, Msg::ReadConfirm { op });
+            }
+            ReadKind::Icg { .. } => {
+                ctx.send(
+                    client,
+                    Msg::ReadReply {
+                        op,
+                        phase: Phase::Final,
+                        data: best,
+                    },
+                );
+            }
+            ReadKind::Single { .. } => {
+                ctx.send(
+                    client,
+                    Msg::ReadReply {
+                        op,
+                        phase: Phase::Single,
+                        data: best,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_peer_read_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        op: OpId,
+        data: Versioned,
+    ) {
+        let Some(st) = self.reads.get_mut(&op) else {
+            // Late response after completion or timeout.
+            return;
+        };
+        st.responses += 1;
+        if data.version > st.best.version {
+            st.best = data;
+        } else if data.version < st.best.version {
+            st.stale_peers.push(from);
+        }
+        if st.responses >= st.needed {
+            let st = self.reads.remove(&op).expect("state present");
+            // Read repair: push the winning version to stale replicas and
+            // adopt it locally.
+            if self.cfg.read_repair {
+                let newer_than_local = st.best.version > self.store.version_of(st.key);
+                if newer_than_local {
+                    self.store.apply(st.key, st.best.clone());
+                }
+                for peer in &st.stale_peers {
+                    ctx.send(
+                        *peer,
+                        Msg::PeerWrite {
+                            key: st.key,
+                            data: st.best.clone(),
+                            ack_op: None,
+                        },
+                    );
+                }
+            }
+            self.reply_read_final(ctx, st.client, op, st.kind, st.prelim, st.best);
+        }
+    }
+
+    fn handle_client_write(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        client: NodeId,
+        op: OpId,
+        key: Key,
+        value: crate::types::Value,
+        w: u8,
+    ) {
+        let version = Version {
+            ts: ctx.now().as_nanos(),
+            writer: ctx.id().0 as u32,
+        };
+        let data = Versioned { value, version };
+        self.store.apply(key, data.clone());
+        let acks_needed = w.saturating_sub(1).min(self.peers.len() as u8);
+        let need_acks = acks_needed > 0;
+        for peer in self.peers.clone() {
+            ctx.send(
+                peer,
+                Msg::PeerWrite {
+                    key,
+                    data: data.clone(),
+                    ack_op: need_acks.then_some(op),
+                },
+            );
+        }
+        if need_acks {
+            self.writes.insert(
+                op,
+                WriteSt {
+                    client,
+                    acks_left: acks_needed,
+                },
+            );
+            self.arm_timeout(ctx, op);
+        } else {
+            ctx.send(client, Msg::WriteReply { op });
+        }
+    }
+
+    fn handle_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let Some(op) = self.timer_ops.remove(&token) else {
+            return;
+        };
+        if let Some(st) = self.reads.remove(&op) {
+            self.timed_out_ops += 1;
+            ctx.send(
+                st.client,
+                Msg::OpFailed {
+                    op,
+                    reason: FailReason::Timeout,
+                },
+            );
+        } else if let Some(st) = self.writes.remove(&op) {
+            self.timed_out_ops += 1;
+            ctx.send(
+                st.client,
+                Msg::OpFailed {
+                    op,
+                    reason: FailReason::Timeout,
+                },
+            );
+        }
+    }
+}
+
+impl Node<Msg> for Replica {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ClientRead { op, key, kind } => {
+                self.handle_client_read(ctx, from, op, key, kind);
+            }
+            Msg::ClientWrite { op, key, value, w } => {
+                self.handle_client_write(ctx, from, op, key, value, w);
+            }
+            Msg::PeerRead { op, key } => {
+                let data = self.store.get(key);
+                ctx.send(from, Msg::PeerReadResp { op, data });
+            }
+            Msg::PeerReadResp { op, data } => {
+                self.handle_peer_read_resp(ctx, from, op, data);
+            }
+            Msg::PeerWrite { key, data, ack_op } => {
+                self.store.apply(key, data);
+                if let Some(op) = ack_op {
+                    ctx.send(from, Msg::PeerWriteAck { op });
+                }
+            }
+            Msg::PeerWriteAck { op } => {
+                let finished = match self.writes.get_mut(&op) {
+                    Some(st) => {
+                        st.acks_left = st.acks_left.saturating_sub(1);
+                        st.acks_left == 0
+                    }
+                    None => false,
+                };
+                if finished {
+                    let st = self.writes.remove(&op).expect("state present");
+                    ctx.send(st.client, Msg::WriteReply { op });
+                }
+            }
+            // Replies are client-bound; a replica receiving one is a bug in
+            // the wiring, but we tolerate it silently in release runs.
+            Msg::ReadReply { .. }
+            | Msg::ReadConfirm { .. }
+            | Msg::WriteReply { .. }
+            | Msg::OpFailed { .. } => {
+                debug_assert!(false, "replica received a client-bound message");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        self.handle_timeout(ctx, timer.0);
+    }
+
+    fn service_cost(&self, msg: &Msg) -> SimDuration {
+        match msg {
+            Msg::ClientRead { kind, .. } => {
+                if kind.is_icg() {
+                    self.cfg.read_service + self.cfg.prelim_flush_extra
+                } else {
+                    self.cfg.read_service
+                }
+            }
+            Msg::ClientWrite { .. } => self.cfg.write_service,
+            Msg::PeerRead { .. } => self.cfg.peer_read_service,
+            Msg::PeerWrite { .. } => self.cfg.peer_write_service,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

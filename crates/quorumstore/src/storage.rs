@@ -1,0 +1,116 @@
+//! The per-replica storage engine: a last-writer-wins versioned map.
+
+use std::collections::HashMap;
+
+use crate::types::{Key, Version, Versioned};
+
+/// One replica's local key-value state.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStore {
+    map: HashMap<Key, Versioned>,
+}
+
+impl LocalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Reads a key; missing keys read as [`Versioned::absent`].
+    pub fn get(&self, key: Key) -> Versioned {
+        self.map
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(Versioned::absent)
+    }
+
+    /// Applies `data` if it is newer than the stored version
+    /// (last-writer-wins). Returns whether the store changed.
+    pub fn apply(&mut self, key: Key, data: Versioned) -> bool {
+        match self.map.get(&key) {
+            Some(existing) if existing.version >= data.version => false,
+            _ => {
+                self.map.insert(key, data);
+                true
+            }
+        }
+    }
+
+    /// The stored version of a key ([`Version::ZERO`] when missing).
+    pub fn version_of(&self, key: Key) -> Version {
+        self.map
+            .get(&key)
+            .map(|v| v.version)
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn rec(ts: u64, len: u32) -> Versioned {
+        Versioned {
+            value: Value::Opaque(len),
+            version: Version { ts, writer: 0 },
+        }
+    }
+
+    #[test]
+    fn missing_reads_absent() {
+        let s = LocalStore::new();
+        assert_eq!(s.get(Key::plain(1)), Versioned::absent());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn newer_write_wins() {
+        let mut s = LocalStore::new();
+        assert!(s.apply(Key::plain(1), rec(5, 10)));
+        assert!(s.apply(Key::plain(1), rec(9, 20)));
+        assert_eq!(s.get(Key::plain(1)), rec(9, 20));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn older_write_is_rejected() {
+        let mut s = LocalStore::new();
+        s.apply(Key::plain(1), rec(9, 20));
+        assert!(!s.apply(Key::plain(1), rec(5, 10)));
+        assert_eq!(s.get(Key::plain(1)), rec(9, 20));
+    }
+
+    #[test]
+    fn equal_version_is_idempotent() {
+        let mut s = LocalStore::new();
+        s.apply(Key::plain(1), rec(5, 10));
+        assert!(!s.apply(Key::plain(1), rec(5, 10)));
+    }
+
+    #[test]
+    fn writer_breaks_ts_ties() {
+        let mut s = LocalStore::new();
+        let a = Versioned {
+            value: Value::Opaque(1),
+            version: Version { ts: 5, writer: 1 },
+        };
+        let b = Versioned {
+            value: Value::Opaque(2),
+            version: Version { ts: 5, writer: 2 },
+        };
+        s.apply(Key::plain(1), a);
+        assert!(s.apply(Key::plain(1), b.clone()));
+        assert_eq!(s.get(Key::plain(1)), b);
+    }
+}

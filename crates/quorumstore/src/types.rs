@@ -1,0 +1,211 @@
+//! Core data types of the quorum store.
+
+use simnet::NodeId;
+
+/// A storage key: a namespace tag plus a 64-bit id.
+///
+/// The case-study applications place different object families in
+/// different namespaces (timelines vs. tweets, profiles vs. ads); plain
+/// YCSB keys use namespace 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key {
+    /// Object family (application-defined).
+    pub ns: u8,
+    /// Object id within the family.
+    pub id: u64,
+}
+
+impl Key {
+    /// A key in the default namespace.
+    pub fn plain(id: u64) -> Key {
+        Key { ns: 0, id }
+    }
+
+    /// Bytes this key occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        9
+    }
+}
+
+/// A stored value.
+///
+/// Values are either opaque payloads (we track only their size, since the
+/// simulator never inspects YCSB record contents) or lists of object ids
+/// (timelines and ad-reference lists, which applications do inspect).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// `len` bytes of uninterpreted content.
+    Opaque(u32),
+    /// A list of referenced object ids.
+    Ids(Vec<u64>),
+    /// A single-field update of a multi-field record (YCSB's default
+    /// update shape): only `field_len` bytes travel on the write path,
+    /// but reads return the full `record_len`-byte record.
+    Delta {
+        /// Bytes written by the update.
+        field_len: u32,
+        /// Full record size returned by reads.
+        record_len: u32,
+    },
+}
+
+impl Value {
+    /// Bytes this value occupies on the *read* path (the full record).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Opaque(n) => *n as usize,
+            Value::Ids(ids) => ids.len() * 8,
+            Value::Delta { record_len, .. } => *record_len as usize,
+        }
+    }
+
+    /// Bytes this value occupies on the *write* path (the updated field
+    /// for [`Value::Delta`], everything otherwise).
+    pub fn write_size(&self) -> usize {
+        match self {
+            Value::Delta { field_len, .. } => *field_len as usize,
+            other => other.wire_size(),
+        }
+    }
+
+    /// The id list, if this is an [`Value::Ids`] value.
+    pub fn ids(&self) -> Option<&[u64]> {
+        match self {
+            Value::Ids(ids) => Some(ids),
+            _ => None,
+        }
+    }
+}
+
+/// Last-writer-wins version: coordinator timestamp with writer tiebreak.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Version {
+    /// Coordination timestamp in simulation nanoseconds.
+    pub ts: u64,
+    /// Coordinating replica, breaking timestamp ties deterministically.
+    pub writer: u32,
+}
+
+impl Version {
+    /// The version of a never-written key.
+    pub const ZERO: Version = Version { ts: 0, writer: 0 };
+}
+
+/// A value together with its version — what replicas store and what
+/// clients receive.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Versioned {
+    /// The value.
+    pub value: Value,
+    /// Its last-writer-wins version.
+    pub version: Version,
+}
+
+impl Versioned {
+    /// The "missing" record: version zero, empty content.
+    pub fn absent() -> Versioned {
+        Versioned {
+            value: Value::Opaque(0),
+            version: Version::ZERO,
+        }
+    }
+
+    /// Bytes on the wire: value plus the 12-byte version.
+    pub fn wire_size(&self) -> usize {
+        self.value.wire_size() + 12
+    }
+}
+
+/// Identifier of one client operation, unique across the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OpId {
+    /// The issuing client node.
+    pub client: NodeId,
+    /// Per-client sequence number.
+    pub seq: u64,
+}
+
+/// How a read should be executed by the coordinator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadKind {
+    /// Baseline Cassandra: one response once a read quorum of `r` is
+    /// gathered (`r == 1` answers from the coordinator's local state).
+    Single {
+        /// Read quorum size.
+        r: u8,
+    },
+    /// Correctable Cassandra: a preliminary response from the
+    /// coordinator's local state (the "preliminary flush"), then a final
+    /// response at quorum `r`. With `confirm`, a final identical to the
+    /// preliminary is replaced by a small confirmation message (*CC).
+    Icg {
+        /// Read quorum size for the final view.
+        r: u8,
+        /// Enable the confirmation-message bandwidth optimization.
+        confirm: bool,
+    },
+}
+
+impl ReadKind {
+    /// The read quorum size of the final (or only) response.
+    pub fn quorum(&self) -> u8 {
+        match self {
+            ReadKind::Single { r } | ReadKind::Icg { r, .. } => *r,
+        }
+    }
+
+    /// Whether this read produces a preliminary view.
+    pub fn is_icg(&self) -> bool {
+        matches!(self, ReadKind::Icg { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering_is_ts_then_writer() {
+        let a = Version { ts: 5, writer: 1 };
+        let b = Version { ts: 5, writer: 2 };
+        let c = Version { ts: 6, writer: 0 };
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Version::ZERO < a);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Key::plain(7).wire_size(), 9);
+        assert_eq!(Value::Opaque(100).wire_size(), 100);
+        assert_eq!(Value::Ids(vec![1, 2, 3]).wire_size(), 24);
+        assert_eq!(
+            Versioned {
+                value: Value::Opaque(100),
+                version: Version::ZERO
+            }
+            .wire_size(),
+            112
+        );
+    }
+
+    #[test]
+    fn read_kind_accessors() {
+        assert_eq!(ReadKind::Single { r: 2 }.quorum(), 2);
+        assert!(!ReadKind::Single { r: 1 }.is_icg());
+        let icg = ReadKind::Icg {
+            r: 3,
+            confirm: true,
+        };
+        assert_eq!(icg.quorum(), 3);
+        assert!(icg.is_icg());
+    }
+
+    #[test]
+    fn absent_record() {
+        let a = Versioned::absent();
+        assert_eq!(a.version, Version::ZERO);
+        assert_eq!(a.value.wire_size(), 0);
+        assert_eq!(a.value.ids(), None);
+    }
+}

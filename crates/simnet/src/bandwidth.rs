@@ -1,0 +1,149 @@
+//! Wire-size accounting.
+//!
+//! Figures 8 and 10 of the paper report bandwidth per operation measured on
+//! the client–replica links. The simulator measures rather than estimates:
+//! every message implements [`Wire::wire_size`], and the engine feeds each
+//! transmitted message into a [`BandwidthMeter`] keyed by message category
+//! and by endpoint, so harnesses can compute kB/op exactly like the paper's
+//! NIC-level measurements.
+
+use std::collections::HashMap;
+
+use crate::engine::NodeId;
+
+/// Implemented by every simulated message type.
+pub trait Wire {
+    /// Total bytes this message occupies on the wire, including any
+    /// fixed protocol framing the implementor chooses to model.
+    fn wire_size(&self) -> usize;
+
+    /// A coarse label used to break bandwidth down by message kind
+    /// (e.g. `"read"`, `"prelim"`, `"confirm"`).
+    fn category(&self) -> &'static str {
+        "default"
+    }
+}
+
+/// Aggregated byte and message counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Total bytes transmitted.
+    pub bytes: u64,
+    /// Total messages transmitted.
+    pub msgs: u64,
+}
+
+impl Traffic {
+    fn add(&mut self, bytes: usize) {
+        self.bytes += bytes as u64;
+        self.msgs += 1;
+    }
+}
+
+/// Per-category and per-node transmission accounting.
+#[derive(Clone, Debug, Default)]
+pub struct BandwidthMeter {
+    total: Traffic,
+    by_category: HashMap<&'static str, Traffic>,
+    /// Bytes received by each node (indexed by `NodeId`), used for
+    /// client-link bandwidth-per-operation measurements.
+    rx_by_node: HashMap<NodeId, Traffic>,
+    tx_by_node: HashMap<NodeId, Traffic>,
+}
+
+impl BandwidthMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        BandwidthMeter::default()
+    }
+
+    /// Records one transmitted message.
+    pub fn record(&mut self, from: NodeId, to: NodeId, category: &'static str, bytes: usize) {
+        self.total.add(bytes);
+        self.by_category.entry(category).or_default().add(bytes);
+        self.rx_by_node.entry(to).or_default().add(bytes);
+        self.tx_by_node.entry(from).or_default().add(bytes);
+    }
+
+    /// All traffic seen so far.
+    pub fn total(&self) -> Traffic {
+        self.total
+    }
+
+    /// Traffic for one category (zero if never seen).
+    pub fn category(&self, category: &str) -> Traffic {
+        self.by_category.get(category).copied().unwrap_or_default()
+    }
+
+    /// All category labels observed, sorted for stable output.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cs: Vec<&'static str> = self.by_category.keys().copied().collect();
+        cs.sort_unstable();
+        cs
+    }
+
+    /// Bytes received by a node.
+    pub fn received_by(&self, node: NodeId) -> Traffic {
+        self.rx_by_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Bytes sent by a node.
+    pub fn sent_by(&self, node: NodeId) -> Traffic {
+        self.tx_by_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Total bytes crossing a node's link in either direction — the
+    /// client–replica bandwidth measure the paper uses.
+    pub fn link_bytes(&self, node: NodeId) -> u64 {
+        self.received_by(node).bytes + self.sent_by(node).bytes
+    }
+
+    /// Clears all counters (used to elide warm-up traffic, mirroring the
+    /// paper's practice of dropping the first seconds of each trial).
+    pub fn reset(&mut self) {
+        *self = BandwidthMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_category_and_node() {
+        let mut m = BandwidthMeter::new();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        m.record(a, b, "read", 100);
+        m.record(b, a, "resp", 300);
+        assert_eq!(
+            m.total(),
+            Traffic {
+                bytes: 400,
+                msgs: 2
+            }
+        );
+        assert_eq!(m.category("read").bytes, 100);
+        assert_eq!(m.category("nope"), Traffic::default());
+        assert_eq!(m.received_by(b).bytes, 100);
+        assert_eq!(m.sent_by(b).bytes, 300);
+        assert_eq!(m.link_bytes(a), 400);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = BandwidthMeter::new();
+        m.record(NodeId(0), NodeId(1), "x", 10);
+        m.reset();
+        assert_eq!(m.total(), Traffic::default());
+        assert!(m.categories().is_empty());
+    }
+
+    #[test]
+    fn categories_sorted() {
+        let mut m = BandwidthMeter::new();
+        m.record(NodeId(0), NodeId(1), "zz", 1);
+        m.record(NodeId(0), NodeId(1), "aa", 1);
+        assert_eq!(m.categories(), vec!["aa", "zz"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every run is driven by a single seeded generator so that experiments are
+//! reproducible bit-for-bit. [`DetRng`] is a thin wrapper over
+//! [`rand::rngs::SmallRng`] adding the distributions the simulator needs
+//! (jitter, exponential tails) and a `fork` operation for handing
+//! independent deterministic streams to sub-components.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic, seedable random number generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator; the parent's stream advances by one
+    /// draw, so repeated forks yield distinct children deterministically.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from_u64(self.inner.gen::<u64>())
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "DetRng::below: empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "DetRng::range: empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF sampling; clamp the uniform away from 0 to avoid inf.
+        let u = self.inner.gen::<f64>().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Samples a network-style latency: `base` scaled by a small uniform
+    /// wobble plus an exponential tail, which produces realistic p99 spikes.
+    pub fn latency_jitter(
+        &mut self,
+        base: SimDuration,
+        wobble: f64,
+        tail_frac: f64,
+    ) -> SimDuration {
+        let base_ms = base.as_millis_f64();
+        let wobbled = base_ms * (1.0 + wobble * (self.f64() * 2.0 - 1.0));
+        let tail = self.exponential(base_ms * tail_frac);
+        SimDuration::from_millis_f64(wobbled + tail)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Access to the raw `rand` generator for callers needing other
+    /// distributions.
+    pub fn raw(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.below(1 << 40), fb.below(1 << 40));
+        // The fork must not mirror the parent stream.
+        let parent: Vec<u64> = (0..8).map(|_| a.below(1 << 40)).collect();
+        let child: Vec<u64> = (0..8).map(|_| fa.below(1 << 40)).collect();
+        assert_ne!(parent, child);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::seed_from_u64(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = DetRng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "mean was {mean}");
+    }
+
+    #[test]
+    fn latency_jitter_stays_positive_and_near_base() {
+        let mut r = DetRng::seed_from_u64(3);
+        let base = SimDuration::from_millis(10);
+        for _ in 0..1000 {
+            let s = r.latency_jitter(base, 0.05, 0.05);
+            assert!(s.as_millis_f64() > 9.0, "sample {s} too small");
+            assert!(s.as_millis_f64() < 25.0, "sample {s} implausibly large");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

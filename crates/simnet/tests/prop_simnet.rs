@@ -1,0 +1,127 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+
+use simnet::{Ctx, DetRng, Engine, Histogram, Node, NodeId, SimDuration, SimTime, Topology, Wire};
+
+#[derive(Debug, Clone)]
+struct Tick(u64);
+impl Wire for Tick {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Records the times at which messages execute.
+struct Recorder {
+    seen: Vec<(u64, SimTime)>,
+    service: SimDuration,
+}
+
+impl Node<Tick> for Recorder {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Tick>, _from: NodeId, msg: Tick) {
+        self.seen.push((msg.0, ctx.now()));
+    }
+    fn service_cost(&self, _msg: &Tick) -> SimDuration {
+        self.service
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+proptest! {
+    /// Virtual time never runs backwards, whatever the message schedule.
+    #[test]
+    fn execution_times_are_monotone(
+        delays in proptest::collection::vec(0u64..500, 1..50),
+        service_us in 0u64..2_000,
+    ) {
+        let topo = Topology::single_site();
+        let mut eng = Engine::new(topo, 7);
+        let n = eng.add_node(
+            simnet::SiteId(0),
+            Box::new(Recorder { seen: Vec::new(), service: SimDuration::from_micros(service_us) }),
+        );
+        for (i, d) in delays.iter().enumerate() {
+            eng.schedule_message(n, n, SimDuration::from_millis(*d), Tick(i as u64));
+        }
+        eng.run_until_idle(1_000_000);
+        let rec = eng.node_as::<Recorder>(n);
+        prop_assert_eq!(rec.seen.len(), delays.len());
+        for w in rec.seen.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "time went backwards");
+        }
+    }
+
+    /// The single-server queue conserves work: with service time `s` and
+    /// `n` simultaneous arrivals, the last execution happens at `n * s`.
+    #[test]
+    fn service_queue_conserves_work(n in 1u64..40, service_us in 1u64..5_000) {
+        let topo = Topology::single_site();
+        let mut eng = Engine::new(topo, 3);
+        let node = eng.add_node(
+            simnet::SiteId(0),
+            Box::new(Recorder { seen: Vec::new(), service: SimDuration::from_micros(service_us) }),
+        );
+        for i in 0..n {
+            eng.schedule_message(node, node, SimDuration::ZERO, Tick(i));
+        }
+        eng.run_until_idle(1_000_000);
+        let rec = eng.node_as::<Recorder>(node);
+        let last = rec.seen.last().unwrap().1;
+        prop_assert_eq!(
+            last.as_nanos(),
+            n * service_us * 1_000,
+            "work not conserved"
+        );
+    }
+
+    /// Same seed, same run — across arbitrary topologies and schedules.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), msgs in 1usize..30) {
+        let run = |seed: u64| {
+            let topo = Topology::ec2_frk_irl_vrg();
+            let frk = topo.site_named("FRK").unwrap();
+            let irl = topo.site_named("IRL").unwrap();
+            let mut eng = Engine::new(topo, seed);
+            let a = eng.add_node(frk, Box::new(Recorder { seen: vec![], service: SimDuration::ZERO }));
+            let b = eng.add_node(irl, Box::new(Recorder { seen: vec![], service: SimDuration::ZERO }));
+            let _ = a;
+            for i in 0..msgs {
+                eng.schedule_message(a, b, SimDuration::from_micros(i as u64), Tick(i as u64));
+            }
+            eng.run_until_idle(1_000_000);
+            eng.node_as::<Recorder>(b).seen.clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Exact-percentile histogram agrees with a naive reference.
+    #[test]
+    fn histogram_percentiles_match_reference(
+        mut samples in proptest::collection::vec(0u64..10_000_000, 1..200),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(SimDuration::from_nanos(*s));
+        }
+        samples.sort_unstable();
+        let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+        let want = samples[rank.clamp(1, samples.len()) - 1];
+        prop_assert_eq!(h.percentile(p).as_nanos(), want);
+    }
+
+    /// Latency jitter sampling is always strictly positive and finite.
+    #[test]
+    fn jitter_is_sane(base_ms in 1u64..200, seed in any::<u64>()) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let base = SimDuration::from_millis(base_ms);
+        for _ in 0..100 {
+            let s = rng.latency_jitter(base, 0.05, 0.05);
+            prop_assert!(s > SimDuration::ZERO);
+            prop_assert!(s < base.mul_f64(10.0), "implausible spike: {s}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! YCSB core workloads A, B, and C.
+//!
+//! - **A** — update heavy: 50% reads / 50% updates;
+//! - **B** — read mostly: 95% reads / 5% updates;
+//! - **C** — read only.
+//!
+//! The paper (§6.2.1) runs A/B/C with Zipfian and Latest request
+//! distributions, 100-byte objects for microbenchmarks, and a 1 K-record
+//! dataset for the divergence study.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dist::{Distribution, KeyChooser};
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the record with this key id.
+    Read(u64),
+    /// Overwrite the record with this key id with `len` fresh bytes.
+    Update {
+        /// Key id.
+        key: u64,
+        /// New value length in bytes.
+        len: usize,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Read(k) => *k,
+            Op::Update { key, .. } => *key,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read(_))
+    }
+}
+
+/// Configuration of a YCSB workload instance.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Fraction of reads in `[0, 1]`; the rest are updates.
+    pub read_proportion: f64,
+    /// Request distribution.
+    pub distribution: Distribution,
+    /// Number of records in the dataset.
+    pub record_count: u64,
+    /// Full record size in bytes — what a read returns (YCSB default
+    /// records are 1 kB; the paper's microbenchmarks use 100 B objects).
+    pub value_size: usize,
+    /// Bytes written by one update — YCSB updates write a single field
+    /// (100 B) by default, not the whole record.
+    pub update_size: usize,
+}
+
+impl Workload {
+    /// Workload A: 50% reads, 50% updates.
+    pub fn a(distribution: Distribution, record_count: u64) -> Self {
+        Workload {
+            read_proportion: 0.5,
+            distribution,
+            record_count,
+            value_size: 100,
+            update_size: 100,
+        }
+    }
+
+    /// Workload B: 95% reads, 5% updates.
+    pub fn b(distribution: Distribution, record_count: u64) -> Self {
+        Workload {
+            read_proportion: 0.95,
+            distribution,
+            record_count,
+            value_size: 100,
+            update_size: 100,
+        }
+    }
+
+    /// Workload C: read-only.
+    pub fn c(distribution: Distribution, record_count: u64) -> Self {
+        Workload {
+            read_proportion: 1.0,
+            distribution,
+            record_count,
+            value_size: 100,
+            update_size: 100,
+        }
+    }
+
+    /// Workload name by read proportion, for labeling output.
+    pub fn label(&self) -> &'static str {
+        if self.read_proportion >= 1.0 {
+            "C"
+        } else if self.read_proportion >= 0.95 {
+            "B"
+        } else {
+            "A"
+        }
+    }
+
+    /// Builds a per-client generator with its own deterministic stream.
+    pub fn generator(&self, seed: u64) -> Generator {
+        Generator {
+            chooser: KeyChooser::new(self.distribution, self.record_count),
+            read_proportion: self.read_proportion,
+            update_size: self.update_size,
+            rng: crate::dist::seeded_rng(seed),
+        }
+    }
+
+    /// Sets the full-record and update-field sizes (builder style).
+    pub fn with_sizes(mut self, value_size: usize, update_size: usize) -> Self {
+        self.value_size = value_size;
+        self.update_size = update_size;
+        self
+    }
+}
+
+/// A deterministic stream of operations for one simulated client thread.
+#[derive(Clone, Debug)]
+pub struct Generator {
+    chooser: KeyChooser,
+    read_proportion: f64,
+    update_size: usize,
+    rng: SmallRng,
+}
+
+impl Generator {
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.chooser.next(&mut self.rng);
+        if self.rng.gen::<f64>() < self.read_proportion {
+            Op::Read(key)
+        } else {
+            Op::Update {
+                key,
+                len: self.update_size,
+            }
+        }
+    }
+
+    /// The configured update size.
+    pub fn update_size(&self) -> usize {
+        self.update_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_of(w: &Workload, n: usize) -> (usize, usize) {
+        let mut g = w.generator(7);
+        let mut reads = 0;
+        let mut updates = 0;
+        for _ in 0..n {
+            match g.next_op() {
+                Op::Read(_) => reads += 1,
+                Op::Update { .. } => updates += 1,
+            }
+        }
+        (reads, updates)
+    }
+
+    #[test]
+    fn workload_a_is_half_and_half() {
+        let (r, u) = mix_of(&Workload::a(Distribution::Zipfian, 1000), 20_000);
+        let frac = r as f64 / (r + u) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn workload_b_is_read_mostly() {
+        let (r, u) = mix_of(&Workload::b(Distribution::Zipfian, 1000), 20_000);
+        let frac = r as f64 / (r + u) as f64;
+        assert!((frac - 0.95).abs() < 0.01, "read fraction {frac}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let (r, u) = mix_of(&Workload::c(Distribution::Latest, 1000), 5_000);
+        assert_eq!(u, 0);
+        assert_eq!(r, 5_000);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::a(Distribution::Zipfian, 10).label(), "A");
+        assert_eq!(Workload::b(Distribution::Zipfian, 10).label(), "B");
+        assert_eq!(Workload::c(Distribution::Zipfian, 10).label(), "C");
+    }
+
+    #[test]
+    fn generators_with_same_seed_agree() {
+        let w = Workload::a(Distribution::Latest, 100);
+        let mut g1 = w.generator(3);
+        let mut g2 = w.generator(3);
+        for _ in 0..100 {
+            assert_eq!(g1.next_op(), g2.next_op());
+        }
+    }
+
+    #[test]
+    fn update_len_matches_value_size() {
+        let mut w = Workload::a(Distribution::Zipfian, 10);
+        w.update_size = 321;
+        let mut g = w.generator(1);
+        loop {
+            if let Op::Update { len, .. } = g.next_op() {
+                assert_eq!(len, 321);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let w = Workload::a(Distribution::ScrambledZipfian, 123);
+        let mut g = w.generator(11);
+        for _ in 0..10_000 {
+            assert!(g.next_op().key() < 123);
+        }
+    }
+}

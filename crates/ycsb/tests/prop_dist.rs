@@ -1,0 +1,97 @@
+//! Property-based tests of the workload generators.
+
+use proptest::prelude::*;
+
+use ycsb::{seeded_rng, Distribution, KeyChooser, Workload, Zipfian};
+
+fn arb_dist() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        Just(Distribution::Zipfian),
+        Just(Distribution::ScrambledZipfian),
+        Just(Distribution::Latest),
+    ]
+}
+
+proptest! {
+    /// Every chooser keeps keys inside the record space, for any space
+    /// size and distribution.
+    #[test]
+    fn keys_always_in_range(
+        records in 1u64..5_000,
+        dist in arb_dist(),
+        seed in any::<u64>(),
+    ) {
+        let chooser = KeyChooser::new(dist, records);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..500 {
+            prop_assert!(chooser.next(&mut rng) < records);
+        }
+    }
+
+    /// Generators are pure functions of (workload, seed).
+    #[test]
+    fn generators_are_deterministic(
+        records in 1u64..1_000,
+        dist in arb_dist(),
+        seed in any::<u64>(),
+        read_prop in 0.0f64..=1.0,
+    ) {
+        let mut w = Workload::a(dist, records);
+        w.read_proportion = read_prop;
+        let mut g1 = w.generator(seed);
+        let mut g2 = w.generator(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(g1.next_op(), g2.next_op());
+        }
+    }
+
+    /// The read/update mix statistically tracks the configured proportion.
+    #[test]
+    fn mix_tracks_read_proportion(read_prop in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut w = Workload::a(Distribution::Uniform, 100);
+        w.read_proportion = read_prop;
+        let mut g = w.generator(seed);
+        let n = 4_000;
+        let reads = (0..n).filter(|_| g.next_op().is_read()).count();
+        let frac = reads as f64 / n as f64;
+        prop_assert!((frac - read_prop).abs() < 0.05, "frac {frac} vs {read_prop}");
+    }
+
+    /// Zipfian rank-popularity is monotone: lower ranks are at least as
+    /// popular as higher ranks (within sampling noise, aggregated).
+    #[test]
+    fn zipfian_head_dominates_tail(seed in any::<u64>()) {
+        let z = Zipfian::new(1_000);
+        let mut rng = seeded_rng(seed);
+        let mut head = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..3_000 {
+            let k = z.next(&mut rng);
+            if k < 100 {
+                head += 1;
+            } else if k >= 900 {
+                tail += 1;
+            }
+        }
+        prop_assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    /// Latest mirrors Zipfian onto the end of the keyspace.
+    #[test]
+    fn latest_head_is_at_the_end(seed in any::<u64>()) {
+        let chooser = KeyChooser::new(Distribution::Latest, 1_000);
+        let mut rng = seeded_rng(seed);
+        let mut newest = 0u32;
+        let mut oldest = 0u32;
+        for _ in 0..3_000 {
+            let k = chooser.next(&mut rng);
+            if k >= 900 {
+                newest += 1;
+            } else if k < 100 {
+                oldest += 1;
+            }
+        }
+        prop_assert!(newest > oldest, "newest {newest} vs oldest {oldest}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # icg — Incremental Consistency Guarantees for Replicated Objects
+//!
+//! A from-scratch Rust reproduction of Guerraoui, Pavlovic, and
+//! Seredinschi, *Incremental Consistency Guarantees for Replicated
+//! Objects* (OSDI 2016): the **Correctables** abstraction, the storage
+//! substrates it was evaluated on (a Cassandra-model quorum store, a
+//! ZooKeeper-model coordination service, a cached causal store), the YCSB
+//! workloads, the three case-study applications, and a harness
+//! regenerating every figure of the paper's evaluation.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`correctables`] — the abstraction (Correctable, speculate, bindings);
+//! - [`simnet`] — the deterministic discrete-event WAN simulator;
+//! - [`quorumstore`] — Correctable Cassandra (CC, *CC);
+//! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
+//! - [`causalstore`] — causal replication with a client cache;
+//! - [`ycsb`] — workload generators;
+//! - [`blockchain`] — confirmation-depth views (§4.5's multi-view case);
+//! - [`apps`](icg_apps) — ads, Twissandra, tickets, news reader.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use blockchain;
+pub use causalstore;
+pub use consensusq;
+pub use correctables;
+pub use icg_apps as apps;
+pub use quorumstore;
+pub use simnet;
+pub use ycsb;

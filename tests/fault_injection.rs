@@ -1,0 +1,188 @@
+//! Failure-mode integration tests: partitions, downtime, and message loss
+//! against the quorum store (the paper evaluates fault-free, but a
+//! credible substrate must degrade cleanly).
+
+use icg::quorumstore::{Cluster, Key, ReplicaConfig, SystemConfig, Value, WorkloadClient};
+use icg::simnet::{EuUsSites, Faults, SimDuration, SimTime, Topology};
+use icg::ycsb::{Distribution, Workload};
+
+fn cfg_fast_timeout() -> ReplicaConfig {
+    ReplicaConfig {
+        op_timeout: SimDuration::from_millis(500),
+        ..ReplicaConfig::default()
+    }
+}
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn build(seed: u64) -> (Cluster, EuUsSites) {
+    let topo = Topology::ec2_frk_irl_vrg();
+    let sites = EuUsSites::resolve(&topo);
+    let mut cluster = Cluster::build(topo, &["FRK", "IRL", "VRG"], cfg_fast_timeout(), seed);
+    cluster.preload((0..32).map(|i| (Key::plain(i), Value::Opaque(100))));
+    (cluster, sites)
+}
+
+#[test]
+fn quorum_reads_fail_cleanly_when_peers_are_partitioned() {
+    let (mut cluster, sites) = build(11);
+    // FRK cannot reach either peer: R=2 reads cannot gather a quorum.
+    let faults = Faults::none()
+        .with_partition(sites.frk, sites.irl, at(0), at(10_000))
+        .with_partition(sites.frk, sites.vrg, at(0), at(10_000));
+    cluster.engine.set_faults(faults);
+    let workload = Workload::c(Distribution::Zipfian, 32);
+    let client = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::baseline(2),
+        &workload,
+        2,
+        7,
+        at(0),
+        at(8_000),
+    );
+    cluster.add_client(sites.frk, client);
+    cluster.engine.run_until(at(8_000));
+    let id = cluster.clients[0];
+    let m = &cluster.engine.node_as::<WorkloadClient>(id).metrics;
+    assert_eq!(m.reads, 0, "no quorum read may succeed under the partition");
+    assert!(
+        m.failed >= 2,
+        "operations must fail by timeout, got {}",
+        m.failed
+    );
+}
+
+#[test]
+fn weak_reads_survive_the_same_partition() {
+    let (mut cluster, sites) = build(12);
+    let faults = Faults::none()
+        .with_partition(sites.frk, sites.irl, at(0), at(10_000))
+        .with_partition(sites.frk, sites.vrg, at(0), at(10_000));
+    cluster.engine.set_faults(faults);
+    let workload = Workload::c(Distribution::Zipfian, 32);
+    let client = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::baseline(1),
+        &workload,
+        2,
+        7,
+        at(0),
+        at(8_000),
+    );
+    cluster.add_client(sites.frk, client);
+    cluster.engine.run_until(at(8_000));
+    let id = cluster.clients[0];
+    let m = &cluster.engine.node_as::<WorkloadClient>(id).metrics;
+    // R=1 reads only involve the coordinator: availability under partition
+    // is exactly the weak-consistency selling point.
+    assert!(
+        m.reads > 100,
+        "weak reads should keep flowing, got {}",
+        m.reads
+    );
+    assert_eq!(m.failed, 0);
+}
+
+#[test]
+fn operations_recover_after_partition_heals() {
+    let (mut cluster, sites) = build(13);
+    let faults = Faults::none()
+        .with_partition(sites.frk, sites.irl, at(0), at(2_000))
+        .with_partition(sites.frk, sites.vrg, at(0), at(2_000));
+    cluster.engine.set_faults(faults);
+    let workload = Workload::c(Distribution::Zipfian, 32);
+    let client = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::correctable(2),
+        &workload,
+        2,
+        7,
+        at(2_500), // measure only after healing
+        at(8_000),
+    );
+    cluster.add_client(sites.frk, client);
+    cluster.engine.run_until(at(8_000));
+    let id = cluster.clients[0];
+    let m = &cluster.engine.node_as::<WorkloadClient>(id).metrics;
+    assert!(
+        m.reads > 50,
+        "ICG reads must flow again after the partition heals, got {}",
+        m.reads
+    );
+}
+
+#[test]
+fn replica_downtime_fails_quorums_but_not_weak_reads() {
+    let (mut cluster, sites) = build(14);
+    // Both non-coordinator replicas down for the whole run.
+    let faults = Faults::none()
+        .with_downtime(cluster.replicas[1], at(0), at(20_000))
+        .with_downtime(cluster.replicas[2], at(0), at(20_000));
+    cluster.engine.set_faults(faults);
+    let workload = Workload::c(Distribution::Zipfian, 32);
+    let strong = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::baseline(3),
+        &workload,
+        1,
+        3,
+        at(0),
+        at(6_000),
+    );
+    cluster.add_client(sites.irl, strong);
+    let weak = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::baseline(1),
+        &workload,
+        1,
+        4,
+        at(0),
+        at(6_000),
+    );
+    cluster.add_client(sites.irl, weak);
+    cluster.engine.run_until(at(6_000));
+    let strong_id = cluster.clients[0];
+    let weak_id = cluster.clients[1];
+    let ms = cluster
+        .engine
+        .node_as::<WorkloadClient>(strong_id)
+        .metrics
+        .clone();
+    let mw = &cluster.engine.node_as::<WorkloadClient>(weak_id).metrics;
+    assert_eq!(ms.reads, 0);
+    assert!(ms.failed > 0);
+    assert!(mw.reads > 50);
+}
+
+#[test]
+fn random_message_loss_degrades_throughput_but_not_correctness() {
+    let (mut cluster, sites) = build(15);
+    cluster
+        .engine
+        .set_faults(Faults::none().with_drop_probability(0.05));
+    let workload = Workload::a(Distribution::Zipfian, 32);
+    let client = WorkloadClient::new(
+        cluster.replicas[0],
+        SystemConfig::correctable(2),
+        &workload,
+        4,
+        9,
+        at(0),
+        at(10_000),
+    );
+    cluster.add_client(sites.irl, client);
+    cluster.engine.run_until(at(12_000));
+    let id = cluster.clients[0];
+    let m = &cluster.engine.node_as::<WorkloadClient>(id).metrics;
+    // Some operations time out, the rest complete; nothing hangs forever.
+    assert!(
+        m.completed() > 100,
+        "progress despite loss, got {}",
+        m.completed()
+    );
+    assert!(m.failed > 0, "5% loss must surface some timeouts");
+    assert!(cluster.engine.dropped_messages() > 0);
+}

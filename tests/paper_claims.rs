@@ -1,0 +1,154 @@
+//! Small-scale checks of the paper's headline claims, run as fast
+//! integration tests (the full sweeps live in the bench harnesses).
+
+use icg::apps::{Purchase, TicketOffice};
+use icg::consensusq::{ServerConfig, SimQueue};
+use icg::correctables::Client;
+use icg::quorumstore::{Key, ReplicaConfig, SimStore, StoreOp, Value};
+
+/// §6.2.1 / Figure 5: the preliminary view's latency tracks the
+/// client-coordinator RTT (20 ms) and the CC2 gap tracks the quorum RTT.
+#[test]
+fn latency_gap_equals_quorum_rtt() {
+    let s = SimStore::ec2(ReplicaConfig::default(), 2, false, "IRL", 0, 77);
+    s.preload((0..8).map(|i| (Key::plain(i), Value::Opaque(100))));
+    let client = Client::new(s.binding());
+    for i in 0..8 {
+        client.invoke(StoreOp::Read(Key::plain(i)));
+    }
+    s.settle();
+    let t = s.timings();
+    assert_eq!(t.len(), 8);
+    for op in &t {
+        let prelim = op.prelim_ms.expect("icg read");
+        let gap = op.final_ms - prelim;
+        assert!((17.0..27.0).contains(&prelim), "prelim {prelim}ms");
+        assert!((15.0..30.0).contains(&gap), "gap {gap}ms");
+    }
+}
+
+/// §6.2.1 / Figure 8: the confirmation optimization (*CC) makes an
+/// undiverged ICG read barely more expensive than a weak read.
+#[test]
+fn confirmation_optimization_saves_bandwidth() {
+    let run = |confirm: bool| -> u64 {
+        let s = SimStore::ec2(ReplicaConfig::default(), 2, confirm, "IRL", 0, 5);
+        s.preload((0..16).map(|i| (Key::plain(i), Value::Opaque(1000))));
+        let client = Client::new(s.binding());
+        for i in 0..16 {
+            client.invoke(StoreOp::Read(Key::plain(i)));
+        }
+        s.settle();
+        s.gateway_link_bytes()
+    };
+    let plain = run(false);
+    let optimized = run(true);
+    // Without divergence every final reply shrinks to a confirmation:
+    // roughly one full 1 kB response saved per read.
+    assert!(
+        optimized + 14_000 < plain,
+        "optimized {optimized} vs plain {plain}"
+    );
+}
+
+/// §6.3.2 / Figure 12: threshold-guarded ticket selling never oversells
+/// and uses the fast path for the bulk of the stock.
+#[test]
+fn ticket_selling_never_oversells_and_mostly_uses_fast_path() {
+    let queue = SimQueue::ec2(ServerConfig::default(), "IRL", "FRK", "FRK", 31);
+    let stock = 50;
+    queue.prefill(stock, 20);
+    let office = TicketOffice::new(queue);
+    let mut confirmed = 0u64;
+    let mut fast = 0u64;
+    loop {
+        let p = office.purchase_ticket();
+        office.queue().settle();
+        match p.final_view().expect("resolves").value {
+            Purchase::Confirmed { via_prelim, .. } => {
+                confirmed += 1;
+                if via_prelim {
+                    fast += 1;
+                }
+            }
+            Purchase::SoldOut => break,
+        }
+        assert!(confirmed <= stock, "oversold!");
+    }
+    assert_eq!(confirmed, stock, "every ticket sold exactly once");
+    // Stock 50 with threshold 20: the first ~29 purchases ride the
+    // preliminary.
+    assert!(fast >= 25, "only {fast} fast-path purchases");
+}
+
+/// §4.2 / Figure 11: speculating on the preliminary reference hides the
+/// strong read's latency for two-step operations.
+#[test]
+fn speculation_reduces_two_step_latency() {
+    use icg::apps::{AdSystem, AdsDataset};
+    let mk = |seed| {
+        let store = SimStore::ec2(ReplicaConfig::default(), 2, false, "IRL", 0, seed);
+        AdSystem::new(store, AdsDataset::small(), seed)
+    };
+    let base = mk(1);
+    let icg = mk(1);
+    let c_base = base.fetch_ads_by_user_id(5, false);
+    base.store().settle();
+    let t_base = base.store().now_ms();
+    let c_icg = icg.fetch_ads_by_user_id(5, true);
+    icg.store().settle();
+    let t_icg = icg.store().now_ms();
+    assert_eq!(
+        c_base.final_view().unwrap().value.len(),
+        c_icg.final_view().unwrap().value.len()
+    );
+    let saved = t_base - t_icg;
+    assert!(saved >= 10.0, "speculation saved only {saved}ms");
+}
+
+/// §2.2: the user pays for strong consistency only when inconsistencies
+/// occur — on divergence the speculation redoes the work and still
+/// delivers the *correct* result.
+#[test]
+fn misspeculation_still_delivers_correct_result() {
+    let s = SimStore::ec2(ReplicaConfig::default(), 2, false, "IRL", 0, 91);
+    s.preload([
+        (Key::plain(0), Value::Ids(vec![1])),
+        (Key::plain(1), Value::Opaque(10)),
+        (Key::plain(2), Value::Opaque(20)),
+    ]);
+    let client = Client::new(s.binding());
+    // Redirect the pointer from 1 to 2 through a *different* replica so
+    // the FRK coordinator's preliminary is stale... simplest stand-in:
+    // write via the same coordinator but read before propagation cannot
+    // diverge, so instead verify the semantics directly: speculate on a
+    // correctable whose final view differs from the preliminary.
+    use icg::correctables::{ConsistencyLevel, Correctable};
+    let (src, h) = Correctable::<Vec<u64>>::pending();
+    let binding = s.binding();
+    let out = src.speculate_async(
+        move |ids: &Vec<u64>| {
+            let fetches: Vec<Correctable<_>> = ids
+                .iter()
+                .map(|t| {
+                    Client::new(binding.clone())
+                        .invoke_strong(StoreOp::Read(Key::plain(*t)))
+                        .map(|v| v.value.clone())
+                })
+                .collect();
+            Correctable::join_all(fetches)
+        },
+        |_| {},
+    );
+    h.update(vec![1], ConsistencyLevel::Weak).unwrap();
+    s.settle(); // speculative prefetch of key 1 completes
+    h.close(vec![2], ConsistencyLevel::Strong).unwrap(); // divergence!
+    s.settle(); // redo fetches key 2
+    let v = out.final_view().expect("resolved despite misspeculation");
+    assert_eq!(
+        v.value,
+        vec![Value::Opaque(20)],
+        "must reflect the final view"
+    );
+    let _ = client;
+}
