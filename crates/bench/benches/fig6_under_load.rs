@@ -22,8 +22,9 @@ fn main() {
     } else {
         vec![2, 4, 8, 16, 32, 48, 64, 96, 128]
     };
-    let workloads: Vec<(&str, fn(Distribution, u64) -> Workload)> = vec![
-        ("A", Workload::a as fn(Distribution, u64) -> Workload),
+    type WorkloadCtor = fn(Distribution, u64) -> Workload;
+    let workloads: Vec<(&str, WorkloadCtor)> = vec![
+        ("A", Workload::a as WorkloadCtor),
         ("B", Workload::b),
         ("C", Workload::c),
     ];

@@ -138,14 +138,11 @@ impl Miner {
             return;
         }
         // Try to connect any orphans that were waiting.
-        loop {
-            let Some(pos) = self
-                .orphans
-                .iter()
-                .position(|b| self.chain.contains(b.parent) && !self.chain.contains(b.id))
-            else {
-                break;
-            };
+        while let Some(pos) = self
+            .orphans
+            .iter()
+            .position(|b| self.chain.contains(b.parent) && !self.chain.contains(b.id))
+        {
             let b = self.orphans.swap_remove(pos);
             self.chain.insert(b);
         }

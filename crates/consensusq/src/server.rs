@@ -98,7 +98,7 @@ impl Server {
     }
 
     fn majority(&self) -> u8 {
-        ((self.peers.len() + 1) / 2 + 1) as u8
+        (self.peers.len().div_ceil(2) + 1) as u8
     }
 
     /// Leader: sequence a transaction and propose it.

@@ -296,7 +296,7 @@ mod tests {
 
     #[test]
     fn identical_txn_sequences_yield_identical_trees() {
-        let txns = vec![
+        let txns = [
             Txn::CreateSeq {
                 parent: "/q".into(),
                 prefix: "qn-".into(),

@@ -368,8 +368,9 @@ mod tests {
 
     #[test]
     fn stale_async_result_is_ignored() {
+        type LaunchLog = StdArc<Mutex<Vec<(i32, Handle<i32>)>>>;
         let (c, h) = Correctable::<i32>::pending();
-        let handles: StdArc<Mutex<Vec<(i32, Handle<i32>)>>> = StdArc::new(Mutex::new(Vec::new()));
+        let handles: LaunchLog = StdArc::new(Mutex::new(Vec::new()));
         let h2 = StdArc::clone(&handles);
         let out = c.speculate_async(
             move |x| {

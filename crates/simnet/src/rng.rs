@@ -94,7 +94,7 @@ impl DetRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i) as usize;
+            let j = self.inner.gen_range(0..=i);
             xs.swap(i, j);
         }
     }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Smoke-runs every example to completion; fails on the first non-zero
+# exit. CI runs this after the test suite (see .github/workflows/ci.yml).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale)
+
+for ex in "${examples[@]}"; do
+    echo "=== example: $ex"
+    cargo run --release --example "$ex"
+done
+
+echo "=== all ${#examples[@]} examples completed"

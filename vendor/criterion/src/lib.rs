@@ -1,0 +1,115 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`):
+//! `criterion_group!` / `criterion_main!` / `Criterion::bench_function`
+//! backed by a small warmup-then-measure loop.
+//!
+//! Each benchmark is timed in batches: after a warmup period the batch
+//! size is calibrated so one batch takes roughly a millisecond, then
+//! batches are sampled for the measurement period and per-iteration
+//! nanoseconds are reported as mean / median / p95. `ICG_QUICK=1`
+//! shortens both periods for smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("ICG_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Per-iteration nanoseconds for each measured batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, counting iterations to calibrate the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// Registry/runner handed to `criterion_group!` functions.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (warmup, measure) = if quick() {
+            (Duration::from_millis(50), Duration::from_millis(200))
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(2))
+        };
+        Criterion { warmup, measure }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let median = s[s.len() / 2];
+        let p95 = s[((s.len() as f64 * 0.95) as usize).min(s.len() - 1)];
+        println!(
+            "{id:<40} mean {mean:>12.1} ns/iter   median {median:>12.1}   p95 {p95:>12.1}   ({} samples)",
+            s.len()
+        );
+        self
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)` — declares a function
+/// running every target against a fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,111 @@
+//! Case generation and execution for the [`proptest!`](crate::proptest)
+//! macro: a deterministic RNG (the vendored `rand` shim's xoshiro256++)
+//! and a fixed-count runner with per-case panic capture.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure raised by `prop_assert!` family macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Unbiased uniform draw in `[0, span)`; `span > 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.inner.gen_range(0..span)
+    }
+}
+
+// Strategies sample ranges through the rand shim's `SampleRange`
+// machinery rather than reimplementing the rejection/wrapping
+// arithmetic here.
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// FNV-1a, used to give every test a distinct deterministic base seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` for a fixed number of generated inputs, panicking (like
+/// `assert!`) on the first failing case with enough detail to replay it.
+pub fn run(test_name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let cases = env_u64("PROPTEST_CASES").unwrap_or(96);
+    let base_seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| hash_name(test_name));
+    for i in 0..cases {
+        // Case `i` runs on `base ^ (i * golden)`; case 0 on `base` itself,
+        // so replaying with PROPTEST_SEED=<case_seed> PROPTEST_CASES=1
+        // reproduces any failing case exactly, whatever `cases` was.
+        let case_seed = base_seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        let detail = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => e.message,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                format!("panicked: {msg}")
+            }
+        };
+        panic!(
+            "proptest `{test_name}` failed at case {i}/{cases} \
+             (replay with PROPTEST_SEED={case_seed} PROPTEST_CASES=1): {detail}"
+        );
+    }
+}
