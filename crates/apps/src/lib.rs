@@ -14,13 +14,16 @@
 //!   display over cache / causal / strong views.
 //!
 //! [`driver`] provides the closed-loop load machinery that runs these
-//! applications under YCSB-style load for the Figure 11 harness, and
-//! [`dataset`] generates the paper-scale synthetic datasets.
+//! applications under YCSB-style load for the Figure 11 harness,
+//! [`sharded`] drives YCSB workloads through the `icg-shard` routing
+//! layer on real threads, and [`dataset`] generates the paper-scale
+//! synthetic datasets.
 
 pub mod ads;
 pub mod dataset;
 pub mod driver;
 pub mod news;
+pub mod sharded;
 pub mod tickets;
 pub mod twissandra;
 
@@ -28,5 +31,6 @@ pub use ads::AdSystem;
 pub use dataset::{AdsDataset, TwissandraDataset};
 pub use driver::{LoadDriver, LoadStats, MeasuredOp};
 pub use news::{NewsReader, Refresh, LATEST};
+pub use sharded::{run_sharded_ycsb, ShardedYcsbConfig, ShardedYcsbStats};
 pub use tickets::{Purchase, TicketOffice};
 pub use twissandra::Twissandra;

@@ -1,0 +1,198 @@
+//! The sharded YCSB load harness: a real-thread, wall-clock driver
+//! pushing a keyed YCSB workload through the `icg-shard` routing layer.
+//!
+//! Unlike [`crate::driver::LoadDriver`] (which runs closed-loop inside
+//! one simulated deployment's virtual time), this harness measures the
+//! *routing layer itself*: ops flow through the consistent-hash ring and
+//! the per-shard batching pipeline into in-memory shard backends, so
+//! throughput is dominated by submission-path overhead — exactly what
+//! batching is supposed to amortize. The `micro_shard` bench and the
+//! sharded example both drive it.
+
+use std::time::{Duration, Instant};
+
+use correctables::{Client, Correctable, LevelSelection, State};
+use icg_shard::{KvOp, MemBinding, PipelineConfig, ShardedBinding};
+use ycsb::{Distribution, Op, Workload};
+
+/// Configuration of one sharded YCSB run.
+#[derive(Clone, Debug)]
+pub struct ShardedYcsbConfig {
+    /// Number of shards (and pipeline workers, in batched mode).
+    pub shards: usize,
+    /// YCSB record count.
+    pub records: u64,
+    /// Operations to issue.
+    pub ops: u64,
+    /// Producer-side batch size; `1` submits op by op through the plain
+    /// `Binding` path.
+    pub batch: usize,
+    /// Per-shard worker tuning; `None` routes inline on the caller
+    /// thread (no workers, no batching).
+    pub pipeline: Option<PipelineConfig>,
+    /// YCSB request distribution.
+    pub distribution: Distribution,
+    /// Read fraction in `[0, 1]` (YCSB A = 0.5, B = 0.95, C = 1.0).
+    pub read_proportion: f64,
+    /// Ring + workload seed.
+    pub seed: u64,
+}
+
+impl Default for ShardedYcsbConfig {
+    fn default() -> Self {
+        ShardedYcsbConfig {
+            shards: 8,
+            records: 1_000,
+            ops: 10_000,
+            batch: 64,
+            pipeline: Some(PipelineConfig::default()),
+            distribution: Distribution::Zipfian,
+            read_proportion: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one sharded YCSB run.
+#[derive(Clone, Debug)]
+pub struct ShardedYcsbStats {
+    /// Operations that closed with a final view.
+    pub completed: u64,
+    /// Operations that closed exceptionally.
+    pub failed: u64,
+    /// Wall-clock time from first submission to full quiescence.
+    pub elapsed: Duration,
+    /// Ops routed to each shard.
+    pub per_shard: Vec<u64>,
+}
+
+impl ShardedYcsbStats {
+    /// Completed operations per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn to_kv(op: Op) -> KvOp {
+    match op {
+        Op::Read(k) => KvOp::Get(k),
+        Op::Update { key, len } => KvOp::Put(key, len as u64),
+    }
+}
+
+/// Runs a YCSB workload across a sharded in-memory store and reports
+/// wall-clock throughput plus the per-shard routing split.
+pub fn run_sharded_ycsb(cfg: &ShardedYcsbConfig) -> ShardedYcsbStats {
+    let shards: Vec<MemBinding> = (0..cfg.shards).map(|_| MemBinding::default()).collect();
+    let router = match cfg.pipeline {
+        Some(p) => ShardedBinding::pipelined(shards, 64, cfg.seed, p),
+        None => ShardedBinding::inline(shards, 64, cfg.seed),
+    };
+    let workload = Workload {
+        read_proportion: cfg.read_proportion,
+        distribution: cfg.distribution,
+        record_count: cfg.records,
+        value_size: 100,
+        update_size: 100,
+    };
+    // Pre-generate the op stream so the timed window measures the
+    // routing layer, not the YCSB generator (micro_shard does the same).
+    let mut gen = workload.generator(cfg.seed);
+    let stream: Vec<KvOp> = (0..cfg.ops).map(|_| to_kv(gen.next_op())).collect();
+    let mut pending: Vec<Correctable<u64>> = Vec::with_capacity(stream.len());
+    let client = Client::new(router.clone());
+
+    let start = Instant::now();
+    if cfg.batch <= 1 {
+        for &op in &stream {
+            pending.push(client.invoke(op));
+        }
+    } else {
+        for chunk in stream.chunks(cfg.batch) {
+            pending.extend(router.invoke_batch(chunk.to_vec(), &LevelSelection::All));
+        }
+    }
+    router.quiesce();
+    let elapsed = start.elapsed();
+
+    let mut completed = 0;
+    let mut failed = 0;
+    for c in &pending {
+        match c.state() {
+            State::Final => completed += 1,
+            State::Error => failed += 1,
+            State::Updating => {}
+        }
+    }
+    ShardedYcsbStats {
+        completed,
+        failed,
+        elapsed,
+        per_shard: router.routed_per_shard(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_run_completes_every_op_across_all_shards() {
+        let cfg = ShardedYcsbConfig {
+            ops: 2_000,
+            ..ShardedYcsbConfig::default()
+        };
+        let stats = run_sharded_ycsb(&cfg);
+        assert_eq!(stats.completed, 2_000);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.per_shard.len(), 8);
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), 2_000);
+        assert!(
+            stats.per_shard.iter().all(|&n| n > 0),
+            "a shard saw no traffic: {:?}",
+            stats.per_shard
+        );
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn unbatched_run_matches_semantics() {
+        let cfg = ShardedYcsbConfig {
+            ops: 500,
+            batch: 1,
+            pipeline: Some(PipelineConfig {
+                queue_cap: 64,
+                batch_max: 1,
+            }),
+            ..ShardedYcsbConfig::default()
+        };
+        let stats = run_sharded_ycsb(&cfg);
+        assert_eq!(stats.completed, 500);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn inline_run_matches_semantics() {
+        let cfg = ShardedYcsbConfig {
+            ops: 500,
+            pipeline: None,
+            ..ShardedYcsbConfig::default()
+        };
+        let stats = run_sharded_ycsb(&cfg);
+        assert_eq!(stats.completed, 500);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn zipfian_and_uniform_runs_agree_on_totals() {
+        for dist in [Distribution::Zipfian, Distribution::Uniform] {
+            let cfg = ShardedYcsbConfig {
+                ops: 1_000,
+                distribution: dist,
+                ..ShardedYcsbConfig::default()
+            };
+            let stats = run_sharded_ycsb(&cfg);
+            assert_eq!(stats.completed, 1_000, "{dist:?}");
+        }
+    }
+}

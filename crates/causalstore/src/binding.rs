@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Upcall};
+use correctables::{Binding, ConsistencyLevel, KeyedOp, ObjectId, Upcall};
 use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime, Timer, Topology};
 
 use crate::store::{CausalReplica, Item, Msg, OpId};
@@ -26,6 +26,14 @@ pub enum CacheOp {
     Get(String),
     /// Write a key (write-through, serialized at the primary).
     Put(String, Vec<u64>),
+}
+
+impl KeyedOp for CacheOp {
+    fn object_id(&self) -> ObjectId {
+        match self {
+            CacheOp::Get(key) | CacheOp::Put(key, _) => ObjectId::from_bytes(key.as_bytes()),
+        }
+    }
 }
 
 struct Queued {

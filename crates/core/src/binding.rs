@@ -15,6 +15,39 @@ use crate::correctable::Handle;
 use crate::error::Error;
 use crate::level::ConsistencyLevel;
 
+/// Identifies one replicated object within a multi-object store.
+///
+/// Single-object bindings (one counter, one queue, one register) never
+/// need this; a multi-object router (e.g. the `icg-shard` crate) uses it
+/// to place each operation on the shard owning the object.
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Derives an id from arbitrary bytes (FNV-1a), for string-keyed ops.
+    pub fn from_bytes(bytes: &[u8]) -> ObjectId {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = OFFSET;
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        ObjectId(hash)
+    }
+}
+
+/// Operations that address one replicated object by key.
+///
+/// This is the adapter between a single-object [`Binding`] and a
+/// multi-object routing layer: any binding whose op type reports which
+/// object it touches can be scaled out horizontally by a router that
+/// maps [`ObjectId`]s to shards.
+pub trait KeyedOp {
+    /// The object this operation touches.
+    fn object_id(&self) -> ObjectId;
+}
+
 /// Storage-side interface implemented once per storage stack.
 pub trait Binding {
     /// The operation type this storage accepts (reads, writes, queue ops…).
@@ -34,16 +67,68 @@ pub trait Binding {
     fn submit(&self, op: Self::Op, levels: &[ConsistencyLevel], upcall: Upcall<Self::Val>);
 }
 
+/// A set of consistency levels represented as a bitmask over ranks —
+/// copyable and allocation-free, sized for the full `u8` rank space.
+#[derive(Clone, Copy, Debug)]
+struct RankMask([u64; 4]);
+
+impl RankMask {
+    const ALL: RankMask = RankMask([u64::MAX; 4]);
+
+    fn of(levels: &[ConsistencyLevel]) -> RankMask {
+        let mut mask = [0u64; 4];
+        for l in levels {
+            let r = l.rank();
+            mask[usize::from(r >> 6)] |= 1u64 << (r & 63);
+        }
+        RankMask(mask)
+    }
+
+    fn contains(&self, level: ConsistencyLevel) -> bool {
+        let r = level.rank();
+        self.0[usize::from(r >> 6)] & (1u64 << (r & 63)) != 0
+    }
+}
+
 /// The callback surface handed to a binding for one operation.
 pub struct Upcall<T> {
     handle: Handle<T>,
     strongest: ConsistencyLevel,
+    /// Ranks of the requested levels. Deliveries below `strongest` at a
+    /// rank outside this set are dropped instead of surfacing as
+    /// spurious preliminary views (§3.2's level-skipping contract).
+    requested: RankMask,
 }
 
 impl<T: Clone + Send + 'static> Upcall<T> {
-    /// Creates an upcall that closes its Correctable at `strongest`.
+    /// Creates an upcall that closes its Correctable at `strongest` and
+    /// accepts preliminary views at every weaker level.
     pub fn new(handle: Handle<T>, strongest: ConsistencyLevel) -> Self {
-        Upcall { handle, strongest }
+        Upcall {
+            handle,
+            strongest,
+            requested: RankMask::ALL,
+        }
+    }
+
+    /// Creates an upcall restricted to `levels` (weakest-first, as passed
+    /// to [`Binding::submit`]): it closes at the strongest of `levels` and
+    /// drops deliveries at weaker levels whose rank is not in the set, so
+    /// a binding that over-delivers cannot produce spurious `on_update`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn for_levels(handle: Handle<T>, levels: &[ConsistencyLevel]) -> Self {
+        let strongest = *levels
+            .iter()
+            .max()
+            .expect("upcall needs at least one level");
+        Upcall {
+            handle,
+            strongest,
+            requested: RankMask::of(levels),
+        }
     }
 
     /// Delivers one view. A view at (or above) the strongest requested
@@ -51,10 +136,12 @@ impl<T: Clone + Send + 'static> Upcall<T> {
     ///
     /// Deliveries after the close are ignored (e.g. a slow weak response
     /// racing a fast strong one), matching the paper's state machine.
+    /// When the upcall was built with [`Upcall::for_levels`], preliminary
+    /// deliveries at non-requested levels are ignored as well.
     pub fn deliver(&self, value: T, level: ConsistencyLevel) {
         if level.at_least(self.strongest) {
             let _ = self.handle.close(value, level);
-        } else {
+        } else if self.requested.contains(level) {
             let _ = self.handle.update(value, level);
         }
     }
@@ -75,6 +162,7 @@ impl<T> Clone for Upcall<T> {
         Upcall {
             handle: self.handle.clone(),
             strongest: self.strongest,
+            requested: self.requested,
         }
     }
 }
@@ -121,5 +209,67 @@ mod tests {
         let up = Upcall::new(h, Strong);
         up.fail(Error::Unavailable("no quorum".into()));
         assert_eq!(c.state(), State::Error);
+    }
+
+    #[test]
+    fn non_requested_level_is_skipped() {
+        use crate::level::ConsistencyLevel::Causal;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+
+        let (c, h) = Correctable::<i32>::pending();
+        let updates = StdArc::new(AtomicUsize::new(0));
+        let n = StdArc::clone(&updates);
+        c.on_update(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        let up = Upcall::for_levels(h, &[Weak, Strong]);
+        // A binding over-delivering at a level the client never asked for
+        // must not surface a spurious preliminary view.
+        up.deliver(1, Causal);
+        assert_eq!(c.state(), State::Updating);
+        assert_eq!(updates.load(Ordering::SeqCst), 0);
+        assert!(c.preliminary_views().is_empty());
+        // Requested levels still flow through normally.
+        up.deliver(2, Weak);
+        assert_eq!(updates.load(Ordering::SeqCst), 1);
+        up.deliver(3, Strong);
+        assert_eq!(c.final_view().unwrap().value, 3);
+    }
+
+    #[test]
+    fn at_or_above_strongest_closes_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+
+        let (c, h) = Correctable::<i32>::pending();
+        let finals = StdArc::new(AtomicUsize::new(0));
+        let n = StdArc::clone(&finals);
+        c.on_final(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        let up = Upcall::for_levels(h, &[Weak, Strong]);
+        let above = ConsistencyLevel::Custom {
+            rank: 99,
+            name: "stronger-than-asked",
+        };
+        // A level above the strongest requested closes; later deliveries
+        // at or above strongest are late and ignored.
+        up.deliver(1, above);
+        up.deliver(2, Strong);
+        up.deliver(3, above);
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(finals.load(Ordering::SeqCst), 1);
+        assert_eq!(c.final_view().unwrap().value, 1);
+        assert!(c.preliminary_views().is_empty());
+    }
+
+    #[test]
+    fn object_id_from_bytes_is_stable() {
+        let a = ObjectId::from_bytes(b"user:42");
+        let b = ObjectId::from_bytes(b"user:42");
+        let c = ObjectId::from_bytes(b"user:43");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

@@ -15,12 +15,17 @@ use crate::level::{ConsistencyLevel, LevelSelection};
 /// A Correctables client bound to one storage stack.
 pub struct Client<B: Binding> {
     binding: B,
+    /// The binding's levels, sorted weakest-first once at construction —
+    /// the hot invocation paths only ever need one end of this list.
+    levels: Vec<ConsistencyLevel>,
 }
 
 impl<B: Binding> Client<B> {
     /// Wraps a binding.
     pub fn new(binding: B) -> Self {
-        Client { binding }
+        let mut levels = binding.consistency_levels();
+        levels.sort();
+        Client { binding, levels }
     }
 
     /// The underlying binding.
@@ -30,15 +35,13 @@ impl<B: Binding> Client<B> {
 
     /// The consistency levels available through this client, weakest first.
     pub fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        let mut ls = self.binding.consistency_levels();
-        ls.sort();
-        ls
+        self.levels.clone()
     }
 
     /// Invokes `op` with the weakest available consistency; the result
     /// closes with that single view.
     pub fn invoke_weak(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.consistency_levels().first().copied() {
+        match self.levels.first().copied() {
             Some(weakest) => self.submit(op, vec![weakest]),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
@@ -49,7 +52,7 @@ impl<B: Binding> Client<B> {
     /// Invokes `op` with the strongest available consistency; the result
     /// closes with that single view.
     pub fn invoke_strong(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.consistency_levels().last().copied() {
+        match self.levels.last().copied() {
             Some(strongest) => self.submit(op, vec![strongest]),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
@@ -67,8 +70,7 @@ impl<B: Binding> Client<B> {
     /// Invokes `op` delivering only the selected levels (the optional
     /// `levels` argument of the paper's `invoke`).
     pub fn invoke_with(&self, op: B::Op, selection: &LevelSelection) -> Correctable<B::Val> {
-        let available = self.consistency_levels();
-        match selection.resolve(&available) {
+        match selection.resolve(&self.levels) {
             Ok(levels) if levels.is_empty() => {
                 Correctable::failed(Error::Unavailable("no consistency level selected".into()))
             }
@@ -78,9 +80,8 @@ impl<B: Binding> Client<B> {
     }
 
     fn submit(&self, op: B::Op, levels: Vec<ConsistencyLevel>) -> Correctable<B::Val> {
-        let strongest = *levels.last().expect("levels non-empty");
         let (c, handle) = Correctable::pending();
-        let upcall = Upcall::new(handle, strongest);
+        let upcall = Upcall::for_levels(handle, &levels);
         self.binding.submit(op, &levels, upcall);
         c
     }

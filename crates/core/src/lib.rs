@@ -62,7 +62,7 @@ pub mod local;
 pub mod speculate;
 pub mod view;
 
-pub use binding::{Binding, Upcall};
+pub use binding::{Binding, KeyedOp, ObjectId, Upcall};
 pub use client::Client;
 pub use correctable::{Correctable, Handle, State};
 pub use error::{ClosedError, Error};

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::binding::{Binding, Upcall};
+use crate::binding::{Binding, KeyedOp, ObjectId, Upcall};
 use crate::level::ConsistencyLevel;
 
 /// Artificial latencies of the toy cluster.
@@ -51,6 +51,14 @@ pub enum LocalOp {
     Get(String),
     /// Write a key; the result views carry the written value.
     Put(String, String),
+}
+
+impl KeyedOp for LocalOp {
+    fn object_id(&self) -> ObjectId {
+        match self {
+            LocalOp::Get(key) | LocalOp::Put(key, _) => ObjectId::from_bytes(key.as_bytes()),
+        }
+    }
 }
 
 type Store = HashMap<String, (u64, String)>;

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Error, Upcall};
+use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, ObjectId, Upcall};
 use simnet::{Ctx, Node, NodeId, SimDuration, SimTime, Timer, Topology};
 
 use crate::cluster::Cluster;
@@ -38,6 +38,18 @@ pub enum StoreOp {
     Read(Key),
     /// Write a key (always `W = 1`, as in the paper's evaluation).
     Write(Key, Value),
+}
+
+impl KeyedOp for StoreOp {
+    fn object_id(&self) -> ObjectId {
+        let key = match self {
+            StoreOp::Read(k) => k,
+            StoreOp::Write(k, _) => k,
+        };
+        // Spread the namespace across all bits so (ns, id) pairs rarely
+        // collide; the ring re-hashes this anyway.
+        ObjectId(key.id ^ u64::from(key.ns).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
 }
 
 /// Timing of one completed gateway operation, in virtual milliseconds.

@@ -1,0 +1,154 @@
+//! A minimal in-memory single-shard counter store.
+//!
+//! This is the reference backend for the router: synchronous, threaded,
+//! and cheap enough that `micro_shard` measures the *routing and
+//! batching* cost rather than storage latency. It advertises `Weak` and
+//! `Strong` and delivers both synchronously from the same state — the
+//! point of this binding is exercising the sharding layer's mechanics
+//! (routing, pipelining, scatter merges), not modeling staleness; the
+//! simulated substrates do that.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{Binding, ConsistencyLevel, KeyedOp, ObjectId, Upcall};
+
+/// Operations of the in-memory counter store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a counter (absent counters read 0).
+    Get(u64),
+    /// Overwrite a counter.
+    Put(u64, u64),
+    /// Increment a counter, returning the new value.
+    Add(u64, u64),
+}
+
+impl KeyedOp for KvOp {
+    fn object_id(&self) -> ObjectId {
+        match self {
+            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::Add(k, _) => ObjectId(*k),
+        }
+    }
+}
+
+/// One shard's worth of counters behind a single lock.
+#[derive(Clone, Default)]
+pub struct MemBinding {
+    map: Arc<Mutex<HashMap<u64, u64>>>,
+    weak_only: bool,
+}
+
+impl MemBinding {
+    /// A degenerate variant advertising only `Weak` (router level-set
+    /// validation tests).
+    pub fn weak_only() -> MemBinding {
+        MemBinding {
+            map: Arc::default(),
+            weak_only: true,
+        }
+    }
+
+    /// Direct state inspection: the counter's value, if present.
+    pub fn peek(&self, key: u64) -> Option<u64> {
+        self.map.lock().get(&key).copied()
+    }
+
+    /// Number of counters this shard holds.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether this shard holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+impl Binding for MemBinding {
+    type Op = KvOp;
+    type Val = u64;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        if self.weak_only {
+            vec![ConsistencyLevel::Weak]
+        } else {
+            vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+        }
+    }
+
+    fn submit(&self, op: KvOp, levels: &[ConsistencyLevel], upcall: Upcall<u64>) {
+        // Compute under the store lock, deliver after dropping it —
+        // upcall deliveries run user callbacks.
+        let value = {
+            let mut m = self.map.lock();
+            match op {
+                KvOp::Get(k) => m.get(&k).copied().unwrap_or(0),
+                KvOp::Put(k, v) => {
+                    m.insert(k, v);
+                    v
+                }
+                KvOp::Add(k, d) => {
+                    let e = m.entry(k).or_insert(0);
+                    *e = e.wrapping_add(d);
+                    *e
+                }
+            }
+        };
+        for l in levels {
+            upcall.deliver(value, *l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::{Client, State};
+
+    #[test]
+    fn counter_semantics() {
+        let b = MemBinding::default();
+        let client = Client::new(b.clone());
+        assert_eq!(
+            client
+                .invoke_strong(KvOp::Get(1))
+                .final_view()
+                .unwrap()
+                .value,
+            0
+        );
+        client.invoke_strong(KvOp::Add(1, 5));
+        client.invoke_strong(KvOp::Add(1, 2));
+        assert_eq!(
+            client
+                .invoke_strong(KvOp::Get(1))
+                .final_view()
+                .unwrap()
+                .value,
+            7
+        );
+        client.invoke_strong(KvOp::Put(1, 100));
+        assert_eq!(b.peek(1), Some(100));
+    }
+
+    #[test]
+    fn icg_invoke_delivers_weak_then_strong() {
+        let client = Client::new(MemBinding::default());
+        let c = client.invoke(KvOp::Add(3, 4));
+        assert_eq!(c.state(), State::Final);
+        assert_eq!(c.preliminary_views().len(), 1);
+        assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::Weak);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        assert_eq!(c.final_view().unwrap().value, 4);
+    }
+
+    #[test]
+    fn keyed_op_reports_its_key() {
+        assert_eq!(KvOp::Get(9).object_id(), ObjectId(9));
+        assert_eq!(KvOp::Put(9, 1).object_id(), ObjectId(9));
+        assert_eq!(KvOp::Add(9, 1).object_id(), ObjectId(9));
+    }
+}

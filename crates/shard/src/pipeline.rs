@@ -1,0 +1,322 @@
+//! The batching pipeline: per-shard worker threads behind bounded
+//! submission queues.
+//!
+//! Routing an op through a [`Worker`] replaces the per-op cost of the
+//! submission path (queue lock, wakeup, inner-binding dispatch) with a
+//! per-*batch* cost: the worker drains up to
+//! [`PipelineConfig::batch_max`] jobs under one lock acquisition and
+//! executes them back to back, and [`Worker::submit_many`] pushes a whole
+//! producer-side batch under one lock acquisition too. Queues are
+//! bounded ([`PipelineConfig::queue_cap`]) so a slow shard exerts
+//! backpressure on its producers instead of growing without bound.
+//!
+//! One exception to the bound: submissions issued *from a pipeline
+//! worker thread* (ops chained from inside upcall callbacks — e.g. a
+//! speculation chain) skip the capacity wait. A worker must never block
+//! on a full queue — its own, or a sibling's in a cycle of full queues —
+//! because the only threads that drain those queues are the workers
+//! themselves; blocking one would deadlock the fleet. The queue may
+//! therefore transiently exceed `queue_cap` by the number of in-flight
+//! chained ops.
+//!
+//! The bypass cannot protect submissions from callbacks running on
+//! *other* threads: a submit there may block on backpressure like any
+//! producer, so never hold a lock that other completions' callbacks also
+//! take while submitting (acquire such locks only after the submit call
+//! returns).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+thread_local! {
+    /// Whether the current thread is a pipeline worker (set once at
+    /// worker startup, never cleared).
+    static ON_PIPELINE_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn on_pipeline_worker() -> bool {
+    ON_PIPELINE_WORKER.with(Cell::get)
+}
+
+/// Tuning of one shard worker.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Bound on the submission queue; submitters block when it is full.
+    pub queue_cap: usize,
+    /// Most jobs drained (and executed) per queue-lock acquisition.
+    pub batch_max: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            queue_cap: 1024,
+            batch_max: 64,
+        }
+    }
+}
+
+struct Queue<J> {
+    jobs: VecDeque<J>,
+    /// The worker is between draining a batch and finishing its execution.
+    busy: bool,
+    closed: bool,
+}
+
+struct Shared<J> {
+    queue: Mutex<Queue<J>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    idle: Condvar,
+}
+
+/// One worker thread draining a bounded job queue in batches.
+pub struct Worker<J> {
+    shared: std::sync::Arc<Shared<J>>,
+    thread: Option<JoinHandle<()>>,
+    cfg: PipelineConfig,
+}
+
+impl<J: Send + 'static> Worker<J> {
+    /// Spawns a worker; `exec` runs each drained batch (jobs in
+    /// submission order) on the worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_cap` or `batch_max` is zero, or the OS refuses
+    /// the thread.
+    pub fn spawn(
+        name: &str,
+        cfg: PipelineConfig,
+        mut exec: impl FnMut(Vec<J>) + Send + 'static,
+    ) -> Worker<J> {
+        assert!(
+            cfg.queue_cap > 0 && cfg.batch_max > 0,
+            "degenerate pipeline config"
+        );
+        let shared = std::sync::Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::with_capacity(cfg.queue_cap.min(4096)),
+                busy: false,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let worker = std::sync::Arc::clone(&shared);
+        let batch_max = cfg.batch_max;
+        let thread = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                ON_PIPELINE_WORKER.with(|w| w.set(true));
+                loop {
+                    let batch: Vec<J> = {
+                        let mut q = worker.queue.lock();
+                        loop {
+                            if !q.jobs.is_empty() {
+                                break;
+                            }
+                            q.busy = false;
+                            worker.idle.notify_all();
+                            if q.closed {
+                                return;
+                            }
+                            worker.not_empty.wait(&mut q);
+                        }
+                        q.busy = true;
+                        let n = q.jobs.len().min(batch_max);
+                        q.jobs.drain(..n).collect()
+                    };
+                    worker.not_full.notify_all();
+                    exec(batch);
+                }
+            })
+            .expect("spawn shard worker thread");
+        Worker {
+            shared,
+            thread: Some(thread),
+            cfg,
+        }
+    }
+}
+
+impl<J> Worker<J> {
+    /// Enqueues one job, blocking while the queue is full — except from a
+    /// pipeline worker thread, which skips the capacity wait (see the
+    /// module docs: a blocked worker could never be drained).
+    pub fn submit(&self, job: J) {
+        let mut q = self.shared.queue.lock();
+        if !on_pipeline_worker() {
+            while q.jobs.len() >= self.cfg.queue_cap {
+                self.shared.not_full.wait(&mut q);
+            }
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.not_empty.notify_one();
+    }
+
+    /// Enqueues a whole batch under (at most) one lock acquisition per
+    /// `queue_cap` jobs — the producer-side half of batching. Worker
+    /// threads skip the capacity wait, as in [`Worker::submit`].
+    pub fn submit_many(&self, jobs: impl IntoIterator<Item = J>) {
+        let mut it = jobs.into_iter();
+        // Pull the next job before checking capacity: an exhausted
+        // iterator must return immediately, never wait for room it
+        // doesn't need.
+        let Some(mut next) = it.next() else {
+            return;
+        };
+        let mut q = self.shared.queue.lock();
+        if on_pipeline_worker() {
+            q.jobs.push_back(next);
+            q.jobs.extend(it);
+            drop(q);
+            self.shared.not_empty.notify_one();
+            return;
+        }
+        loop {
+            let mut pushed = false;
+            while q.jobs.len() < self.cfg.queue_cap {
+                q.jobs.push_back(next);
+                pushed = true;
+                match it.next() {
+                    Some(j) => next = j,
+                    None => {
+                        drop(q);
+                        self.shared.not_empty.notify_one();
+                        return;
+                    }
+                }
+            }
+            // Queue full mid-batch: wake the worker, wait for room.
+            if pushed {
+                self.shared.not_empty.notify_one();
+            }
+            self.shared.not_full.wait(&mut q);
+        }
+    }
+
+    /// Blocks until the queue is empty and the worker is not executing a
+    /// batch. Jobs submitted after quiesce returns are unaffected.
+    pub fn quiesce(&self) {
+        let mut q = self.shared.queue.lock();
+        while !q.jobs.is_empty() || q.busy {
+            self.shared.idle.wait(&mut q);
+        }
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().jobs.len()
+    }
+}
+
+impl<J> Drop for Worker<J> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().closed = true;
+        self.shared.not_empty.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_every_job_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        let w = Worker::spawn("t", PipelineConfig::default(), move |batch: Vec<u32>| {
+            l.lock().extend(batch);
+        });
+        for i in 0..500 {
+            w.submit(i);
+        }
+        w.quiesce();
+        assert_eq!(*log.lock(), (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drains_in_batches_bounded_by_batch_max() {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&sizes);
+        let cfg = PipelineConfig {
+            queue_cap: 256,
+            batch_max: 16,
+        };
+        let w = Worker::spawn("t", cfg, move |batch: Vec<u32>| {
+            s.lock().push(batch.len());
+            // Let the queue refill so later drains see full batches.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        w.submit_many(0..200u32);
+        w.quiesce();
+        let sizes: Vec<usize> = sizes.lock().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 200);
+        assert!(sizes.iter().all(|&n| n <= 16), "batch too big: {sizes:?}");
+        assert!(sizes.iter().any(|&n| n > 1), "never coalesced: {sizes:?}");
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let cfg = PipelineConfig {
+            queue_cap: 8,
+            batch_max: 4,
+        };
+        let w = Worker::spawn("t", cfg, move |batch: Vec<u32>| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            d.fetch_add(batch.len(), Ordering::SeqCst);
+        });
+        // 10× the queue bound: submitters must block-and-resume, never
+        // panic or drop jobs.
+        w.submit_many(0..80u32);
+        w.quiesce();
+        assert_eq!(done.load(Ordering::SeqCst), 80);
+    }
+
+    #[test]
+    fn submit_many_of_nothing_returns_despite_full_queue() {
+        let cfg = PipelineConfig {
+            queue_cap: 2,
+            batch_max: 1,
+        };
+        let w = Worker::spawn("t", cfg, move |_: Vec<u32>| {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        });
+        // First job occupies the worker; two more fill the queue to cap.
+        w.submit_many(0..3u32);
+        let t0 = std::time::Instant::now();
+        w.submit_many(std::iter::empty());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(400),
+            "empty batch waited for a drain cycle"
+        );
+        w.quiesce();
+    }
+
+    #[test]
+    fn drop_joins_after_finishing_queued_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let w = Worker::spawn("t", PipelineConfig::default(), move |batch: Vec<u32>| {
+            d.fetch_add(batch.len(), Ordering::SeqCst);
+        });
+        for i in 0..100 {
+            w.submit(i);
+        }
+        drop(w);
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,678 @@
+//! [`ShardedBinding`]: the multi-object router.
+//!
+//! The router implements [`Binding`] itself, so a `Client` (and every
+//! combinator, speculation helper, and load driver in the workspace)
+//! works over a sharded store unchanged. Each keyed op is routed to the
+//! owning shard's inner binding — inline on the caller thread, or through
+//! the per-shard batching [`Worker`]s — and that shard's per-level upcall
+//! deliveries flow through untouched. [`ShardedBinding::scatter`] adds
+//! the one genuinely multi-shard operation: a multi-get whose merged
+//! Correctable carries weakest-common-level semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{
+    Binding, ConsistencyLevel, Correctable, Error, KeyedOp, LevelSelection, Upcall, View,
+};
+
+use crate::pipeline::{PipelineConfig, Worker};
+use crate::ring::HashRing;
+
+type Job<B> = (
+    <B as Binding>::Op,
+    Arc<[ConsistencyLevel]>,
+    Upcall<<B as Binding>::Val>,
+);
+
+struct Inner<B: Binding> {
+    shards: Vec<B>,
+    ring: HashRing,
+    /// The common level set of all shards, sorted weakest-first.
+    levels: Vec<ConsistencyLevel>,
+    /// Per-shard batching workers; empty in inline mode.
+    workers: Vec<Worker<Job<B>>>,
+    /// Ops routed to each shard so far.
+    routed: Vec<AtomicU64>,
+}
+
+/// A sharded multi-object store over `N` single-object bindings.
+pub struct ShardedBinding<B: Binding> {
+    inner: Arc<Inner<B>>,
+}
+
+impl<B: Binding> Clone for ShardedBinding<B> {
+    fn clone(&self) -> Self {
+        ShardedBinding {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: Binding> ShardedBinding<B>
+where
+    B::Op: KeyedOp,
+{
+    /// A router that submits on the caller thread — no worker threads, no
+    /// batching. The cheapest mode, and the right one for single-threaded
+    /// (simulated) shard backends driven by an external `settle` loop.
+    pub fn inline(shards: Vec<B>, vnodes: usize, seed: u64) -> Self {
+        let (ring, levels, routed) = Self::layout(&shards, vnodes, seed);
+        ShardedBinding {
+            inner: Arc::new(Inner {
+                shards,
+                ring,
+                levels,
+                workers: Vec::new(),
+                routed,
+            }),
+        }
+    }
+
+    fn layout(
+        shards: &[B],
+        vnodes: usize,
+        seed: u64,
+    ) -> (HashRing, Vec<ConsistencyLevel>, Vec<AtomicU64>) {
+        assert!(
+            !shards.is_empty(),
+            "sharded binding needs at least one shard"
+        );
+        let mut levels = shards[0].consistency_levels();
+        levels.sort();
+        for (i, s) in shards.iter().enumerate().skip(1) {
+            let mut ls = s.consistency_levels();
+            ls.sort();
+            assert_eq!(
+                ls, levels,
+                "shard {i} advertises different consistency levels"
+            );
+        }
+        let ring = HashRing::new(shards.len() as u32, vnodes, seed);
+        let routed = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        (ring, levels, routed)
+    }
+
+    /// The ring this router places keys with.
+    pub fn ring(&self) -> &HashRing {
+        &self.inner.ring
+    }
+
+    /// The inner binding of shard `idx`.
+    pub fn shard(&self, idx: usize) -> &B {
+        &self.inner.shards[idx]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Ops routed to each shard so far.
+    pub fn routed_per_shard(&self) -> Vec<u64> {
+        self.inner
+            .routed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Blocks until every pipeline queue is drained and every worker is
+    /// idle. A no-op in inline mode.
+    ///
+    /// Callbacks may chain ops to shards whose workers were already
+    /// checked this pass, so passes repeat until one completes with no
+    /// new ops routed — only then is "all drained" a true barrier.
+    pub fn quiesce(&self) {
+        if self.inner.workers.is_empty() {
+            return;
+        }
+        loop {
+            let before: u64 = self
+                .inner
+                .routed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum();
+            for w in &self.inner.workers {
+                w.quiesce();
+            }
+            let after: u64 = self
+                .inner
+                .routed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum();
+            if after == before {
+                return;
+            }
+        }
+    }
+
+    /// Invokes a batch of independent keyed ops, coalescing the per-shard
+    /// submissions: jobs are grouped by owning shard and handed to each
+    /// shard's worker under one queue-lock acquisition.
+    ///
+    /// Returns one Correctable per op, in input order.
+    pub fn invoke_batch(
+        &self,
+        ops: Vec<B::Op>,
+        selection: &LevelSelection,
+    ) -> Vec<Correctable<B::Val>> {
+        let levels = match selection.resolve(&self.inner.levels) {
+            Ok(ls) if !ls.is_empty() => ls,
+            Ok(_) => {
+                let err = Error::Unavailable("no consistency level selected".into());
+                return ops
+                    .iter()
+                    .map(|_| Correctable::failed(err.clone()))
+                    .collect();
+            }
+            Err(bad) => {
+                return ops
+                    .iter()
+                    .map(|_| Correctable::failed(Error::UnsupportedLevel(bad)))
+                    .collect()
+            }
+        };
+        // One shared level list for the whole batch; each job bumps a
+        // refcount instead of cloning a Vec.
+        let shared: Arc<[ConsistencyLevel]> = levels.as_slice().into();
+        let mut per_shard: Vec<Vec<Job<B>>> =
+            (0..self.inner.shards.len()).map(|_| Vec::new()).collect();
+        let mut outs = Vec::with_capacity(ops.len());
+        for op in ops {
+            let idx = self.inner.ring.owner_index(op.object_id());
+            self.inner.routed[idx].fetch_add(1, Ordering::Relaxed);
+            let (c, handle) = Correctable::pending();
+            outs.push(c);
+            per_shard[idx].push((op, Arc::clone(&shared), Upcall::for_levels(handle, &levels)));
+        }
+        for (idx, jobs) in per_shard.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            if self.inner.workers.is_empty() {
+                for (op, ls, up) in jobs {
+                    self.inner.shards[idx].submit(op, &ls, up);
+                }
+            } else {
+                self.inner.workers[idx].submit_many(jobs);
+            }
+        }
+        outs
+    }
+
+    /// Multi-get/scatter across all levels: one logical invocation fanned
+    /// out to every owning shard, merged with weakest-common-level
+    /// semantics (see [`gather`]).
+    pub fn scatter(&self, ops: Vec<B::Op>) -> Correctable<Vec<B::Val>> {
+        self.scatter_with(ops, &LevelSelection::All)
+    }
+
+    /// [`ShardedBinding::scatter`] restricted to selected levels.
+    pub fn scatter_with(
+        &self,
+        ops: Vec<B::Op>,
+        selection: &LevelSelection,
+    ) -> Correctable<Vec<B::Val>> {
+        gather(self.invoke_batch(ops, selection))
+    }
+}
+
+impl<B> ShardedBinding<B>
+where
+    B: Binding + Clone + Send + 'static,
+    B::Op: KeyedOp + Send + 'static,
+{
+    /// A router with one batching worker thread per shard (see
+    /// [`PipelineConfig`]): the hot submission path costs one lock
+    /// acquisition per batch instead of per op, and bounded queues give
+    /// backpressure per shard.
+    pub fn pipelined(shards: Vec<B>, vnodes: usize, seed: u64, cfg: PipelineConfig) -> Self {
+        let (ring, levels, routed) = Self::layout(&shards, vnodes, seed);
+        let workers = shards
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let shard = b.clone();
+                Worker::spawn(&format!("icg-shard-{i}"), cfg, move |batch: Vec<Job<B>>| {
+                    for (op, ls, up) in batch {
+                        shard.submit(op, &ls, up);
+                    }
+                })
+            })
+            .collect();
+        ShardedBinding {
+            inner: Arc::new(Inner {
+                shards,
+                ring,
+                levels,
+                workers,
+                routed,
+            }),
+        }
+    }
+}
+
+impl<B: Binding> Binding for ShardedBinding<B>
+where
+    B::Op: KeyedOp,
+{
+    type Op = B::Op;
+    type Val = B::Val;
+
+    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+        self.inner.levels.clone()
+    }
+
+    fn submit(&self, op: B::Op, levels: &[ConsistencyLevel], upcall: Upcall<B::Val>) {
+        let idx = self.inner.ring.owner_index(op.object_id());
+        self.inner.routed[idx].fetch_add(1, Ordering::Relaxed);
+        if self.inner.workers.is_empty() {
+            self.inner.shards[idx].submit(op, levels, upcall);
+        } else {
+            self.inner.workers[idx].submit((op, levels.into(), upcall));
+        }
+    }
+}
+
+/// Merges many Correctables with **weakest-common-level** semantics:
+///
+/// - an intermediate view surfaces as soon as *every* part has delivered
+///   at least one view, at the weakest level any part currently sits at,
+///   and again each time that common floor rises;
+/// - the result closes only when every part has delivered its strongest
+///   (final) view, at the weakest of the final levels;
+/// - the first part error fails the merge.
+///
+/// This is the multi-shard generalization of a single binding's
+/// incremental delivery: the merged view is never claimed stronger than
+/// its weakest constituent.
+pub fn gather<T: Clone + Send + 'static>(parts: Vec<Correctable<T>>) -> Correctable<Vec<T>> {
+    let (out, handle) = Correctable::pending();
+    let n = parts.len();
+    if n == 0 {
+        let _ = handle.close(Vec::new(), ConsistencyLevel::Strong);
+        return out;
+    }
+    struct GatherState<T> {
+        latest: Vec<Option<View<T>>>,
+        finals: usize,
+        emitted: Option<ConsistencyLevel>,
+        /// Emissions decided (in level order) but not yet delivered.
+        pending: std::collections::VecDeque<(Vec<T>, ConsistencyLevel, bool)>,
+        /// Some thread is draining `pending`; others just enqueue.
+        emitting: bool,
+    }
+    impl<T: Clone> GatherState<T> {
+        /// Queues the next emission if the common floor advanced.
+        /// Decisions are made (and ordered) under the state lock; actual
+        /// delivery happens in [`drain`] with the lock released, so user
+        /// callbacks on the merged Correctable never run under it.
+        fn advance(&mut self, n: usize) {
+            if self.latest.iter().any(|v| v.is_none()) {
+                return;
+            }
+            let floor = self
+                .latest
+                .iter()
+                .map(|v| v.as_ref().expect("checked").level)
+                .min()
+                .expect("non-empty");
+            let closes = self.finals == n;
+            if !closes && self.emitted.is_some_and(|e| floor.rank() <= e.rank()) {
+                return;
+            }
+            self.emitted = Some(floor);
+            let values = self
+                .latest
+                .iter()
+                .map(|v| v.as_ref().expect("checked").value.clone())
+                .collect();
+            self.pending.push_back((values, floor, closes));
+        }
+    }
+    /// Delivers queued emissions with the state lock released. A single
+    /// active emitter drains FIFO (preserving level order); deliveries
+    /// decided re-entrantly from inside an emitted callback are picked up
+    /// by the already-running drain instead of recursing into the lock.
+    fn drain<T: Clone + Send + 'static>(
+        state: &Mutex<GatherState<T>>,
+        handle: &correctables::Handle<Vec<T>>,
+    ) {
+        loop {
+            let (values, level, closes) = {
+                let mut g = state.lock();
+                if g.emitting {
+                    return;
+                }
+                match g.pending.pop_front() {
+                    Some(e) => {
+                        g.emitting = true;
+                        e
+                    }
+                    None => return,
+                }
+            };
+            if closes {
+                let _ = handle.close(values, level);
+            } else {
+                let _ = handle.update(values, level);
+            }
+            state.lock().emitting = false;
+        }
+    }
+    let state = Arc::new(Mutex::new(GatherState {
+        latest: (0..n).map(|_| None).collect(),
+        finals: 0,
+        emitted: None,
+        pending: std::collections::VecDeque::new(),
+        emitting: false,
+    }));
+    for (i, part) in parts.iter().enumerate() {
+        let st = Arc::clone(&state);
+        let h = handle.clone();
+        part.on_update(move |v: &View<T>| {
+            {
+                let mut g = st.lock();
+                g.latest[i] = Some(v.clone());
+                g.advance(n);
+            }
+            drain(&st, &h);
+        });
+        let st = Arc::clone(&state);
+        let h = handle.clone();
+        part.on_final(move |v: &View<T>| {
+            {
+                let mut g = st.lock();
+                g.latest[i] = Some(v.clone());
+                g.finals += 1;
+                g.advance(n);
+            }
+            drain(&st, &h);
+        });
+        let h = handle.clone();
+        part.on_error(move |e: &Error| {
+            let _ = h.fail(e.clone());
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::ConsistencyLevel::{Causal, Strong, Weak};
+    use correctables::{Client, State};
+
+    use crate::mem::{KvOp, MemBinding};
+
+    fn sharded(n: usize) -> ShardedBinding<MemBinding> {
+        ShardedBinding::inline((0..n).map(|_| MemBinding::default()).collect(), 64, 42)
+    }
+
+    #[test]
+    fn routes_by_key_and_reemits_levels_unchanged() {
+        let s = sharded(4);
+        let client = Client::new(s.clone());
+        for k in 0..64 {
+            client.invoke_strong(KvOp::Put(k, k * 10));
+        }
+        for k in 0..64 {
+            let c = client.invoke(KvOp::Get(k));
+            assert_eq!(c.state(), State::Final);
+            assert_eq!(c.preliminary_views().len(), 1);
+            assert_eq!(c.preliminary_views()[0].level, Weak);
+            let fin = c.final_view().unwrap();
+            assert_eq!(fin.level, Strong);
+            assert_eq!(fin.value, k * 10);
+        }
+        // Keys actually spread over the shards.
+        let routed = s.routed_per_shard();
+        assert!(routed.iter().all(|&r| r > 0), "unbalanced: {routed:?}");
+        assert_eq!(routed.iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn same_key_always_lands_on_same_shard() {
+        let s = sharded(8);
+        let client = Client::new(s.clone());
+        client.invoke_strong(KvOp::Add(7, 1));
+        client.invoke_strong(KvOp::Add(7, 2));
+        client.invoke_strong(KvOp::Add(7, 3));
+        let c = client.invoke_strong(KvOp::Get(7));
+        assert_eq!(c.final_view().unwrap().value, 6);
+        // Exactly one shard holds the object.
+        let holders = (0..8).filter(|&i| s.shard(i).peek(7).is_some()).count();
+        assert_eq!(holders, 1);
+    }
+
+    #[test]
+    fn pipelined_router_delivers_everything() {
+        let s = ShardedBinding::pipelined(
+            (0..4).map(|_| MemBinding::default()).collect(),
+            64,
+            1,
+            PipelineConfig {
+                queue_cap: 128,
+                batch_max: 16,
+            },
+        );
+        let client = Client::new(s.clone());
+        let writes: Vec<_> = (0..256)
+            .map(|k| client.invoke_strong(KvOp::Add(k, 1)))
+            .collect();
+        s.quiesce();
+        assert!(writes.iter().all(|c| c.state() == State::Final));
+        let reads = s.invoke_batch((0..256).map(KvOp::Get).collect(), &LevelSelection::All);
+        s.quiesce();
+        for (k, c) in reads.iter().enumerate() {
+            assert_eq!(c.final_view().unwrap().value, 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn chained_ops_from_worker_callbacks_do_not_deadlock() {
+        use std::time::{Duration, Instant};
+        // Tiny queues + per-op drains: maximal pressure on the bound.
+        // Each completion chains a follow-up op from inside its callback,
+        // which runs on a pipeline worker thread; those submissions must
+        // bypass the capacity wait or the fleet deadlocks.
+        let s = ShardedBinding::pipelined(
+            (0..4).map(|_| MemBinding::default()).collect(),
+            64,
+            9,
+            PipelineConfig {
+                queue_cap: 2,
+                batch_max: 1,
+            },
+        );
+        let client = std::sync::Arc::new(Client::new(s.clone()));
+        let chained = std::sync::Arc::new(Mutex::new(Vec::new()));
+        const OPS: u64 = 200;
+        for k in 0..OPS {
+            let cl = std::sync::Arc::clone(&client);
+            let ch = std::sync::Arc::clone(&chained);
+            client.invoke_strong(KvOp::Add(k, 1)).on_final(move |_| {
+                // Invoke before taking the list lock: a submission may
+                // block on backpressure (when this callback runs on the
+                // submitting thread), and holding a lock that the other
+                // completions' callbacks also take would deadlock the
+                // workers that must drain the queues.
+                let chained_op = cl.invoke_strong(KvOp::Add(k + 1_000, 1));
+                ch.lock().push(chained_op);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let issued = chained.lock().len() as u64;
+            if issued == OPS {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "chains stalled at {issued}/{OPS}"
+            );
+            std::thread::yield_now();
+        }
+        for c in chained.lock().iter() {
+            c.wait_final(Duration::from_secs(30)).expect("chained op");
+        }
+        assert_eq!(s.routed_per_shard().iter().sum::<u64>(), 2 * OPS);
+    }
+
+    #[test]
+    fn scatter_closes_at_weakest_common_level() {
+        let s = sharded(4);
+        for k in 0..16 {
+            Client::new(s.clone()).invoke_strong(KvOp::Put(k, 100 + k));
+        }
+        let c = s.scatter((0..16).map(KvOp::Get).collect());
+        assert_eq!(c.state(), State::Final);
+        // MemBinding delivers Weak then Strong per shard, so the merge
+        // surfaces one Weak common view before closing at Strong.
+        let prelims = c.preliminary_views();
+        assert!(!prelims.is_empty());
+        assert_eq!(prelims[0].level, Weak);
+        assert!(prelims
+            .windows(2)
+            .all(|w| w[0].level.rank() < w[1].level.rank()));
+        let fin = c.final_view().unwrap();
+        assert_eq!(fin.level, Strong);
+        assert_eq!(fin.value, (0..16).map(|k| 100 + k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_of_nothing_closes_immediately() {
+        let s = sharded(2);
+        let c = s.scatter(Vec::new());
+        assert_eq!(c.final_view().unwrap().value, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn gather_floor_rises_with_slowest_part() {
+        let (a, ha) = Correctable::<u32>::pending();
+        let (b, hb) = Correctable::<u32>::pending();
+        let g = gather(vec![a, b]);
+        ha.update(1, Weak).unwrap();
+        // Only one part has delivered: nothing surfaces yet.
+        assert!(g.preliminary_views().is_empty());
+        hb.update(2, Causal).unwrap();
+        // Both delivered; the common floor is Weak.
+        assert_eq!(g.preliminary_views().len(), 1);
+        assert_eq!(g.preliminary_views()[0].level, Weak);
+        assert_eq!(g.preliminary_views()[0].value, vec![1, 2]);
+        ha.update(3, Causal).unwrap();
+        // Floor rises to Causal.
+        assert_eq!(g.preliminary_views().len(), 2);
+        assert_eq!(g.preliminary_views()[1].level, Causal);
+        ha.close(4, Strong).unwrap();
+        // One part final, the other not: still open.
+        assert_eq!(g.state(), State::Updating);
+        hb.close(5, Strong).unwrap();
+        let fin = g.final_view().unwrap();
+        assert_eq!(fin.level, Strong);
+        assert_eq!(fin.value, vec![4, 5]);
+    }
+
+    #[test]
+    fn quiesce_is_a_barrier_for_cross_shard_chained_ops() {
+        // Callbacks running on one shard's worker chain ops to other
+        // shards, possibly ones quiesce already checked that pass;
+        // quiesce must still not return until those chains resolved.
+        for round in 0..20 {
+            let s = ShardedBinding::pipelined(
+                (0..4).map(|_| MemBinding::default()).collect(),
+                64,
+                round,
+                PipelineConfig {
+                    queue_cap: 8,
+                    batch_max: 2,
+                },
+            );
+            let client = std::sync::Arc::new(Client::new(s.clone()));
+            let chained = std::sync::Arc::new(Mutex::new(Vec::new()));
+            const OPS: u64 = 64;
+            for k in 0..OPS {
+                let cl = std::sync::Arc::clone(&client);
+                let ch = std::sync::Arc::clone(&chained);
+                client.invoke_strong(KvOp::Add(k, 1)).on_final(move |_| {
+                    let follow = cl.invoke_strong(KvOp::Add(OPS + (k * 31) % 256, 1));
+                    ch.lock().push(follow);
+                });
+            }
+            s.quiesce();
+            let chained = chained.lock();
+            assert_eq!(chained.len() as u64, OPS, "round {round}");
+            for (i, c) in chained.iter().enumerate() {
+                assert_eq!(
+                    c.state(),
+                    State::Final,
+                    "round {round}: chained op {i} still pending after quiesce"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gather_reentrant_delivery_from_merged_callback_is_safe() {
+        // A callback on the merged Correctable that synchronously drives
+        // more deliveries into the gather's own parts must not deadlock
+        // (the merge lock is never held while user callbacks run) and the
+        // merged views must stay in level order.
+        let (a, ha) = Correctable::<u32>::pending();
+        let (b, hb) = Correctable::<u32>::pending();
+        let g = gather(vec![a, b]);
+        let ha2 = ha.clone();
+        let hb2 = hb.clone();
+        g.on_update(move |v| {
+            if v.level == Weak {
+                // Raise both parts to Causal from inside the emission.
+                let _ = ha2.update(30, Causal);
+                let _ = hb2.update(40, Causal);
+            }
+        });
+        ha.update(1, Weak).unwrap();
+        hb.update(2, Weak).unwrap();
+        // The Weak emission triggered the Causal round re-entrantly.
+        let prelims = g.preliminary_views();
+        assert_eq!(prelims.len(), 2);
+        assert_eq!(prelims[0].level, Weak);
+        assert_eq!(prelims[0].value, vec![1, 2]);
+        assert_eq!(prelims[1].level, Causal);
+        assert_eq!(prelims[1].value, vec![30, 40]);
+        ha.close(5, Strong).unwrap();
+        hb.close(6, Strong).unwrap();
+        assert_eq!(g.final_view().unwrap().value, vec![5, 6]);
+    }
+
+    #[test]
+    fn gather_close_level_is_weakest_final() {
+        let (a, ha) = Correctable::<u32>::pending();
+        let (b, hb) = Correctable::<u32>::pending();
+        let g = gather(vec![a, b]);
+        ha.close(1, Strong).unwrap();
+        hb.close(2, Causal).unwrap();
+        assert_eq!(g.final_view().unwrap().level, Causal);
+    }
+
+    #[test]
+    fn gather_fails_on_first_part_error() {
+        let (a, ha) = Correctable::<u32>::pending();
+        let (b, _hb) = Correctable::<u32>::pending();
+        let g = gather(vec![a, b]);
+        ha.fail(Error::Timeout).unwrap();
+        assert_eq!(g.state(), State::Error);
+    }
+
+    #[test]
+    fn mismatched_shard_levels_are_rejected() {
+        let ok = MemBinding::default();
+        let weak_only = MemBinding::weak_only();
+        let r = std::panic::catch_unwind(|| ShardedBinding::inline(vec![ok, weak_only], 8, 0));
+        assert!(r.is_err());
+    }
+}

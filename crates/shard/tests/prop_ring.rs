@@ -1,0 +1,89 @@
+//! Property tests of the consistent-hash ring: deterministic lookups and
+//! bounded key movement when the shard set grows — the two properties the
+//! `icg-shard` acceptance criteria pin down.
+
+use proptest::prelude::*;
+
+use correctables::ObjectId;
+use icg_shard::{HashRing, RebalancePlan, ShardId};
+
+proptest! {
+    /// Two rings built from the same `(shards, vnodes, seed)` agree on
+    /// the owner of every key — placement is a pure function, so any
+    /// router replica (or a rebuilt router) computes identical routing.
+    #[test]
+    fn lookups_are_deterministic(
+        shards in 1u32..12,
+        vnodes in 1usize..96,
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        let a = HashRing::new(shards, vnodes, seed);
+        let b = HashRing::new(shards, vnodes, seed);
+        for k in keys {
+            prop_assert_eq!(a.owner(ObjectId(k)), b.owner(ObjectId(k)));
+        }
+    }
+
+    /// Adding one shard to an `n`-shard ring moves at most `2/(n+1)` of
+    /// sampled keys (expectation is `1/(n+1)`), and every moved key moves
+    /// *to* the new shard — consistent hashing's bounded-disruption
+    /// guarantee.
+    #[test]
+    fn adding_a_shard_moves_bounded_keys(
+        shards in 2u32..10,
+        seed in any::<u64>(),
+        key_base in any::<u64>(),
+    ) {
+        const SAMPLES: u64 = 4096;
+        const VNODES: usize = 128;
+        let old = HashRing::new(shards, VNODES, seed);
+        let new = old.with_added(ShardId(shards));
+        let mut moved = 0u64;
+        for i in 0..SAMPLES {
+            let key = ObjectId(key_base.wrapping_add(i));
+            let (o, n) = (old.owner(key), new.owner(key));
+            if o != n {
+                moved += 1;
+                prop_assert_eq!(n, ShardId(shards), "moved to an old shard");
+            }
+        }
+        let bound = 2.0 / f64::from(shards + 1);
+        let frac = moved as f64 / SAMPLES as f64;
+        prop_assert!(
+            frac <= bound,
+            "moved {frac:.4} of keys, bound {bound:.4} ({shards} shards)"
+        );
+        // The plan's analytic fraction respects the same bound and
+        // classifies every sampled key correctly.
+        let plan = RebalancePlan::diff(&old, &new);
+        prop_assert!(plan.moved_fraction() <= bound);
+        for i in 0..256 {
+            let key = ObjectId(key_base.wrapping_add(i));
+            prop_assert_eq!(
+                plan.moves_key(&old, key),
+                old.owner(key) != new.owner(key)
+            );
+        }
+    }
+
+    /// Removing the shard that was just added restores the original
+    /// placement exactly (membership changes are reversible).
+    #[test]
+    fn membership_changes_are_reversible(
+        shards in 1u32..8,
+        vnodes in 1usize..64,
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        let base = HashRing::new(shards, vnodes, seed);
+        let grown = base.with_added(ShardId(shards));
+        let ids: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        let shrunk = HashRing::with_shards(&ids, vnodes, seed);
+        for k in keys {
+            prop_assert_eq!(base.owner(ObjectId(k)), shrunk.owner(ObjectId(k)));
+        }
+        // And the grown ring still exists independently.
+        prop_assert_eq!(grown.shards().len() as u32, shards + 1);
+    }
+}

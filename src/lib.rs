@@ -15,18 +15,25 @@
 //! - [`quorumstore`] — Correctable Cassandra (CC, *CC);
 //! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
 //! - [`causalstore`] — causal replication with a client cache;
+//! - [`shard`](icg_shard) — the sharded multi-object routing layer;
 //! - [`ycsb`] — workload generators;
 //! - [`blockchain`] — confirmation-depth views (§4.5's multi-view case);
 //! - [`apps`](icg_apps) — ads, Twissandra, tickets, news reader.
 //!
+//! [`sharded`] assembles the routing layer with the simulated substrates:
+//! ready-made multi-shard SimStore / SimCausal stacks.
+//!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod sharded;
 
 pub use blockchain;
 pub use causalstore;
 pub use consensusq;
 pub use correctables;
 pub use icg_apps as apps;
+pub use icg_shard as shard;
 pub use quorumstore;
 pub use simnet;
 pub use ycsb;

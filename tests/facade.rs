@@ -117,4 +117,5 @@ fn facade_reexports_every_workspace_crate() {
     let _workload = icg::ycsb::Workload::a(icg::ycsb::Distribution::Uniform, 10);
     let _depth = icg::blockchain::FINAL_DEPTH;
     let _ads = icg::apps::AdsDataset::small();
+    let _ring = icg::shard::HashRing::new(1, 1, 0);
 }
