@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, KeyedOp, ObjectId, Upcall};
-use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime, Timer, Topology};
+use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, ObjectId, Upcall};
+use simnet::{Ctx, Engine, Faults, Node, NodeId, SimDuration, SimTime, SiteId, Timer, Topology};
 
 use crate::store::{CausalReplica, Item, Msg, OpId};
 
@@ -74,9 +74,23 @@ struct Gateway {
     timings: Timings,
     next_seq: u64,
     pending: HashMap<OpId, GwPending>,
+    /// Client-side deadline per operation; `None` waits forever (the
+    /// fault-free default).
+    client_timeout: Option<SimDuration>,
+    timer_ops: HashMap<u64, OpId>,
+    next_timer: u64,
 }
 
 impl Gateway {
+    fn arm_client_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId) {
+        if let Some(d) = self.client_timeout {
+            let token = self.next_timer;
+            self.next_timer += 1;
+            self.timer_ops.insert(token, op);
+            ctx.set_timer(d, Timer(token));
+        }
+    }
+
     fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
         loop {
             let Some(q) = self.queue.lock().pop_front() else {
@@ -132,6 +146,7 @@ impl Gateway {
                             items_written: None,
                         },
                     );
+                    self.arm_client_timeout(ctx, op);
                 }
                 CacheOp::Put(key, items) => {
                     // Write-through: the cache adopts the value at once
@@ -167,6 +182,7 @@ impl Gateway {
                             items_written: Some(items),
                         },
                     );
+                    self.arm_client_timeout(ctx, op);
                 }
             }
         }
@@ -246,6 +262,14 @@ impl Node<Msg> for Gateway {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
         if timer.0 == KICK {
             self.drain(ctx);
+        } else if let Some(op) = self.timer_ops.remove(&timer.0) {
+            // A reply was lost: fail the operation. Views already
+            // delivered (cache, causal) stand; the close is exceptional.
+            if let Some(p) = self.pending.remove(&op) {
+                self.timings.lock().push(p.timing);
+                p.upcall.fail(Error::Timeout);
+            }
+            self.drain(ctx);
         }
     }
 
@@ -301,7 +325,9 @@ impl SimCausal {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, p)| *p)
                 .collect();
-            engine.node_as::<CausalReplica>(*id).set_peers(peers);
+            let node = engine.node_as::<CausalReplica>(*id);
+            node.set_peers(peers);
+            node.set_primary_node(replicas[primary_idx]);
         }
         // The causal backup is the non-primary replica closest to the client.
         let backup = replicas
@@ -328,6 +354,9 @@ impl SimCausal {
                 timings: Arc::clone(&timings),
                 next_seq: 0,
                 pending: HashMap::new(),
+                client_timeout: None,
+                timer_ops: HashMap::new(),
+                next_timer: 0,
             }),
         );
         SimCausal {
@@ -404,17 +433,63 @@ impl SimCausal {
         );
     }
 
-    /// Drives the simulation until all submitted operations resolve.
+    /// Installs a fault plan on the underlying simulation. Combine with
+    /// [`SimCausal::set_client_timeout`] so lost replies fail operations
+    /// instead of leaving them open forever.
+    pub fn set_faults(&self, faults: Faults) {
+        self.state.lock().engine.set_faults(faults);
+    }
+
+    /// Sets a client-side deadline for every subsequently submitted
+    /// operation (fails with `Error::Timeout` when it passes without the
+    /// final view).
+    pub fn set_client_timeout(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.engine.node_as::<Gateway>(gw).client_timeout = Some(d);
+    }
+
+    /// The replica node ids (FRK/IRL/VRG order).
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.state.lock().replicas.clone()
+    }
+
+    /// All site ids of the deployment's topology.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let st = self.state.lock();
+        (0..st.engine.topology().len()).map(SiteId).collect()
+    }
+
+    /// Drives the simulation until all submitted operations resolve —
+    /// including failing by client timeout when faults lost their
+    /// replies.
+    ///
+    /// Runs in bounded virtual-time slices rather than to full quiescence:
+    /// the backups' anti-entropy retry timer keeps the event queue busy
+    /// while a causal gap persists (e.g. under an active partition), so
+    /// "no events left" is not a usable stop condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations fail to resolve within a very large horizon
+    /// (faults active without a client timeout, or a protocol bug).
     pub fn settle(&self) {
         let mut st = self.state.lock();
-        loop {
+        let slice = SimDuration::from_millis(5);
+        for _ in 0..2_000_000 {
             let gw = st.gateway;
             st.engine.schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
-            st.engine.run_until_idle(10_000_000);
-            if self.queue.lock().is_empty() {
+            let limit = st.engine.now() + slice;
+            st.engine.run_until(limit);
+            let pending_empty = st.engine.node_as::<Gateway>(gw).pending.is_empty();
+            if pending_empty && self.queue.lock().is_empty() {
                 return;
             }
         }
+        panic!(
+            "causal-store operations cannot settle (lost replies without a \
+             client timeout? see SimCausal::set_client_timeout)"
+        );
     }
 
     /// Runs the simulation for `d` without submitting anything (lets

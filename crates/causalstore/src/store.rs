@@ -10,9 +10,35 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use simnet::{Ctx, Node, NodeId, SimDuration, Wire};
+use simnet::{Ctx, Node, NodeId, SimDuration, Timer, Wire};
 
 use crate::vc::VectorClock;
+
+/// Timer token of the anti-entropy retry (re-armed only while updates
+/// are buffered behind a causal gap).
+const SYNC_RETRY: Timer = Timer(u64::MAX - 2);
+
+/// How often a gapped backup re-requests a state transfer (the first
+/// request goes out immediately when the gap is detected).
+const SYNC_RETRY_EVERY: SimDuration = SimDuration::from_millis(200);
+
+/// Minimum spacing of read-triggered anti-entropy probes. Gap-triggered
+/// sync only fires when a causally *later* update arrives, so a lost
+/// **final** update would otherwise leave a backup stale forever; every
+/// causal read therefore also probes the primary, rate-limited to this
+/// interval. (Reads drive it, so idle engines still quiesce — no
+/// periodic timer.)
+const READ_SYNC_EVERY: SimDuration = SimDuration::from_millis(500);
+
+/// One causally premature update parked until its dependencies arrive
+/// (or a state transfer covers it).
+struct BufferedUpdate {
+    sender: usize,
+    from: NodeId,
+    key: String,
+    item: Item,
+    stamp: VectorClock,
+}
 
 /// A stored value: a revision counter plus a list of item ids (the news
 /// reader's items) — revisions make freshness comparisons trivial.
@@ -79,6 +105,19 @@ pub enum Msg {
         /// The update's vector clock stamp.
         stamp: VectorClock,
     },
+    /// Backup → update sender: a causal gap was detected (an update
+    /// arrived that is not yet deliverable), please state-transfer. The
+    /// oracle surfaced why this is needed: without it a single dropped
+    /// `Repl` leaves a backup stale *forever* — weak views then never
+    /// converge to the strong view, breaking the ICG promise.
+    SyncReq,
+    /// Reply to [`Msg::SyncReq`]: a causally closed state snapshot.
+    SyncResp {
+        /// Every key's current item at the responder.
+        state: Vec<(String, Item)>,
+        /// The responder's clock at snapshot time.
+        clock: VectorClock,
+    },
 }
 
 impl Wire for Msg {
@@ -93,6 +132,14 @@ impl Wire for Msg {
             Msg::Repl {
                 key, data, stamp, ..
             } => key.len() + data.items.len() * 8 + 12 + stamp.len() * 8,
+            Msg::SyncReq => 1,
+            Msg::SyncResp { state, clock } => {
+                state
+                    .iter()
+                    .map(|(k, item)| k.len() + item.items.len() * 8 + 12)
+                    .sum::<usize>()
+                    + clock.len() * 8
+            }
         }
     }
 
@@ -103,6 +150,8 @@ impl Wire for Msg {
             Msg::Write { .. } => "c-write",
             Msg::WriteAck { .. } => "c-write-ack",
             Msg::Repl { .. } => "c-repl",
+            Msg::SyncReq => "c-sync-req",
+            Msg::SyncResp { .. } => "c-sync-resp",
         }
     }
 }
@@ -119,7 +168,15 @@ pub struct CausalReplica {
     /// This replica's causal clock.
     pub clock: VectorClock,
     /// Updates waiting for their causal dependencies.
-    buffered: Vec<(usize, String, Item, VectorClock)>,
+    buffered: Vec<BufferedUpdate>,
+    /// Whether the anti-entropy retry timer is currently armed.
+    sync_armed: bool,
+    /// The primary's node id, once wired; enables read-triggered sync.
+    primary_node: Option<NodeId>,
+    /// When this backup last probed the primary from its read path.
+    last_read_sync: Option<simnet::SimTime>,
+    /// State transfers served (observability for tests).
+    pub syncs_served: u64,
     read_service: SimDuration,
     write_service: SimDuration,
 }
@@ -134,6 +191,10 @@ impl CausalReplica {
             data: HashMap::new(),
             clock: VectorClock::zero(n),
             buffered: Vec::new(),
+            sync_armed: false,
+            primary_node: None,
+            last_read_sync: None,
+            syncs_served: 0,
             read_service: SimDuration::from_micros(100),
             write_service: SimDuration::from_micros(200),
         }
@@ -144,22 +205,34 @@ impl CausalReplica {
         self.peers = peers;
     }
 
+    /// Wires the primary's node id (enables read-triggered anti-entropy
+    /// on backups).
+    pub fn set_primary_node(&mut self, primary: NodeId) {
+        self.primary_node = Some(primary);
+    }
+
     /// Seeds a key directly (converged test/bootstrap state).
     pub fn seed(&mut self, key: &str, item: Item) {
         self.data.insert(key.to_string(), item);
     }
 
     fn apply_buffered(&mut self) {
+        // A state transfer may have covered buffered updates entirely
+        // (their stamp no longer exceeds the clock): purge those first or
+        // they would sit — undeliverable — in the buffer forever.
+        let clock = self.clock.clone();
+        self.buffered
+            .retain(|b| b.stamp.0[b.sender] > clock.0[b.sender]);
         loop {
             let Some(pos) = self
                 .buffered
                 .iter()
-                .position(|(s, _, _, stamp)| self.clock.deliverable(stamp, *s))
+                .position(|b| self.clock.deliverable(&b.stamp, b.sender))
             else {
                 return;
             };
-            let (_, key, item, stamp) = self.buffered.swap_remove(pos);
-            self.apply_update(&key, item, &stamp);
+            let b = self.buffered.swap_remove(pos);
+            self.apply_update(&b.key, b.item, &b.stamp);
         }
     }
 
@@ -189,6 +262,23 @@ impl Node<Msg> for CausalReplica {
                         from_primary: self.is_primary,
                     },
                 );
+                // Read-triggered anti-entropy: a lost *final* update never
+                // produces a detectable gap, so backups probe the primary
+                // from the read path (rate-limited). The answer can only
+                // freshen state, so this read's reply is untouched and the
+                // *next* read converges.
+                if !self.is_primary {
+                    if let Some(primary) = self.primary_node {
+                        let due = self
+                            .last_read_sync
+                            .map(|t| ctx.now().since(t) >= READ_SYNC_EVERY)
+                            .unwrap_or(true);
+                        if due {
+                            self.last_read_sync = Some(ctx.now());
+                            ctx.send(primary, Msg::SyncReq);
+                        }
+                    }
+                }
             }
             Msg::Write { op, key, items } => {
                 debug_assert!(self.is_primary, "writes must go to the primary");
@@ -219,9 +309,57 @@ impl Node<Msg> for CausalReplica {
                 if self.clock.deliverable(&stamp, sender) {
                     self.apply_update(&key, data, &stamp);
                     self.apply_buffered();
-                } else {
-                    self.buffered.push((sender, key, data, stamp));
+                } else if stamp.0[sender] > self.clock.0[sender] {
+                    // A gap: at least one earlier update from this sender
+                    // never arrived (lost, or still in flight). Buffer,
+                    // and ask the sender for a state transfer; retry on a
+                    // timer until the gap closes (the request itself may
+                    // be lost too).
+                    self.buffered.push(BufferedUpdate {
+                        sender,
+                        from,
+                        key,
+                        item: data,
+                        stamp,
+                    });
+                    ctx.send(from, Msg::SyncReq);
+                    if !self.sync_armed {
+                        self.sync_armed = true;
+                        ctx.set_timer(SYNC_RETRY_EVERY, SYNC_RETRY);
+                    }
                 }
+                // Else: an old duplicate already covered by the clock.
+            }
+            Msg::SyncReq => {
+                self.syncs_served += 1;
+                ctx.send(
+                    from,
+                    Msg::SyncResp {
+                        state: self
+                            .data
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect(),
+                        clock: self.clock.clone(),
+                    },
+                );
+            }
+            Msg::SyncResp { state, clock } => {
+                // Adopt a causally closed snapshot: fresher items plus the
+                // responder's clock, then drain whatever the buffer still
+                // holds beyond the snapshot.
+                for (key, item) in state {
+                    let fresher = self
+                        .data
+                        .get(&key)
+                        .map(|cur| item.rev > cur.rev)
+                        .unwrap_or(true);
+                    if fresher {
+                        self.data.insert(key, item);
+                    }
+                }
+                self.clock.merge(&clock);
+                self.apply_buffered();
             }
             Msg::ReadResp { .. } | Msg::WriteAck { .. } => {
                 debug_assert!(false, "replica received a client-bound message");
@@ -229,10 +367,22 @@ impl Node<Msg> for CausalReplica {
         }
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
+        if timer != SYNC_RETRY {
+            return;
+        }
+        self.sync_armed = false;
+        if let Some(first) = self.buffered.first() {
+            ctx.send(first.from, Msg::SyncReq);
+            self.sync_armed = true;
+            ctx.set_timer(SYNC_RETRY_EVERY, SYNC_RETRY);
+        }
+    }
+
     fn service_cost(&self, msg: &Msg) -> SimDuration {
         match msg {
-            Msg::Read { .. } => self.read_service,
-            Msg::Write { .. } | Msg::Repl { .. } => self.write_service,
+            Msg::Read { .. } | Msg::SyncReq => self.read_service,
+            Msg::Write { .. } | Msg::Repl { .. } | Msg::SyncResp { .. } => self.write_service,
             _ => SimDuration::ZERO,
         }
     }
@@ -273,7 +423,9 @@ mod tests {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, p)| *p)
                 .collect();
-            eng.node_as::<CausalReplica>(*id).set_peers(peers);
+            let node = eng.node_as::<CausalReplica>(*id);
+            node.set_peers(peers);
+            node.set_primary_node(ids[0]);
         }
         let sink = eng.add_node(sites[0], Box::new(Sink));
         (eng, ids, sink)
@@ -331,6 +483,91 @@ mod tests {
             assert_eq!(r.clock.0[0], 20);
             assert!(r.buffered.is_empty(), "nothing left buffered");
         }
+    }
+
+    #[test]
+    fn lost_repl_heals_via_state_transfer() {
+        use simnet::{Faults, SimTime};
+        let (mut eng, ids, sink) = build();
+        // The VRG backup is down while the first write replicates: its
+        // Repl is lost for good (the primary does not retransmit).
+        eng.set_faults(Faults::none().with_downtime(
+            ids[2],
+            SimTime::ZERO,
+            SimTime::ZERO + D::from_millis(60),
+        ));
+        for (seq, delay_ms) in [(0u64, 0u64), (1, 80)] {
+            eng.schedule_message(
+                sink,
+                ids[0],
+                D::from_millis(delay_ms),
+                Msg::Write {
+                    op: OpId { client: sink, seq },
+                    key: "k".into(),
+                    items: vec![seq],
+                },
+            );
+        }
+        eng.run_until_idle(100_000);
+        // The second write's Repl arrived with a causal gap; without the
+        // SyncReq/SyncResp state transfer the backup would be stuck at
+        // rev 0 (nothing applied) forever — the convergence bug the
+        // oracle surfaced.
+        let served = eng.node_as::<CausalReplica>(ids[0]).syncs_served;
+        assert!(served > 0, "no state transfer happened");
+        let backup = eng.node_as::<CausalReplica>(ids[2]);
+        assert_eq!(backup.data.get("k").map(|d| d.rev), Some(2));
+        assert!(backup.buffered.is_empty());
+    }
+
+    #[test]
+    fn lost_final_repl_heals_on_subsequent_read() {
+        use simnet::{Faults, SimTime};
+        let (mut eng, ids, sink) = build();
+        // The *last* write's Repl to the VRG backup is lost and nothing
+        // is written afterwards: no causal gap ever becomes detectable,
+        // so only the read-triggered probe can heal this.
+        eng.set_faults(Faults::none().with_downtime(
+            ids[2],
+            SimTime::ZERO,
+            SimTime::ZERO + D::from_millis(60),
+        ));
+        eng.schedule_message(
+            sink,
+            ids[0],
+            D::ZERO,
+            Msg::Write {
+                op: OpId {
+                    client: sink,
+                    seq: 0,
+                },
+                key: "k".into(),
+                items: vec![7],
+            },
+        );
+        eng.run_until_idle(10_000);
+        assert!(
+            !eng.node_as::<CausalReplica>(ids[2]).data.contains_key("k"),
+            "precondition: the backup must actually have missed the write"
+        );
+        // A causal read at the stale backup serves the stale answer but
+        // probes the primary; once the state transfer lands, the backup
+        // has converged.
+        eng.schedule_message(
+            sink,
+            ids[2],
+            D::from_millis(100),
+            Msg::Read {
+                op: OpId {
+                    client: sink,
+                    seq: 1,
+                },
+                key: "k".into(),
+            },
+        );
+        eng.run_until_idle(10_000);
+        let backup = eng.node_as::<CausalReplica>(ids[2]);
+        assert_eq!(backup.data.get("k").map(|d| d.rev), Some(1));
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Upcall};
-use simnet::{Ctx, Node, NodeId, SimDuration, SimTime, Timer, Topology};
+use correctables::{Binding, ConsistencyLevel, Error, Upcall};
+use simnet::{Ctx, Faults, Node, NodeId, SimDuration, SimTime, SiteId, Timer, Topology};
 
 use crate::cluster::ZkCluster;
 use crate::messages::Msg;
@@ -105,9 +105,24 @@ struct Gateway {
     timings: Timings,
     next_seq: u64,
     pending: HashMap<OpId, GwPending>,
+    /// Client-side deadline per operation; `None` waits forever (the
+    /// fault-free default). Fault-injected runs set it so lost replies
+    /// fail the Correctable instead of wedging `settle`.
+    client_timeout: Option<SimDuration>,
+    timer_ops: HashMap<u64, OpId>,
+    next_timer: u64,
 }
 
 impl Gateway {
+    fn arm_client_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId) {
+        if let Some(d) = self.client_timeout {
+            let token = self.next_timer;
+            self.next_timer += 1;
+            self.timer_ops.insert(token, op);
+            ctx.set_timer(d, Timer(token));
+        }
+    }
+
     fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
         loop {
             let Some(q) = self.queue.lock().pop_front() else {
@@ -146,6 +161,7 @@ impl Gateway {
                         prelim_at: None,
                     },
                 );
+                self.arm_client_timeout(ctx, op);
                 ctx.send(self.server, Msg::Read { op, cmd });
                 continue;
             }
@@ -157,6 +173,7 @@ impl Gateway {
                     prelim_at: None,
                 },
             );
+            self.arm_client_timeout(ctx, op);
             ctx.send(
                 self.server,
                 Msg::Submit {
@@ -219,6 +236,11 @@ impl Node<Msg> for Gateway {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
         if timer.0 == KICK {
             self.drain(ctx);
+        } else if let Some(op) = self.timer_ops.remove(&timer.0) {
+            if let Some(p) = self.pending.remove(&op) {
+                p.upcall.fail(Error::Timeout);
+            }
+            self.drain(ctx);
         }
     }
 
@@ -279,6 +301,9 @@ impl SimQueue {
                 timings: Arc::clone(&timings),
                 next_seq: 0,
                 pending: HashMap::new(),
+                client_timeout: None,
+                timer_ops: HashMap::new(),
+                next_timer: 0,
             }),
         );
         SimQueue {
@@ -298,19 +323,68 @@ impl SimQueue {
         self.state.lock().cluster.prefill_queue("/q", n, data_len);
     }
 
-    /// Drives the simulation until all submitted operations resolve.
+    /// Installs a fault plan on the underlying simulation. Combine with
+    /// [`SimQueue::set_client_timeout`] so lost replies fail operations
+    /// instead of leaving them open forever.
+    pub fn set_faults(&self, faults: Faults) {
+        self.state.lock().cluster.engine.set_faults(faults);
+    }
+
+    /// Sets a client-side deadline for every subsequently submitted
+    /// operation (fails with `Error::Timeout` when it passes without a
+    /// final response).
+    pub fn set_client_timeout(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.cluster.engine.node_as::<Gateway>(gw).client_timeout = Some(d);
+    }
+
+    /// The server node ids, in FRK/IRL/VRG (site-list) order.
+    pub fn server_ids(&self) -> Vec<NodeId> {
+        self.state.lock().cluster.servers.clone()
+    }
+
+    /// All site ids of the deployment's topology.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let st = self.state.lock();
+        (0..st.cluster.engine.topology().len())
+            .map(SiteId)
+            .collect()
+    }
+
+    /// Runs the simulation for `d` without submitting anything (lets
+    /// replication and commit propagation progress).
+    pub fn advance(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let until = st.cluster.engine.now() + d;
+        st.cluster.engine.run_until(until);
+    }
+
+    /// Drives the simulation until all submitted operations resolve —
+    /// including failing by client timeout when faults lost their
+    /// replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations can never resolve (faults active without a
+    /// client timeout), instead of looping forever.
     pub fn settle(&self) {
         let mut st = self.state.lock();
-        loop {
+        for _ in 0..1_000 {
             let gw = st.gateway;
             st.cluster
                 .engine
                 .schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
             st.cluster.engine.run_until_idle(50_000_000);
-            if self.queue.lock().is_empty() {
+            let pending_empty = st.cluster.engine.node_as::<Gateway>(gw).pending.is_empty();
+            if pending_empty && self.queue.lock().is_empty() {
                 return;
             }
         }
+        panic!(
+            "queue operations cannot settle (lost replies without a client \
+             timeout? see SimQueue::set_client_timeout)"
+        );
     }
 
     /// Timings of completed operations.

@@ -59,6 +59,7 @@ pub mod correctable;
 pub mod error;
 pub mod level;
 pub mod local;
+pub mod record;
 pub mod speculate;
 pub mod view;
 
@@ -67,5 +68,6 @@ pub use client::Client;
 pub use correctable::{Correctable, Handle, State};
 pub use error::{ClosedError, Error};
 pub use level::{ConsistencyLevel, LevelSelection};
+pub use record::{History, HistoryEvent, Invocation, RecordingBinding};
 pub use speculate::SpeculationStats;
 pub use view::View;

@@ -36,7 +36,11 @@ fn concurrent_registration_sees_full_history_in_order() {
             observers.push(Arc::clone(&seen));
             registrars.push(thread::spawn(move || {
                 // Stagger so registrations land at different points of the
-                // delivery stream (including mid-pump).
+                // delivery stream (including mid-pump). This sleep is a
+                // best-effort spread, not synchronization: the assertions
+                // below hold wherever the registration lands (replay
+                // guarantees the full history), so scheduling jitter can
+                // shift coverage but never outcomes.
                 thread::sleep(Duration::from_micros(20 * t));
                 c2.on_update(move |v| seen.lock().push(v.value));
             }));

@@ -1,4 +1,9 @@
 //! Property-based tests of the Correctable state machine (Figure 3).
+//!
+//! Flakiness audit: fully synchronous — no threads, sleeps, or
+//! timeouts; every case is a deterministic function of the generated
+//! actions (and the vendored proptest shim derives its seed from the
+//! test name, so CI runs are reproducible).
 
 use proptest::prelude::*;
 

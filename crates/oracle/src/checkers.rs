@@ -1,0 +1,319 @@
+//! History checkers for the paper's two structural guarantees:
+//!
+//! - **View monotonicity** (§3.1): within one invocation, views arrive
+//!   at strictly ascending consistency levels, the invocation closes
+//!   exactly once (final view at the strongest requested level, or an
+//!   error), and nothing is delivered after the close.
+//! - **Convergence** (§3.1): in a quiescent system, the preliminary
+//!   (weak) views of an operation carry the same value as its final
+//!   (strong) view — weak views *converge* to the strong result.
+//!
+//! Both checkers work over [`Invocation`] records snapshot from a
+//! [`correctables::History`]; they interpret nothing about the
+//! operations themselves, so they apply to every binding uniformly.
+//! (Linearizability — the *value* guarantee of strong views — lives in
+//! [`crate::lin`], which does need a sequential specification.)
+
+use std::fmt;
+
+use correctables::record::{HistoryEvent, Invocation};
+
+/// What a structural checker found wrong with one invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A view's level did not strictly exceed the previous view's.
+    LevelRegressed,
+    /// More than one closing event was recorded.
+    MultipleCloses,
+    /// An event was recorded after the invocation closed.
+    EventAfterClose,
+    /// The invocation never closed (and the checker required closure).
+    NeverClosed,
+    /// A preliminary view arrived at a level that was never requested.
+    UnrequestedLevel,
+    /// The final view's level was below the strongest requested level.
+    WeakClose,
+    /// A preliminary view's value differs from the final view's value
+    /// (convergence check).
+    Diverged,
+}
+
+/// One checker finding, tied to an invocation of the history.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The invocation's id in the history.
+    pub invocation: usize,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable details (op, levels, values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invocation {}: {:?} — {}",
+            self.invocation, self.kind, self.detail
+        )
+    }
+}
+
+/// Checks per-invocation view monotonicity over a history snapshot.
+///
+/// With `require_closed`, an invocation that never closed is itself a
+/// violation — pass `true` when the snapshot was taken after the system
+/// settled, `false` for mid-run snapshots.
+pub fn check_monotonicity<Op: fmt::Debug, T: fmt::Debug>(
+    invocations: &[Invocation<Op, T>],
+    require_closed: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for inv in invocations {
+        let mut push = |kind: ViolationKind, detail: String| {
+            out.push(Violation {
+                invocation: inv.id,
+                kind,
+                detail: format!("op {:?}: {detail}", inv.op),
+            })
+        };
+        let strongest = inv.strongest();
+        let mut last_rank: Option<u8> = None;
+        let mut closed = false;
+        for e in &inv.events {
+            if closed {
+                push(
+                    ViolationKind::EventAfterClose,
+                    format!("event {e:?} after the close"),
+                );
+                continue;
+            }
+            match e {
+                HistoryEvent::View {
+                    level,
+                    value,
+                    closing,
+                    ..
+                } => {
+                    if let Some(prev) = last_rank {
+                        if level.rank() <= prev {
+                            push(
+                                ViolationKind::LevelRegressed,
+                                format!(
+                                    "view at {level} (rank {}) after rank {prev}",
+                                    level.rank()
+                                ),
+                            );
+                        }
+                    }
+                    last_rank = Some(level.rank());
+                    if *closing {
+                        closed = true;
+                        if let Some(s) = strongest {
+                            if level.rank() < s.rank() {
+                                push(
+                                    ViolationKind::WeakClose,
+                                    format!("closed at {level} but {s} was requested"),
+                                );
+                            }
+                        }
+                    } else if !inv.levels.contains(level) {
+                        push(
+                            ViolationKind::UnrequestedLevel,
+                            format!("preliminary {value:?} at unrequested level {level}"),
+                        );
+                    }
+                }
+                HistoryEvent::Failed { .. } => {
+                    closed = true;
+                }
+            }
+        }
+        // Count closes directly so "two closing views" is reported as
+        // MultipleCloses (the loop above reports them as after-close
+        // events too, which is accurate but less specific).
+        let closes = inv.events.iter().filter(|e| e.is_closing()).count();
+        if closes > 1 {
+            push(
+                ViolationKind::MultipleCloses,
+                format!("{closes} closing events"),
+            );
+        }
+        if closes == 0 && require_closed {
+            push(
+                ViolationKind::NeverClosed,
+                format!("{} events, none closing", inv.events.len()),
+            );
+        }
+    }
+    out
+}
+
+/// Checks convergence over the quiescent suffix of a history: for every
+/// invocation submitted at or after `from_seq` that closed with a final
+/// view, all preliminary views must carry the same value as the final
+/// view.
+///
+/// Scoping matters: mid-run, weak views are *allowed* to be stale —
+/// that staleness is the latency the paper trades against. The promise
+/// is that they converge once the system quiesces, so callers mark the
+/// history after quiescing and check only the reads issued after that.
+pub fn check_convergence<Op: fmt::Debug, T: PartialEq + fmt::Debug>(
+    invocations: &[Invocation<Op, T>],
+    from_seq: u64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for inv in invocations {
+        if inv.submitted < from_seq {
+            continue;
+        }
+        let Some((final_value, final_level)) = inv.final_view() else {
+            continue;
+        };
+        for e in &inv.events {
+            if let HistoryEvent::View {
+                level,
+                value,
+                closing: false,
+                ..
+            } = e
+            {
+                if value != final_value {
+                    out.push(Violation {
+                        invocation: inv.id,
+                        kind: ViolationKind::Diverged,
+                        detail: format!(
+                            "op {:?}: quiescent {level} view {value:?} != final {final_level} \
+                             view {final_value:?}",
+                            inv.op
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctables::ConsistencyLevel::{Causal, Strong, Weak};
+    use correctables::Error;
+
+    fn view<T>(
+        seq: u64,
+        level: correctables::ConsistencyLevel,
+        value: T,
+        closing: bool,
+    ) -> HistoryEvent<T> {
+        HistoryEvent::View {
+            seq,
+            at_nanos: 0,
+            level,
+            value,
+            closing,
+        }
+    }
+
+    fn inv(id: usize, events: Vec<HistoryEvent<u64>>) -> Invocation<&'static str, u64> {
+        Invocation {
+            id,
+            op: "op",
+            levels: vec![Weak, Strong],
+            submitted: 0,
+            at_nanos: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = vec![inv(
+            0,
+            vec![view(1, Weak, 1, false), view(2, Strong, 2, true)],
+        )];
+        assert!(check_monotonicity(&h, true).is_empty());
+    }
+
+    #[test]
+    fn descending_levels_rejected() {
+        let h = vec![inv(
+            0,
+            vec![
+                view(1, Causal, 1, false),
+                view(2, Weak, 2, false),
+                view(3, Strong, 3, true),
+            ],
+        )];
+        let v = check_monotonicity(&h, true);
+        assert_eq!(v.len(), 2, "{v:?}"); // regression + unrequested Causal
+        assert!(v.iter().any(|x| x.kind == ViolationKind::LevelRegressed));
+    }
+
+    #[test]
+    fn event_after_close_rejected() {
+        let h = vec![inv(
+            0,
+            vec![view(1, Strong, 1, true), view(2, Weak, 2, false)],
+        )];
+        let v = check_monotonicity(&h, true);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::EventAfterClose));
+    }
+
+    #[test]
+    fn double_close_rejected() {
+        let h = vec![inv(
+            0,
+            vec![view(1, Strong, 1, true), view(2, Strong, 2, true)],
+        )];
+        let v = check_monotonicity(&h, true);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::MultipleCloses));
+    }
+
+    #[test]
+    fn never_closed_rejected_only_when_required() {
+        let h = vec![inv(0, vec![view(1, Weak, 1, false)])];
+        assert!(check_monotonicity(&h, false).is_empty());
+        let v = check_monotonicity(&h, true);
+        assert_eq!(v[0].kind, ViolationKind::NeverClosed);
+    }
+
+    #[test]
+    fn weak_close_rejected() {
+        let h = vec![inv(0, vec![view(1, Weak, 1, true)])];
+        let v = check_monotonicity(&h, true);
+        assert_eq!(v[0].kind, ViolationKind::WeakClose);
+    }
+
+    #[test]
+    fn error_close_is_a_valid_close() {
+        let mut i = inv(0, vec![view(1, Weak, 1, false)]);
+        i.events.push(HistoryEvent::Failed {
+            seq: 2,
+            at_nanos: 0,
+            error: Error::Timeout,
+        });
+        assert!(check_monotonicity(&[i], true).is_empty());
+    }
+
+    #[test]
+    fn convergence_rejects_diverging_prelims_in_scope_only() {
+        let mut a = inv(0, vec![view(1, Weak, 7, false), view(2, Strong, 9, true)]);
+        a.submitted = 0;
+        let mut b = inv(1, vec![view(4, Weak, 7, false), view(5, Strong, 9, true)]);
+        b.submitted = 3;
+        let h = vec![a, b];
+        // Scoped after `a`: only `b` is checked.
+        let v = check_convergence(&h, 3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invocation, 1);
+        assert_eq!(v[0].kind, ViolationKind::Diverged);
+        // Converged history passes.
+        let ok = vec![inv(
+            0,
+            vec![view(1, Weak, 9, false), view(2, Strong, 9, true)],
+        )];
+        assert!(check_convergence(&ok, 0).is_empty());
+    }
+}

@@ -1,0 +1,843 @@
+//! The seeded fault-schedule explorer.
+//!
+//! One exploration = one `(stack, seed)` pair. The seed deterministically
+//! derives (1) a fault schedule — partitions, node downtime, message
+//! loss — via [`Faults::random`], and (2) a concurrent client workload.
+//! The stack runs the workload under the schedule, heals, quiesces, and
+//! then every checker runs over the recorded history:
+//!
+//! - view monotonicity over *all* invocations,
+//! - convergence over the quiescent tail reads,
+//! - linearizability of strong views against the stack's sequential spec
+//!   (crashed operations treated as maybe-applied).
+//!
+//! On failure the schedule is **shrunk** — one-step reductions are
+//! re-run and kept while they still fail — and the resulting
+//! [`FailureReport`] prints the minimal `(seed, schedule)` pair, which
+//! [`replay`] reruns bit-for-bit.
+
+use std::fmt;
+
+use correctables::record::{History, HistoryEvent, Invocation, RecordingBinding};
+use correctables::{Client, ConsistencyLevel, KeyedOp};
+use simnet::{DetRng, Faults, NodeId, SchedulePlan, SimDuration, SiteId};
+
+use causalstore::{CacheOp, Item, SimCausal};
+use consensusq::{seq_of, QueueOp, QueueView, ServerConfig, SimQueue};
+use icg_shard::{KvOp, ShardedBinding};
+use quorumstore::{Key, QuorumBinding, ReplicaConfig, SimStore, StoreOp, Value, Versioned};
+
+use crate::buggy::LaggyMem;
+use crate::checkers::{check_convergence, check_monotonicity};
+use crate::lin::{check_linearizable, LinEntry};
+use crate::spec::{
+    CounterSpec, CtrOp, KvStoreSpec, KvsOp, QOp, QRet, QueueSpec, RegOp, RegisterSpec,
+};
+
+/// Which binding stack an exploration drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackKind {
+    /// The quorum store (CC; *CC when `confirm` is set).
+    Store {
+        /// Enable the *CC confirmation optimization.
+        confirm: bool,
+    },
+    /// The ZooKeeper-model replicated queue (CZK).
+    Queue,
+    /// The cached causal store (news-reader stack).
+    Causal,
+    /// A fleet of quorum stores behind the sharded router.
+    ShardedStore {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// The deliberately buggy in-memory binding ([`LaggyMem`]) — the
+    /// negative fixture proving the checkers reject real violations.
+    BuggyMem,
+}
+
+impl fmt::Display for StackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackKind::Store { confirm: false } => write!(f, "store"),
+            StackKind::Store { confirm: true } => write!(f, "store+confirm"),
+            StackKind::Queue => write!(f, "queue"),
+            StackKind::Causal => write!(f, "causal"),
+            StackKind::ShardedStore { shards } => write!(f, "sharded-store({shards})"),
+            StackKind::BuggyMem => write!(f, "buggy-mem"),
+        }
+    }
+}
+
+/// Exploration parameters (the defaults keep one run well under a
+/// second of real time).
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Approximate number of workload operations in the faulty phase.
+    pub ops: usize,
+    /// Key-space size (smaller = more write/read interaction).
+    pub keys: u64,
+    /// Maximum operations submitted concurrently before settling.
+    pub max_batch: u64,
+    /// Client-side deadline per operation, virtual milliseconds.
+    pub client_timeout_ms: u64,
+    /// Bounds for fault-schedule generation.
+    pub plan: SchedulePlan,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            ops: 48,
+            keys: 4,
+            max_batch: 6,
+            client_timeout_ms: 1_500,
+            plan: SchedulePlan::default(),
+        }
+    }
+}
+
+/// What a clean exploration covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunSummary {
+    /// Invocations recorded (workload + quiescent tail).
+    pub invocations: usize,
+    /// Operations that closed by error (timeouts under faults).
+    pub crashed: usize,
+    /// Operations entered into the linearizability check.
+    pub lin_entries: usize,
+}
+
+/// A reproducible consistency violation.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// The stack that misbehaved.
+    pub stack: StackKind,
+    /// The seed that (with `schedule`) reproduces the violation.
+    pub seed: u64,
+    /// The minimal (shrunk) fault schedule that still fails.
+    pub schedule: Faults,
+    /// The checker findings.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "consistency violation on stack `{}` — reproduce with seed={} schedule=[{}]",
+            self.stack, self.seed, self.schedule
+        )?;
+        for v in self.violations.iter().take(8) {
+            writeln!(f, "  - {v}")?;
+        }
+        if self.violations.len() > 8 {
+            writeln!(f, "  … and {} more", self.violations.len() - 8)?;
+        }
+        write!(
+            f,
+            "replay: icg_oracle::replay(stack, seed, &schedule, &config) reruns this \
+             deterministically"
+        )
+    }
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// The canonical fault targets of the simulated stacks: the three
+/// replicas/servers are always the first three nodes of their engine,
+/// and the FRK/IRL/VRG topology has three sites (the client gateway
+/// shares one of them, so partitions can cut the client off too).
+///
+/// Schedules are generated *before* the stack exists (the seed must
+/// fully determine them), so every driver checks this layout against
+/// the stack's own id accessors via [`assert_fault_targets`] — if a
+/// constructor ever reorders node registration, the explorer fails
+/// loudly instead of silently targeting the wrong node.
+fn fault_targets() -> (Vec<SiteId>, Vec<NodeId>) {
+    ((0..3).map(SiteId).collect(), (0..3).map(NodeId).collect())
+}
+
+fn assert_fault_targets(sites: Vec<SiteId>, nodes: Vec<NodeId>) {
+    let (want_sites, want_nodes) = fault_targets();
+    assert_eq!(sites, want_sites, "stack site layout changed");
+    assert_eq!(nodes, want_nodes, "stack replica layout changed");
+}
+
+/// Explores one `(stack, seed)` pair: generates the schedule, runs the
+/// workload, checks the history, and on failure shrinks the schedule.
+///
+/// # Errors
+///
+/// Returns the shrunk, reproducible [`FailureReport`].
+pub fn explore(
+    stack: StackKind,
+    seed: u64,
+    cfg: &ExplorerConfig,
+) -> Result<RunSummary, Box<FailureReport>> {
+    let (sites, nodes) = fault_targets();
+    let mut rng = DetRng::seed_from_u64(seed);
+    let schedule = Faults::random(&cfg.plan, &sites, &nodes, &mut rng);
+    run_and_report(stack, seed, schedule, cfg, true)
+}
+
+/// Reruns a previously reported `(seed, schedule)` pair verbatim (no
+/// generation, no shrinking).
+///
+/// # Errors
+///
+/// Returns the same violation the original run produced.
+pub fn replay(
+    stack: StackKind,
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+) -> Result<RunSummary, Box<FailureReport>> {
+    run_and_report(stack, seed, schedule.clone(), cfg, false)
+}
+
+fn run_and_report(
+    stack: StackKind,
+    seed: u64,
+    schedule: Faults,
+    cfg: &ExplorerConfig,
+    shrink: bool,
+) -> Result<RunSummary, Box<FailureReport>> {
+    let (summary, violations) = run_one(stack, seed, &schedule, cfg);
+    if violations.is_empty() {
+        return Ok(summary);
+    }
+    let (schedule, violations) = if shrink {
+        shrink_schedule(stack, seed, schedule, violations, cfg)
+    } else {
+        (schedule, violations)
+    };
+    Err(Box::new(FailureReport {
+        stack,
+        seed,
+        schedule,
+        violations,
+    }))
+}
+
+/// Greedily keeps one-step reductions of the schedule while they still
+/// fail; runs are deterministic, so the result is reproducible.
+fn shrink_schedule(
+    stack: StackKind,
+    seed: u64,
+    mut schedule: Faults,
+    mut violations: Vec<String>,
+    cfg: &ExplorerConfig,
+) -> (Faults, Vec<String>) {
+    loop {
+        let mut improved = false;
+        for cand in schedule.shrink_candidates() {
+            let (_, v) = run_one(stack, seed, &cand, cfg);
+            if !v.is_empty() {
+                schedule = cand;
+                violations = v;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (schedule, violations);
+        }
+    }
+}
+
+fn run_one(
+    stack: StackKind,
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+) -> (RunSummary, Vec<String>) {
+    match stack {
+        StackKind::Store { confirm } => run_store(seed, schedule, cfg, confirm),
+        StackKind::Queue => run_queue(seed, schedule, cfg),
+        StackKind::Causal => run_causal(seed, schedule, cfg),
+        StackKind::ShardedStore { shards } => run_sharded(seed, schedule, cfg, shards),
+        StackKind::BuggyMem => run_buggy(seed, cfg),
+    }
+}
+
+/// Salt separating the workload stream from the schedule stream, so a
+/// shrunk schedule never changes which operations the workload issues.
+const WORKLOAD_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn workload_rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed ^ WORKLOAD_SALT)
+}
+
+fn crashed_count<Op, T>(invs: &[Invocation<Op, T>]) -> usize {
+    invs.iter()
+        .filter(|i| matches!(i.closing_event(), Some(HistoryEvent::Failed { .. })))
+        .count()
+}
+
+fn structural_violations<Op: fmt::Debug, T: PartialEq + fmt::Debug>(
+    invs: &[Invocation<Op, T>],
+    tail_mark: u64,
+) -> Vec<String> {
+    let mut out: Vec<String> = check_monotonicity(invs, true)
+        .into_iter()
+        .map(|v| format!("monotonicity: {v}"))
+        .collect();
+    out.extend(
+        check_convergence(invs, tail_mark)
+            .into_iter()
+            .map(|v| format!("convergence: {v}")),
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Quorum store
+// ---------------------------------------------------------------------
+
+fn opaque(v: &Value) -> u64 {
+    match v {
+        Value::Opaque(n) => u64::from(*n),
+        _ => 0,
+    }
+}
+
+fn store_lin_entries(invs: &[Invocation<StoreOp, Versioned>]) -> Vec<LinEntry<RegOp, u64>> {
+    let strong = ConsistencyLevel::Strong;
+    let mut out = Vec::new();
+    for inv in invs {
+        let op = match &inv.op {
+            StoreOp::Read(k) => RegOp::Read(k.id),
+            StoreOp::Write(k, v) => RegOp::Write(k.id, opaque(v)),
+        };
+        match inv.closing_event() {
+            Some(HistoryEvent::View { level, value, .. }) if level.at_least(strong) => {
+                out.push(LinEntry::done(
+                    inv.id,
+                    op,
+                    opaque(&value.value),
+                    inv.submitted,
+                    inv.closed_at(),
+                ));
+            }
+            Some(HistoryEvent::Failed { .. }) => {
+                // A timed-out write may still have landed; a timed-out
+                // read has no effect and drops out entirely.
+                if matches!(inv.op, StoreOp::Write(..)) {
+                    out.push(LinEntry::crashed(inv.id, op, inv.submitted));
+                }
+            }
+            _ => {} // weak-only closes don't partake in the strong order
+        }
+    }
+    out
+}
+
+fn store_init_value(key: u64) -> u32 {
+    100 + key as u32
+}
+
+fn run_store(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+    confirm: bool,
+) -> (RunSummary, Vec<String>) {
+    let rc = ReplicaConfig {
+        op_timeout: ms(1_000),
+        ..ReplicaConfig::default()
+    };
+    let store = SimStore::ec2(rc, 2, confirm, "IRL", 0, seed);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+    store.preload((0..cfg.keys).map(|k| (Key::plain(k), Value::Opaque(store_init_value(k)))));
+    store.set_client_timeout(ms(cfg.client_timeout_ms));
+    store.set_faults(schedule.clone());
+
+    let history: History<StoreOp, Versioned> = History::with_clock(store.clock());
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut next_val: u32 = 10_000;
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = Key::plain(wl.below(cfg.keys));
+            match wl.below(10) {
+                0..=3 => {
+                    let v = Value::Opaque(next_val);
+                    next_val += 1;
+                    if wl.chance(0.5) {
+                        client.invoke_strong(StoreOp::Write(k, v));
+                    } else {
+                        client.invoke(StoreOp::Write(k, v));
+                    }
+                }
+                4..=7 => {
+                    client.invoke(StoreOp::Read(k));
+                }
+                8 => {
+                    client.invoke_strong(StoreOp::Read(k));
+                }
+                _ => {
+                    client.invoke_weak(StoreOp::Read(k));
+                }
+            }
+            issued += 1;
+        }
+        store.settle();
+        store.advance(ms(wl.range(1, 120)));
+    }
+
+    // Heal, drain every in-flight effect and timeout, then take the
+    // quiescent tail: a strong refresh round, then the checked reads.
+    store.set_faults(Faults::none());
+    store.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    for k in 0..cfg.keys {
+        client.invoke_strong(StoreOp::Read(Key::plain(k)));
+    }
+    store.settle();
+    store.advance(ms(300));
+    let tail_mark = history.mark();
+    for k in 0..cfg.keys {
+        client.invoke(StoreOp::Read(Key::plain(k)));
+    }
+    store.settle();
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let spec = RegisterSpec {
+        initial: (0..cfg.keys)
+            .map(|k| (k, u64::from(store_init_value(k))))
+            .collect(),
+    };
+    let entries = store_lin_entries(&invs);
+    if let Err(v) = check_linearizable(&spec, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Replicated queue
+// ---------------------------------------------------------------------
+
+fn queue_lin_entries(invs: &[Invocation<QueueOp, QueueView>]) -> Vec<LinEntry<QOp, QRet>> {
+    let strong = ConsistencyLevel::Strong;
+    let mut out = Vec::new();
+    for inv in invs {
+        let op = match inv.op {
+            QueueOp::Enqueue { .. } => QOp::Enqueue,
+            QueueOp::Dequeue => QOp::Dequeue,
+        };
+        match inv.closing_event() {
+            Some(HistoryEvent::View { level, value, .. }) if level.at_least(strong) => {
+                let ret = QRet {
+                    name: value.name.as_deref().and_then(seq_of),
+                    remaining: value.remaining,
+                };
+                out.push(LinEntry::done(
+                    inv.id,
+                    op,
+                    ret,
+                    inv.submitted,
+                    inv.closed_at(),
+                ));
+            }
+            Some(HistoryEvent::Failed { .. }) => {
+                // Both queue ops mutate; a timeout leaves them in
+                // maybe-applied limbo.
+                out.push(LinEntry::crashed(inv.id, op, inv.submitted));
+            }
+            _ => {} // weak-only dequeues are pure peeks
+        }
+    }
+    out
+}
+
+fn run_queue(seed: u64, schedule: &Faults, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
+    let q = SimQueue::ec2(ServerConfig::default(), "IRL", "IRL", "FRK", seed);
+    assert_fault_targets(q.site_ids(), q.server_ids());
+    let prefill = cfg.keys;
+    q.prefill(prefill, 20);
+    q.set_client_timeout(ms(cfg.client_timeout_ms));
+    q.set_faults(schedule.clone());
+
+    let history: History<QueueOp, QueueView> = History::new();
+    let client = Client::new(RecordingBinding::new(q.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut issued = 0usize;
+    // Zab coordination is heavier than a quorum read; halve the load.
+    while issued < cfg.ops / 2 {
+        let batch = 1 + wl.below(cfg.max_batch.min(3));
+        for _ in 0..batch {
+            match wl.below(10) {
+                0..=4 => {
+                    client.invoke(QueueOp::Enqueue { data_len: 20 });
+                }
+                5..=8 => {
+                    client.invoke(QueueOp::Dequeue);
+                }
+                _ => {
+                    client.invoke_weak(QueueOp::Dequeue);
+                }
+            }
+            issued += 1;
+        }
+        q.settle();
+        q.advance(ms(wl.range(1, 120)));
+    }
+
+    q.set_faults(Faults::none());
+    q.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    let tail_mark = history.mark();
+    // Sequential tail with propagation gaps so the connected follower's
+    // local simulation (the preliminary) reflects a settled state.
+    for i in 0..4u64 {
+        if i == 3 {
+            client.invoke(QueueOp::Enqueue { data_len: 20 });
+        } else {
+            client.invoke(QueueOp::Dequeue);
+        }
+        q.settle();
+        q.advance(ms(300));
+    }
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let entries = queue_lin_entries(&invs);
+    if let Err(v) = check_linearizable(&QueueSpec { prefill }, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Cached causal store
+// ---------------------------------------------------------------------
+
+/// The `(rev, items)` pair the causal spec reasons over.
+type RevItems = Option<(u64, Vec<u64>)>;
+
+fn item_pair(v: &Option<Item>) -> RevItems {
+    v.as_ref().map(|i| (i.rev, i.items.clone()))
+}
+
+fn causal_lin_entries(
+    invs: &[Invocation<CacheOp, Option<Item>>],
+) -> Vec<LinEntry<KvsOp, RevItems>> {
+    let strong = ConsistencyLevel::Strong;
+    let mut out = Vec::new();
+    for inv in invs {
+        let op = match &inv.op {
+            CacheOp::Get(k) => KvsOp::Get(k.clone()),
+            CacheOp::Put(k, items) => KvsOp::Put(k.clone(), items.clone()),
+        };
+        match inv.closing_event() {
+            Some(HistoryEvent::View { level, value, .. }) if level.at_least(strong) => {
+                out.push(LinEntry::done(
+                    inv.id,
+                    op,
+                    item_pair(value),
+                    inv.submitted,
+                    inv.closed_at(),
+                ));
+            }
+            Some(HistoryEvent::Failed { .. }) => {
+                if matches!(inv.op, CacheOp::Put(..)) {
+                    out.push(LinEntry::crashed(inv.id, op, inv.submitted));
+                }
+            }
+            _ => {} // cache-level closes are local peeks
+        }
+    }
+    out
+}
+
+fn run_causal(seed: u64, schedule: &Faults, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
+    let s = SimCausal::ec2("VRG", "IRL", seed);
+    assert_fault_targets(s.site_ids(), s.replica_ids());
+    let keys: Vec<String> = (0..cfg.keys).map(|k| format!("k{k}")).collect();
+    for (i, k) in keys.iter().enumerate() {
+        s.seed(k, 1, vec![i as u64]);
+    }
+    s.set_client_timeout(ms(cfg.client_timeout_ms));
+    s.set_faults(schedule.clone());
+
+    let history: History<CacheOp, Option<Item>> = History::new();
+    let client = Client::new(RecordingBinding::new(s.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut next_item: u64 = 10_000;
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = keys[wl.below(cfg.keys) as usize].clone();
+            match wl.below(10) {
+                0..=2 => {
+                    let items = vec![next_item];
+                    next_item += 1;
+                    client.invoke_strong(CacheOp::Put(k, items));
+                }
+                3..=8 => {
+                    client.invoke(CacheOp::Get(k));
+                }
+                _ => {
+                    client.invoke_weak(CacheOp::Get(k));
+                }
+            }
+            issued += 1;
+        }
+        s.settle();
+        s.advance(ms(wl.range(1, 120)));
+    }
+
+    s.set_faults(Faults::none());
+    s.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    // One fresh write per key: triggers the backups' gap detection (and
+    // thus anti-entropy) and settles the cache revision, so the checked
+    // tail reads compare three genuinely converged levels.
+    for k in &keys {
+        let items = vec![next_item];
+        next_item += 1;
+        client.invoke_strong(CacheOp::Put(k.clone(), items));
+        s.settle();
+        s.advance(ms(600));
+    }
+    let tail_mark = history.mark();
+    for k in &keys {
+        client.invoke(CacheOp::Get(k.clone()));
+        s.settle();
+    }
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let spec = KvStoreSpec {
+        initial: keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), (1, vec![i as u64])))
+            .collect(),
+    };
+    let entries = causal_lin_entries(&invs);
+    if let Err(v) = check_linearizable(&spec, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Sharded quorum-store fleet
+// ---------------------------------------------------------------------
+
+/// Drives a fleet to quiescence (mirrors `icg::sharded::settle_fleet`,
+/// which this crate cannot depend on without a cycle).
+fn settle_fleet(binding: &ShardedBinding<QuorumBinding>, stores: &[SimStore]) {
+    let mut before: u64 = binding.routed_per_shard().iter().sum();
+    loop {
+        binding.quiesce();
+        for s in stores {
+            s.settle();
+        }
+        let after: u64 = binding.routed_per_shard().iter().sum();
+        if after == before {
+            return;
+        }
+        before = after;
+    }
+}
+
+fn run_sharded(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+    shards: usize,
+) -> (RunSummary, Vec<String>) {
+    let rc = ReplicaConfig {
+        op_timeout: ms(1_000),
+        ..ReplicaConfig::default()
+    };
+    let stores: Vec<SimStore> = (0..shards)
+        .map(|i| {
+            SimStore::ec2(
+                rc,
+                2,
+                false,
+                "IRL",
+                0,
+                seed.wrapping_add(i as u64).wrapping_mul(WORKLOAD_SALT),
+            )
+        })
+        .collect();
+    // Faults apply to every shard: node/site ids are per-engine, and
+    // each shard engine lays its nodes out identically.
+    for s in &stores {
+        assert_fault_targets(s.site_ids(), s.replica_ids());
+        s.set_client_timeout(ms(cfg.client_timeout_ms));
+        s.set_faults(schedule.clone());
+    }
+    let keys = cfg.keys * 2; // spread work across shards
+    let bindings: Vec<QuorumBinding> = stores.iter().map(|s| s.binding()).collect();
+    let router = ShardedBinding::inline(bindings, 32, seed);
+    for k in 0..keys {
+        let key = Key::plain(k);
+        let idx = router.ring().owner_index(StoreOp::Read(key).object_id());
+        stores[idx].preload([(key, Value::Opaque(store_init_value(k)))]);
+    }
+
+    let history: History<StoreOp, Versioned> = History::new();
+    let client = Client::new(RecordingBinding::new(router.clone(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut next_val: u32 = 10_000;
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = Key::plain(wl.below(keys));
+            match wl.below(10) {
+                0..=3 => {
+                    let v = Value::Opaque(next_val);
+                    next_val += 1;
+                    client.invoke_strong(StoreOp::Write(k, v));
+                }
+                4..=8 => {
+                    client.invoke(StoreOp::Read(k));
+                }
+                _ => {
+                    client.invoke_weak(StoreOp::Read(k));
+                }
+            }
+            issued += 1;
+        }
+        settle_fleet(&router, &stores);
+        for s in &stores {
+            s.advance(ms(wl.range(1, 120)));
+        }
+    }
+
+    for s in &stores {
+        s.set_faults(Faults::none());
+        s.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    }
+    for k in 0..keys {
+        client.invoke_strong(StoreOp::Read(Key::plain(k)));
+    }
+    settle_fleet(&router, &stores);
+    let tail_mark = history.mark();
+    for k in 0..keys {
+        client.invoke(StoreOp::Read(Key::plain(k)));
+    }
+    settle_fleet(&router, &stores);
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let spec = RegisterSpec {
+        initial: (0..keys)
+            .map(|k| (k, u64::from(store_init_value(k))))
+            .collect(),
+    };
+    let entries = store_lin_entries(&invs);
+    if let Err(v) = check_linearizable(&spec, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Buggy in-memory binding (negative fixture)
+// ---------------------------------------------------------------------
+
+fn run_buggy(seed: u64, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
+    let history: History<KvOp, u64> = History::new();
+    let client = Client::new(RecordingBinding::new(LaggyMem::default(), history.clone()));
+    let mut wl = workload_rng(seed);
+    // One write per key up front so the stale shadow differs from the
+    // fresh state by the time the tail reads run.
+    for k in 0..cfg.keys {
+        client.invoke_strong(KvOp::Put(k, 1_000 + k));
+    }
+    for _ in 0..cfg.ops {
+        let k = wl.below(cfg.keys);
+        match wl.below(3) {
+            0 => {
+                client.invoke_strong(KvOp::Add(k, 1 + wl.below(9)));
+            }
+            1 => {
+                client.invoke_strong(KvOp::Get(k));
+            }
+            _ => {
+                client.invoke(KvOp::Get(k));
+            }
+        }
+    }
+    let tail_mark = history.mark();
+    for k in 0..cfg.keys {
+        client.invoke(KvOp::Get(k));
+    }
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let mut entries = Vec::new();
+    for inv in &invs {
+        let op = match inv.op {
+            KvOp::Get(k) => CtrOp::Get(k),
+            KvOp::Put(k, v) => CtrOp::Put(k, v),
+            KvOp::Add(k, d) => CtrOp::Add(k, d),
+        };
+        if let Some((value, level)) = inv.final_view() {
+            if level.at_least(ConsistencyLevel::Strong) {
+                entries.push(LinEntry::done(
+                    inv.id,
+                    op,
+                    *value,
+                    inv.submitted,
+                    inv.closed_at(),
+                ));
+            }
+        }
+    }
+    if let Err(v) = check_linearizable(&CounterSpec, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: 0,
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}

@@ -1,0 +1,343 @@
+//! Linearizability of strong views: a Wing & Gong-style search with
+//! memoization.
+//!
+//! The checker takes the strong (final) views of a recorded history as
+//! interval-stamped operations and searches for a total order that (a)
+//! respects real-time precedence — if one operation closed before
+//! another was submitted, it must come first — and (b) replays through
+//! a [`SeqSpec`] reproducing every observed return value. Memoizing on
+//! (set of linearized ops, spec state) keeps the search tractable for
+//! the explorer's histories (≤ ~200 operations).
+//!
+//! **Crashed operations** (closed by error — e.g. a client timeout
+//! racing a lost reply) may or may not have taken effect; the checker
+//! branches on both, with their return values unconstrained and their
+//! intervals never ending. This is what makes the checker sound under
+//! fault injection: a timed-out write that *did* land at the replicas
+//! must not turn a correct run into a false violation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::spec::SeqSpec;
+
+/// How an operation concluded.
+#[derive(Clone, Debug)]
+pub enum LinOutcome<R> {
+    /// Closed with a strong view carrying this return value.
+    Done(R),
+    /// Closed by error: it may or may not have taken effect, and no
+    /// return value constrains it.
+    Crashed,
+}
+
+/// One operation of a linearizability history.
+#[derive(Clone, Debug)]
+pub struct LinEntry<O, R> {
+    /// The source invocation's id (for reporting).
+    pub id: usize,
+    /// The operation.
+    pub op: O,
+    /// Its outcome.
+    pub outcome: LinOutcome<R>,
+    /// Interval start (the invocation's submission sequence number).
+    pub start: u64,
+    /// Interval end (the close's sequence number; `u64::MAX` if crashed).
+    pub end: u64,
+}
+
+impl<O, R> LinEntry<O, R> {
+    /// A completed operation.
+    pub fn done(id: usize, op: O, ret: R, start: u64, end: u64) -> Self {
+        LinEntry {
+            id,
+            op,
+            outcome: LinOutcome::Done(ret),
+            start,
+            end,
+        }
+    }
+
+    /// A crashed operation (unknown effect, unconstrained return).
+    pub fn crashed(id: usize, op: O, start: u64) -> Self {
+        LinEntry {
+            id,
+            op,
+            outcome: LinOutcome::Crashed,
+            start,
+            end: u64::MAX,
+        }
+    }
+}
+
+/// Why a history is not linearizable (or could not be decided).
+#[derive(Clone, Debug)]
+pub struct LinViolation {
+    /// Most completed operations any explored order linearized.
+    pub linearized: usize,
+    /// Completed operations in the history.
+    pub completed: usize,
+    /// True if the search budget ran out before a verdict.
+    pub inconclusive: bool,
+    /// Sample mismatches at the deepest point reached.
+    pub stuck_on: Vec<String>,
+}
+
+impl fmt::Display for LinViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inconclusive {
+            write!(f, "linearizability search exhausted its budget")?;
+        } else {
+            write!(
+                f,
+                "not linearizable: best order placed {}/{} completed ops",
+                self.linearized, self.completed
+            )?;
+        }
+        for s in self.stuck_on.iter().take(3) {
+            write!(f, "; {s}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Searcher<'a, S: SeqSpec> {
+    spec: &'a S,
+    entries: &'a [LinEntry<S::Op, S::Ret>],
+    memo: HashSet<(Vec<u64>, S::State)>,
+    budget: usize,
+    total_done: usize,
+    best: usize,
+    stuck_on: Vec<String>,
+}
+
+impl<'a, S: SeqSpec> Searcher<'a, S> {
+    /// Returns `Ok(true)` if every completed op can be linearized from
+    /// here, `Err(())` if the budget ran out.
+    fn run(&mut self, mask: &mut Vec<u64>, state: &S::State, completed: usize) -> Result<bool, ()> {
+        if completed == self.total_done {
+            return Ok(true);
+        }
+        if !self.memo.insert((mask.clone(), state.clone())) {
+            return Ok(false);
+        }
+        if self.budget == 0 {
+            return Err(());
+        }
+        self.budget -= 1;
+        let pending = |mask: &Vec<u64>, i: usize| mask[i / 64] & (1 << (i % 64)) == 0;
+        let min_end = (0..self.entries.len())
+            .filter(|&i| pending(mask, i))
+            .map(|i| self.entries[i].end)
+            .min()
+            .unwrap_or(u64::MAX);
+        if completed > self.best {
+            self.best = completed;
+            self.stuck_on.clear();
+        }
+        for i in 0..self.entries.len() {
+            if !pending(mask, i) || self.entries[i].start > min_end {
+                continue;
+            }
+            let e = &self.entries[i];
+            match &e.outcome {
+                LinOutcome::Done(ret) => {
+                    let (next, got) = self.spec.apply(state, &e.op);
+                    if got == *ret {
+                        mask[i / 64] |= 1 << (i % 64);
+                        if self.run(mask, &next, completed + 1)? {
+                            return Ok(true);
+                        }
+                        mask[i / 64] &= !(1 << (i % 64));
+                    } else if completed >= self.best && self.stuck_on.len() < 3 {
+                        self.stuck_on.push(format!(
+                            "inv {}: {:?} returned {:?}, sequentially expected {:?}",
+                            e.id, e.op, ret, got
+                        ));
+                    }
+                }
+                LinOutcome::Crashed => {
+                    mask[i / 64] |= 1 << (i % 64);
+                    // Branch 1: the crashed op took effect here.
+                    let (next, _) = self.spec.apply(state, &e.op);
+                    if self.run(mask, &next, completed)? {
+                        return Ok(true);
+                    }
+                    // Branch 2: it never took effect at all.
+                    if self.run(mask, state, completed)? {
+                        return Ok(true);
+                    }
+                    mask[i / 64] &= !(1 << (i % 64));
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Checks that `entries` is linearizable w.r.t. `spec`.
+///
+/// # Errors
+///
+/// Returns a [`LinViolation`] describing the deepest prefix any order
+/// reached (or that the search budget was exhausted).
+pub fn check_linearizable<S: SeqSpec>(
+    spec: &S,
+    entries: &[LinEntry<S::Op, S::Ret>],
+) -> Result<(), LinViolation> {
+    let total_done = entries
+        .iter()
+        .filter(|e| matches!(e.outcome, LinOutcome::Done(_)))
+        .count();
+    let mut searcher = Searcher {
+        spec,
+        entries,
+        memo: HashSet::new(),
+        budget: 2_000_000,
+        total_done,
+        best: 0,
+        stuck_on: Vec::new(),
+    };
+    let mut mask = vec![0u64; entries.len().div_ceil(64).max(1)];
+    match searcher.run(&mut mask, &spec.initial(), 0) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err(LinViolation {
+            linearized: searcher.best,
+            completed: total_done,
+            inconclusive: false,
+            stuck_on: searcher.stuck_on,
+        }),
+        Err(()) => Err(LinViolation {
+            linearized: searcher.best,
+            completed: total_done,
+            inconclusive: true,
+            stuck_on: searcher.stuck_on,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{QOp, QRet, QueueSpec, RegOp, RegisterSpec};
+
+    fn reg() -> RegisterSpec {
+        RegisterSpec::default()
+    }
+
+    #[test]
+    fn sequential_reads_after_write_must_see_it() {
+        // W(1,5) completes, then R(1) starts: returning 0 is a violation.
+        let bad = vec![
+            LinEntry::done(0, RegOp::Write(1, 5), 5, 0, 1),
+            LinEntry::done(1, RegOp::Read(1), 0, 2, 3),
+        ];
+        let v = check_linearizable(&reg(), &bad).unwrap_err();
+        assert!(!v.inconclusive);
+        assert_eq!(v.linearized, 1);
+        assert!(v.to_string().contains("expected"), "{v}");
+        let good = vec![
+            LinEntry::done(0, RegOp::Write(1, 5), 5, 0, 1),
+            LinEntry::done(1, RegOp::Read(1), 5, 2, 3),
+        ];
+        assert!(check_linearizable(&reg(), &good).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // R overlaps W: both old and new values linearize.
+        for ret in [0u64, 5] {
+            let h = vec![
+                LinEntry::done(0, RegOp::Write(1, 5), 5, 0, 10),
+                LinEntry::done(1, RegOp::Read(1), ret, 1, 9),
+            ];
+            assert!(check_linearizable(&reg(), &h).is_ok(), "ret {ret}");
+        }
+    }
+
+    #[test]
+    fn crashed_write_may_or_may_not_take_effect() {
+        // A timed-out write followed by reads observing it (or not):
+        // both histories are linearizable.
+        for ret in [0u64, 5] {
+            let h = vec![
+                LinEntry::crashed(0, RegOp::Write(1, 5), 0),
+                LinEntry::done(1, RegOp::Read(1), ret, 2, 3),
+            ];
+            assert!(check_linearizable(&reg(), &h).is_ok(), "ret {ret}");
+        }
+        // But it cannot take effect twice: 5 then 0 then 5 again is not
+        // explainable by one crashed write.
+        let h = vec![
+            LinEntry::crashed(0, RegOp::Write(1, 5), 0),
+            LinEntry::done(1, RegOp::Read(1), 5, 2, 3),
+            LinEntry::done(2, RegOp::Read(1), 0, 4, 5),
+            LinEntry::done(3, RegOp::Read(1), 5, 6, 7),
+        ];
+        assert!(check_linearizable(&reg(), &h).is_err());
+    }
+
+    #[test]
+    fn real_time_order_is_respected_even_when_values_agree() {
+        // R1 sees 7, completes; then W(1,9) completes; then R2 sees 7
+        // again — stale read after a completed overwrite.
+        let h = vec![
+            LinEntry::done(0, RegOp::Write(1, 7), 7, 0, 1),
+            LinEntry::done(1, RegOp::Read(1), 7, 2, 3),
+            LinEntry::done(2, RegOp::Write(1, 9), 9, 4, 5),
+            LinEntry::done(3, RegOp::Read(1), 7, 6, 7),
+        ];
+        assert!(check_linearizable(&reg(), &h).is_err());
+    }
+
+    #[test]
+    fn queue_double_pop_of_same_element_rejected() {
+        let spec = QueueSpec { prefill: 2 };
+        let pop = |name: u64, remaining: u64| QRet {
+            name: Some(name),
+            remaining,
+        };
+        let bad = vec![
+            LinEntry::done(0, QOp::Dequeue, pop(0, 1), 0, 1),
+            LinEntry::done(1, QOp::Dequeue, pop(0, 1), 2, 3),
+        ];
+        assert!(check_linearizable(&spec, &bad).is_err());
+        let good = vec![
+            LinEntry::done(0, QOp::Dequeue, pop(0, 1), 0, 1),
+            LinEntry::done(1, QOp::Dequeue, pop(1, 0), 2, 3),
+        ];
+        assert!(check_linearizable(&spec, &good).is_ok());
+    }
+
+    #[test]
+    fn memoized_search_handles_wide_concurrency() {
+        // 16 fully concurrent writes to distinct keys + a read per key
+        // afterwards: naive search is 16! orders; memoization makes it
+        // instant.
+        let mut h = Vec::new();
+        for k in 0..16u64 {
+            h.push(LinEntry::done(
+                k as usize,
+                RegOp::Write(k, k + 100),
+                k + 100,
+                0,
+                100,
+            ));
+        }
+        for k in 0..16u64 {
+            h.push(LinEntry::done(
+                16 + k as usize,
+                RegOp::Read(k),
+                k + 100,
+                200 + k,
+                300 + k,
+            ));
+        }
+        assert!(check_linearizable(&reg(), &h).is_ok());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_linearizable(&reg(), &[]).is_ok());
+    }
+}

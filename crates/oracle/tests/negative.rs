@@ -1,0 +1,180 @@
+//! Negative tests: every checker must reject a known-bad history, and
+//! a failing explorer run must print a `(seed, schedule)` pair that
+//! deterministically reproduces the violation when replayed.
+//!
+//! Monotonicity violations are injected directly as history records —
+//! the `Upcall` machinery makes them unproducible through a live
+//! binding, which is itself worth pinning down (see
+//! `runtime_prevents_what_the_monotonicity_checker_guards`).
+
+use correctables::record::{History, HistoryEvent, Invocation, RecordingBinding};
+use correctables::ConsistencyLevel::{Causal, Strong, Weak};
+use correctables::{Binding, Client, ConsistencyLevel, Upcall};
+use icg_oracle::{
+    check_convergence, check_linearizable, check_monotonicity, explore, replay, ExplorerConfig,
+    LinEntry, RegOp, RegisterSpec, StackKind, ViolationKind,
+};
+
+fn view(seq: u64, level: ConsistencyLevel, value: u64, closing: bool) -> HistoryEvent<u64> {
+    HistoryEvent::View {
+        seq,
+        at_nanos: 0,
+        level,
+        value,
+        closing,
+    }
+}
+
+fn inv(id: usize, events: Vec<HistoryEvent<u64>>) -> Invocation<&'static str, u64> {
+    Invocation {
+        id,
+        op: "injected",
+        levels: vec![Weak, Causal, Strong],
+        submitted: 0,
+        at_nanos: 0,
+        events,
+    }
+}
+
+#[test]
+fn monotonicity_rejects_every_injected_corruption() {
+    let cases: Vec<(Vec<HistoryEvent<u64>>, ViolationKind)> = vec![
+        // Levels descend.
+        (
+            vec![
+                view(1, Causal, 1, false),
+                view(2, Weak, 2, false),
+                view(3, Strong, 3, true),
+            ],
+            ViolationKind::LevelRegressed,
+        ),
+        // Two closes.
+        (
+            vec![view(1, Strong, 1, true), view(2, Strong, 2, true)],
+            ViolationKind::MultipleCloses,
+        ),
+        // Delivery after the close.
+        (
+            vec![view(1, Strong, 1, true), view(2, Weak, 2, false)],
+            ViolationKind::EventAfterClose,
+        ),
+        // Never closes.
+        (vec![view(1, Weak, 1, false)], ViolationKind::NeverClosed),
+        // Closes below the strongest requested level.
+        (vec![view(1, Weak, 1, true)], ViolationKind::WeakClose),
+    ];
+    for (events, expected) in cases {
+        let h = vec![inv(0, events)];
+        let violations = check_monotonicity(&h, true);
+        assert!(
+            violations.iter().any(|v| v.kind == expected),
+            "expected {expected:?}, got {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn convergence_rejects_diverging_quiescent_views() {
+    let h = vec![inv(
+        0,
+        vec![view(1, Weak, 7, false), view(2, Strong, 9, true)],
+    )];
+    let violations = check_convergence(&h, 0);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].kind, ViolationKind::Diverged);
+}
+
+#[test]
+fn linearizability_rejects_a_stale_read_after_a_completed_write() {
+    let h = vec![
+        LinEntry::done(0, RegOp::Write(1, 5), 5, 0, 1),
+        LinEntry::done(1, RegOp::Read(1), 0, 2, 3),
+    ];
+    let v = check_linearizable(&RegisterSpec::default(), &h).unwrap_err();
+    assert!(!v.inconclusive);
+    assert!(v.to_string().contains("not linearizable"), "{v}");
+}
+
+/// The runtime's `Upcall` machinery *prevents* the class of violations
+/// the monotonicity checker guards against: a binding that over- and
+/// re-delivers cannot produce a regressed or double-closed recorded
+/// stream. The checker therefore guards the recording layer and any
+/// future binding path that bypasses `Upcall` arbitration.
+#[test]
+fn runtime_prevents_what_the_monotonicity_checker_guards() {
+    /// Misbehaves as hard as the `Binding` API allows: delivers strong
+    /// first, then weak, then strong again.
+    #[derive(Clone)]
+    struct Chaotic;
+    impl Binding for Chaotic {
+        type Op = ();
+        type Val = u64;
+        fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+            vec![Weak, Strong]
+        }
+        fn submit(&self, _op: (), _levels: &[ConsistencyLevel], upcall: Upcall<u64>) {
+            upcall.deliver(1, Strong);
+            upcall.deliver(2, Weak);
+            upcall.deliver(3, Strong);
+        }
+    }
+    let history = History::new();
+    let client = Client::new(RecordingBinding::new(Chaotic, history.clone()));
+    client.invoke(());
+    let invs = history.snapshot();
+    // The client-visible stream is a single clean close.
+    assert!(check_monotonicity(&invs, true).is_empty());
+    assert_eq!(invs[0].events.len(), 1);
+}
+
+#[test]
+fn buggy_binding_fails_convergence_and_linearizability() {
+    let cfg = ExplorerConfig::default();
+    let report = explore(StackKind::BuggyMem, 1, &cfg).expect_err("LaggyMem must be rejected");
+    let all = report.violations.join("\n");
+    assert!(
+        all.contains("convergence"),
+        "missing convergence finding:\n{all}"
+    );
+    assert!(
+        all.contains("linearizability"),
+        "missing linearizability finding:\n{all}"
+    );
+    // LaggyMem has no network: the shrinker must reduce the schedule to
+    // nothing.
+    assert!(
+        report.schedule.is_fault_free(),
+        "schedule not minimal: {}",
+        report.schedule
+    );
+}
+
+#[test]
+fn failure_report_prints_a_replayable_seed_schedule_pair() {
+    let cfg = ExplorerConfig::default();
+    let report = explore(StackKind::BuggyMem, 7, &cfg).expect_err("LaggyMem must be rejected");
+    // The report prints the pair...
+    let printed = report.to_string();
+    assert!(printed.contains("seed=7"), "{printed}");
+    assert!(printed.contains("schedule=["), "{printed}");
+    assert!(printed.contains("replay"), "{printed}");
+    // ...and replaying it reproduces the identical violations.
+    let replayed = replay(StackKind::BuggyMem, report.seed, &report.schedule, &cfg)
+        .expect_err("replay must reproduce the violation");
+    assert_eq!(replayed.violations, report.violations);
+    assert_eq!(replayed.seed, report.seed);
+}
+
+#[test]
+fn clean_stacks_pass_while_the_buggy_one_fails_under_the_same_seeds() {
+    // The checkers' power comes from rejecting the bad while accepting
+    // the good: same seeds, same config, opposite verdicts.
+    let cfg = ExplorerConfig {
+        ops: 24,
+        ..ExplorerConfig::default()
+    };
+    for seed in [3, 4] {
+        assert!(explore(StackKind::Store { confirm: true }, seed, &cfg).is_ok());
+        assert!(explore(StackKind::BuggyMem, seed, &cfg).is_err());
+    }
+}

@@ -92,11 +92,26 @@ pub struct Gateway {
     clock: Arc<AtomicU64>,
     next_seq: u64,
     pending: HashMap<OpId, GwPending>,
+    /// Client-side deadline per operation. `None` (the default) preserves
+    /// the original wait-forever behaviour; fault-injected runs set it so
+    /// a lost reply fails the Correctable instead of wedging `settle`.
+    client_timeout: Option<SimDuration>,
+    timer_ops: HashMap<u64, OpId>,
+    next_timer: u64,
 }
 
 const KICK: u64 = u64::MAX - 1;
 
 impl Gateway {
+    fn arm_client_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId) {
+        if let Some(d) = self.client_timeout {
+            let token = self.next_timer;
+            self.next_timer += 1;
+            self.timer_ops.insert(token, op);
+            ctx.set_timer(d, Timer(token));
+        }
+    }
+
     fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
         loop {
             let Some(q) = self.queue.lock().pop_front() else {
@@ -146,6 +161,7 @@ impl Gateway {
                     written,
                 },
             );
+            self.arm_client_timeout(ctx, id);
             ctx.send(self.coordinator, msg);
         }
     }
@@ -187,10 +203,27 @@ impl Node<Msg> for Gateway {
             Msg::ReadReply { op, data, .. } => {
                 self.finish(ctx, op, Some(data));
             }
-            Msg::ReadConfirm { op } => {
-                // *CC: the final view equals the preliminary.
-                let prelim = self.pending.get(&op).and_then(|p| p.prelim.clone());
-                self.finish(ctx, op, prelim);
+            Msg::ReadConfirm { op, version } => {
+                // *CC: the final view equals the preliminary. Confirm only
+                // against the preliminary we actually hold: if it was lost
+                // in transit (or somehow mismatches), promoting a missing
+                // record to a strong view would fabricate a wrong result —
+                // fail the operation instead and let the client retry.
+                let confirmed = self
+                    .pending
+                    .get(&op)
+                    .and_then(|p| p.prelim.clone())
+                    .filter(|prelim| prelim.version == version);
+                match confirmed {
+                    Some(prelim) => self.finish(ctx, op, Some(prelim)),
+                    None => {
+                        if let Some(p) = self.pending.remove(&op) {
+                            p.upcall.fail(Error::Unavailable(
+                                "read confirmation without matching preliminary view".into(),
+                            ));
+                        }
+                    }
+                }
             }
             Msg::WriteReply { op } => {
                 self.finish(ctx, op, None);
@@ -210,6 +243,13 @@ impl Node<Msg> for Gateway {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: Timer) {
         self.clock.store(ctx.now().as_nanos(), Ordering::Relaxed);
         if timer.0 == KICK {
+            self.drain(ctx);
+        } else if let Some(op) = self.timer_ops.remove(&timer.0) {
+            // Client-side deadline: a reply was lost (downtime, partition,
+            // drop) — fail the Correctable so callers observe the outage.
+            if let Some(p) = self.pending.remove(&op) {
+                p.upcall.fail(Error::Timeout);
+            }
             self.drain(ctx);
         }
     }
@@ -296,6 +336,9 @@ impl SimStore {
                 clock: Arc::clone(&clock),
                 next_seq: 0,
                 pending: HashMap::new(),
+                client_timeout: None,
+                timer_ops: HashMap::new(),
+                next_timer: 0,
             }),
         );
         SimStore {
@@ -312,6 +355,38 @@ impl SimStore {
     /// from inside Correctable callbacks while the simulation runs.
     pub fn clock(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.clock)
+    }
+
+    /// Installs a fault plan on the underlying simulation (message drops,
+    /// downtime windows, site partitions). Combine with
+    /// [`SimStore::set_client_timeout`] so lost replies fail operations
+    /// instead of wedging [`SimStore::settle`].
+    pub fn set_faults(&self, faults: simnet::Faults) {
+        self.state.lock().cluster.engine.set_faults(faults);
+    }
+
+    /// Sets a client-side deadline for every subsequently submitted
+    /// operation: if neither a final reply nor a coordinator failure
+    /// arrives within `d` of virtual time, the operation fails with
+    /// [`Error::Timeout`].
+    pub fn set_client_timeout(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.cluster.engine.node_as::<Gateway>(gw).client_timeout = Some(d);
+    }
+
+    /// The replica node ids, in FRK/IRL/VRG (site-list) order — fault
+    /// schedules target these.
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.state.lock().cluster.replicas.clone()
+    }
+
+    /// All site ids of the deployment's topology.
+    pub fn site_ids(&self) -> Vec<simnet::SiteId> {
+        let st = self.state.lock();
+        (0..st.cluster.engine.topology().len())
+            .map(simnet::SiteId)
+            .collect()
     }
 
     /// Total bytes that crossed the gateway's client link so far.

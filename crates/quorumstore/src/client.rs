@@ -265,9 +265,16 @@ impl Node<Msg> for WorkloadClient {
             } => {
                 self.complete(ctx, op, Some(data.version), false);
             }
-            Msg::ReadConfirm { op } => {
-                // The final view equals the preliminary one by definition.
-                let pv = self.pending.get(&op).and_then(|p| p.prelim.map(|(_, v)| v));
+            Msg::ReadConfirm { op, version } => {
+                // The final view equals the preliminary one by definition;
+                // fall back to the confirmed version if the preliminary
+                // reply was lost (the workload client only tracks staleness
+                // statistics, so the version itself is all it needs).
+                let pv = self
+                    .pending
+                    .get(&op)
+                    .and_then(|p| p.prelim.map(|(_, v)| v))
+                    .or(Some(version));
                 self.complete(ctx, op, pv, false);
             }
             Msg::WriteReply { op } => {

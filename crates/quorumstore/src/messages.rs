@@ -6,7 +6,7 @@
 
 use simnet::Wire;
 
-use crate::types::{Key, OpId, ReadKind, Value, Versioned};
+use crate::types::{Key, OpId, ReadKind, Value, Version, Versioned};
 
 /// Fixed per-message overhead (transport framing, headers).
 pub const FRAME_BYTES: usize = 60;
@@ -94,10 +94,15 @@ pub enum Msg {
         data: Versioned,
     },
     /// *CC optimization: the final view equals the preliminary one, so a
-    /// small confirmation replaces the full final reply.
+    /// small confirmation replaces the full final reply. The version lets
+    /// the client check the confirmation against the preliminary it
+    /// actually holds — if the preliminary was lost in transit, silently
+    /// promoting nothing to a strong view would fabricate a wrong result.
     ReadConfirm {
         /// Operation id.
         op: OpId,
+        /// Version of the record being confirmed.
+        version: Version,
     },
     /// Coordinator acknowledges a client write.
     WriteReply {
@@ -127,7 +132,7 @@ impl Wire for Msg {
             }
             Msg::PeerWriteAck { .. } => OP_HEADER,
             Msg::ReadReply { data, .. } => OP_HEADER + 1 + data.wire_size(),
-            Msg::ReadConfirm { .. } => OP_HEADER,
+            Msg::ReadConfirm { .. } => OP_HEADER + 12,
             Msg::WriteReply { .. } => OP_HEADER,
             Msg::OpFailed { .. } => OP_HEADER + 1,
         };
@@ -177,7 +182,10 @@ mod tests {
                 version: Version { ts: 1, writer: 0 },
             },
         };
-        let confirm = Msg::ReadConfirm { op: op() };
+        let confirm = Msg::ReadConfirm {
+            op: op(),
+            version: Version { ts: 1, writer: 0 },
+        };
         assert!(full.wire_size() > confirm.wire_size() + 900);
     }
 

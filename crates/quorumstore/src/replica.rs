@@ -193,7 +193,13 @@ impl Replica {
     ) {
         match kind {
             ReadKind::Icg { confirm: true, .. } if prelim == Some(best.version) => {
-                ctx.send(client, Msg::ReadConfirm { op });
+                ctx.send(
+                    client,
+                    Msg::ReadConfirm {
+                        op,
+                        version: best.version,
+                    },
+                );
             }
             ReadKind::Icg { .. } => {
                 ctx.send(

@@ -3,10 +3,19 @@
 //! The paper's evaluation runs fault-free, but a credible replication
 //! substrate must behave sensibly under failure; the test suites use this
 //! module to exercise coordinator timeouts, quorum loss, and recovery.
+//!
+//! [`Faults::random`] generates whole *schedules* of such faults from a
+//! seeded [`DetRng`] within the bounds of a [`SchedulePlan`] — the raw
+//! material of the `icg-oracle` fault-schedule explorer — and
+//! [`Faults::shrink_candidates`] enumerates one-step reductions of a
+//! schedule so a failing `(seed, schedule)` pair can be minimized while
+//! staying deterministically replayable.
+
+use std::fmt;
 
 use crate::engine::NodeId;
 use crate::rng::DetRng;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::SiteId;
 
 /// An interval during which a node is unreachable.
@@ -82,6 +91,85 @@ impl Faults {
         })
     }
 
+    /// Whether this plan injects no faults at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_probability == 0.0 && self.downtimes.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Generates a random schedule within `plan`'s bounds, targeting the
+    /// given nodes and sites. Fully determined by `rng`'s state, so the
+    /// same seed regenerates the same schedule.
+    ///
+    /// Fault windows all start and end within `[0, plan.horizon_ms)`;
+    /// each window covers between 5% and 50% of the horizon.
+    pub fn random(
+        plan: &SchedulePlan,
+        sites: &[SiteId],
+        nodes: &[NodeId],
+        rng: &mut DetRng,
+    ) -> Faults {
+        let mut f = Faults::none();
+        let h = plan.horizon_ms.max(20);
+        if plan.max_drop_probability > 0.0 && rng.chance(0.5) {
+            // Two decimals keep printed schedules short and re-typeable;
+            // ceil keeps the draw non-zero, min honours the plan's bound.
+            f.drop_probability = ((rng.f64() * plan.max_drop_probability * 100.0).ceil() / 100.0)
+                .min(plan.max_drop_probability);
+        }
+        let window = |rng: &mut DetRng| {
+            let len = rng.range(h / 20 + 1, h / 2 + 2);
+            let from = rng.below(h - len.min(h - 1));
+            (
+                SimTime::ZERO + SimDuration::from_millis(from),
+                SimTime::ZERO + SimDuration::from_millis(from + len),
+            )
+        };
+        if plan.max_downtimes > 0 && !nodes.is_empty() {
+            for _ in 0..rng.below(plan.max_downtimes as u64 + 1) {
+                let node = nodes[rng.below(nodes.len() as u64) as usize];
+                let (from, until) = window(rng);
+                f.downtimes.push(Downtime { node, from, until });
+            }
+        }
+        if plan.max_partitions > 0 && sites.len() >= 2 {
+            for _ in 0..rng.below(plan.max_partitions as u64 + 1) {
+                let a = sites[rng.below(sites.len() as u64) as usize];
+                let b = loop {
+                    let b = sites[rng.below(sites.len() as u64) as usize];
+                    if b != a {
+                        break b;
+                    }
+                };
+                let (from, until) = window(rng);
+                f.partitions.push(Partition { a, b, from, until });
+            }
+        }
+        f
+    }
+
+    /// One-step reductions of this schedule: each downtime removed, each
+    /// partition removed, and (if set) the drop probability zeroed. A
+    /// shrinker re-runs each candidate and keeps any that still fails.
+    pub fn shrink_candidates(&self) -> Vec<Faults> {
+        let mut out = Vec::new();
+        if self.drop_probability > 0.0 {
+            let mut f = self.clone();
+            f.drop_probability = 0.0;
+            out.push(f);
+        }
+        for i in 0..self.downtimes.len() {
+            let mut f = self.clone();
+            f.downtimes.remove(i);
+            out.push(f);
+        }
+        for i in 0..self.partitions.len() {
+            let mut f = self.clone();
+            f.partitions.remove(i);
+            out.push(f);
+        }
+        out
+    }
+
     /// Decides whether a message sent at `t` between the given endpoints is
     /// lost. Draws from `rng` only when a probabilistic check is needed so
     /// that fault-free runs consume no randomness.
@@ -104,10 +192,70 @@ impl Faults {
     }
 }
 
+/// Bounds for randomized fault-schedule generation ([`Faults::random`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulePlan {
+    /// All fault windows start and end within `[0, horizon_ms)` virtual
+    /// milliseconds.
+    pub horizon_ms: u64,
+    /// Maximum number of site-partition windows.
+    pub max_partitions: usize,
+    /// Maximum number of node-downtime windows.
+    pub max_downtimes: usize,
+    /// Upper bound on the uniform message-loss probability (0 disables).
+    pub max_drop_probability: f64,
+}
+
+impl Default for SchedulePlan {
+    fn default() -> Self {
+        SchedulePlan {
+            horizon_ms: 2_000,
+            max_partitions: 2,
+            max_downtimes: 2,
+            max_drop_probability: 0.05,
+        }
+    }
+}
+
+impl fmt::Display for Faults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fault_free() {
+            return f.write_str("fault-free");
+        }
+        let mut sep = "";
+        if self.drop_probability > 0.0 {
+            write!(f, "drop={}", self.drop_probability)?;
+            sep = " ";
+        }
+        let ms = |t: SimTime| t.since(SimTime::ZERO).as_millis_f64();
+        for d in &self.downtimes {
+            write!(
+                f,
+                "{sep}down(n{}@[{:.0}ms,{:.0}ms))",
+                d.node.0,
+                ms(d.from),
+                ms(d.until)
+            )?;
+            sep = " ";
+        }
+        for p in &self.partitions {
+            write!(
+                f,
+                "{sep}part(s{}|s{}@[{:.0}ms,{:.0}ms))",
+                p.a.0,
+                p.b.0,
+                ms(p.from),
+                ms(p.until)
+            )?;
+            sep = " ";
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
 
     fn t(ms: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(ms)
@@ -162,5 +310,72 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(3);
         assert!(f.drops(NodeId(0), SiteId(0), NodeId(1), SiteId(0), t(50), &mut rng));
         assert!(f.drops(NodeId(1), SiteId(0), NodeId(0), SiteId(0), t(50), &mut rng));
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic_and_in_bounds() {
+        let plan = SchedulePlan::default();
+        let sites = [SiteId(0), SiteId(1), SiteId(2)];
+        let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+        let gen =
+            |seed: u64| Faults::random(&plan, &sites, &nodes, &mut DetRng::seed_from_u64(seed));
+        for seed in 0..50u64 {
+            let (a, b) = (gen(seed), gen(seed));
+            assert_eq!(format!("{a}"), format!("{b}"), "seed {seed} not stable");
+            assert!(a.drop_probability <= plan.max_drop_probability);
+            assert!(a.downtimes.len() <= plan.max_downtimes);
+            assert!(a.partitions.len() <= plan.max_partitions);
+            let horizon = t(plan.horizon_ms);
+            for d in &a.downtimes {
+                assert!(d.from < d.until && d.until <= horizon, "{a}");
+            }
+            for p in &a.partitions {
+                assert!(p.from < p.until && p.until <= horizon, "{a}");
+                assert_ne!(p.a, p.b);
+            }
+        }
+        // Different seeds must eventually differ.
+        assert!((0..50).any(|s| format!("{}", gen(s)) != format!("{}", gen(s + 50))));
+        // A non-round bound is honoured exactly (rounding must not exceed it).
+        let tight = SchedulePlan {
+            max_drop_probability: 0.033,
+            ..plan
+        };
+        for seed in 0..100u64 {
+            let f = Faults::random(&tight, &sites, &nodes, &mut DetRng::seed_from_u64(seed));
+            assert!(
+                f.drop_probability <= 0.033,
+                "seed {seed}: {}",
+                f.drop_probability
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_each_remove_exactly_one_element() {
+        let f = Faults::none()
+            .with_drop_probability(0.05)
+            .with_downtime(NodeId(0), t(0), t(10))
+            .with_partition(SiteId(0), SiteId(1), t(5), t(15))
+            .with_partition(SiteId(1), SiteId(2), t(0), t(20));
+        let cands = f.shrink_candidates();
+        assert_eq!(cands.len(), 4);
+        assert!(cands[0].drop_probability == 0.0 && cands[0].partitions.len() == 2);
+        assert!(cands[1].downtimes.is_empty());
+        assert_eq!(cands[2].partitions.len(), 1);
+        assert!(Faults::none().shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn display_round_trips_the_interesting_facts() {
+        assert_eq!(format!("{}", Faults::none()), "fault-free");
+        let f = Faults::none()
+            .with_drop_probability(0.03)
+            .with_downtime(NodeId(2), t(100), t(400))
+            .with_partition(SiteId(0), SiteId(1), t(50), t(250));
+        let s = format!("{f}");
+        assert!(s.contains("drop=0.03"), "{s}");
+        assert!(s.contains("down(n2@[100ms,400ms))"), "{s}");
+        assert!(s.contains("part(s0|s1@[50ms,250ms))"), "{s}");
     }
 }

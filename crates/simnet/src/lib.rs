@@ -57,7 +57,7 @@ pub mod topology;
 
 pub use bandwidth::{BandwidthMeter, Traffic, Wire};
 pub use engine::{Ctx, Engine, Node, NodeId, Timer};
-pub use faults::{Downtime, Faults, Partition};
+pub use faults::{Downtime, Faults, Partition, SchedulePlan};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{SimDuration, SimTime};

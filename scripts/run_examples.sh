@@ -5,7 +5,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale sharded_counters)
+examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale sharded_counters oracle_explore)
 
 for ex in "${examples[@]}"; do
     echo "=== example: $ex"

@@ -16,6 +16,8 @@
 //! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
 //! - [`causalstore`] — causal replication with a client cache;
 //! - [`shard`](icg_shard) — the sharded multi-object routing layer;
+//! - [`oracle`](icg_oracle) — the history-recording consistency oracle
+//!   and seeded fault-schedule explorer;
 //! - [`ycsb`] — workload generators;
 //! - [`blockchain`] — confirmation-depth views (§4.5's multi-view case);
 //! - [`apps`](icg_apps) — ads, Twissandra, tickets, news reader.
@@ -33,6 +35,7 @@ pub use causalstore;
 pub use consensusq;
 pub use correctables;
 pub use icg_apps as apps;
+pub use icg_oracle as oracle;
 pub use icg_shard as shard;
 pub use quorumstore;
 pub use simnet;

@@ -1,6 +1,12 @@
 //! Failure-mode integration tests: partitions, downtime, and message loss
 //! against the quorum store (the paper evaluates fault-free, but a
 //! credible substrate must degrade cleanly).
+//!
+//! Flakiness audit: every duration here is **virtual** (`SimTime` /
+//! `SimDuration` on the deterministic engine) — no wall-clock sleeps or
+//! timeouts, so host scheduling cannot change outcomes. Randomized
+//! fault coverage beyond these fixed scenarios lives in
+//! `tests/oracle_fleet.rs`.
 
 use icg::quorumstore::{Cluster, Key, ReplicaConfig, SystemConfig, Value, WorkloadClient};
 use icg::simnet::{EuUsSites, Faults, SimDuration, SimTime, Topology};

@@ -2,6 +2,10 @@
 //! reader's three levels and the blockchain's six confirmation depths
 //! (§4.5 — "Correctables, however, support arbitrarily many views. …
 //! this does not add any complexity to the interface").
+//!
+//! Flakiness audit: all timing below is virtual (`SimDuration` on the
+//! deterministic engine); the latency assertions compare virtual
+//! timestamps and are reproducible bit-for-bit per seed.
 
 use icg::blockchain::{conf_level, SimChain, FINAL_DEPTH};
 use icg::causalstore::{CacheOp, SimCausal};

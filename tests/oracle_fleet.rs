@@ -1,0 +1,101 @@
+//! The oracle fleet: a fixed-seed matrix of fault-schedule explorer
+//! runs over every simulated stack, as tier-1 tests.
+//!
+//! Each test is one `(stack, seed)` exploration: a seed-derived fault
+//! schedule (partitions, downtime, message loss), a concurrent client
+//! workload, and all three checkers — monotonicity, convergence,
+//! linearizability — over the recorded history. A failure panics with
+//! the shrunk, reproducible `(seed, schedule)` pair.
+//!
+//! The `#[ignore]`d soak test at the bottom widens the seed range; CI's
+//! `oracle-soak` job runs it on schedule/manual trigger.
+
+use icg::oracle::{explore, ExplorerConfig, StackKind};
+
+fn run(stack: StackKind, seed: u64) {
+    let cfg = ExplorerConfig::default();
+    match explore(stack, seed, &cfg) {
+        Ok(summary) => {
+            assert!(
+                summary.invocations > 0 && summary.lin_entries > 0,
+                "vacuous run: {summary:?}"
+            );
+        }
+        Err(report) => panic!("{report}"),
+    }
+}
+
+macro_rules! fleet {
+    ($($name:ident: $stack:expr, $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run($stack, $seed);
+            }
+        )*
+    };
+}
+
+// 8 seeds × 4 stacks. The store alternates CC and *CC so both the
+// plain final reply and the confirmation path stay covered.
+fleet! {
+    store_seed0: StackKind::Store { confirm: false }, 0;
+    store_seed1: StackKind::Store { confirm: true }, 1;
+    store_seed2: StackKind::Store { confirm: false }, 2;
+    store_seed3: StackKind::Store { confirm: true }, 3;
+    store_seed4: StackKind::Store { confirm: false }, 4;
+    store_seed5: StackKind::Store { confirm: true }, 5;
+    store_seed6: StackKind::Store { confirm: false }, 6;
+    store_seed7: StackKind::Store { confirm: true }, 7;
+    queue_seed0: StackKind::Queue, 0;
+    queue_seed1: StackKind::Queue, 1;
+    queue_seed2: StackKind::Queue, 2;
+    queue_seed3: StackKind::Queue, 3;
+    queue_seed4: StackKind::Queue, 4;
+    queue_seed5: StackKind::Queue, 5;
+    queue_seed6: StackKind::Queue, 6;
+    queue_seed7: StackKind::Queue, 7;
+    causal_seed0: StackKind::Causal, 0;
+    causal_seed1: StackKind::Causal, 1;
+    causal_seed2: StackKind::Causal, 2;
+    causal_seed3: StackKind::Causal, 3;
+    causal_seed4: StackKind::Causal, 4;
+    causal_seed5: StackKind::Causal, 5;
+    causal_seed6: StackKind::Causal, 6;
+    causal_seed7: StackKind::Causal, 7;
+    sharded_seed0: StackKind::ShardedStore { shards: 2 }, 0;
+    sharded_seed1: StackKind::ShardedStore { shards: 2 }, 1;
+    sharded_seed2: StackKind::ShardedStore { shards: 3 }, 2;
+    sharded_seed3: StackKind::ShardedStore { shards: 2 }, 3;
+    sharded_seed4: StackKind::ShardedStore { shards: 2 }, 4;
+    sharded_seed5: StackKind::ShardedStore { shards: 3 }, 5;
+    sharded_seed6: StackKind::ShardedStore { shards: 2 }, 6;
+    sharded_seed7: StackKind::ShardedStore { shards: 2 }, 7;
+}
+
+/// Wide-range soak: 64 seeds per stack. Run with
+/// `cargo test --test oracle_fleet -- --ignored` (CI: `oracle-soak`).
+#[test]
+#[ignore = "soak: wide seed range, run on schedule/manual trigger"]
+fn oracle_soak_wide_seed_range() {
+    let cfg = ExplorerConfig::default();
+    let mut failures = Vec::new();
+    for stack in [
+        StackKind::Store { confirm: false },
+        StackKind::Store { confirm: true },
+        StackKind::Queue,
+        StackKind::Causal,
+        StackKind::ShardedStore { shards: 2 },
+    ] {
+        for seed in 0..64u64 {
+            if let Err(report) = explore(stack, seed, &cfg) {
+                failures.push(report.to_string());
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "soak failures:\n{}",
+        failures.join("\n")
+    );
+}
