@@ -1,0 +1,567 @@
+//! The perf gate: turns the criterion shim's per-benchmark JSON Lines
+//! into the committed `BENCH_*.json` trajectory format, and compares a
+//! fresh measurement against a committed baseline, failing (exit 1) on
+//! mean regressions beyond a threshold in any gated benchmark.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! perf_gate merge <lines.jsonl> <out.json>
+//! perf_gate compare <baseline.json> <current.json>
+//!     [--threshold 0.20] [--gate <suite>/<benchmark>]...
+//! ```
+//!
+//! `merge` nests the flat records into `suites → benchmark → {mean_ns,
+//! median_ns, p95_ns, samples}` with deterministic (sorted) key order.
+//! `compare` checks each gated benchmark's `mean_ns`; with no `--gate`
+//! flags it defaults to the three headline hot-path benchmarks. The JSON
+//! handling is self-contained (the workspace is offline; no serde).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// A minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+/// Per-benchmark statistics as stored in the trajectory files.
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    p95_ns: f64,
+    samples: u64,
+}
+
+type SuiteMap = BTreeMap<String, BTreeMap<String, Stats>>;
+
+fn field(obj: &Json, name: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric field '{name}'"))
+}
+
+fn stats_of(obj: &Json, ctx: &str) -> Result<Stats, String> {
+    Ok(Stats {
+        mean_ns: field(obj, "mean_ns", ctx)?,
+        median_ns: field(obj, "median_ns", ctx)?,
+        p95_ns: field(obj, "p95_ns", ctx)?,
+        samples: field(obj, "samples", ctx).unwrap_or(0.0) as u64,
+    })
+}
+
+/// Reads a merged trajectory file (`{"schema": ..., "suites": {...}}`).
+fn read_trajectory(path: &str) -> Result<SuiteMap, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let suites = doc
+        .get("suites")
+        .ok_or_else(|| format!("{path}: missing 'suites' object"))?;
+    let Json::Obj(suites) = suites else {
+        return Err(format!("{path}: 'suites' is not an object"));
+    };
+    let mut out = SuiteMap::new();
+    for (suite, benches) in suites {
+        let Json::Obj(benches) = benches else {
+            return Err(format!("{path}: suite '{suite}' is not an object"));
+        };
+        let entry = out.entry(suite.clone()).or_default();
+        for (bench, stats) in benches {
+            entry.insert(bench.clone(), stats_of(stats, &format!("{suite}/{bench}"))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Reads the criterion shim's JSON Lines output.
+fn read_lines(path: &str) -> Result<SuiteMap, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = SuiteMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = format!("{path}:{}", i + 1);
+        let rec = parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        let suite = rec
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing 'suite'"))?
+            .to_string();
+        let bench = rec
+            .get("benchmark")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: missing 'benchmark'"))?
+            .to_string();
+        // Later records win, so re-running one suite refreshes its rows.
+        out.entry(suite)
+            .or_default()
+            .insert(bench, stats_of(&rec, &ctx)?);
+    }
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_trajectory(path: &str, suites: &SuiteMap) -> Result<(), String> {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"icg-bench-v1\",\n  \"unit\": \"ns/iter\",\n  \"suites\": {\n");
+    let mut first_suite = true;
+    for (suite, benches) in suites {
+        if !first_suite {
+            out.push_str(",\n");
+        }
+        first_suite = false;
+        let _ = writeln!(out, "    \"{}\": {{", json_escape(suite));
+        let mut first_bench = true;
+        for (bench, s) in benches {
+            if !first_bench {
+                out.push_str(",\n");
+            }
+            first_bench = false;
+            let _ = write!(
+                out,
+                "      \"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}}}",
+                json_escape(bench),
+                s.mean_ns,
+                s.median_ns,
+                s.p95_ns,
+                s.samples
+            );
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// The benchmarks gated by default: the three hot paths every harness
+/// sits on (see BENCH_BASELINE.md).
+const DEFAULT_GATES: &[&str] = &[
+    "micro_correctable/correctable/update+close",
+    "micro_correctable/correctable/callback-dispatch",
+    "micro_simnet/simnet/ping-pong-10k-events",
+];
+
+fn lookup<'a>(suites: &'a SuiteMap, gate: &str) -> Option<&'a Stats> {
+    // A gate is "<suite>/<benchmark>"; benchmark ids contain '/' too, so
+    // split on the first separator only.
+    let (suite, bench) = gate.split_once('/')?;
+    suites.get(suite)?.get(bench)
+}
+
+fn cmd_merge(lines_path: &str, out_path: &str) -> Result<(), String> {
+    let suites = read_lines(lines_path)?;
+    if suites.is_empty() {
+        return Err(format!("{lines_path}: no benchmark records"));
+    }
+    write_trajectory(out_path, &suites)?;
+    let n: usize = suites.values().map(BTreeMap::len).sum();
+    println!(
+        "perf_gate: merged {} benchmarks across {} suites into {}",
+        n,
+        suites.len(),
+        out_path
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<bool, String> {
+    let mut threshold = 0.20f64;
+    let mut gates: Vec<String> = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "--gate" => {
+                gates.push(it.next().ok_or("--gate needs a value")?.clone());
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err("usage: perf_gate compare <baseline.json> <current.json> \
+                    [--threshold 0.20] [--gate suite/benchmark]..."
+            .to_string());
+    };
+    if gates.is_empty() {
+        gates = DEFAULT_GATES.iter().map(|s| s.to_string()).collect();
+    }
+    let baseline = read_trajectory(baseline_path)?;
+    let current = read_trajectory(current_path)?;
+
+    let mut failed = false;
+    println!(
+        "perf_gate: mean-regression threshold {:.0}% against {}",
+        threshold * 100.0,
+        baseline_path
+    );
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}  verdict",
+        "gated benchmark", "base mean", "cur mean", "ratio"
+    );
+    for gate in &gates {
+        let base = lookup(&baseline, gate);
+        let cur = lookup(&current, gate);
+        match (base, cur) {
+            (Some(b), Some(c)) => {
+                let ratio = c.mean_ns / b.mean_ns;
+                let ok = ratio <= 1.0 + threshold;
+                if !ok {
+                    failed = true;
+                }
+                println!(
+                    "{:<52} {:>12.1} {:>12.1} {:>7.2}x  {}",
+                    gate,
+                    b.mean_ns,
+                    c.mean_ns,
+                    ratio,
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+            }
+            (None, _) => {
+                failed = true;
+                println!("{gate:<52} missing from baseline — FAIL");
+            }
+            (_, None) => {
+                failed = true;
+                println!("{gate:<52} missing from current run — FAIL");
+            }
+        }
+    }
+    if failed {
+        println!(
+            "perf_gate: FAILED — a gated benchmark regressed by more than {:.0}% \
+             (or is missing)",
+            threshold * 100.0
+        );
+    } else {
+        println!("perf_gate: ok — no gated benchmark regressed");
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("merge") if args.len() == 3 => cmd_merge(&args[1], &args[2]).map(|()| true),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => Err("usage: perf_gate merge <lines.jsonl> <out.json> | \
+                  perf_gate compare <baseline.json> <current.json> \
+                  [--threshold 0.20] [--gate suite/benchmark]..."
+            .to_string()),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse(r#"{"a": {"b": [1, 2.5, "x\"y"], "c": true}, "d": null}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().get("b"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Str("x\"y".into())
+            ]))
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn gate_lookup_splits_on_first_slash() {
+        let mut suites = SuiteMap::new();
+        suites
+            .entry("micro_correctable".into())
+            .or_default()
+            .insert(
+                "correctable/update+close".into(),
+                Stats {
+                    mean_ns: 1.0,
+                    median_ns: 1.0,
+                    p95_ns: 1.0,
+                    samples: 1,
+                },
+            );
+        assert!(lookup(&suites, "micro_correctable/correctable/update+close").is_some());
+        assert!(lookup(&suites, "micro_correctable/missing").is_none());
+        assert!(lookup(&suites, "noslash").is_none());
+    }
+
+    #[test]
+    fn merge_and_trajectory_round_trip() {
+        let dir = std::env::temp_dir().join(format!("perf_gate_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let lines = dir.join("lines.jsonl");
+        let out = dir.join("out.json");
+        std::fs::write(
+            &lines,
+            concat!(
+                "{\"suite\":\"s1\",\"benchmark\":\"a/b\",\"mean_ns\":10.5,\"median_ns\":10.0,\"p95_ns\":12.0,\"samples\":100}\n",
+                "{\"suite\":\"s1\",\"benchmark\":\"a/b\",\"mean_ns\":11.5,\"median_ns\":11.0,\"p95_ns\":13.0,\"samples\":200}\n",
+                "{\"suite\":\"s2\",\"benchmark\":\"c\",\"mean_ns\":1.0,\"median_ns\":1.0,\"p95_ns\":1.0,\"samples\":5}\n",
+            ),
+        )
+        .unwrap();
+        cmd_merge(lines.to_str().unwrap(), out.to_str().unwrap()).unwrap();
+        let suites = read_trajectory(out.to_str().unwrap()).unwrap();
+        // The later record for s1/a/b wins.
+        let s = lookup(&suites, "s1/a/b").unwrap();
+        assert_eq!(s.mean_ns, 11.5);
+        assert_eq!(s.samples, 200);
+        assert!(lookup(&suites, "s2/c").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

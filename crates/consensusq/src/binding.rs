@@ -5,7 +5,7 @@
 //!
 //! - `Weak` — the result of *simulating* the operation on the connected
 //!   server's local state (§4.3: "a weakly consistent result of an
-//!   operation [is] the outcome of simulating that operation on the local
+//!   operation \[is\] the outcome of simulating that operation on the local
 //!   state of a single replica");
 //! - `Strong` — the result after Zab coordination (atomic semantics).
 //!

@@ -11,6 +11,8 @@
 //! Correctable transition (update for intermediate levels, close for the
 //! strongest requested one).
 
+use std::sync::Arc;
+
 use crate::correctable::Handle;
 use crate::error::Error;
 use crate::level::ConsistencyLevel;
@@ -90,14 +92,55 @@ impl RankMask {
     }
 }
 
+/// Observes the deliveries an [`Upcall`] *accepts* — after level filtering
+/// and close-once arbitration — without interposing another Correctable.
+///
+/// This is the hook the recording layer ([`crate::record::RecordingBinding`])
+/// attaches: the observer sees exactly the client-visible stream, and
+/// deliveries the upcall drops (non-requested levels, post-close stragglers)
+/// are never cloned for it.
+///
+/// Ordering contract: the observer is notified *after* the state machine
+/// accepts a delivery, outside its internal lock. When a binding delivers
+/// on one invocation from a single thread (every binding in this
+/// workspace does), observer notifications arrive in accepted order; a
+/// binding delivering concurrently from several threads must serialize
+/// its deliveries per invocation if it needs the recorded order to match
+/// the accepted order.
+pub trait DeliveryObserver<T>: Send + Sync {
+    /// An accepted view delivery; `closing` marks the final view.
+    fn on_view(&self, value: T, level: ConsistencyLevel, closing: bool);
+
+    /// An accepted exceptional close.
+    fn on_fail(&self, error: &Error);
+}
+
+/// Fans one accepted delivery out to two observers (nested recording).
+struct PairObserver<T>(Arc<dyn DeliveryObserver<T>>, Arc<dyn DeliveryObserver<T>>);
+
+impl<T: Clone> DeliveryObserver<T> for PairObserver<T> {
+    fn on_view(&self, value: T, level: ConsistencyLevel, closing: bool) {
+        self.0.on_view(value.clone(), level, closing);
+        self.1.on_view(value, level, closing);
+    }
+
+    fn on_fail(&self, error: &Error) {
+        self.0.on_fail(error);
+        self.1.on_fail(error);
+    }
+}
+
 /// The callback surface handed to a binding for one operation.
 pub struct Upcall<T> {
     handle: Handle<T>,
     strongest: ConsistencyLevel,
-    /// Ranks of the requested levels. Deliveries below `strongest` at a
-    /// rank outside this set are dropped instead of surfacing as
-    /// spurious preliminary views (§3.2's level-skipping contract).
+    /// Ranks of the requested levels, cached once at construction.
+    /// Deliveries below `strongest` at a rank outside this set are dropped
+    /// instead of surfacing as spurious preliminary views (§3.2's
+    /// level-skipping contract).
     requested: RankMask,
+    /// Optional observer of accepted deliveries (the recording layer).
+    observer: Option<Arc<dyn DeliveryObserver<T>>>,
 }
 
 impl<T: Clone + Send + 'static> Upcall<T> {
@@ -108,6 +151,7 @@ impl<T: Clone + Send + 'static> Upcall<T> {
             handle,
             strongest,
             requested: RankMask::ALL,
+            observer: None,
         }
     }
 
@@ -128,7 +172,18 @@ impl<T: Clone + Send + 'static> Upcall<T> {
             handle,
             strongest,
             requested: RankMask::of(levels),
+            observer: None,
         }
+    }
+
+    /// Attaches an observer of accepted deliveries. If an observer is
+    /// already attached (nested recording layers), both are notified.
+    pub fn with_observer(mut self, observer: Arc<dyn DeliveryObserver<T>>) -> Self {
+        self.observer = Some(match self.observer.take() {
+            None => observer,
+            Some(prev) => Arc::new(PairObserver(prev, observer)),
+        });
+        self
     }
 
     /// Delivers one view. A view at (or above) the strongest requested
@@ -137,18 +192,49 @@ impl<T: Clone + Send + 'static> Upcall<T> {
     /// Deliveries after the close are ignored (e.g. a slow weak response
     /// racing a fast strong one), matching the paper's state machine.
     /// When the upcall was built with [`Upcall::for_levels`], preliminary
-    /// deliveries at non-requested levels are ignored as well.
+    /// deliveries at non-requested levels are ignored as well. Dropped
+    /// deliveries never reach the observer and are never cloned for it.
     pub fn deliver(&self, value: T, level: ConsistencyLevel) {
-        if level.at_least(self.strongest) {
-            let _ = self.handle.close(value, level);
-        } else if self.requested.contains(level) {
-            let _ = self.handle.update(value, level);
+        let closing = level.at_least(self.strongest);
+        if !closing && !self.requested.contains(level) {
+            return;
+        }
+        match &self.observer {
+            None => {
+                if closing {
+                    let _ = self.handle.close(value, level);
+                } else {
+                    let _ = self.handle.update(value, level);
+                }
+            }
+            Some(obs) => {
+                // One clone, skipped for level-filtered deliveries; the
+                // observer records it iff the state machine accepts.
+                let copy = value.clone();
+                let accepted = if closing {
+                    self.handle.close(value, level).is_ok()
+                } else {
+                    self.handle.update(value, level).is_ok()
+                };
+                if accepted {
+                    obs.on_view(copy, level, closing);
+                }
+            }
         }
     }
 
     /// Fails the operation; ignored if already closed.
     pub fn fail(&self, err: Error) {
-        let _ = self.handle.fail(err);
+        match &self.observer {
+            None => {
+                let _ = self.handle.fail(err);
+            }
+            Some(obs) => {
+                if self.handle.fail(err.clone()).is_ok() {
+                    obs.on_fail(&err);
+                }
+            }
+        }
     }
 
     /// The strongest level this upcall was configured with.
@@ -163,6 +249,7 @@ impl<T> Clone for Upcall<T> {
             handle: self.handle.clone(),
             strongest: self.strongest,
             requested: self.requested,
+            observer: self.observer.clone(),
         }
     }
 }

@@ -41,8 +41,8 @@ impl<B: Binding> Client<B> {
     /// Invokes `op` with the weakest available consistency; the result
     /// closes with that single view.
     pub fn invoke_weak(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.levels.first().copied() {
-            Some(weakest) => self.submit(op, vec![weakest]),
+        match self.levels.first() {
+            Some(weakest) => self.submit(op, std::slice::from_ref(weakest)),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
             )),
@@ -52,8 +52,8 @@ impl<B: Binding> Client<B> {
     /// Invokes `op` with the strongest available consistency; the result
     /// closes with that single view.
     pub fn invoke_strong(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.levels.last().copied() {
-            Some(strongest) => self.submit(op, vec![strongest]),
+        match self.levels.last() {
+            Some(strongest) => self.submit(op, std::slice::from_ref(strongest)),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
             )),
@@ -64,25 +64,33 @@ impl<B: Binding> Client<B> {
     /// available levels: one preliminary view per intermediate level, then
     /// a final view at the strongest.
     pub fn invoke(&self, op: B::Op) -> Correctable<B::Val> {
-        self.invoke_with(op, &LevelSelection::All)
+        if self.levels.is_empty() {
+            return Correctable::failed(Error::Unavailable("no consistency level selected".into()));
+        }
+        // The cached level list is already sorted and deduplicated, so the
+        // all-levels fast path skips `LevelSelection::resolve` entirely.
+        self.submit(op, &self.levels)
     }
 
     /// Invokes `op` delivering only the selected levels (the optional
     /// `levels` argument of the paper's `invoke`).
     pub fn invoke_with(&self, op: B::Op, selection: &LevelSelection) -> Correctable<B::Val> {
+        if matches!(selection, LevelSelection::All) {
+            return self.invoke(op);
+        }
         match selection.resolve(&self.levels) {
             Ok(levels) if levels.is_empty() => {
                 Correctable::failed(Error::Unavailable("no consistency level selected".into()))
             }
-            Ok(levels) => self.submit(op, levels),
+            Ok(levels) => self.submit(op, &levels),
             Err(bad) => Correctable::failed(Error::UnsupportedLevel(bad)),
         }
     }
 
-    fn submit(&self, op: B::Op, levels: Vec<ConsistencyLevel>) -> Correctable<B::Val> {
+    fn submit(&self, op: B::Op, levels: &[ConsistencyLevel]) -> Correctable<B::Val> {
         let (c, handle) = Correctable::pending();
-        let upcall = Upcall::for_levels(handle, &levels);
-        self.binding.submit(op, &levels, upcall);
+        let upcall = Upcall::for_levels(handle, levels);
+        self.binding.submit(op, levels, upcall);
         c
     }
 }

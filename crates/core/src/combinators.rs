@@ -8,7 +8,23 @@ use parking_lot::Mutex;
 
 use crate::correctable::Correctable;
 use crate::error::Error;
+use crate::level::ConsistencyLevel;
 use crate::view::View;
+
+/// Drains a fully populated slot list into `(values, weakest level)` —
+/// the aggregate is only as strong as its weakest view.
+fn finish_join<T>(slots: &mut [Option<View<T>>]) -> (Vec<T>, ConsistencyLevel) {
+    let level = slots
+        .iter()
+        .map(|s| s.as_ref().expect("all slots filled").level)
+        .min()
+        .expect("non-empty");
+    let values = slots
+        .iter_mut()
+        .map(|s| s.take().expect("all slots filled").value)
+        .collect();
+    (values, level)
+}
 
 impl<T: Clone + Send + 'static> Correctable<T> {
     /// Transforms every view (preliminary and final) with `f`.
@@ -74,6 +90,11 @@ impl<T: Clone + Send + 'static> Correctable<T> {
     /// values, in input order, once every input has closed.
     ///
     /// The first input error fails the aggregate immediately.
+    ///
+    /// Inputs that have already closed are harvested synchronously with a
+    /// lock-free probe ([`Correctable::outcome`]); callback closures are
+    /// boxed and registered only for inputs still open at call time, so
+    /// joining a set of ready results performs no callback allocation.
     pub fn join_all(items: Vec<Correctable<T>>) -> Correctable<Vec<T>> {
         let (out, handle) = Correctable::<Vec<T>>::pending();
         let n = items.len();
@@ -81,18 +102,42 @@ impl<T: Clone + Send + 'static> Correctable<T> {
             let _ = handle.close(Vec::new(), crate::level::ConsistencyLevel::Strong);
             return out;
         }
+        // Harvest everything already closed without registering callbacks.
+        let mut slots: Vec<Option<View<T>>> = Vec::with_capacity(n);
+        let mut open = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item.outcome() {
+                Some(Ok(v)) => slots.push(Some(v)),
+                Some(Err(e)) => {
+                    let _ = handle.fail(e);
+                    return out;
+                }
+                None => {
+                    slots.push(None);
+                    open.push(i);
+                }
+            }
+        }
+        if open.is_empty() {
+            let (values, level) = finish_join(&mut slots);
+            let _ = handle.close(values, level);
+            return out;
+        }
         struct JoinState<T> {
             slots: Vec<Option<View<T>>>,
             remaining: usize,
         }
         let state = Arc::new(Mutex::new(JoinState {
-            slots: (0..n).map(|_| None).collect(),
-            remaining: n,
+            remaining: open.len(),
+            slots,
         }));
-        for (i, item) in items.iter().enumerate() {
+        for i in open {
             let st = Arc::clone(&state);
             let h = handle.clone();
-            item.on_final(move |v: &View<T>| {
+            // An input that closed between the probe above and this
+            // registration fires the callback immediately (replay), so no
+            // completion is lost.
+            items[i].on_final(move |v: &View<T>| {
                 let done = {
                     let mut g = st.lock();
                     if g.slots[i].is_none() {
@@ -100,19 +145,7 @@ impl<T: Clone + Send + 'static> Correctable<T> {
                         g.remaining -= 1;
                     }
                     if g.remaining == 0 {
-                        // The aggregate is only as strong as its weakest view.
-                        let level = g
-                            .slots
-                            .iter()
-                            .map(|s| s.as_ref().expect("all slots filled").level)
-                            .min()
-                            .expect("non-empty");
-                        let values = g
-                            .slots
-                            .iter_mut()
-                            .map(|s| s.take().expect("all slots filled").value)
-                            .collect::<Vec<_>>();
-                        Some((values, level))
+                        Some(finish_join(&mut g.slots))
                     } else {
                         None
                     }
@@ -122,7 +155,7 @@ impl<T: Clone + Send + 'static> Correctable<T> {
                 }
             });
             let h_e = handle.clone();
-            item.on_error(move |e: &Error| {
+            items[i].on_error(move |e: &Error| {
                 let _ = h_e.fail(e.clone());
             });
         }

@@ -11,13 +11,33 @@
 //! binding) drives it through a [`Handle`]. Both are cheaply cloneable and
 //! thread-safe; callbacks never run while internal locks are held, so they
 //! may freely create, update, or wait on other Correctables.
+//!
+//! ## Performance model
+//!
+//! The state machine is built to make the callback-driven fast path
+//! allocation-lean and syscall-free:
+//!
+//! - views and callbacks live in [`InlineVec`]s sized for the ≤4
+//!   consistency levels the workspace ships, so a typical invocation
+//!   performs exactly one allocation (the shared `Arc`) plus one `Box` per
+//!   registered closure;
+//! - a packed atomic **state word** mirrors the closing state and whether
+//!   any thread ever blocked in [`Correctable::wait_final`] /
+//!   [`Correctable::wait_any`]; producers consult it after releasing the
+//!   lock and only touch the condvar on the parked slow path, so
+//!   callback-only consumers (the common case in the simulators and
+//!   benchmarks) never pay for wakeups;
+//! - `state()` / `is_closed()` / `outcome()`-style probes read the state
+//!   word without locking.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{ClosedError, Error};
+use crate::inline::InlineVec;
 use crate::level::ConsistencyLevel;
 use crate::view::View;
 
@@ -30,6 +50,22 @@ pub enum State {
     Final,
     /// Closed with an error.
     Error,
+}
+
+// Layout of `Inner::word`: low two bits carry the `State`, bit 2 records
+// that some thread has parked on the condvar (sticky, set under the lock).
+const ST_MASK: u32 = 0b11;
+const ST_UPDATING: u32 = 0;
+const ST_FINAL: u32 = 1;
+const ST_ERROR: u32 = 2;
+const HAS_WAITERS: u32 = 0b100;
+
+fn decode(word: u32) -> State {
+    match word & ST_MASK {
+        ST_FINAL => State::Final,
+        ST_ERROR => State::Error,
+        _ => State::Updating,
+    }
 }
 
 type UpdateFn<T> = Box<dyn FnMut(&View<T>) + Send>;
@@ -46,19 +82,33 @@ struct UpdateEntry<T> {
 struct Shared<T> {
     state: State,
     /// Preliminary views, in delivery order.
-    updates: Vec<View<T>>,
+    updates: InlineVec<View<T>, 2>,
     /// The closing view, if `state == Final`.
     final_view: Option<View<T>>,
     /// The closing error, if `state == Error`.
     error: Option<Error>,
-    update_cbs: Vec<UpdateEntry<T>>,
-    final_cbs: Vec<FinalFn<T>>,
-    error_cbs: Vec<ErrorFn>,
+    update_cbs: InlineVec<UpdateEntry<T>, 2>,
+    final_cbs: InlineVec<FinalFn<T>, 2>,
+    error_cbs: InlineVec<ErrorFn, 1>,
 }
 
 struct Inner<T> {
+    /// Lock-free mirror of the closing state plus the waiter flag; the
+    /// authoritative transition still happens under `shared`'s lock.
+    word: AtomicU32,
     shared: Mutex<Shared<T>>,
     cond: Condvar,
+}
+
+impl<T> Inner<T> {
+    /// Publishes `state` into the word, preserving the waiter flag, and
+    /// reports whether any thread is parked. Must be called with the
+    /// `shared` lock held so it cannot race a waiter registering itself.
+    fn publish(&self, state: u32) -> bool {
+        let waiters = self.word.load(Ordering::Relaxed) & HAS_WAITERS;
+        self.word.store(state | waiters, Ordering::Release);
+        waiters != 0
+    }
 }
 
 /// Consumer handle to an operation with incremental consistency guarantees.
@@ -96,14 +146,15 @@ impl<T: Clone + Send + 'static> Correctable<T> {
     /// Creates an open Correctable and its producer handle.
     pub fn pending() -> (Correctable<T>, Handle<T>) {
         let inner = Arc::new(Inner {
+            word: AtomicU32::new(ST_UPDATING),
             shared: Mutex::new(Shared {
                 state: State::Updating,
-                updates: Vec::new(),
+                updates: InlineVec::new(),
                 final_view: None,
                 error: None,
-                update_cbs: Vec::new(),
-                final_cbs: Vec::new(),
-                error_cbs: Vec::new(),
+                update_cbs: InlineVec::new(),
+                final_cbs: InlineVec::new(),
+                error_cbs: InlineVec::new(),
             }),
             cond: Condvar::new(),
         });
@@ -135,14 +186,33 @@ impl<T: Clone + Send + 'static> Correctable<T> {
         c
     }
 
-    /// Current state.
+    /// Current state. Lock-free.
     pub fn state(&self) -> State {
-        self.inner.shared.lock().state
+        decode(self.inner.word.load(Ordering::Acquire))
     }
 
-    /// Whether the Correctable has closed (final or error).
+    /// Whether the Correctable has closed (final or error). Lock-free.
     pub fn is_closed(&self) -> bool {
         self.state() != State::Updating
+    }
+
+    /// The closing outcome, if the Correctable has closed: the final view
+    /// on success, the closing error on failure. `None` while updating.
+    ///
+    /// The open probe is lock-free, which makes this the cheapest way for
+    /// combinators to skip callback registration on still-open inputs.
+    pub fn outcome(&self) -> Option<Result<View<T>, Error>> {
+        match self.state() {
+            State::Updating => None,
+            State::Final => {
+                let g = self.inner.shared.lock();
+                Some(Ok(g.final_view.clone().expect("final state has a view")))
+            }
+            State::Error => {
+                let g = self.inner.shared.lock();
+                Some(Err(g.error.clone().expect("error state has an error")))
+            }
+        }
     }
 
     /// The most recent view of any kind (final wins over preliminaries).
@@ -163,7 +233,7 @@ impl<T: Clone + Send + 'static> Correctable<T> {
 
     /// All preliminary views delivered so far (excludes the final view).
     pub fn preliminary_views(&self) -> Vec<View<T>> {
-        self.inner.shared.lock().updates.clone()
+        self.inner.shared.lock().updates.to_vec()
     }
 
     /// Registers a callback for every preliminary view.
@@ -172,14 +242,17 @@ impl<T: Clone + Send + 'static> Correctable<T> {
     /// immediately, so late observers see the full incremental history.
     /// Returns `self` for chaining.
     pub fn on_update(&self, f: impl FnMut(&View<T>) + Send + 'static) -> &Self {
-        {
+        let replay = {
             let mut g = self.inner.shared.lock();
             g.update_cbs.push(UpdateEntry {
                 f: Some(Box::new(f)),
                 seen: 0,
             });
+            !g.updates.is_empty()
+        };
+        if replay {
+            Self::pump_updates(&self.inner);
         }
-        Self::pump_updates(&self.inner);
         self
     }
 
@@ -253,6 +326,9 @@ impl<T: Clone + Send + 'static> Correctable<T> {
                 State::Error => return Err(g.error.clone().expect("error state has an error")),
                 State::Updating => {}
             }
+            // Announce the parked waiter while still holding the lock, so
+            // the producer's post-unlock check cannot miss it.
+            self.inner.word.fetch_or(HAS_WAITERS, Ordering::Relaxed);
             // Preliminary views also notify the condvar, so loop until the
             // state actually closes or the deadline passes.
             let now = std::time::Instant::now();
@@ -279,6 +355,7 @@ impl<T: Clone + Send + 'static> Correctable<T> {
             if g.state == State::Error {
                 return Err(g.error.clone().expect("error state has an error"));
             }
+            self.inner.word.fetch_or(HAS_WAITERS, Ordering::Relaxed);
             let now = std::time::Instant::now();
             if now >= deadline || self.inner.cond.wait_for(&mut g, deadline - now).timed_out() {
                 return Err(Error::Timeout);
@@ -291,13 +368,19 @@ impl<T: Clone + Send + 'static> Correctable<T> {
     /// Invariant: no user callback runs while the lock is held, and each
     /// callback sees each view exactly once, in order. Re-entrant calls
     /// (a callback delivering more views) are safe: the running entry is
-    /// temporarily vacated, so the nested pump skips it.
+    /// temporarily vacated, so the nested pump skips it. Restoring the
+    /// previous callback and claiming the next piece of work share one
+    /// lock acquisition.
     fn pump_updates(inner: &Arc<Inner<T>>) {
+        let mut restore: Option<(usize, UpdateFn<T>)> = None;
         loop {
-            let mut work: Option<(usize, UpdateFn<T>, View<T>)> = None;
-            {
+            let work = {
                 let mut g = inner.shared.lock();
+                if let Some((i, f)) = restore.take() {
+                    g.update_cbs[i].f = Some(f);
+                }
                 let n = g.updates.len();
+                let mut found = None;
                 for i in 0..g.update_cbs.len() {
                     let entry = &mut g.update_cbs[i];
                     if entry.f.is_some() && entry.seen < n {
@@ -305,17 +388,17 @@ impl<T: Clone + Send + 'static> Correctable<T> {
                         entry.seen += 1;
                         let f = entry.f.take().expect("checked is_some");
                         let view = g.updates[seen].clone();
-                        work = Some((i, f, view));
+                        found = Some((i, f, view));
                         break;
                     }
                 }
-            }
+                found
+            };
             match work {
                 None => return,
                 Some((i, mut f, view)) => {
                     f(&view);
-                    let mut g = inner.shared.lock();
-                    g.update_cbs[i].f = Some(f);
+                    restore = Some((i, f));
                 }
             }
         }
@@ -329,15 +412,21 @@ impl<T: Clone + Send + 'static> Handle<T> {
     ///
     /// Returns [`ClosedError`] if the Correctable already closed.
     pub fn update(&self, value: T, level: ConsistencyLevel) -> Result<(), ClosedError> {
-        {
+        let (notify, pump) = {
             let mut g = self.inner.shared.lock();
             if g.state != State::Updating {
                 return Err(ClosedError);
             }
             g.updates.push(View::new(value, level));
+            let notify = self.inner.word.load(Ordering::Relaxed) & HAS_WAITERS != 0;
+            (notify, !g.update_cbs.is_empty())
+        };
+        if notify {
+            self.inner.cond.notify_all();
         }
-        self.inner.cond.notify_all();
-        Correctable::pump_updates(&self.inner);
+        if pump {
+            Correctable::pump_updates(&self.inner);
+        }
         Ok(())
     }
 
@@ -347,21 +436,33 @@ impl<T: Clone + Send + 'static> Handle<T> {
     ///
     /// Returns [`ClosedError`] if the Correctable already closed.
     pub fn close(&self, value: T, level: ConsistencyLevel) -> Result<(), ClosedError> {
-        let (view, cbs) = {
+        let (view, cbs, notify) = {
             let mut g = self.inner.shared.lock();
             if g.state != State::Updating {
                 return Err(ClosedError);
             }
             g.state = State::Final;
             let view = View::new(value, level);
-            g.final_view = Some(view.clone());
+            let cbs = std::mem::take(&mut g.final_cbs);
+            // Clone the view only when a callback actually needs it.
+            let for_cbs = if cbs.is_empty() {
+                None
+            } else {
+                Some(view.clone())
+            };
+            g.final_view = Some(view);
             // Error callbacks can never fire now; drop them.
             g.error_cbs.clear();
-            (view, std::mem::take(&mut g.final_cbs))
+            let notify = self.inner.publish(ST_FINAL);
+            (for_cbs, cbs, notify)
         };
-        self.inner.cond.notify_all();
-        for cb in cbs {
-            cb(&view);
+        if notify {
+            self.inner.cond.notify_all();
+        }
+        if let Some(view) = view {
+            for cb in cbs {
+                cb(&view);
+            }
         }
         Ok(())
     }
@@ -372,7 +473,7 @@ impl<T: Clone + Send + 'static> Handle<T> {
     ///
     /// Returns [`ClosedError`] if the Correctable already closed.
     pub fn fail(&self, err: Error) -> Result<(), ClosedError> {
-        let cbs = {
+        let (cbs, notify) = {
             let mut g = self.inner.shared.lock();
             if g.state != State::Updating {
                 return Err(ClosedError);
@@ -380,18 +481,21 @@ impl<T: Clone + Send + 'static> Handle<T> {
             g.state = State::Error;
             g.error = Some(err.clone());
             g.final_cbs.clear();
-            std::mem::take(&mut g.error_cbs)
+            let notify = self.inner.publish(ST_ERROR);
+            (std::mem::take(&mut g.error_cbs), notify)
         };
-        self.inner.cond.notify_all();
+        if notify {
+            self.inner.cond.notify_all();
+        }
         for cb in cbs {
             cb(&err);
         }
         Ok(())
     }
 
-    /// Whether the Correctable is still open.
+    /// Whether the Correctable is still open. Lock-free.
     pub fn is_open(&self) -> bool {
-        self.inner.shared.lock().state == State::Updating
+        decode(self.inner.word.load(Ordering::Acquire)) == State::Updating
     }
 
     /// A consumer handle for the same operation.
@@ -588,5 +692,48 @@ mod tests {
         h.close(5, Strong).unwrap();
         assert!(!h.is_open());
         assert_eq!(c.final_view().unwrap().value, 5);
+    }
+
+    #[test]
+    fn outcome_reports_open_final_and_error() {
+        let (c, h) = Correctable::<i32>::pending();
+        assert!(c.outcome().is_none());
+        h.update(1, Weak).unwrap();
+        assert!(c.outcome().is_none());
+        h.close(2, Strong).unwrap();
+        let v = c.outcome().unwrap().unwrap();
+        assert_eq!((v.value, v.level), (2, Strong));
+
+        let (c, h) = Correctable::<i32>::pending();
+        h.fail(Error::Aborted).unwrap();
+        assert_eq!(c.outcome().unwrap().unwrap_err(), Error::Aborted);
+    }
+
+    #[test]
+    fn many_views_spill_past_inline_storage() {
+        let (c, h) = Correctable::<i32>::pending();
+        let seen = StdArc::new(Mutex::new(Vec::new()));
+        let s = StdArc::clone(&seen);
+        c.on_update(move |v| s.lock().push(v.value));
+        for i in 0..16 {
+            h.update(i, Weak).unwrap();
+        }
+        h.close(99, Strong).unwrap();
+        assert_eq!(*seen.lock(), (0..16).collect::<Vec<_>>());
+        assert_eq!(c.preliminary_views().len(), 16);
+    }
+
+    #[test]
+    fn many_callbacks_spill_past_inline_storage() {
+        let (c, h) = Correctable::<i32>::pending();
+        let count = StdArc::new(AtomicUsize::new(0));
+        for _ in 0..9 {
+            let n = StdArc::clone(&count);
+            c.on_final(move |_| {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        h.close(1, Strong).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 9);
     }
 }

@@ -1,0 +1,328 @@
+//! A vendored smallvec-style vector with inline storage.
+//!
+//! The Correctable state machine stores views and callbacks for at most a
+//! handful of consistency levels (the workspace ships four), so the common
+//! case fits in a fixed inline buffer and never touches the allocator.
+//! [`InlineVec`] keeps the first `N` elements inline and spills the whole
+//! collection to a heap `Vec` only when it outgrows the buffer.
+//!
+//! Scope is deliberately minimal: push, slice access, owned iteration, and
+//! `mem::take` (via `Default`) — exactly what `correctable.rs` needs.
+
+use std::mem::MaybeUninit;
+
+/// A growable vector whose first `N` elements live inline.
+pub struct InlineVec<T, const N: usize> {
+    /// Initialized prefix length of `inline`; 0 once spilled.
+    len: u32,
+    spilled: bool,
+    inline: [MaybeUninit<T>; N],
+    heap: Vec<T>,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty vector; performs no allocation.
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            spilled: false,
+            // SAFETY: an array of `MaybeUninit` is valid uninitialized.
+            inline: unsafe { MaybeUninit::<[MaybeUninit<T>; N]>::uninit().assume_init() },
+            heap: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len as usize
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an element, spilling to the heap on overflow of the inline
+    /// buffer.
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+        } else if (self.len as usize) < N {
+            self.inline[self.len as usize].write(value);
+            self.len += 1;
+        } else {
+            self.spill();
+            self.heap.push(value);
+        }
+    }
+
+    /// Moves the inline elements onto the heap.
+    fn spill(&mut self) {
+        debug_assert!(!self.spilled);
+        let n = self.len as usize;
+        self.heap.reserve(n * 2 + 1);
+        for slot in &self.inline[..n] {
+            // SAFETY: the first `len` slots are initialized, and `len` is
+            // reset below so they are never read (or dropped) again.
+            self.heap.push(unsafe { slot.assume_init_read() });
+        }
+        self.len = 0;
+        self.spilled = true;
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr().cast::<T>(), self.len as usize)
+            }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe {
+                std::slice::from_raw_parts_mut(
+                    self.inline.as_mut_ptr().cast::<T>(),
+                    self.len as usize,
+                )
+            }
+        }
+    }
+
+    /// Removes every element, dropping each.
+    pub fn clear(&mut self) {
+        if self.spilled {
+            self.heap.clear();
+        } else {
+            let n = self.len as usize;
+            // Reset before dropping so a panicking destructor cannot cause
+            // a double drop.
+            self.len = 0;
+            for slot in &mut self.inline[..n] {
+                // SAFETY: the first `n` slots were initialized and `len` is
+                // already zeroed.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+/// Owned iterator over an [`InlineVec`].
+pub enum IntoIter<T, const N: usize> {
+    /// Iterating the inline buffer; `[next, len)` are still initialized.
+    Inline {
+        /// The inline buffer, moved out of the vector.
+        buf: [MaybeUninit<T>; N],
+        /// Initialized prefix length.
+        len: usize,
+        /// Next element to yield.
+        next: usize,
+    },
+    /// Iterating a spilled heap vector.
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> IntoIter<T, N> {
+        // Disarm our own Drop; ownership of every element moves into the
+        // iterator (the leftover empty `Vec` holds no allocation).
+        let mut me = std::mem::ManuallyDrop::new(self);
+        if me.spilled {
+            IntoIter::Heap(std::mem::take(&mut me.heap).into_iter())
+        } else {
+            // SAFETY: `me` is never touched again after the buffer is read.
+            let buf = unsafe { std::ptr::read(&me.inline) };
+            IntoIter::Inline {
+                buf,
+                len: me.len as usize,
+                next: 0,
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            IntoIter::Inline { buf, len, next } => {
+                if next < len {
+                    let i = *next;
+                    *next += 1;
+                    // SAFETY: slots in `[next, len)` are initialized and
+                    // each is read exactly once.
+                    Some(unsafe { buf[i].assume_init_read() })
+                } else {
+                    None
+                }
+            }
+            IntoIter::Heap(it) => it.next(),
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        if let IntoIter::Inline { buf, len, next } = self {
+            let (from, to) = (*next, *len);
+            // Prevent double drops if an element destructor panics.
+            *next = *len;
+            for slot in &mut buf[from..to] {
+                // SAFETY: slots in `[from, to)` were initialized and not
+                // yet yielded.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_and_read_within_inline_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v[2] = 9;
+        assert_eq!(v[2], 9);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 99);
+        assert_eq!(v.iter().sum::<u32>(), (0..100).sum());
+    }
+
+    #[test]
+    fn into_iter_yields_in_order_inline_and_spilled() {
+        let mut small: InlineVec<String, 4> = InlineVec::new();
+        small.push("a".into());
+        small.push("b".into());
+        assert_eq!(small.into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
+
+        let mut big: InlineVec<String, 2> = InlineVec::new();
+        for i in 0..5 {
+            big.push(i.to_string());
+        }
+        assert_eq!(
+            big.into_iter().collect::<Vec<_>>(),
+            vec!["0", "1", "2", "3", "4"]
+        );
+    }
+
+    /// Bumps a counter on drop, to account for every destructor call.
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn drops_every_element_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        // Dropped while still inline.
+        {
+            let mut v: InlineVec<Counted, 4> = InlineVec::new();
+            v.push(Counted(Arc::clone(&drops)));
+            v.push(Counted(Arc::clone(&drops)));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        // Dropped after spilling.
+        {
+            let mut v: InlineVec<Counted, 2> = InlineVec::new();
+            for _ in 0..5 {
+                v.push(Counted(Arc::clone(&drops)));
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 7);
+        // Partially consumed iterator drops the rest.
+        {
+            let mut v: InlineVec<Counted, 4> = InlineVec::new();
+            for _ in 0..3 {
+                v.push(Counted(Arc::clone(&drops)));
+            }
+            let mut it = v.into_iter();
+            drop(it.next());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn mem_take_leaves_an_empty_vector() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        let taken = std::mem::take(&mut v);
+        assert_eq!(taken.as_slice(), &[1]);
+        assert!(v.is_empty());
+        v.push(2);
+        assert_eq!(v.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn clear_resets_inline_and_spilled() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+}

@@ -57,13 +57,14 @@ pub mod client;
 pub mod combinators;
 pub mod correctable;
 pub mod error;
+pub mod inline;
 pub mod level;
 pub mod local;
 pub mod record;
 pub mod speculate;
 pub mod view;
 
-pub use binding::{Binding, KeyedOp, ObjectId, Upcall};
+pub use binding::{Binding, DeliveryObserver, KeyedOp, ObjectId, Upcall};
 pub use client::Client;
 pub use correctable::{Correctable, Handle, State};
 pub use error::{ClosedError, Error};

@@ -14,13 +14,19 @@
 //! level-filtering and close-once arbitration), so a checker that
 //! rejects a recorded history is rejecting what the application really
 //! saw, not an internal delivery the library would have suppressed.
+//!
+//! The recording is implemented as a [`DeliveryObserver`] attached to the
+//! caller's own upcall, not as an interposed Correctable: the upcall's
+//! cached level filter is evaluated once, accepted views are cloned
+//! exactly once (into the history), and views the filter or arbitration
+//! drops are never cloned at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::binding::{Binding, Upcall};
+use crate::binding::{Binding, DeliveryObserver, Upcall};
 use crate::correctable::Correctable;
 use crate::error::Error;
 use crate::level::ConsistencyLevel;
@@ -270,13 +276,29 @@ impl<Op: Send + 'static, T: Clone + Send + 'static> History<Op, T> {
     }
 }
 
+/// Records one invocation's accepted deliveries into a [`History`].
+struct Recorder<Op, T> {
+    history: History<Op, T>,
+    id: usize,
+}
+
+impl<Op: Send, T: Send> DeliveryObserver<T> for Recorder<Op, T> {
+    fn on_view(&self, value: T, level: ConsistencyLevel, closing: bool) {
+        self.history.view(self.id, level, value, closing);
+    }
+
+    fn on_fail(&self, error: &Error) {
+        self.history.failed(self.id, error.clone());
+    }
+}
+
 /// A transparent [`Binding`] wrapper logging every invocation into a
 /// [`History`].
 ///
-/// The wrapper interposes its own Correctable between the inner binding
-/// and the caller's [`Upcall`], so it records the post-filtering,
-/// post-arbitration view stream — exactly what the client sees — and
-/// forwards each view unchanged at its original level.
+/// The wrapper attaches a [`DeliveryObserver`] to the caller's [`Upcall`],
+/// so it records the post-filtering, post-arbitration view stream —
+/// exactly what the client sees — while the views flow to the caller
+/// through the original upcall unchanged.
 pub struct RecordingBinding<B: Binding> {
     inner: B,
     history: History<B::Op, B::Val>,
@@ -322,26 +344,12 @@ where
 
     fn submit(&self, op: B::Op, levels: &[ConsistencyLevel], upcall: Upcall<B::Val>) {
         let id = self.history.begin(op.clone(), levels.to_vec());
-        let (c, handle) = Correctable::<B::Val>::pending();
-        let h = self.history.clone();
-        let out = upcall.clone();
-        c.on_update(move |v| {
-            h.view(id, v.level, v.value.clone(), false);
-            out.deliver(v.value.clone(), v.level);
-        });
-        let h = self.history.clone();
-        let out = upcall.clone();
-        c.on_final(move |v| {
-            h.view(id, v.level, v.value.clone(), true);
-            out.deliver(v.value.clone(), v.level);
-        });
-        let h = self.history.clone();
-        c.on_error(move |e| {
-            h.failed(id, e.clone());
-            upcall.fail(e.clone());
+        let recorder = Arc::new(Recorder {
+            history: self.history.clone(),
+            id,
         });
         self.inner
-            .submit(op, levels, Upcall::for_levels(handle, levels));
+            .submit(op, levels, upcall.with_observer(recorder));
     }
 }
 

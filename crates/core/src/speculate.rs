@@ -26,7 +26,16 @@ use crate::level::ConsistencyLevel;
 use crate::view::View;
 
 type SpecFn<T, U> = Box<dyn FnMut(&T) -> Correctable<U> + Send>;
+type SyncSpecFn<T, U> = Box<dyn FnMut(&T) -> U + Send>;
 type AbortFn<T> = Box<dyn FnMut(&T) + Send>;
+
+/// The speculation function: asynchronous (returns a [`Correctable`] of
+/// the derived result) or synchronous (the fast path — runs inline, no
+/// intermediate Correctable or completion callbacks are allocated).
+enum Spec<T, U> {
+    Async(SpecFn<T, U>),
+    Sync(SyncSpecFn<T, U>),
+}
 
 struct SpecState<T, U> {
     /// Input of the speculation currently in flight (or completed).
@@ -38,7 +47,7 @@ struct SpecState<T, U> {
     /// Bumped whenever the speculation input changes; stale completions
     /// compare epochs and drop themselves.
     epoch: u64,
-    spec: SpecFn<T, U>,
+    spec: Spec<T, U>,
     abort: AbortFn<T>,
     out: Handle<U>,
     closed: bool,
@@ -66,14 +75,21 @@ impl<T: Clone + PartialEq + Send + 'static> Correctable<T> {
         F: FnMut(&T) -> Correctable<U> + Send + 'static,
         A: FnMut(&T) + Send + 'static,
     {
+        self.speculate_impl(Spec::Async(Box::new(spec)), Box::new(abort))
+    }
+
+    fn speculate_impl<U>(&self, spec: Spec<T, U>, abort: AbortFn<T>) -> Correctable<U>
+    where
+        U: Clone + Send + 'static,
+    {
         let (out, out_handle) = Correctable::<U>::pending();
         let state = Arc::new(Mutex::new(SpecState {
             cur_input: None,
             cur_done: None,
             final_view: None,
             epoch: 0,
-            spec: Box::new(spec),
-            abort: Box::new(abort),
+            spec,
+            abort,
             out: out_handle,
             closed: false,
         }));
@@ -108,23 +124,26 @@ impl<T: Clone + PartialEq + Send + 'static> Correctable<T> {
 
     /// Synchronous speculation: Listing 3's
     /// `invoke(read(...)).speculate(speculationFunc)`.
-    pub fn speculate<U, F>(&self, mut spec: F) -> Correctable<U>
+    ///
+    /// The function runs inline on each distinct view; no intermediate
+    /// Correctable is allocated per speculation.
+    pub fn speculate<U, F>(&self, spec: F) -> Correctable<U>
     where
         U: Clone + Send + 'static,
         F: FnMut(&T) -> U + Send + 'static,
     {
-        self.speculate_async(move |t| Correctable::ready(spec(t)), |_| {})
+        self.speculate_impl(Spec::Sync(Box::new(spec)), Box::new(|_| {}))
     }
 
     /// Synchronous speculation with an abort function, mirroring
     /// `speculate(speculationFunc, abortFunc)`.
-    pub fn speculate_with_abort<U, F, A>(&self, mut spec: F, abort: A) -> Correctable<U>
+    pub fn speculate_with_abort<U, F, A>(&self, spec: F, abort: A) -> Correctable<U>
     where
         U: Clone + Send + 'static,
         F: FnMut(&T) -> U + Send + 'static,
         A: FnMut(&T) + Send + 'static,
     {
-        self.speculate_async(move |t| Correctable::ready(spec(t)), abort)
+        self.speculate_impl(Spec::Sync(Box::new(spec)), Box::new(abort))
     }
 }
 
@@ -221,48 +240,81 @@ where
                 run_abort(state, &old);
             }
             // Take the spec function out so user code runs unlocked.
-            let mut spec = {
+            let spec = {
                 let mut g = state.lock();
-                std::mem::replace(&mut g.spec, Box::new(|_| unreachable!("spec in flight")))
+                std::mem::replace(
+                    &mut g.spec,
+                    Spec::Sync(Box::new(|_| unreachable!("spec in flight"))),
+                )
             };
-            let result = spec(&input);
-            {
-                let mut g = state.lock();
-                g.spec = spec;
-            }
-            let st_done = Arc::clone(state);
-            result.on_final(move |u: &View<U>| {
-                let act = {
-                    let mut g = st_done.lock();
-                    if g.closed || g.epoch != epoch {
-                        None
-                    } else {
-                        g.cur_done = Some(u.clone());
-                        match g.final_view.clone() {
-                            Some(fv) if g.cur_input.as_ref() == Some(&fv.value) => {
-                                g.closed = true;
-                                Some((g.out.clone(), u.clone(), fv.level))
+            match spec {
+                Spec::Sync(mut f) => {
+                    // Fast path: the result is available as soon as the
+                    // function returns; complete the bookkeeping directly
+                    // instead of routing it through a ready Correctable.
+                    let value = f(&input);
+                    let act = {
+                        let mut g = state.lock();
+                        g.spec = Spec::Sync(f);
+                        if g.closed || g.epoch != epoch {
+                            None
+                        } else {
+                            let done = View::new(value, ConsistencyLevel::Strong);
+                            g.cur_done = Some(done.clone());
+                            match g.final_view.clone() {
+                                Some(fv) if g.cur_input.as_ref() == Some(&fv.value) => {
+                                    g.closed = true;
+                                    Some((g.out.clone(), done, fv.level))
+                                }
+                                _ => None,
                             }
-                            _ => None,
                         }
+                    };
+                    if let Some((out, done, level)) = act {
+                        let _ = out.close(done.value, level);
                     }
-                };
-                if let Some((out, done, level)) = act {
-                    let _ = out.close(done.value, level);
                 }
-            });
-            let st_err = Arc::clone(state);
-            result.on_error(move |e: &Error| {
-                let out = {
-                    let mut g = st_err.lock();
-                    if g.closed || g.epoch != epoch {
-                        return;
+                Spec::Async(mut f) => {
+                    let result = f(&input);
+                    {
+                        let mut g = state.lock();
+                        g.spec = Spec::Async(f);
                     }
-                    g.closed = true;
-                    g.out.clone()
-                };
-                let _ = out.fail(e.clone());
-            });
+                    let st_done = Arc::clone(state);
+                    result.on_final(move |u: &View<U>| {
+                        let act = {
+                            let mut g = st_done.lock();
+                            if g.closed || g.epoch != epoch {
+                                None
+                            } else {
+                                g.cur_done = Some(u.clone());
+                                match g.final_view.clone() {
+                                    Some(fv) if g.cur_input.as_ref() == Some(&fv.value) => {
+                                        g.closed = true;
+                                        Some((g.out.clone(), u.clone(), fv.level))
+                                    }
+                                    _ => None,
+                                }
+                            }
+                        };
+                        if let Some((out, done, level)) = act {
+                            let _ = out.close(done.value, level);
+                        }
+                    });
+                    let st_err = Arc::clone(state);
+                    result.on_error(move |e: &Error| {
+                        let out = {
+                            let mut g = st_err.lock();
+                            if g.closed || g.epoch != epoch {
+                                return;
+                            }
+                            g.closed = true;
+                            g.out.clone()
+                        };
+                        let _ = out.fail(e.clone());
+                    });
+                }
+            }
         }
     }
 }

@@ -1,0 +1,205 @@
+//! Coverage for the allocation-lean fast paths: callback registration
+//! racing live delivery under the slimmed (state-word + parked slow path)
+//! wakeup protocol, `join_all` over mixed already-closed/pending inputs,
+//! and `Upcall::for_levels`' cached filter dropping exactly the
+//! non-requested levels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use correctables::ConsistencyLevel::{Cache, Causal, Strong, Weak};
+use correctables::{Correctable, Error, State, Upcall, View};
+
+/// Registering update callbacks from one thread while another delivers
+/// views must lose nothing: every callback sees every view exactly once,
+/// in order, regardless of how registration interleaves with delivery.
+#[test]
+fn registration_races_delivery_without_losing_views() {
+    const VIEWS: i32 = 200;
+    const CALLBACKS: usize = 8;
+    for round in 0..20 {
+        let (c, h) = Correctable::<i32>::pending();
+        let producer = std::thread::spawn(move || {
+            for i in 0..VIEWS {
+                h.update(i, Weak).unwrap();
+                if i % 50 == round % 50 {
+                    std::thread::yield_now();
+                }
+            }
+            h.close(VIEWS, Strong).unwrap();
+        });
+        let logs: Vec<Arc<Mutex<Vec<i32>>>> = (0..CALLBACKS)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        for log in &logs {
+            let l = Arc::clone(log);
+            c.on_update(move |v: &View<i32>| l.lock().push(v.value));
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        // All deliveries have completed (close happens after every update
+        // and update callbacks are pumped to completion synchronously on
+        // whichever thread holds the work).
+        assert_eq!(c.state(), State::Final);
+        for log in &logs {
+            let got = log.lock().clone();
+            assert_eq!(got, (0..VIEWS).collect::<Vec<_>>(), "round {round}");
+        }
+    }
+}
+
+/// A blocked waiter must still be woken through the parked slow path when
+/// the producer closes from another thread (the state word only skips
+/// notification when nobody ever waited).
+#[test]
+fn parked_waiters_are_woken_after_callback_only_traffic() {
+    for _ in 0..50 {
+        let (c, h) = Correctable::<u64>::pending();
+        // Callback-only traffic first, so the producer's no-waiter fast
+        // path has been exercised before anyone parks.
+        c.on_update(|_| {});
+        h.update(1, Weak).unwrap();
+        let waiter = std::thread::spawn(move || c.wait_final(Duration::from_secs(10)));
+        // Give the waiter a moment to park.
+        std::thread::yield_now();
+        h.update(2, Causal).unwrap();
+        h.close(3, Strong).unwrap();
+        let v = waiter.join().unwrap().expect("waiter must wake");
+        assert_eq!((v.value, v.level), (3, Strong));
+    }
+}
+
+#[test]
+fn wait_any_wakes_on_preliminary_after_parking() {
+    let (c, h) = Correctable::<u64>::pending();
+    let waiter = std::thread::spawn(move || c.wait_any(Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(5));
+    h.update(9, Weak).unwrap();
+    let v = waiter.join().unwrap().expect("wait_any must wake");
+    assert_eq!((v.value, v.level), (9, Weak));
+}
+
+/// `join_all` over a mix of already-closed and still-pending inputs: the
+/// closed ones are harvested synchronously, the pending ones via
+/// callbacks, and the result preserves input order and weakest level.
+#[test]
+fn join_all_mixed_closed_and_pending() {
+    let ready_strong = Correctable::ready(10u64);
+    let ready_weak = Correctable::ready_at(20u64, Weak);
+    let (pending_a, ha) = Correctable::<u64>::pending();
+    let (pending_b, hb) = Correctable::<u64>::pending();
+    let joined = Correctable::join_all(vec![ready_strong, pending_a, ready_weak, pending_b]);
+    assert_eq!(joined.state(), State::Updating);
+    hb.close(40, Strong).unwrap();
+    assert_eq!(joined.state(), State::Updating);
+    ha.close(30, Strong).unwrap();
+    let v = joined.final_view().expect("all inputs closed");
+    assert_eq!(v.value, vec![10, 30, 20, 40]);
+    // The weakest input view (the ready-at-Weak one) bounds the level.
+    assert_eq!(v.level, Weak);
+}
+
+#[test]
+fn join_all_all_closed_closes_synchronously() {
+    let joined = Correctable::join_all(vec![
+        Correctable::ready(1),
+        Correctable::ready_at(2, Causal),
+        Correctable::ready(3),
+    ]);
+    let v = joined.final_view().expect("closed without any callback");
+    assert_eq!(v.value, vec![1, 2, 3]);
+    assert_eq!(v.level, Causal);
+}
+
+#[test]
+fn join_all_with_already_failed_input_fails_immediately() {
+    let (open, _h) = Correctable::<i32>::pending();
+    let joined = Correctable::join_all(vec![
+        Correctable::ready(1),
+        Correctable::failed(Error::Aborted),
+        open,
+    ]);
+    assert_eq!(joined.state(), State::Error);
+    assert_eq!(joined.error(), Some(Error::Aborted));
+}
+
+#[test]
+fn join_all_pending_input_failing_later_fails_the_join() {
+    let (open, h) = Correctable::<i32>::pending();
+    let joined = Correctable::join_all(vec![Correctable::ready(1), open]);
+    assert_eq!(joined.state(), State::Updating);
+    h.fail(Error::Timeout).unwrap();
+    assert_eq!(joined.error(), Some(Error::Timeout));
+}
+
+/// The cached filter in `Upcall::for_levels` must drop exactly the
+/// non-requested levels: for every subset of levels requested, deliveries
+/// at requested non-strongest levels surface as preliminaries, deliveries
+/// at non-requested levels below the strongest vanish, and anything at or
+/// above the strongest closes.
+#[test]
+fn for_levels_cached_filter_drops_exactly_the_non_requested_levels() {
+    let all = [Cache, Weak, Causal, Strong];
+    // Every non-empty subset of the four levels.
+    for mask in 1u32..16 {
+        let requested: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, l)| *l)
+            .collect();
+        let strongest = *requested.last().unwrap();
+
+        let (c, h) = Correctable::<u8>::pending();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        c.on_update(move |v: &View<u8>| s.lock().push(v.level));
+        let up = Upcall::for_levels(h, &requested);
+        assert_eq!(up.strongest(), strongest);
+
+        // A binding that over-delivers at every known level, weakest first.
+        for l in all {
+            up.deliver(l.rank(), l);
+        }
+
+        // Preliminaries: exactly the requested levels below the strongest,
+        // in delivery order.
+        let expect_prelims: Vec<_> = requested
+            .iter()
+            .copied()
+            .filter(|l| *l != strongest)
+            .collect();
+        assert_eq!(*seen.lock(), expect_prelims, "requested {requested:?}");
+        assert_eq!(
+            c.preliminary_views().len(),
+            expect_prelims.len(),
+            "requested {requested:?}"
+        );
+        // The close happened at the strongest requested level.
+        let fv = c.final_view().expect("strongest level closes");
+        assert_eq!(fv.level, strongest, "requested {requested:?}");
+    }
+}
+
+/// Late deliveries after the close are dropped without reaching update
+/// callbacks, whatever their level.
+#[test]
+fn post_close_deliveries_are_dropped_at_every_level() {
+    let (c, h) = Correctable::<u8>::pending();
+    let updates = Arc::new(AtomicUsize::new(0));
+    let n = Arc::clone(&updates);
+    c.on_update(move |_| {
+        n.fetch_add(1, Ordering::SeqCst);
+    });
+    let up = Upcall::for_levels(h, &[Weak, Causal, Strong]);
+    up.deliver(1, Strong);
+    for l in [Cache, Weak, Causal, Strong] {
+        up.deliver(9, l);
+    }
+    up.fail(Error::Timeout);
+    assert_eq!(updates.load(Ordering::SeqCst), 0);
+    assert_eq!(c.final_view().unwrap().value, 1);
+}

@@ -68,15 +68,28 @@ enum Kind<M> {
     Fire { node: NodeId, timer: Timer },
 }
 
+/// A scheduled event. The heap key packs `(time, insertion sequence)` into
+/// one `u128` — `time` in the high 64 bits, the tie-breaking sequence
+/// number in the low 64 — so heap sift comparisons are a single integer
+/// compare instead of a lexicographic pair compare.
 struct Ev<M> {
-    at: SimTime,
-    seq: u64,
+    key: u128,
     kind: Kind<M>,
+}
+
+fn ev_key(at: SimTime, seq: u64) -> u128 {
+    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
+}
+
+impl<M> Ev<M> {
+    fn at(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<M> PartialEq for Ev<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<M> Eq for Ev<M> {}
@@ -88,7 +101,7 @@ impl<M> PartialOrd for Ev<M> {
 impl<M> Ord for Ev<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -108,6 +121,9 @@ struct Core<M> {
     rng: DetRng,
     bandwidth: BandwidthMeter,
     faults: Faults,
+    /// Cached `faults.is_fault_free()`, so the per-message send path skips
+    /// the fault plan entirely on the (common) fault-free runs.
+    fault_free: bool,
     dropped_messages: u64,
 }
 
@@ -115,15 +131,19 @@ impl<M: Wire> Core<M> {
     fn push(&mut self, at: SimTime, kind: Kind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Ev { at, seq, kind });
+        self.heap.push(Ev {
+            key: ev_key(at, seq),
+            kind,
+        });
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         let from_site = self.meta[from.0].site;
         let to_site = self.meta[to.0].site;
-        if self
-            .faults
-            .drops(from, from_site, to, to_site, self.now, &mut self.rng)
+        if !self.fault_free
+            && self
+                .faults
+                .drops(from, from_site, to, to_site, self.now, &mut self.rng)
         {
             self.dropped_messages += 1;
             return;
@@ -196,25 +216,30 @@ pub struct Engine<M> {
 
 impl<M: Wire + 'static> Engine<M> {
     /// Creates an engine over `topology`, seeded with `seed`.
+    ///
+    /// The event heap is pre-sized so steady-state simulations reach their
+    /// working set without rehashing growth in the hot loop.
     pub fn new(topology: Topology, seed: u64) -> Self {
         Engine {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                heap: BinaryHeap::new(),
-                meta: Vec::new(),
+                heap: BinaryHeap::with_capacity(1024),
+                meta: Vec::with_capacity(16),
                 topology,
                 rng: DetRng::seed_from_u64(seed),
                 bandwidth: BandwidthMeter::new(),
                 faults: Faults::none(),
+                fault_free: true,
                 dropped_messages: 0,
             },
-            nodes: Vec::new(),
+            nodes: Vec::with_capacity(16),
         }
     }
 
     /// Installs a fault plan.
     pub fn set_faults(&mut self, faults: Faults) {
+        self.core.fault_free = faults.is_fault_free();
         self.core.faults = faults;
     }
 
@@ -303,11 +328,11 @@ impl<M: Wire + 'static> Engine<M> {
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
         let mut processed = 0;
         while let Some(ev) = self.core.heap.peek() {
-            if ev.at > limit {
+            if ev.at() > limit {
                 break;
             }
             let ev = self.core.heap.pop().expect("peeked event exists");
-            self.core.now = ev.at;
+            self.core.now = ev.at();
             self.dispatch(ev);
             processed += 1;
         }
@@ -330,7 +355,7 @@ impl<M: Wire + 'static> Engine<M> {
     pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
         let mut processed = 0;
         while let Some(ev) = self.core.heap.pop() {
-            self.core.now = ev.at;
+            self.core.now = ev.at();
             self.dispatch(ev);
             processed += 1;
             assert!(
@@ -341,11 +366,25 @@ impl<M: Wire + 'static> Engine<M> {
         processed
     }
 
+    /// Runs `to`'s message handler for `msg` (the `Exec` phase).
+    fn exec(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let mut node = self.nodes[to.0].take().expect("re-entrant node execution");
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                id: to,
+            };
+            node.on_message(&mut ctx, from, msg);
+        }
+        self.nodes[to.0] = Some(node);
+    }
+
     fn dispatch(&mut self, ev: Ev<M>) {
+        let at = ev.at();
         match ev.kind {
             Kind::Arrive { from, to, msg } => {
                 // A message for a down node is silently lost at the NIC.
-                if self.core.faults.node_down(to, ev.at) {
+                if !self.core.fault_free && self.core.faults.node_down(to, at) {
                     self.core.dropped_messages += 1;
                     return;
                 }
@@ -353,24 +392,29 @@ impl<M: Wire + 'static> Engine<M> {
                     .as_deref()
                     .map(|n| n.service_cost(&msg))
                     .unwrap_or(SimDuration::ZERO);
-                let start = ev.at.max(self.core.meta[to.0].busy_until);
+                let start = at.max(self.core.meta[to.0].busy_until);
                 let done = start + cost;
                 self.core.meta[to.0].busy_until = done;
-                self.core.push(done, Kind::Exec { from, to, msg });
+                // Fast path: the host is idle and the message costs nothing
+                // to service, so execution is due *now*. If no other event
+                // shares this instant, the `Exec` event would be popped
+                // next anyway (it would receive a larger tie-break sequence
+                // than everything already queued), so the heap round trip
+                // is pure overhead — run the handler inline instead. When
+                // another event ties on the timestamp, fall back to the
+                // queue to keep the execution order bit-identical to the
+                // two-phase schedule.
+                if done == at && self.core.heap.peek().is_none_or(|next| next.at() > at) {
+                    self.exec(from, to, msg);
+                } else {
+                    self.core.push(done, Kind::Exec { from, to, msg });
+                }
             }
             Kind::Exec { from, to, msg } => {
-                let mut node = self.nodes[to.0].take().expect("re-entrant node execution");
-                {
-                    let mut ctx = Ctx {
-                        core: &mut self.core,
-                        id: to,
-                    };
-                    node.on_message(&mut ctx, from, msg);
-                }
-                self.nodes[to.0] = Some(node);
+                self.exec(from, to, msg);
             }
             Kind::Fire { node: id, timer } => {
-                if self.core.faults.node_down(id, ev.at) {
+                if !self.core.fault_free && self.core.faults.node_down(id, at) {
                     return;
                 }
                 let mut node = self.nodes[id.0].take().expect("re-entrant node execution");

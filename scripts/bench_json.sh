@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suites with JSON emission enabled and merges the
+# per-benchmark records into one machine-readable trajectory file
+# (schema: suites -> benchmark -> {mean_ns, median_ns, p95_ns, samples}).
+#
+# Usage: scripts/bench_json.sh [out.json]
+#   out.json defaults to BENCH_PR4.json in the repository root.
+#
+# Honours the criterion shim's env knobs: ICG_QUICK=1 for an abbreviated
+# run, ICG_WARMUP_MS / ICG_MEASURE_MS for explicit periods. The CI
+# perf-gate job uses ICG_MEASURE_MS=800 as a stability/wall-time
+# compromise, then compares the output against the committed baseline via
+# `perf_gate compare`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+# Absolute path: cargo runs bench binaries with the package directory as
+# their working directory, not the workspace root.
+lines="$(pwd)/target/bench_lines.jsonl"
+
+suites=(micro_correctable micro_simnet micro_shard)
+
+rm -f "$lines"
+mkdir -p target
+
+for suite in "${suites[@]}"; do
+    echo "=== bench suite: $suite"
+    ICG_BENCH_JSON="$lines" ICG_BENCH_SUITE="$suite" \
+        cargo bench -p icg_bench --bench "$suite"
+done
+
+cargo run --release -q -p icg_bench --bin perf_gate -- merge "$lines" "$out"

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Smoke-runs every example to completion; fails on the first non-zero
-# exit. CI runs this after the test suite (see .github/workflows/ci.yml).
+# exit. Prints per-example wall time so CI logs show exactly which
+# example regressed when the smoke test slows down. CI runs this after
+# the test suite (see .github/workflows/ci.yml).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale sharded_counters oracle_explore)
 
+total_start=$(date +%s%N)
 for ex in "${examples[@]}"; do
     echo "=== example: $ex"
+    start=$(date +%s%N)
     cargo run --release --example "$ex"
+    elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+    echo "=== example: $ex finished in ${elapsed_ms} ms"
 done
+total_ms=$(( ($(date +%s%N) - total_start) / 1000000 ))
 
-echo "=== all ${#examples[@]} examples completed"
+echo "=== all ${#examples[@]} examples completed in ${total_ms} ms"

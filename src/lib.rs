@@ -15,12 +15,12 @@
 //! - [`quorumstore`] — Correctable Cassandra (CC, *CC);
 //! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
 //! - [`causalstore`] — causal replication with a client cache;
-//! - [`shard`](icg_shard) — the sharded multi-object routing layer;
-//! - [`oracle`](icg_oracle) — the history-recording consistency oracle
+//! - [`shard`] — the sharded multi-object routing layer;
+//! - [`oracle`] — the history-recording consistency oracle
 //!   and seeded fault-schedule explorer;
 //! - [`ycsb`] — workload generators;
 //! - [`blockchain`] — confirmation-depth views (§4.5's multi-view case);
-//! - [`apps`](icg_apps) — ads, Twissandra, tickets, news reader.
+//! - [`apps`] — ads, Twissandra, tickets, news reader.
 //!
 //! [`sharded`] assembles the routing layer with the simulated substrates:
 //! ready-made multi-shard SimStore / SimCausal stacks.

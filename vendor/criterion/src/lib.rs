@@ -5,9 +5,22 @@
 //! Each benchmark is timed in batches: after a warmup period the batch
 //! size is calibrated so one batch takes roughly a millisecond, then
 //! batches are sampled for the measurement period and per-iteration
-//! nanoseconds are reported as mean / median / p95. `ICG_QUICK=1`
-//! shortens both periods for smoke runs.
+//! nanoseconds are reported as mean / median / p95.
+//!
+//! ## Environment knobs
+//!
+//! - `ICG_QUICK=1` — abbreviated smoke run (50 ms warmup, 200 ms measure).
+//! - `ICG_WARMUP_MS` / `ICG_MEASURE_MS` — explicit periods in
+//!   milliseconds, overriding both the default and `ICG_QUICK` (the CI
+//!   perf gate uses these to trade a little wall time for stability).
+//! - `ICG_BENCH_JSON=<path>` — append one JSON object per benchmark to
+//!   `<path>` (JSON Lines), carrying the suite name, benchmark id, and
+//!   mean/median/p95 nanoseconds. `scripts/bench_json.sh` merges these
+//!   lines into the committed `BENCH_*.json` trajectory files.
+//! - `ICG_BENCH_SUITE=<name>` — suite label for the JSON records; when
+//!   unset, the label is derived from the bench binary's file stem.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -16,6 +29,52 @@ fn quick() -> bool {
     std::env::var("ICG_QUICK")
         .map(|v| v != "0")
         .unwrap_or(false)
+}
+
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// The suite label for JSON records: `ICG_BENCH_SUITE`, or the bench
+/// binary's file stem with cargo's trailing `-<hash>` stripped.
+fn suite_label() -> String {
+    if let Ok(s) = std::env::var("ICG_BENCH_SUITE") {
+        if !s.is_empty() {
+            return s;
+        }
+    }
+    let stem = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_default();
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ if !stem.is_empty() => stem,
+        _ => "bench".to_string(),
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Drives one benchmark's measurement loop.
@@ -50,10 +109,21 @@ impl Bencher {
     }
 }
 
+/// One benchmark's summary statistics, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    pub samples: usize,
+}
+
 /// Registry/runner handed to `criterion_group!` functions.
 pub struct Criterion {
     warmup: Duration,
     measure: Duration,
+    /// `(path, suite)` when `ICG_BENCH_JSON` is set.
+    json: Option<(std::path::PathBuf, String)>,
 }
 
 impl Default for Criterion {
@@ -63,7 +133,17 @@ impl Default for Criterion {
         } else {
             (Duration::from_millis(300), Duration::from_secs(2))
         };
-        Criterion { warmup, measure }
+        let warmup = env_ms("ICG_WARMUP_MS").unwrap_or(warmup);
+        let measure = env_ms("ICG_MEASURE_MS").unwrap_or(measure);
+        let json = std::env::var("ICG_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(|p| (std::path::PathBuf::from(p), suite_label()));
+        Criterion {
+            warmup,
+            measure,
+            json,
+        }
     }
 }
 
@@ -81,14 +161,42 @@ impl Criterion {
             return self;
         }
         s.sort_by(|a, b| a.total_cmp(b));
-        let mean = s.iter().sum::<f64>() / s.len() as f64;
-        let median = s[s.len() / 2];
-        let p95 = s[((s.len() as f64 * 0.95) as usize).min(s.len() - 1)];
+        let stats = Stats {
+            mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+            median_ns: s[s.len() / 2],
+            p95_ns: s[((s.len() as f64 * 0.95) as usize).min(s.len() - 1)],
+            samples: s.len(),
+        };
         println!(
-            "{id:<40} mean {mean:>12.1} ns/iter   median {median:>12.1}   p95 {p95:>12.1}   ({} samples)",
-            s.len()
+            "{id:<40} mean {:>12.1} ns/iter   median {:>12.1}   p95 {:>12.1}   ({} samples)",
+            stats.mean_ns, stats.median_ns, stats.p95_ns, stats.samples
         );
+        self.append_json(id, stats);
         self
+    }
+
+    /// Appends one JSON Lines record for a finished benchmark.
+    fn append_json(&self, id: &str, stats: Stats) {
+        let Some((path, suite)) = &self.json else {
+            return;
+        };
+        let line = format!(
+            "{{\"suite\":\"{}\",\"benchmark\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1},\"samples\":{}}}\n",
+            json_escape(suite),
+            json_escape(id),
+            stats.mean_ns,
+            stats.median_ns,
+            stats.p95_ns,
+            stats.samples
+        );
+        let res = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = res {
+            eprintln!("warning: failed to append bench JSON to {path:?}: {e}");
+        }
     }
 }
 
