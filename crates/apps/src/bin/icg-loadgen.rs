@@ -1,0 +1,265 @@
+//! `icg-loadgen` — a closed-loop load driver for a TCP replica set.
+//!
+//! Spawns `--clients` threads, each with its own `TcpBinding` and a
+//! YCSB-Zipfian key chooser, running a closed loop (one outstanding
+//! operation per client) of reads and writes against the cluster. At
+//! the end it prints, **per consistency level**, the p50/p95/p99 view
+//! latency — for ICG reads that is two lines, one for the preliminary
+//! (weak) view and one for the final (strong) view, which is the
+//! incremental-consistency gap the paper measures.
+//!
+//! ```text
+//! icg-loadgen --replicas 127.0.0.1:4701,127.0.0.1:4702,127.0.0.1:4703 \
+//!     --clients 4 --ops 2000 --keys 1000 --write-ratio 0.1 \
+//!     [--mode icg|weak|strong] [--confirm] [--r 2] [--value-bytes 128]
+//! ```
+//!
+//! Exit status is nonzero if any operation failed, so scripts can use a
+//! plain run as a cluster health check (`--allow-failures N` relaxes
+//! that for fault drills). See `OPERATIONS.md` for reading the output.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use icg_apps::cli::{die, Flags};
+use icg_net::{TcpBinding, TcpConfig};
+
+use correctables::{Client, ConsistencyLevel};
+use parking_lot::Mutex;
+use quorumstore::{Key, StoreOp, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ycsb::Zipfian;
+
+const KNOWN: &[&str] = &[
+    "replicas",
+    "clients",
+    "ops",
+    "keys",
+    "write-ratio",
+    "mode",
+    "confirm",
+    "r",
+    "value-bytes",
+    "timeout-ms",
+    "seed",
+    "no-preload",
+    "allow-failures",
+    "help",
+];
+
+const USAGE: &str = "icg-loadgen --replicas ADDR,ADDR,... [--clients 4] [--ops 2000]
+    [--keys 1000] [--write-ratio 0.1] [--mode icg|weak|strong] [--confirm]
+    [--r 2] [--value-bytes 128] [--timeout-ms 2000] [--seed 42]
+    [--no-preload] [--allow-failures N]
+
+Closed-loop Zipfian load against a TCP replica set; prints p50/p95/p99
+per consistency level. --mode icg (default) requests weak+strong on
+every read (preliminary flush + quorum view); weak/strong request a
+single level.";
+
+/// One recorded view latency, tagged with its consistency level.
+struct Sample {
+    level: ConsistencyLevel,
+    micros: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Icg,
+    Weak,
+    Strong,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let flags = match Flags::parse(std::env::args().skip(1), KNOWN) {
+        Ok(f) => f,
+        Err(e) => die(&format!("{e}\n\n{USAGE}")),
+    };
+    if flags.has("help") {
+        println!("{USAGE}");
+        return;
+    }
+    let replicas: Vec<SocketAddr> = flags
+        .get_or("replicas", "")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| die(&format!("--replicas: '{s}' is not host:port")))
+        })
+        .collect();
+    if replicas.is_empty() {
+        die(&format!("--replicas is required\n\n{USAGE}"));
+    }
+    let clients = flags.get_u64("clients", 4).max(1);
+    let ops_per_client = flags.get_u64("ops", 2000);
+    let keys = flags.get_u64("keys", 1000).max(1);
+    let write_ratio = flags.get_f64("write-ratio", 0.1).clamp(0.0, 1.0);
+    let value_bytes = flags.get_u64("value-bytes", 128) as u32;
+    let r_strong = flags.get_u64("r", 2) as u8;
+    let confirm = flags.has("confirm");
+    let timeout = Duration::from_millis(flags.get_u64("timeout-ms", 2000));
+    let seed = flags.get_u64("seed", 42);
+    let allow_failures = flags.get_u64("allow-failures", 0);
+    let mode = match flags.get_or("mode", "icg").as_str() {
+        "icg" => Mode::Icg,
+        "weak" => Mode::Weak,
+        "strong" => Mode::Strong,
+        other => die(&format!("--mode must be icg|weak|strong, got '{other}'")),
+    };
+
+    // Client ids live past the replica-id space (replicas use 0..n).
+    let client_id_base: u64 = 1 << 20;
+
+    let connect = |client_id: u64| -> TcpBinding {
+        let mut cfg = TcpConfig::new(replicas.clone(), client_id);
+        cfg.r_strong = r_strong;
+        cfg.confirm = confirm;
+        cfg.op_timeout = timeout;
+        // A freshly booted cluster may still be binding: retry the
+        // initial dial for a few seconds before giving up, so scripts
+        // can start replicas and loadgen back-to-back.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpBinding::connect(cfg.clone()) {
+                Ok(b) => return b,
+                Err(e) if Instant::now() >= deadline => {
+                    die(&format!("cannot reach any replica: {e}"))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    };
+
+    // Preload: every key written once so reads return real records.
+    if !flags.has("no-preload") {
+        let binding = connect(client_id_base - 1);
+        let client = Client::new(binding.clone());
+        for k in 0..keys {
+            client
+                .invoke_strong(StoreOp::Write(Key::plain(k), Value::Opaque(value_bytes)))
+                .wait_final(Duration::from_secs(10))
+                .unwrap_or_else(|e| die(&format!("preload write of key {k} failed: {e}")));
+        }
+        binding.shutdown();
+        eprintln!("preloaded {keys} keys");
+    }
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let failures = Arc::new(Mutex::new(0u64));
+
+    // Connect every client before starting the clock: the initial dial
+    // may retry for seconds against a still-booting cluster, and that
+    // setup time must not dilute the measured throughput window.
+    let bindings: Vec<TcpBinding> = (0..clients).map(|c| connect(client_id_base + c)).collect();
+    let start = Instant::now();
+
+    let mut joins = Vec::new();
+    for (c, binding) in bindings.into_iter().enumerate() {
+        let c = c as u64;
+        let samples = Arc::clone(&samples);
+        let failures = Arc::clone(&failures);
+        joins.push(std::thread::spawn(move || {
+            let client = Client::new(binding.clone());
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c.wrapping_mul(0x9E37_79B9)));
+            let zipf = Zipfian::new(keys);
+            let mut local: Vec<Sample> = Vec::with_capacity(ops_per_client as usize * 2);
+            let mut failed = 0u64;
+            for _ in 0..ops_per_client {
+                let key = Key::plain(zipf.next(&mut rng));
+                let issued = Instant::now();
+                let c = if rng.gen::<f64>() < write_ratio {
+                    client.invoke_strong(StoreOp::Write(key, Value::Opaque(value_bytes)))
+                } else {
+                    match mode {
+                        Mode::Icg => client.invoke(StoreOp::Read(key)),
+                        Mode::Weak => client.invoke_weak(StoreOp::Read(key)),
+                        Mode::Strong => client.invoke_strong(StoreOp::Read(key)),
+                    }
+                };
+                // Record every preliminary view's latency at its level.
+                let prelim_samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+                {
+                    let sink = Arc::clone(&prelim_samples);
+                    c.on_update(move |view| {
+                        sink.lock().push(Sample {
+                            level: view.level,
+                            micros: issued.elapsed().as_micros() as u64,
+                        });
+                    });
+                }
+                match c.wait_final(timeout + Duration::from_secs(1)) {
+                    Ok(view) => {
+                        local.append(&mut prelim_samples.lock());
+                        local.push(Sample {
+                            level: view.level,
+                            micros: issued.elapsed().as_micros() as u64,
+                        });
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+            samples.lock().append(&mut local);
+            *failures.lock() += failed;
+            binding.shutdown();
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+
+    // Report: one line per level, weakest first.
+    let samples = samples.lock();
+    let mut levels: Vec<ConsistencyLevel> = Vec::new();
+    for s in samples.iter() {
+        if !levels.contains(&s.level) {
+            levels.push(s.level);
+        }
+    }
+    levels.sort();
+    println!(
+        "ran {} ops over {} clients in {:.2}s ({} replicas, mode {}, R={r_strong}{})",
+        clients * ops_per_client,
+        clients,
+        elapsed.as_secs_f64(),
+        replicas.len(),
+        flags.get_or("mode", "icg"),
+        if confirm { ", confirm" } else { "" },
+    );
+    for level in levels {
+        let mut lat: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.level == level)
+            .map(|s| s.micros)
+            .collect();
+        lat.sort_unstable();
+        println!(
+            "level {:<7} n={:<6} p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            level.name(),
+            lat.len(),
+            percentile(&lat, 50.0),
+            percentile(&lat, 95.0),
+            percentile(&lat, 99.0),
+        );
+    }
+    let total_final: u64 = clients * ops_per_client - *failures.lock();
+    println!(
+        "throughput: {:.0} ops/s (closed loop), failed: {}",
+        total_final as f64 / elapsed.as_secs_f64(),
+        *failures.lock(),
+    );
+    if *failures.lock() > allow_failures {
+        std::process::exit(1);
+    }
+}

@@ -18,8 +18,16 @@
 //! [`sharded`] drives YCSB workloads through the `icg-shard` routing
 //! layer on real threads, and [`dataset`] generates the paper-scale
 //! synthetic datasets.
+//!
+//! The crate also ships the deployment binaries (`src/bin/`):
+//! `icg-replicad` hosts one TCP quorum-store replica, `icg-loadgen`
+//! drives a replica set with closed-loop Zipfian load and reports
+//! per-level latency percentiles. [`cli`] is their shared flag parser;
+//! `scripts/cluster_demo.sh` wires them into a one-command local
+//! cluster (see `OPERATIONS.md`).
 
 pub mod ads;
+pub mod cli;
 pub mod dataset;
 pub mod driver;
 pub mod news;

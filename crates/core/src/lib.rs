@@ -52,6 +52,10 @@
 //! assert_eq!(fin.level, ConsistencyLevel::Strong);
 //! ```
 
+// Public API documentation is complete and enforced: CI's lint job runs
+// clippy with `-D warnings`, which promotes this to an error.
+#![warn(missing_docs)]
+
 pub mod binding;
 pub mod client;
 pub mod combinators;

@@ -1,0 +1,70 @@
+//! # icg-net — Correctables over real sockets
+//!
+//! Everything else in this workspace exercises the Correctables stack
+//! in-process on the deterministic simulator. This crate is the
+//! deployment layer: a hand-rolled binary wire codec, a blocking-TCP
+//! transport built from plain threads, a quorum-store replica server,
+//! and a client-side [`Binding`](correctables::Binding) — so the *same*
+//! `Client`/`Correctable` code that runs against `simnet` serves real
+//! traffic across machines.
+//!
+//! The crate has four layers, bottom up:
+//!
+//! - [`wire`] — derive-free [`Wire`] encode/decode for every
+//!   quorum-store message and its component types. No serde; the byte
+//!   layout is explicit, documented (`DESIGN.md` §10), and
+//!   property-tested for round-trip identity and rejection of truncated
+//!   or corrupt input.
+//! - [`frame`] — length-prefixed framing with a version byte for forward
+//!   compatibility and a hard size cap against corrupt length prefixes.
+//! - [`transport`] — per-connection writer/reader thread pairs over
+//!   blocking `TcpStream`s. No async runtime: the concurrency model is
+//!   one event-loop thread per protocol participant plus two I/O threads
+//!   per socket, which is simple to reason about and plenty for a
+//!   replica set.
+//! - [`server`] / [`binding`] — the quorum-store replica
+//!   ([`ReplicaServer`]) and the client binding ([`TcpBinding`]).
+//!   `TcpBinding` implements `Binding`, so incremental
+//!   consistency — preliminary weak views, strong closes, the *CC
+//!   confirmation optimization, speculation, recording, the oracle —
+//!   works over sockets unchanged.
+//!
+//! ## When to use this instead of `simnet`
+//!
+//! Use `simnet` stacks for experiments and regression tests: they are
+//! deterministic, virtual-time, and reproduce the paper's topologies
+//! bit-for-bit. Use this crate to *deploy*: real latency, real loss,
+//! real process boundaries. `OPERATIONS.md` at the repository root is
+//! the operator's guide (ports, flags, failure modes); the
+//! `icg-replicad` / `icg-loadgen` binaries in `icg_apps` and
+//! `scripts/cluster_demo.sh` stand up a cluster in one command.
+//!
+//! ```no_run
+//! use icg_net::{spawn_local_cluster, ServerConfig, TcpBinding, TcpConfig};
+//! use correctables::Client;
+//! use quorumstore::{Key, StoreOp, Value};
+//!
+//! // Three replicas on loopback ephemeral ports…
+//! let replicas = spawn_local_cluster(3, |_| ServerConfig::default());
+//! let addrs = replicas.iter().map(|r| r.addr()).collect();
+//! // …and an ordinary Correctables client against them.
+//! let client = Client::new(TcpBinding::connect(TcpConfig::new(addrs, 100)).unwrap());
+//! let read = client.invoke(StoreOp::Read(Key::plain(7)));
+//! let view = read.wait_final(std::time::Duration::from_secs(2)).unwrap();
+//! # let _ = view;
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod binding;
+pub mod frame;
+mod pump;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use binding::{TcpBinding, TcpConfig};
+pub use frame::{FrameError, MAX_FRAME};
+pub use server::{spawn_local_cluster, ReplicaHandle, ReplicaServer, ServerConfig};
+pub use transport::Outbound;
+pub use wire::{Reader, Wire, WireError, WIRE_VERSION};

@@ -1,0 +1,641 @@
+//! A quorum-store replica served over real TCP sockets.
+//!
+//! [`ReplicaServer`] speaks exactly the protocol of the simulated
+//! [`quorumstore::Replica`] — the same [`Msg`] set, the same
+//! coordinator roles, the same preliminary-flush and confirmation
+//! behaviour — but over the wire codec and blocking transport of this
+//! crate, so an unmodified Correctables client drives it through
+//! [`crate::TcpBinding`].
+//!
+//! One deliberate divergence from the simulated replica: the simulator
+//! sends peer reads to exactly the `R-1` nearest peers (it knows the
+//! topology), while this server fans the peer read out to **all** peers
+//! and completes at the first `R-1` responses. Over a real network that
+//! is what keeps an `R = 2` read available when one of three replicas is
+//! down — the whole point of running a quorum system on sockets.
+//!
+//! Protocol state lives on a single event-loop thread per replica; every
+//! socket is handled by the reader/writer thread pair of
+//! [`crate::transport`]. The loop owns the storage map, the pending
+//! read/write tables, and a deadline heap for operation timeouts, and it
+//! never shares any of them — messages in, messages out.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use quorumstore::messages::{FailReason, Msg, Phase};
+use quorumstore::storage::LocalStore;
+use quorumstore::types::{Key, OpId, ReadKind, Version, Versioned};
+use simnet::NodeId;
+
+use crate::pump::{recv_step, Deadlines, Step};
+use crate::transport::{spawn_reader, Outbound};
+
+/// Tuning knobs of a TCP replica.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// This replica's id: the writer tiebreak in LWW versions and the
+    /// client half of the op ids it mints for peer traffic. Must be
+    /// unique across the replica set.
+    pub id: u32,
+    /// Deadline for gathering quorums before failing an operation back
+    /// to the client.
+    pub op_timeout: Duration,
+    /// Delay between reconnection attempts to an unreachable peer.
+    pub peer_retry: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            id: 0,
+            op_timeout: Duration::from_secs(5),
+            peer_retry: Duration::from_millis(200),
+        }
+    }
+}
+
+enum Event {
+    /// A connection was accepted or dialed; register its outbound half.
+    Opened { conn: u64, out: Outbound },
+    /// A message arrived on connection `conn`.
+    Inbound { conn: u64, msg: Msg },
+    /// Connection `conn` closed (either direction, any reason).
+    Closed { conn: u64 },
+    /// The dialer (re)established the connection to peer `peer`.
+    PeerUp { peer: usize, out: Outbound },
+    /// The connection to peer `peer` was lost.
+    PeerDown { peer: usize },
+    /// Stop serving: close every socket and exit the event loop.
+    Shutdown,
+}
+
+struct ReadSt {
+    client_conn: u64,
+    client_op: OpId,
+    kind: ReadKind,
+    key: Key,
+    best: Versioned,
+    responses: u8,
+    needed: u8,
+    prelim: Option<Version>,
+}
+
+struct WriteSt {
+    client_conn: u64,
+    client_op: OpId,
+    acks_left: u8,
+}
+
+/// A bound-but-not-yet-serving replica. Binding first and starting
+/// second lets a deployment bind every listener (learning the ephemeral
+/// ports), then start each replica with the full peer address list.
+pub struct ReplicaServer {
+    listener: TcpListener,
+    cfg: ServerConfig,
+}
+
+impl ReplicaServer {
+    /// Binds the listening socket. `127.0.0.1:0` picks an ephemeral port;
+    /// read it back with [`ReplicaServer::local_addr`].
+    pub fn bind(addr: &str, cfg: ServerConfig) -> io::Result<ReplicaServer> {
+        Ok(ReplicaServer {
+            listener: TcpListener::bind(addr)?,
+            cfg,
+        })
+    }
+
+    /// The address the replica is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound socket has an addr")
+    }
+
+    /// Starts serving: spawns the accept reactor, one dialer per peer,
+    /// and the event-loop thread. `peers` lists the *other* replicas.
+    pub fn start(self, peers: Vec<SocketAddr>) -> ReplicaHandle {
+        let addr = self.local_addr();
+        let (tx, rx) = mpsc::channel::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Accept reactor: one thread blocking on accept(), handing each
+        // connection a reader/writer pair wired into the event loop.
+        {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let listener = self.listener.try_clone().expect("clone listener");
+            let id = self.cfg.id;
+            std::thread::Builder::new()
+                .name(format!("icg-replicad-{id}-accept"))
+                .spawn(move || {
+                    let mut next_conn: u64 = 0;
+                    while let Ok((stream, _)) = listener.accept() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let conn = next_conn;
+                        next_conn += 1;
+                        register_conn(stream, conn, &tx, &format!("r{id}c{conn}"));
+                    }
+                })
+                .expect("spawn accept thread");
+        }
+
+        // Peer dialers: one thread per peer keeping the outbound replica
+        // link alive with bounded retry.
+        for (peer_idx, peer_addr) in peers.iter().copied().enumerate() {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let retry = self.cfg.peer_retry;
+            let id = self.cfg.id;
+            std::thread::Builder::new()
+                .name(format!("icg-replicad-{id}-dial-{peer_idx}"))
+                .spawn(move || loop {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match TcpStream::connect_timeout(&peer_addr, Duration::from_millis(500)) {
+                        Ok(stream) => {
+                            let label = format!("r{id}p{peer_idx}");
+                            let out = match Outbound::spawn(
+                                stream.try_clone().expect("clone stream"),
+                                &label,
+                            ) {
+                                Ok(o) => o,
+                                Err(_) => continue,
+                            };
+                            if tx
+                                .send(Event::PeerUp {
+                                    peer: peer_idx,
+                                    out: out.clone(),
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                            // Feed peer responses into the same event loop
+                            // (conn id u64::MAX - peer: peer links never
+                            // collide with accepted conns, which count up).
+                            let (down_tx, down_rx) = mpsc::channel::<()>();
+                            let inbound = tx.clone();
+                            let closer = tx.clone();
+                            spawn_reader::<Msg, _, _>(
+                                stream,
+                                &label,
+                                move |msg| {
+                                    let _ = inbound.send(Event::Inbound {
+                                        conn: u64::MAX - peer_idx as u64,
+                                        msg,
+                                    });
+                                },
+                                move |_reason| {
+                                    let _ = closer.send(Event::PeerDown { peer: peer_idx });
+                                    let _ = down_tx.send(());
+                                },
+                            );
+                            // Block until the link dies, then retry.
+                            let _ = down_rx.recv();
+                        }
+                        Err(_) => {
+                            std::thread::sleep(retry);
+                        }
+                    }
+                })
+                .expect("spawn dialer thread");
+        }
+
+        // The event loop: all protocol state lives here.
+        {
+            let cfg = self.cfg;
+            let n_peers = peers.len();
+            let id = cfg.id;
+            std::thread::Builder::new()
+                .name(format!("icg-replicad-{id}-loop"))
+                .spawn(move || ReplicaLoop::new(cfg, n_peers).run(rx))
+                .expect("spawn event loop");
+        }
+
+        ReplicaHandle {
+            addr,
+            tx,
+            stop,
+            listener: self.listener,
+        }
+    }
+}
+
+/// Registers an accepted (or dialed) client connection: writer thread,
+/// reader thread, `Opened`/`Inbound`/`Closed` events.
+fn register_conn(stream: TcpStream, conn: u64, tx: &Sender<Event>, label: &str) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(out) = Outbound::spawn(stream, label) else {
+        return;
+    };
+    if tx.send(Event::Opened { conn, out }).is_err() {
+        return;
+    }
+    let inbound = tx.clone();
+    let closer = tx.clone();
+    spawn_reader::<Msg, _, _>(
+        read_half,
+        label,
+        move |msg| {
+            let _ = inbound.send(Event::Inbound { conn, msg });
+        },
+        move |_reason| {
+            let _ = closer.send(Event::Closed { conn });
+        },
+    );
+}
+
+/// A running replica. Dropping the handle does **not** stop the server;
+/// call [`ReplicaHandle::shutdown`] (the failover tests use it as the
+/// crash switch).
+pub struct ReplicaHandle {
+    addr: SocketAddr,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+    listener: TcpListener,
+}
+
+impl ReplicaHandle {
+    /// The address this replica serves on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the replica abruptly: the listener stops accepting, every
+    /// open connection is closed, the event loop exits. In-flight
+    /// operations are lost without replies — to a client this is
+    /// indistinguishable from a crash, which is exactly what the
+    /// failover tests need it to be.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.tx.send(Event::Shutdown);
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the stop flag right after accept returns.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        // Closing our listener clone is not enough on all platforms while
+        // the accept thread holds its own clone, but the flag + wakeup
+        // pair guarantees the thread exits either way.
+        let _ = self.listener.set_nonblocking(true);
+    }
+}
+
+struct ReplicaLoop {
+    cfg: ServerConfig,
+    store: LocalStore,
+    conns: HashMap<u64, Outbound>,
+    peer_links: Vec<Option<Outbound>>,
+    reads: HashMap<u64, ReadSt>,
+    writes: HashMap<u64, WriteSt>,
+    /// Monotone source of internal op ids (the `seq` of op ids this
+    /// coordinator mints for peer traffic).
+    next_internal: u64,
+    /// Operation deadlines, soonest first.
+    deadlines: Deadlines<u64>,
+}
+
+impl ReplicaLoop {
+    fn new(cfg: ServerConfig, n_peers: usize) -> ReplicaLoop {
+        ReplicaLoop {
+            cfg,
+            store: LocalStore::new(),
+            conns: HashMap::new(),
+            peer_links: vec![None; n_peers],
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            next_internal: 0,
+            deadlines: Deadlines::new(),
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Event>) {
+        loop {
+            // Wait for the next event or the next op deadline, whichever
+            // comes first.
+            let reads = &self.reads;
+            let writes = &self.writes;
+            let next = self.deadlines.next_live(|internal| {
+                reads.contains_key(internal) || writes.contains_key(internal)
+            });
+            let event = match recv_step(&rx, next) {
+                Step::Event(e) => e,
+                Step::Expired => {
+                    self.fire_expired();
+                    continue;
+                }
+                Step::Closed => break,
+            };
+            match event {
+                Event::Opened { conn, out } => {
+                    self.conns.insert(conn, out);
+                }
+                Event::Inbound { conn, msg } => self.on_msg(conn, msg),
+                Event::Closed { conn } => {
+                    self.conns.remove(&conn);
+                }
+                Event::PeerUp { peer, out } => {
+                    self.peer_links[peer] = Some(out);
+                }
+                Event::PeerDown { peer } => {
+                    self.peer_links[peer] = None;
+                }
+                Event::Shutdown => break,
+            }
+        }
+        for (_, out) in self.conns.drain() {
+            out.kill();
+        }
+        for link in self.peer_links.iter().flatten() {
+            link.kill();
+        }
+    }
+
+    fn fire_expired(&mut self) {
+        let mut failed = Vec::new();
+        let reads = &mut self.reads;
+        let writes = &mut self.writes;
+        self.deadlines.fire_expired(Instant::now(), |internal| {
+            let hit = reads
+                .remove(&internal)
+                .map(|st| (st.client_conn, st.client_op))
+                .or_else(|| {
+                    writes
+                        .remove(&internal)
+                        .map(|st| (st.client_conn, st.client_op))
+                });
+            failed.extend(hit);
+        });
+        for (conn, op) in failed {
+            self.send_to(
+                conn,
+                &Msg::OpFailed {
+                    op,
+                    reason: FailReason::Timeout,
+                },
+            );
+        }
+    }
+
+    fn now_version(&self) -> Version {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Version {
+            ts,
+            writer: self.cfg.id,
+        }
+    }
+
+    fn mint_internal(&mut self) -> (u64, OpId) {
+        let internal = self.next_internal;
+        self.next_internal += 1;
+        // Peer traffic op ids: this replica's id in the client slot, the
+        // internal counter in the sequence slot. Unique per coordinator,
+        // and coordinators' ids are unique per deployment.
+        (
+            internal,
+            OpId {
+                client: NodeId(self.cfg.id as usize),
+                seq: internal,
+            },
+        )
+    }
+
+    fn send_to(&self, conn: u64, msg: &Msg) {
+        if let Some(out) = self.conns.get(&conn) {
+            out.send(msg);
+        }
+    }
+
+    fn broadcast_peers(&self, msg: &Msg) {
+        for link in self.peer_links.iter().flatten() {
+            link.send(msg);
+        }
+    }
+
+    fn arm(&mut self, internal: u64) {
+        self.deadlines
+            .arm(Instant::now() + self.cfg.op_timeout, internal);
+    }
+
+    fn on_msg(&mut self, conn: u64, msg: Msg) {
+        match msg {
+            Msg::ClientRead { op, key, kind } => self.client_read(conn, op, key, kind),
+            Msg::ClientWrite { op, key, value, w } => self.client_write(conn, op, key, value, w),
+            Msg::PeerRead { op, key } => {
+                let data = self.store.get(key);
+                self.send_to(conn, &Msg::PeerReadResp { op, data });
+            }
+            Msg::PeerReadResp { op, data } => self.peer_read_resp(op, data),
+            Msg::PeerWrite { key, data, ack_op } => {
+                self.store.apply(key, data);
+                if let Some(op) = ack_op {
+                    self.send_to(conn, &Msg::PeerWriteAck { op });
+                }
+            }
+            Msg::PeerWriteAck { op } => self.peer_write_ack(op),
+            // Client-bound replies have no business arriving at a server;
+            // drop them (a confused or hostile peer must not crash us).
+            Msg::ReadReply { .. }
+            | Msg::ReadConfirm { .. }
+            | Msg::WriteReply { .. }
+            | Msg::OpFailed { .. } => {}
+        }
+    }
+
+    fn client_read(&mut self, conn: u64, client_op: OpId, key: Key, kind: ReadKind) {
+        let local = self.store.get(key);
+        let n_replicas = (self.peer_links.len() + 1) as u8;
+        let needed = kind.quorum().clamp(1, n_replicas);
+
+        let mut prelim = None;
+        if kind.is_icg() {
+            // Preliminary flush: leak local state before coordinating.
+            prelim = Some(local.version);
+            self.send_to(
+                conn,
+                &Msg::ReadReply {
+                    op: client_op,
+                    phase: Phase::Preliminary,
+                    data: local.clone(),
+                },
+            );
+        }
+
+        if needed <= 1 {
+            self.reply_read_final(conn, client_op, kind, prelim, local);
+            return;
+        }
+
+        let (internal, peer_op) = self.mint_internal();
+        // Fan out to every peer and complete at the first R-1 responses —
+        // availability under a dead replica (see the module docs). Even
+        // when too few links are currently live to ever reach the
+        // quorum, the op stays pending: a peer may come back within the
+        // timeout, and the deadline converts it into OpFailed otherwise.
+        self.broadcast_peers(&Msg::PeerRead { op: peer_op, key });
+        self.reads.insert(
+            internal,
+            ReadSt {
+                client_conn: conn,
+                client_op,
+                kind,
+                key,
+                best: local,
+                responses: 1,
+                needed,
+                prelim,
+            },
+        );
+        self.arm(internal);
+    }
+
+    fn reply_read_final(
+        &mut self,
+        conn: u64,
+        op: OpId,
+        kind: ReadKind,
+        prelim: Option<Version>,
+        best: Versioned,
+    ) {
+        let msg = match kind {
+            ReadKind::Icg { confirm: true, .. } if prelim == Some(best.version) => {
+                Msg::ReadConfirm {
+                    op,
+                    version: best.version,
+                }
+            }
+            ReadKind::Icg { .. } => Msg::ReadReply {
+                op,
+                phase: Phase::Final,
+                data: best,
+            },
+            ReadKind::Single { .. } => Msg::ReadReply {
+                op,
+                phase: Phase::Single,
+                data: best,
+            },
+        };
+        self.send_to(conn, &msg);
+    }
+
+    fn peer_read_resp(&mut self, peer_op: OpId, data: Versioned) {
+        // Only answers to our own requests are meaningful.
+        if peer_op.client != NodeId(self.cfg.id as usize) {
+            return;
+        }
+        let internal = peer_op.seq;
+        let Some(st) = self.reads.get_mut(&internal) else {
+            return; // late response after completion or timeout
+        };
+        st.responses += 1;
+        if data.version > st.best.version {
+            st.best = data;
+        }
+        if st.responses >= st.needed {
+            let st = self.reads.remove(&internal).expect("state present");
+            // Adopt the winning version locally: later preliminary
+            // flushes serve it, and convergence after quiescence holds
+            // even if this coordinator missed the original write.
+            if st.best.version > self.store.version_of(st.key) {
+                self.store.apply(st.key, st.best.clone());
+            }
+            self.reply_read_final(st.client_conn, st.client_op, st.kind, st.prelim, st.best);
+        }
+    }
+
+    fn client_write(
+        &mut self,
+        conn: u64,
+        client_op: OpId,
+        key: Key,
+        value: quorumstore::types::Value,
+        w: u8,
+    ) {
+        let data = Versioned {
+            value,
+            version: self.now_version(),
+        };
+        self.store.apply(key, data.clone());
+        let acks_needed = w.saturating_sub(1).min(self.peer_links.len() as u8);
+        if acks_needed == 0 {
+            // W = 1 (the paper's setting): acknowledge immediately,
+            // propagate in the background.
+            self.broadcast_peers(&Msg::PeerWrite {
+                key,
+                data,
+                ack_op: None,
+            });
+            self.send_to(conn, &Msg::WriteReply { op: client_op });
+            return;
+        }
+        let (internal, peer_op) = self.mint_internal();
+        self.broadcast_peers(&Msg::PeerWrite {
+            key,
+            data,
+            ack_op: Some(peer_op),
+        });
+        self.writes.insert(
+            internal,
+            WriteSt {
+                client_conn: conn,
+                client_op,
+                acks_left: acks_needed,
+            },
+        );
+        self.arm(internal);
+    }
+
+    fn peer_write_ack(&mut self, peer_op: OpId) {
+        if peer_op.client != NodeId(self.cfg.id as usize) {
+            return;
+        }
+        let internal = peer_op.seq;
+        let finished = match self.writes.get_mut(&internal) {
+            Some(st) => {
+                st.acks_left = st.acks_left.saturating_sub(1);
+                st.acks_left == 0
+            }
+            None => false,
+        };
+        if finished {
+            let st = self.writes.remove(&internal).expect("state present");
+            self.send_to(st.client_conn, &Msg::WriteReply { op: st.client_op });
+        }
+    }
+}
+
+/// Binds and starts a full replica set on loopback ephemeral ports:
+/// binds all listeners first (so every replica learns every address),
+/// then starts each one with the other replicas as peers. Returns the
+/// handles in id order.
+pub fn spawn_local_cluster(n: usize, cfg_of: impl Fn(u32) -> ServerConfig) -> Vec<ReplicaHandle> {
+    let servers: Vec<ReplicaServer> = (0..n)
+        .map(|i| ReplicaServer::bind("127.0.0.1:0", cfg_of(i as u32)).expect("bind loopback"))
+        .collect();
+    let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    servers
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let peers: Vec<SocketAddr> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect();
+            s.start(peers)
+        })
+        .collect()
+}

@@ -1,0 +1,211 @@
+//! Blocking-TCP building blocks: per-connection outbound writer threads
+//! and frame-decoding reader threads.
+//!
+//! The threading model (documented with diagrams in `DESIGN.md` §10):
+//!
+//! - each connection gets **one writer thread** owning the write half.
+//!   Senders enqueue pre-encoded frames on an unbounded channel and never
+//!   block on the socket; a dead peer fails the channel and sends turn
+//!   into cheap no-ops.
+//! - each connection gets **one reader thread** owning the read half,
+//!   decoding frames and handing messages to a caller-supplied sink.
+//! - listeners get **one reactor (accept) thread** spawning the above
+//!   pair per accepted connection (see [`crate::server`]).
+//!
+//! All state machines (replica, client binding) run on their own single
+//! event-loop thread and communicate with these I/O threads exclusively
+//! through channels, so no protocol state is ever touched from two
+//! threads.
+
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::frame::{encode_frame, read_frame, FrameError};
+use crate::wire::Wire;
+
+/// A handle sending messages to one connection through its dedicated
+/// writer thread. Cloning shares the same connection.
+pub struct Outbound {
+    tx: Sender<Vec<u8>>,
+    dead: Arc<AtomicBool>,
+    stream: TcpStream,
+}
+
+impl Clone for Outbound {
+    fn clone(&self) -> Self {
+        Outbound {
+            tx: self.tx.clone(),
+            dead: Arc::clone(&self.dead),
+            stream: self.stream.try_clone().expect("clone tcp handle"),
+        }
+    }
+}
+
+impl Outbound {
+    /// Takes ownership of the stream's write half and spawns the writer
+    /// thread. The returned handle encodes and enqueues; the thread
+    /// drains the queue with one `write_all` per frame.
+    ///
+    /// Sets `TCP_NODELAY`: the protocol is small request/response frames
+    /// in a closed loop, exactly the pattern where Nagle's algorithm
+    /// colliding with delayed ACKs costs 40 ms per quorum round-trip.
+    pub fn spawn(stream: TcpStream, label: &str) -> std::io::Result<Outbound> {
+        stream.set_nodelay(true)?;
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        let dead = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&dead);
+        let mut write_half = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name(format!("icg-net-writer-{label}"))
+            .spawn(move || {
+                use std::io::Write;
+                while let Ok(frame) = rx.recv() {
+                    if write_half.write_all(&frame).is_err() {
+                        flag.store(true, Ordering::Release);
+                        // Keep draining so senders never block or error;
+                        // the connection owner notices `is_dead` (or the
+                        // reader thread's close event) and tears down.
+                        continue;
+                    }
+                }
+                let _ = write_half.shutdown(Shutdown::Write);
+            })
+            .expect("spawn writer thread");
+        Ok(Outbound { tx, dead, stream })
+    }
+
+    /// Encodes `msg` and enqueues it. Returns `false` if the connection
+    /// is already known to be dead (the frame is dropped — exactly the
+    /// semantics of an unreachable peer).
+    pub fn send<T: Wire>(&self, msg: &T) -> bool {
+        if self.is_dead() {
+            return false;
+        }
+        let mut frame = Vec::with_capacity(64);
+        encode_frame(msg, &mut frame);
+        self.tx.send(frame).is_ok()
+    }
+
+    /// Whether a write error has been observed on this connection.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Forcibly closes both halves of the connection. In-flight frames
+    /// are lost — this models a crash, and the failover tests use it as
+    /// one.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Spawns the reader thread for one connection: decodes frames off the
+/// stream and feeds each message to `sink`. When the stream ends —
+/// cleanly, by error, or by an undecodable frame — `on_close` runs
+/// exactly once with the reason (`None` for a clean EOF).
+pub fn spawn_reader<T, F, G>(
+    stream: TcpStream,
+    label: &str,
+    mut sink: F,
+    on_close: G,
+) -> JoinHandle<()>
+where
+    T: Wire + Send + 'static,
+    F: FnMut(T) + Send + 'static,
+    G: FnOnce(Option<FrameError>) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("icg-net-reader-{label}"))
+        .spawn(move || {
+            let mut reader = BufReader::new(stream);
+            let mut scratch = Vec::new();
+            let reason = loop {
+                match read_frame::<T>(&mut reader, &mut scratch) {
+                    Ok(Some(msg)) => sink(msg),
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            on_close(reason);
+        })
+        .expect("spawn reader thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorumstore::types::OpId;
+    use quorumstore::Msg;
+    use simnet::NodeId;
+    use std::net::TcpListener;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn round_trip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+
+        let (got_tx, got_rx) = channel();
+        let (closed_tx, closed_rx) = channel();
+        spawn_reader::<Msg, _, _>(
+            server_stream,
+            "test",
+            move |m| {
+                got_tx.send(m).unwrap();
+            },
+            move |reason| {
+                closed_tx.send(reason.is_none()).unwrap();
+            },
+        );
+
+        let out = Outbound::spawn(client, "test").unwrap();
+        for seq in 0..100 {
+            assert!(out.send(&Msg::WriteReply {
+                op: OpId {
+                    client: NodeId(1),
+                    seq,
+                },
+            }));
+        }
+        for seq in 0..100 {
+            let m = got_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            match m {
+                Msg::WriteReply { op } => assert_eq!(op.seq, seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        drop(out); // hangs up: writer thread exits, shuts down the socket
+        assert!(closed_rx.recv_timeout(Duration::from_secs(5)).unwrap());
+    }
+
+    #[test]
+    fn kill_surfaces_as_unclean_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let (closed_tx, closed_rx) = channel();
+        spawn_reader::<Msg, _, _>(
+            client,
+            "test",
+            |_: Msg| {},
+            move |reason| {
+                closed_tx.send(reason).unwrap();
+            },
+        );
+        let out = Outbound::spawn(server_stream, "test").unwrap();
+        out.kill();
+        assert!(out.is_dead());
+        // A reset mid-stream may read as an error or as EOF depending on
+        // timing; either way the close fires and sends become no-ops.
+        let _ = closed_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+}

@@ -1,0 +1,633 @@
+//! The hand-rolled wire codec: derive-free, allocation-conscious binary
+//! encode/decode for every message that crosses a socket.
+//!
+//! Every encodable type implements [`Wire`] by hand — there is no serde,
+//! no derive macro, and no reflection, so the byte layout of each message
+//! is exactly what the impl writes and nothing else. All integers are
+//! little-endian. Variable-length collections carry a `u32` element
+//! count, bounded at decode time by [`MAX_IDS`] so a corrupt or hostile
+//! frame cannot ask the decoder to allocate gigabytes.
+//!
+//! The layout of each type is documented in `DESIGN.md` §10; the framing
+//! that wraps an encoded message on a stream lives in [`crate::frame`].
+
+use quorumstore::messages::{FailReason, Msg, Phase};
+use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
+use quorumstore::StoreOp;
+use simnet::NodeId;
+
+/// Protocol bound on [`Value::Ids`] list lengths, enforced on **both**
+/// sides of the codec: decode rejects longer lists (a corrupt length
+/// prefix must not turn into an attempted multi-gigabyte allocation),
+/// and encode panics on them — a sender must fail loudly rather than
+/// emit a poison frame every receiver will reject.
+pub const MAX_IDS: u32 = 1 << 20;
+
+/// Why a byte sequence failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded when the unknown tag was hit.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A length prefix exceeded its sanity bound (e.g. [`MAX_IDS`]).
+    TooLarge {
+        /// The type being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// Bytes were left over after the outermost value was decoded.
+    TrailingBytes {
+        /// How many bytes remained.
+        extra: usize,
+    },
+    /// The frame header announced an unsupported wire-format version.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag { what, tag } => write!(f, "unknown tag {tag:#04x} decoding {what}"),
+            WireError::TooLarge { what, len } => {
+                write!(f, "length {len} exceeds the sanity bound decoding {what}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            WireError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (speak version {WIRE_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The wire-format version this build speaks. The frame header carries it
+/// so a future incompatible revision can be rejected cleanly instead of
+/// misparsed (see [`crate::frame`]).
+pub const WIRE_VERSION: u8 = 1;
+
+/// A cursor over a received byte buffer.
+///
+/// All decoding goes through this type: it tracks the read position,
+/// returns [`WireError::Truncated`] instead of panicking when bytes run
+/// out, and exposes [`Reader::remaining`] so callers can enforce
+/// exact-length consumption.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Decodes one `T` and then requires the buffer to be fully consumed.
+    pub fn finish<T: Wire>(mut self) -> Result<T, WireError> {
+        let v = T::decode(&mut self)?;
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+/// Binary encode/decode, implemented by hand for every wire type.
+///
+/// The contract is round-trip identity: for every value,
+/// `decode(encode(v)) == v`, and decode must reject (never panic on)
+/// truncated input and unknown tag bytes. The property tests in
+/// `tests/prop_wire.rs` enforce both halves for every impl.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, advancing it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Wire for Key {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.ns);
+        put_u64(buf, self.id);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Key {
+            ns: r.u8()?,
+            id: r.u64()?,
+        })
+    }
+}
+
+impl Wire for Version {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.ts);
+        put_u32(buf, self.writer);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Version {
+            ts: r.u64()?,
+            writer: r.u32()?,
+        })
+    }
+}
+
+impl Wire for OpId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.client.0 as u64);
+        put_u64(buf, self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OpId {
+            client: NodeId(r.u64()? as usize),
+            seq: r.u64()?,
+        })
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Value::Opaque(n) => {
+                buf.push(0);
+                put_u32(buf, *n);
+            }
+            Value::Ids(ids) => {
+                assert!(
+                    ids.len() <= MAX_IDS as usize,
+                    "Value::Ids with {} elements exceeds the wire protocol bound ({MAX_IDS})",
+                    ids.len()
+                );
+                buf.push(1);
+                put_u32(buf, ids.len() as u32);
+                for id in ids {
+                    put_u64(buf, *id);
+                }
+            }
+            Value::Delta {
+                field_len,
+                record_len,
+            } => {
+                buf.push(2);
+                put_u32(buf, *field_len);
+                put_u32(buf, *record_len);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Value::Opaque(r.u32()?)),
+            1 => {
+                let n = r.u32()?;
+                if n > MAX_IDS {
+                    return Err(WireError::TooLarge {
+                        what: "Value::Ids",
+                        len: u64::from(n),
+                    });
+                }
+                // Guard the allocation against a large length prefix on a
+                // short buffer: validate remaining bytes before reserving.
+                if r.remaining() < n as usize * 8 {
+                    return Err(WireError::Truncated);
+                }
+                let mut ids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ids.push(r.u64()?);
+                }
+                Ok(Value::Ids(ids))
+            }
+            2 => Ok(Value::Delta {
+                field_len: r.u32()?,
+                record_len: r.u32()?,
+            }),
+            tag => Err(WireError::BadTag { what: "Value", tag }),
+        }
+    }
+}
+
+impl Wire for Versioned {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.value.encode(buf);
+        self.version.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Versioned {
+            value: Value::decode(r)?,
+            version: Version::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ReadKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReadKind::Single { r } => {
+                buf.push(0);
+                buf.push(*r);
+            }
+            ReadKind::Icg { r, confirm } => {
+                buf.push(1);
+                buf.push(*r);
+                buf.push(u8::from(*confirm));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ReadKind::Single { r: r.u8()? }),
+            1 => Ok(ReadKind::Icg {
+                r: r.u8()?,
+                confirm: r.u8()? != 0,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "ReadKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Phase {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            Phase::Single => 0,
+            Phase::Preliminary => 1,
+            Phase::Final => 2,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Phase::Single),
+            1 => Ok(Phase::Preliminary),
+            2 => Ok(Phase::Final),
+            tag => Err(WireError::BadTag { what: "Phase", tag }),
+        }
+    }
+}
+
+impl Wire for FailReason {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            FailReason::Timeout => 0,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FailReason::Timeout),
+            tag => Err(WireError::BadTag {
+                what: "FailReason",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Message tags of [`Msg`] on the wire (one byte, after the version byte
+/// of the frame header). Documented in `DESIGN.md` §10; new messages
+/// append new tags, existing tags are never reused.
+mod tag {
+    pub const CLIENT_READ: u8 = 0x01;
+    pub const CLIENT_WRITE: u8 = 0x02;
+    pub const PEER_READ: u8 = 0x03;
+    pub const PEER_READ_RESP: u8 = 0x04;
+    pub const PEER_WRITE: u8 = 0x05;
+    pub const PEER_WRITE_ACK: u8 = 0x06;
+    pub const READ_REPLY: u8 = 0x07;
+    pub const READ_CONFIRM: u8 = 0x08;
+    pub const WRITE_REPLY: u8 = 0x09;
+    pub const OP_FAILED: u8 = 0x0A;
+}
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::ClientRead { op, key, kind } => {
+                buf.push(tag::CLIENT_READ);
+                op.encode(buf);
+                key.encode(buf);
+                kind.encode(buf);
+            }
+            Msg::ClientWrite { op, key, value, w } => {
+                buf.push(tag::CLIENT_WRITE);
+                op.encode(buf);
+                key.encode(buf);
+                value.encode(buf);
+                buf.push(*w);
+            }
+            Msg::PeerRead { op, key } => {
+                buf.push(tag::PEER_READ);
+                op.encode(buf);
+                key.encode(buf);
+            }
+            Msg::PeerReadResp { op, data } => {
+                buf.push(tag::PEER_READ_RESP);
+                op.encode(buf);
+                data.encode(buf);
+            }
+            Msg::PeerWrite { key, data, ack_op } => {
+                buf.push(tag::PEER_WRITE);
+                key.encode(buf);
+                data.encode(buf);
+                ack_op.encode(buf);
+            }
+            Msg::PeerWriteAck { op } => {
+                buf.push(tag::PEER_WRITE_ACK);
+                op.encode(buf);
+            }
+            Msg::ReadReply { op, phase, data } => {
+                buf.push(tag::READ_REPLY);
+                op.encode(buf);
+                phase.encode(buf);
+                data.encode(buf);
+            }
+            Msg::ReadConfirm { op, version } => {
+                buf.push(tag::READ_CONFIRM);
+                op.encode(buf);
+                version.encode(buf);
+            }
+            Msg::WriteReply { op } => {
+                buf.push(tag::WRITE_REPLY);
+                op.encode(buf);
+            }
+            Msg::OpFailed { op, reason } => {
+                buf.push(tag::OP_FAILED);
+                op.encode(buf);
+                reason.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            tag::CLIENT_READ => Ok(Msg::ClientRead {
+                op: OpId::decode(r)?,
+                key: Key::decode(r)?,
+                kind: ReadKind::decode(r)?,
+            }),
+            tag::CLIENT_WRITE => Ok(Msg::ClientWrite {
+                op: OpId::decode(r)?,
+                key: Key::decode(r)?,
+                value: Value::decode(r)?,
+                w: r.u8()?,
+            }),
+            tag::PEER_READ => Ok(Msg::PeerRead {
+                op: OpId::decode(r)?,
+                key: Key::decode(r)?,
+            }),
+            tag::PEER_READ_RESP => Ok(Msg::PeerReadResp {
+                op: OpId::decode(r)?,
+                data: Versioned::decode(r)?,
+            }),
+            tag::PEER_WRITE => Ok(Msg::PeerWrite {
+                key: Key::decode(r)?,
+                data: Versioned::decode(r)?,
+                ack_op: Option::<OpId>::decode(r)?,
+            }),
+            tag::PEER_WRITE_ACK => Ok(Msg::PeerWriteAck {
+                op: OpId::decode(r)?,
+            }),
+            tag::READ_REPLY => Ok(Msg::ReadReply {
+                op: OpId::decode(r)?,
+                phase: Phase::decode(r)?,
+                data: Versioned::decode(r)?,
+            }),
+            tag::READ_CONFIRM => Ok(Msg::ReadConfirm {
+                op: OpId::decode(r)?,
+                version: Version::decode(r)?,
+            }),
+            tag::WRITE_REPLY => Ok(Msg::WriteReply {
+                op: OpId::decode(r)?,
+            }),
+            tag::OP_FAILED => Ok(Msg::OpFailed {
+                op: OpId::decode(r)?,
+                reason: FailReason::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Msg", tag }),
+        }
+    }
+}
+
+impl Wire for StoreOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StoreOp::Read(key) => {
+                buf.push(0);
+                key.encode(buf);
+            }
+            StoreOp::Write(key, value) => {
+                buf.push(1);
+                key.encode(buf);
+                value.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(StoreOp::Read(Key::decode(r)?)),
+            1 => Ok(StoreOp::Write(Key::decode(r)?, Value::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "StoreOp",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Encodes a value into a fresh buffer (convenience for tests and
+/// one-shot encodes).
+pub fn to_bytes<T: Wire>(v: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    v.encode(&mut buf);
+    buf
+}
+
+/// Decodes exactly one value from `buf`, rejecting trailing bytes.
+pub fn from_bytes<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    Reader::new(buf).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> OpId {
+        OpId {
+            client: NodeId(3),
+            seq: 77,
+        }
+    }
+
+    #[test]
+    fn msg_round_trips() {
+        let msgs = vec![
+            Msg::ClientRead {
+                op: op(),
+                key: Key { ns: 2, id: 9 },
+                kind: ReadKind::Icg {
+                    r: 2,
+                    confirm: true,
+                },
+            },
+            Msg::ClientWrite {
+                op: op(),
+                key: Key::plain(1),
+                value: Value::Ids(vec![1, 2, 3]),
+                w: 1,
+            },
+            Msg::PeerWrite {
+                key: Key::plain(4),
+                data: Versioned::absent(),
+                ack_op: Some(op()),
+            },
+            Msg::ReadConfirm {
+                op: op(),
+                version: Version { ts: 8, writer: 1 },
+            },
+            Msg::OpFailed {
+                op: op(),
+                reason: FailReason::Timeout,
+            },
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m);
+            let back: Msg = from_bytes(&bytes).expect("decodes");
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = to_bytes(&Msg::ClientRead {
+            op: op(),
+            key: Key::plain(5),
+            kind: ReadKind::Single { r: 1 },
+        });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Msg>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        assert_eq!(
+            from_bytes::<Msg>(&[0xFF]),
+            Err(WireError::BadTag {
+                what: "Msg",
+                tag: 0xFF
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_id_list_rejected() {
+        let mut buf = vec![1u8]; // Value::Ids tag
+        buf.extend_from_slice(&(MAX_IDS + 1).to_le_bytes());
+        assert!(matches!(
+            from_bytes::<Value>(&buf),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&Version { ts: 1, writer: 2 });
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<Version>(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests of every [`Wire`] impl: encode→decode identity over
+//! generated values, and rejection (never a panic) of truncated frames
+//! and corrupt tag bytes.
+//!
+//! These properties are the codec's entire contract — a transport that
+//! silently misparses one frame corrupts protocol state in ways the
+//! consistency oracle can only catch much later, so the codec itself is
+//! held to round-trip identity under generation.
+
+use proptest::prelude::*;
+
+use icg_net::wire::{from_bytes, to_bytes, MAX_IDS};
+use icg_net::{Reader, Wire, WireError};
+use quorumstore::messages::{FailReason, Msg, Phase};
+use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
+use quorumstore::StoreOp;
+use simnet::NodeId;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    (0u64..u64::MAX, 0u64..256).prop_map(|(id, ns)| Key { ns: ns as u8, id })
+}
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (0u64..u64::MAX, 0u64..1 << 32).prop_map(|(ts, writer)| Version {
+        ts,
+        writer: writer as u32,
+    })
+}
+
+fn arb_op_id() -> impl Strategy<Value = OpId> {
+    (0u64..1 << 48, 0u64..u64::MAX).prop_map(|(client, seq)| OpId {
+        client: NodeId(client as usize),
+        seq,
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u64..1 << 32).prop_map(|n| Value::Opaque(n as u32)),
+        proptest::collection::vec(0u64..u64::MAX, 0..16).prop_map(Value::Ids),
+        (0u64..1 << 32, 0u64..1 << 32).prop_map(|(f, r)| Value::Delta {
+            field_len: f as u32,
+            record_len: r as u32,
+        }),
+    ]
+}
+
+fn arb_versioned() -> impl Strategy<Value = Versioned> {
+    (arb_value(), arb_version()).prop_map(|(value, version)| Versioned { value, version })
+}
+
+fn arb_read_kind() -> impl Strategy<Value = ReadKind> {
+    prop_oneof![
+        (0u64..8).prop_map(|r| ReadKind::Single { r: r as u8 }),
+        (0u64..8, any::<bool>()).prop_map(|(r, confirm)| ReadKind::Icg {
+            r: r as u8,
+            confirm,
+        }),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (arb_op_id(), arb_key(), arb_read_kind()).prop_map(|(op, key, kind)| Msg::ClientRead {
+            op,
+            key,
+            kind
+        }),
+        (arb_op_id(), arb_key(), arb_value(), 0u64..4).prop_map(|(op, key, value, w)| {
+            Msg::ClientWrite {
+                op,
+                key,
+                value,
+                w: w as u8,
+            }
+        }),
+        (arb_op_id(), arb_key()).prop_map(|(op, key)| Msg::PeerRead { op, key }),
+        (arb_op_id(), arb_versioned()).prop_map(|(op, data)| Msg::PeerReadResp { op, data }),
+        (arb_key(), arb_versioned(), arb_op_id(), any::<bool>()).prop_map(
+            |(key, data, op, ack)| Msg::PeerWrite {
+                key,
+                data,
+                ack_op: ack.then_some(op),
+            }
+        ),
+        arb_op_id().prop_map(|op| Msg::PeerWriteAck { op }),
+        (arb_op_id(), 0u64..3, arb_versioned()).prop_map(|(op, phase, data)| Msg::ReadReply {
+            op,
+            phase: match phase {
+                0 => Phase::Single,
+                1 => Phase::Preliminary,
+                _ => Phase::Final,
+            },
+            data,
+        }),
+        (arb_op_id(), arb_version()).prop_map(|(op, version)| Msg::ReadConfirm { op, version }),
+        arb_op_id().prop_map(|op| Msg::WriteReply { op }),
+        arb_op_id().prop_map(|op| Msg::OpFailed {
+            op,
+            reason: FailReason::Timeout,
+        }),
+    ]
+}
+
+fn arb_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        arb_key().prop_map(StoreOp::Read),
+        (arb_key(), arb_value()).prop_map(|(k, v)| StoreOp::Write(k, v)),
+    ]
+}
+
+/// Round-trip + truncation + garbage-tag, for one encodable value.
+fn codec_contract<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = to_bytes(v);
+    // Identity.
+    let back: T = from_bytes(&bytes).expect("well-formed encoding decodes");
+    prop_assert_eq!(&back, v);
+    // Every strict prefix must be rejected as an error, not a panic.
+    for cut in 0..bytes.len() {
+        prop_assert!(
+            from_bytes::<T>(&bytes[..cut]).is_err(),
+            "prefix of {} bytes decoded",
+            cut
+        );
+    }
+    // Trailing garbage must be rejected (exact-length consumption).
+    let mut extended = bytes.clone();
+    extended.push(0xAB);
+    prop_assert!(from_bytes::<T>(&extended).is_err());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn msg_codec_contract(m in arb_msg()) {
+        codec_contract(&m)?;
+    }
+
+    #[test]
+    fn store_op_codec_contract(op in arb_store_op()) {
+        codec_contract(&op)?;
+    }
+
+    #[test]
+    fn versioned_codec_contract(v in arb_versioned()) {
+        codec_contract(&v)?;
+    }
+
+    #[test]
+    fn op_id_and_key_codec_contract(op in arb_op_id(), key in arb_key()) {
+        codec_contract(&op)?;
+        codec_contract(&key)?;
+    }
+
+    /// A corrupt leading tag byte either decodes to a *different* valid
+    /// message (tags overlap the value space of other variants) or
+    /// errors — it must never panic and never decode to the original.
+    #[test]
+    fn corrupt_tag_never_panics(m in arb_msg(), tag in 11u64..256) {
+        let mut bytes = to_bytes(&m);
+        bytes[0] = tag as u8; // 0x0B.. are unassigned Msg tags
+        match from_bytes::<Msg>(&bytes) {
+            Ok(other) => prop_assert_ne!(other, m),
+            Err(e) => {
+                let structured = matches!(
+                    e,
+                    WireError::BadTag { .. }
+                        | WireError::Truncated
+                        | WireError::TrailingBytes { .. }
+                        | WireError::TooLarge { .. }
+                );
+                prop_assert!(structured, "unexpected decode error {:?}", e);
+            }
+        }
+    }
+
+    /// Random bytes fed to the decoder: any outcome but a panic.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u64..256, 0..64)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = from_bytes::<Msg>(&bytes);
+        let _ = from_bytes::<StoreOp>(&bytes);
+        let _ = from_bytes::<Versioned>(&bytes);
+    }
+
+    /// Length prefixes beyond MAX_IDS are rejected before allocating.
+    #[test]
+    fn oversized_id_lists_rejected(extra in 1u64..1 << 30) {
+        let mut buf = vec![1u8];
+        let n = MAX_IDS as u64 + extra;
+        buf.extend_from_slice(&(n as u32).to_le_bytes());
+        let r = Reader::new(&buf).finish::<Value>();
+        let rejected = matches!(r, Err(WireError::TooLarge { .. }) | Err(WireError::Truncated));
+        prop_assert!(rejected, "oversized list accepted: {:?}", r);
+    }
+}

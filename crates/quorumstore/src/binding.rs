@@ -32,7 +32,7 @@ use crate::replica::ReplicaConfig;
 use crate::types::{Key, OpId, ReadKind, Value, Versioned};
 
 /// Operations accepted by the binding.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreOp {
     /// Read a key.
     Read(Key),

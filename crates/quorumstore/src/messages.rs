@@ -33,7 +33,7 @@ pub enum Phase {
 }
 
 /// Every message exchanged in the quorum-store protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Client asks a coordinator to read `key`.
     ClientRead {

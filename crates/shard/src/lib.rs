@@ -36,6 +36,10 @@
 //! the router never reorders or synthesizes views, it only routes and
 //! merges them.
 
+// Public API documentation is complete and enforced: CI's lint job runs
+// clippy with `-D warnings`, which promotes this to an error.
+#![warn(missing_docs)]
+
 pub mod mem;
 pub mod pipeline;
 pub mod ring;

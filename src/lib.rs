@@ -16,6 +16,8 @@
 //! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
 //! - [`causalstore`] — causal replication with a client cache;
 //! - [`shard`] — the sharded multi-object routing layer;
+//! - [`net`] — the TCP wire codec, transport, replica server, and
+//!   client binding serving the quorum store over real sockets;
 //! - [`oracle`] — the history-recording consistency oracle
 //!   and seeded fault-schedule explorer;
 //! - [`ycsb`] — workload generators;
@@ -35,6 +37,7 @@ pub use causalstore;
 pub use consensusq;
 pub use correctables;
 pub use icg_apps as apps;
+pub use icg_net as net;
 pub use icg_oracle as oracle;
 pub use icg_shard as shard;
 pub use quorumstore;
