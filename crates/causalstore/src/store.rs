@@ -8,7 +8,7 @@
 //! the `Causal` level.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{Ctx, Node, NodeId, SimDuration, Timer, Wire};
 
@@ -163,8 +163,10 @@ pub struct CausalReplica {
     /// Whether this replica is the primary (serializes writes).
     pub is_primary: bool,
     peers: Vec<NodeId>,
-    /// Local state.
-    pub data: HashMap<String, Item>,
+    /// Local state. Ordered map: `SyncResp` snapshots are built by
+    /// iterating it, and message payloads must not depend on a
+    /// per-process hasher seed or (seed, schedule) replay diverges.
+    pub data: BTreeMap<String, Item>,
     /// This replica's causal clock.
     pub clock: VectorClock,
     /// Updates waiting for their causal dependencies.
@@ -188,7 +190,7 @@ impl CausalReplica {
             index,
             is_primary,
             peers: Vec::new(),
-            data: HashMap::new(),
+            data: BTreeMap::new(),
             clock: VectorClock::zero(n),
             buffered: Vec::new(),
             sync_armed: false,

@@ -1,0 +1,145 @@
+//! The baseline file: accepted pre-existing findings, so the CI gate is
+//! *zero new violations* rather than zero violations.
+//!
+//! Each line is a finding fingerprint (pass, file, kind, detail — tab
+//! separated) plus an accepted count. A finding is "new" when the
+//! current tree has more findings with that fingerprint than the
+//! baseline accepts; shrinking below the accepted count is always fine
+//! (and `baseline` mode re-tightens the file to what remains).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::diag::Finding;
+
+/// Accepted finding counts by fingerprint.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(e),
+        };
+        let mut counts = BTreeMap::new();
+        for line in src.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // fingerprint = first four tab-separated fields; count = fifth.
+            let mut fields: Vec<&str> = line.split('\t').collect();
+            let count = if fields.len() == 5 {
+                fields.pop().and_then(|c| c.parse().ok()).unwrap_or(1)
+            } else {
+                1
+            };
+            *counts.entry(fields.join("\t")).or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Splits findings into `(new, accepted)` against this baseline.
+    /// Within one fingerprint the earliest findings (by line) are
+    /// treated as the accepted ones — stable and closest to the file
+    /// state the baseline was taken from.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut by_key: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key.entry(f.fingerprint()).or_default().push(f);
+        }
+        let mut fresh = Vec::new();
+        let mut accepted = Vec::new();
+        for (key, mut group) in by_key {
+            group.sort_by_key(|f| f.line);
+            let allowed = self.counts.get(&key).copied().unwrap_or(0);
+            for (i, f) in group.into_iter().enumerate() {
+                if i < allowed {
+                    accepted.push(f);
+                } else {
+                    fresh.push(f);
+                }
+            }
+        }
+        fresh.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        accepted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        (fresh, accepted)
+    }
+
+    /// Renders a baseline accepting exactly `findings`.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.fingerprint()).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# icg-lint baseline — accepted pre-existing findings.\n\
+             # One fingerprint per line: pass<TAB>file<TAB>kind<TAB>detail<TAB>count.\n\
+             # Regenerate with `scripts/lint.sh baseline` after deliberate changes;\n\
+             # the CI gate fails only on findings NOT covered here.\n",
+        );
+        for (key, n) in counts {
+            out.push_str(&key);
+            out.push('\t');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: &'static str, detail: &str, line: u32) -> Finding {
+        Finding {
+            pass: "panic_path",
+            file: "crates/x/src/lib.rs".into(),
+            line,
+            kind,
+            detail: detail.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn counts_gate_new_findings_per_fingerprint() {
+        let accepted = vec![finding("unwrap", "f", 10)];
+        let text = Baseline::render(&accepted);
+        let dir = std::env::temp_dir().join("icg-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline");
+        std::fs::write(&path, text).unwrap();
+        let bl = Baseline::load(&path).unwrap();
+
+        // Same count: nothing new.
+        let (fresh, old) = bl.partition(vec![finding("unwrap", "f", 12)]);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 1);
+
+        // One more with the same fingerprint: exactly one is new.
+        let (fresh, old) =
+            bl.partition(vec![finding("unwrap", "f", 12), finding("unwrap", "f", 30)]);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 30);
+        assert_eq!(old.len(), 1);
+
+        // A different fingerprint is new outright.
+        let (fresh, _) = bl.partition(vec![finding("index", "f", 5)]);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let bl = Baseline::load(Path::new("/nonexistent/baseline")).unwrap();
+        let (fresh, old) = bl.partition(vec![finding("unwrap", "f", 1)]);
+        assert_eq!(fresh.len(), 1);
+        assert!(old.is_empty());
+    }
+}

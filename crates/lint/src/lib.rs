@@ -1,0 +1,56 @@
+//! icg-lint — project-specific static analysis for the ICG workspace.
+//!
+//! Five passes enforce invariants the compiler cannot see but the
+//! paper's guarantees depend on (DESIGN.md §11):
+//!
+//! | pass | invariant |
+//! |---|---|
+//! | `determinism` | sim-reachable crates take time/randomness only from the engine; no unordered-map iteration |
+//! | `panic_path` | net event-loop and transport files never panic — fail soft instead |
+//! | `lock_discipline` | no lock-order inversions; no guard held across a blocking call |
+//! | `unsafe_audit` | every `unsafe` carries an adjacent `// SAFETY:` argument |
+//! | `wire` | every wire-enum variant is encoded, decoded, and property-tested |
+//!
+//! The engine is a hand-rolled lexer + item scanner ([`lexer`],
+//! [`scan`]) — no `syn`, no `rustc` internals — because the workspace
+//! builds fully offline. Passes read [`config::Config`] (`lint.toml`),
+//! emit [`diag::Finding`]s, and the CI gate compares them against
+//! [`baseline::Baseline`] (`lint.baseline`): merging requires zero *new*
+//! findings, and `// lint: allow(<pass>) — reason` comments waive
+//! individual sites at the source.
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod scan;
+pub mod unsafety;
+
+use std::path::Path;
+
+use config::Config;
+use diag::Finding;
+
+/// The pass names, in run order — also the names `lint: allow(…)`
+/// waivers and baseline fingerprints use.
+pub const PASSES: &[&str] = &[
+    "determinism",
+    "panic_path",
+    "lock_discipline",
+    "unsafe_audit",
+    "wire",
+];
+
+/// Runs every pass over the workspace at `root`, returning all findings
+/// sorted by file and line.
+pub fn run_all(root: &Path, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(passes::determinism::run(root, cfg));
+    out.extend(passes::panic_path::run(root, cfg));
+    out.extend(passes::lock_discipline::run(root, cfg));
+    out.extend(passes::unsafe_audit::run(root, cfg));
+    out.extend(passes::wire::run(root, cfg));
+    out.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    out
+}

@@ -1,0 +1,82 @@
+//! The five project-specific passes.
+//!
+//! Each pass loads the files its `lint.toml` section names, walks their
+//! token streams, and emits [`Finding`]s. Findings on a line carrying a
+//! `// lint: allow(<pass>)` waiver comment (same line or directly
+//! above) are suppressed at emission; everything else is subject to the
+//! baseline when the caller gates.
+
+pub mod determinism;
+pub mod lock_discipline;
+pub mod panic_path;
+pub mod unsafe_audit;
+pub mod wire;
+
+use std::path::Path;
+
+use crate::diag::Finding;
+use crate::lexer::{TokKind, Token};
+use crate::scan::SourceFile;
+
+/// Emits `f` unless the site carries a waiver comment for its pass.
+pub(crate) fn push_unless_waived(out: &mut Vec<Finding>, sf: &SourceFile, f: Finding) {
+    if !sf.waived(f.line, f.pass) {
+        out.push(f);
+    }
+}
+
+/// Whether tokens at `i` spell the path `head::tail` (`::` lexes as two
+/// `:` puncts).
+pub(crate) fn is_path2(tokens: &[Token], i: usize, head: &str, tail: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == head)
+        && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+        && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == tail)
+}
+
+/// The source files of one crate's `src/` tree.
+pub(crate) fn crate_sources(root: &Path, krate: &str) -> Vec<SourceFile> {
+    crate::scan::parse_tree(root, &root.join("crates").join(krate).join("src"))
+}
+
+/// Parses one workspace-relative file, if it exists.
+pub(crate) fn parse_one(root: &Path, rel: &str) -> Option<SourceFile> {
+    let src = std::fs::read_to_string(root.join(rel)).ok()?;
+    Some(SourceFile::parse(rel, &src))
+}
+
+/// The receiver chain ending at the `.` token at `dot` — e.g. for
+/// `self.inner.shared.lock()` with `dot` at the last `.`, returns
+/// `inner.shared` (leading `self` stripped). `None` when the receiver
+/// is not a plain ident chain (a call or index result).
+pub(crate) fn receiver_chain(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = dot;
+    loop {
+        // Expect an ident directly before the current `.`.
+        let prev = j.checked_sub(1)?;
+        let t = tokens.get(prev)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        parts.push(&t.text);
+        // Another link (`ident .`) before it?
+        match prev.checked_sub(1).and_then(|k| tokens.get(k)) {
+            Some(d) if d.text == "." => j = prev - 1,
+            _ => break,
+        }
+    }
+    parts.reverse();
+    if parts.first() == Some(&"self") {
+        parts.remove(0);
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("."))
+    }
+}

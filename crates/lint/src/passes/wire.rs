@@ -1,0 +1,258 @@
+//! Wire-exhaustiveness pass: every variant of every wire enum must be
+//! handled by the codec's `encode` *and* `decode`, and exercised by the
+//! wire property tests.
+//!
+//! The codec is hand-rolled (no derives, by design — DESIGN.md §10), so
+//! nothing in the type system forces a newly added `Msg` variant into
+//! `impl Wire for Msg`: `encode`'s match would still be exhaustive if
+//! someone added a `_ =>` arm, and `decode` is just a tag match that
+//! silently rejects what it doesn't know. This pass closes that gap
+//! mechanically: add a variant and the linter fails until the codec and
+//! `prop_wire.rs` know about it.
+//!
+//! A variant `V` of enum `E` counts as covered by a file when the
+//! qualified path `E::V` (or `Self::V` inside `impl Wire for E`)
+//! appears in it.
+
+use std::path::Path;
+
+use super::parse_one;
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::scan::{EnumDef, SourceFile};
+
+const PASS: &str = "wire";
+
+/// Runs the pass.
+pub fn run(root: &Path, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.wire_enums.is_empty() {
+        return out;
+    }
+    let enum_files: Vec<SourceFile> = cfg
+        .wire_enum_files
+        .iter()
+        .filter_map(|p| parse_one(root, p))
+        .collect();
+    let codec = parse_one(root, &cfg.wire_codec);
+    let props = parse_one(root, &cfg.wire_proptests);
+    let (Some(codec), Some(props)) = (codec, props) else {
+        out.push(Finding {
+            pass: PASS,
+            file: cfg.wire_codec.clone(),
+            line: 0,
+            kind: "missing-file",
+            detail: "codec or proptest file".into(),
+            message: format!(
+                "cannot read `{}` or `{}` named in [wire]",
+                cfg.wire_codec, cfg.wire_proptests
+            ),
+        });
+        return out;
+    };
+
+    for name in &cfg.wire_enums {
+        let Some((def_file, def)) = find_enum(&enum_files, name) else {
+            out.push(Finding {
+                pass: PASS,
+                file: cfg.wire_enum_files.first().cloned().unwrap_or_default(),
+                line: 0,
+                kind: "enum-not-found",
+                detail: name.clone(),
+                message: format!(
+                    "enum `{name}` listed in [wire].enums not found in any \
+                     [wire].enum_files entry"
+                ),
+            });
+            continue;
+        };
+        check_enum(def_file, def, &codec, &props, &mut out);
+    }
+    out
+}
+
+fn find_enum<'a>(files: &'a [SourceFile], name: &str) -> Option<(&'a SourceFile, &'a EnumDef)> {
+    files
+        .iter()
+        .find_map(|sf| sf.enums.iter().find(|e| e.name == name).map(|e| (sf, e)))
+}
+
+fn check_enum(
+    def_file: &SourceFile,
+    def: &EnumDef,
+    codec: &SourceFile,
+    props: &SourceFile,
+    out: &mut Vec<Finding>,
+) {
+    let name = &def.name;
+    let encode = format!("{name}::encode");
+    let decode = format!("{name}::decode");
+    let encode_fn = codec.fns.iter().find(|f| f.qual_name == encode);
+    let decode_fn = codec.fns.iter().find(|f| f.qual_name == decode);
+    if encode_fn.is_none() || decode_fn.is_none() {
+        out.push(Finding {
+            pass: PASS,
+            file: def_file.path.clone(),
+            line: def.line,
+            kind: "no-wire-impl",
+            detail: name.clone(),
+            message: format!(
+                "enum `{name}` has no `impl Wire for {name}` (encode + decode) in the codec"
+            ),
+        });
+        return;
+    }
+    let encode_fn = encode_fn.expect("checked above");
+    let decode_fn = decode_fn.expect("checked above");
+
+    for (variant, line) in &def.variants {
+        let in_encode = mentions_variant(codec, encode_fn.body.clone(), name, variant);
+        let in_decode = mentions_variant(codec, decode_fn.body.clone(), name, variant);
+        let in_props = mentions_variant(props, 0..props.tokens.len(), name, variant);
+        let mut missing: Vec<(&str, &str)> = Vec::new();
+        if !in_encode {
+            missing.push(("unencoded", "the codec's `encode`"));
+        }
+        if !in_decode {
+            missing.push(("undecoded", "the codec's `decode`"));
+        }
+        if !in_props {
+            missing.push(("unproptested", "the wire property tests"));
+        }
+        for (kind, what) in missing {
+            push_finding(out, def_file, *line, kind, name, variant, what);
+        }
+    }
+}
+
+fn push_finding(
+    out: &mut Vec<Finding>,
+    def_file: &SourceFile,
+    line: u32,
+    kind: &'static str,
+    name: &str,
+    variant: &str,
+    what: &str,
+) {
+    let f = Finding {
+        pass: PASS,
+        file: def_file.path.clone(),
+        line,
+        kind,
+        detail: format!("{name}::{variant}"),
+        message: format!(
+            "wire enum variant `{name}::{variant}` is not covered by {what}; a frame \
+             carrying it would be unrepresentable or silently rejected"
+        ),
+    };
+    super::push_unless_waived(out, def_file, f);
+}
+
+/// Whether `E::V` (or `Self::V`) appears in `range` of `sf`'s tokens.
+fn mentions_variant(
+    sf: &SourceFile,
+    range: std::ops::Range<usize>,
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    let toks = &sf.tokens;
+    for i in range {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != enum_name && t.text != "Self") {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text == variant)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(types_src: &str, codec_src: &str, props_src: &str) -> Vec<Finding> {
+        let types = SourceFile::parse("types.rs", types_src);
+        let codec = SourceFile::parse("codec.rs", codec_src);
+        let props = SourceFile::parse("prop.rs", props_src);
+        let mut out = Vec::new();
+        let def = &types.enums[0];
+        check_enum(&types, def, &codec, &props, &mut out);
+        out
+    }
+
+    const TYPES: &str = "pub enum Msg { Ping, Pong, Data(u32) }";
+
+    #[test]
+    fn fully_covered_enum_is_clean() {
+        let codec = "
+            impl Wire for Msg {
+                fn encode(&self, b: &mut Vec<u8>) {
+                    match self { Msg::Ping => {}, Msg::Pong => {}, Msg::Data(x) => {} }
+                }
+                fn decode(r: &mut R) -> Result<Self, E> {
+                    match r.u8()? {
+                        0 => Ok(Msg::Ping), 1 => Ok(Msg::Pong), 2 => Ok(Msg::Data(r.u32()?)),
+                        t => Err(E::BadTag(t)),
+                    }
+                }
+            }
+        ";
+        let props = "fn arb() { let _ = (Msg::Ping, Msg::Pong, Msg::Data(1)); }";
+        assert!(check(TYPES, codec, props).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_and_proptest_are_flagged() {
+        let codec = "
+            impl Wire for Msg {
+                fn encode(&self, b: &mut Vec<u8>) {
+                    match self { Msg::Ping => {}, Msg::Pong => {}, Msg::Data(x) => {} }
+                }
+                fn decode(r: &mut R) -> Result<Self, E> {
+                    match r.u8()? { 0 => Ok(Msg::Ping), 1 => Ok(Msg::Pong), t => Err(E::BadTag(t)) }
+                }
+            }
+        ";
+        let props = "fn arb() { let _ = (Msg::Ping, Msg::Pong); }";
+        let out = check(TYPES, codec, props);
+        let kinds: Vec<(&str, &str)> = out.iter().map(|f| (f.kind, f.detail.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![("undecoded", "Msg::Data"), ("unproptested", "Msg::Data")]
+        );
+    }
+
+    #[test]
+    fn missing_impl_is_one_finding() {
+        let out = check(TYPES, "fn unrelated() {}", "");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, "no-wire-impl");
+    }
+
+    #[test]
+    fn self_qualified_arms_count() {
+        let codec = "
+            impl Wire for Msg {
+                fn encode(&self, b: &mut Vec<u8>) {
+                    match self { Self::Ping => {}, Self::Pong => {}, Self::Data(x) => {} }
+                }
+                fn decode(r: &mut R) -> Result<Self, E> {
+                    match r.u8()? {
+                        0 => Ok(Self::Ping), 1 => Ok(Self::Pong), 2 => Ok(Self::Data(r.u32()?)),
+                        t => Err(E::BadTag(t)),
+                    }
+                }
+            }
+        ";
+        let props = "fn arb() { let _ = (Msg::Ping, Msg::Pong, Msg::Data(1)); }";
+        assert!(check(TYPES, codec, props).is_empty());
+    }
+}

@@ -1,0 +1,488 @@
+//! Item-level structure on top of the token stream: functions with
+//! brace-matched bodies, enum definitions with their variants, enclosing
+//! `impl` blocks for qualified names, `#[cfg(test)]` module spans, and
+//! the comment-adjacency queries (waivers, `// SAFETY:`).
+//!
+//! This is a *scanner*, not a parser: it recovers exactly the structure
+//! the passes need and nothing more, by brace matching and short token
+//! lookahead. Macro-generated items are invisible to it — acceptable for
+//! a workspace that is hand-written by policy (no derives on the wire,
+//! no proc macros anywhere).
+
+use std::ops::Range;
+use std::path::PathBuf;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// One function item: its (possibly impl-qualified) name and body span.
+pub struct FnItem {
+    /// `Type::name` inside an `impl Type`, plain `name` at module level.
+    pub qual_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *excluding* the outer braces.
+    pub body: Range<usize>,
+}
+
+/// One enum definition with its variants.
+pub struct EnumDef {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names with the line each is declared on.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// A lexed and scanned source file.
+pub struct SourceFile {
+    /// Path, workspace-root-relative, `/`-separated.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// Every function item found (test modules excluded).
+    pub fns: Vec<FnItem>,
+    /// Every enum definition found (test modules excluded).
+    pub enums: Vec<EnumDef>,
+    /// Token-index ranges covered by `#[cfg(test)] mod … { }` bodies.
+    test_spans: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    /// Lexes and scans one file. `rel_path` is stored verbatim on the
+    /// result and in every diagnostic.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let tokens = lexed.tokens;
+        let test_spans = find_test_spans(&tokens);
+        let in_test = |idx: usize| test_spans.iter().any(|r| r.contains(&idx));
+
+        let mut fns = Vec::new();
+        let mut enums = Vec::new();
+
+        // Enclosing-impl stack: (type name, brace depth the impl body
+        // opened at). Popped when depth drops back below.
+        let mut impl_stack: Vec<(String, i32)> = Vec::new();
+        let mut depth: i32 = 0;
+
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "{") => depth += 1,
+                (TokKind::Punct, "}") => {
+                    depth -= 1;
+                    while impl_stack.last().is_some_and(|(_, d)| *d > depth) {
+                        impl_stack.pop();
+                    }
+                }
+                (TokKind::Ident, "impl") if !in_test(i) => {
+                    if let Some((name, open)) = scan_impl_header(&tokens, i) {
+                        impl_stack.push((name, depth + 1));
+                        depth += 1;
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                (TokKind::Ident, "fn") if !in_test(i) => {
+                    if let Some((item, body_open, body_close)) =
+                        scan_fn(&tokens, i, impl_stack.last().map(|(n, _)| n.as_str()))
+                    {
+                        fns.push(item);
+                        // Keep walking *inside* the body (nested fns and
+                        // braces still update `depth` / `impl_stack`).
+                        let _ = (body_open, body_close);
+                    }
+                }
+                (TokKind::Ident, "enum") if !in_test(i) => {
+                    if let Some((def, close)) = scan_enum(&tokens, i) {
+                        enums.push(def);
+                        i = close; // the `}` closes nothing else
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        SourceFile {
+            path: rel_path.to_string(),
+            tokens,
+            comments: lexed.comments,
+            fns,
+            enums,
+            test_spans,
+        }
+    }
+
+    /// Whether token index `idx` is inside a `#[cfg(test)]` module body.
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&idx))
+    }
+
+    /// The qualified name of the innermost function whose body contains
+    /// token index `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.len())
+    }
+
+    /// Whether a comment containing `needle` ends on line `line` or the
+    /// line above — the adjacency rule for `// SAFETY:` comments and
+    /// waivers.
+    pub fn comment_adjacent(&self, line: u32, needle: &str) -> bool {
+        self.comments.iter().any(|c| {
+            (c.end_line == line || c.end_line + 1 == line || c.line == line)
+                && c.text.contains(needle)
+        })
+    }
+
+    /// The text of the comment satisfying [`SourceFile::comment_adjacent`]
+    /// (for the UNSAFETY.md inventory).
+    pub fn adjacent_comment(&self, line: u32, needle: &str) -> Option<&str> {
+        self.comments
+            .iter()
+            .find(|c| {
+                (c.end_line == line || c.end_line + 1 == line || c.line == line)
+                    && c.text.contains(needle)
+            })
+            .map(|c| c.text.as_str())
+    }
+
+    /// Whether line `line` carries a `lint: allow(<pass>)` waiver — on
+    /// the same line or the line(s) directly above (a waiver comment
+    /// covers the statement it annotates).
+    pub fn waived(&self, line: u32, pass: &str) -> bool {
+        let long = format!("lint: allow({pass})");
+        let short = format!("lint:allow({pass})");
+        self.comment_adjacent(line, &long) || self.comment_adjacent(line, &short)
+    }
+}
+
+/// Loads and parses every `.rs` file under `dir`, recursively, sorted by
+/// path for deterministic output. `root` is the workspace root the
+/// stored relative paths are computed against.
+pub fn parse_tree(root: &std::path::Path, dir: &std::path::Path) -> Vec<SourceFile> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs(dir, &mut paths);
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(p).ok()?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Some(SourceFile::parse(&rel, &src))
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Matches forward from an opening brace to its mate. Returns the index
+/// of the closing `}` (or the last token on unbalanced input).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// `#[cfg(test)]` followed by `mod name {` — returns the body spans.
+fn find_test_spans(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+            && tokens[i + 4].text == "test"
+            && tokens[i + 5].text == ")"
+            && tokens[i + 6].text == "]";
+        if is_cfg_test {
+            // Allow `pub`/`pub(crate)` etc. between the attribute and
+            // `mod` by scanning a short window for the `mod` keyword.
+            let mut j = i + 7;
+            let window_end = (j + 6).min(tokens.len());
+            while j < window_end && tokens[j].text != "mod" {
+                j += 1;
+            }
+            if j < window_end {
+                // Find the module's opening brace.
+                let mut k = j + 1;
+                while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].text == "{" {
+                    let close = match_brace(tokens, k);
+                    spans.push(k..close + 1);
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// From an `impl` token, extracts the implemented type's name and the
+/// index of the body's opening brace. `impl Trait for Type` yields
+/// `Type`; `impl Type` yields `Type`; generic parameters are skipped.
+fn scan_impl_header(tokens: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0i32;
+    let mut names: Vec<&str> = Vec::new();
+    let mut after_for: Option<usize> = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            (TokKind::Punct, "{") if angle <= 0 => {
+                // Type name: first ident after `for` if present, else the
+                // first ident at angle depth 0.
+                let pick = after_for.unwrap_or(0);
+                let name = names.get(pick).copied()?;
+                return Some((name.to_string(), j));
+            }
+            (TokKind::Punct, ";") if angle <= 0 => return None,
+            (TokKind::Ident, "for") if angle <= 0 => after_for = Some(names.len()),
+            (TokKind::Ident, "where") if angle <= 0 => {}
+            (TokKind::Ident, _) if angle == 0 => names.push(&t.text),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From a `fn` token, extracts the item and its body token span.
+/// Returns `None` for bodyless declarations (trait methods, externs).
+fn scan_fn(
+    tokens: &[Token],
+    fn_idx: usize,
+    impl_name: Option<&str>,
+) -> Option<(FnItem, usize, usize)> {
+    let name_tok = tokens.get(fn_idx + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Walk to the body `{`: skip the generic list and the parameter
+    // list by depth counting; a `;` at depth 0 means no body. `->` of
+    // the return type contains `>` — only track `<`/`>` inside the
+    // generic list (i.e. before the parameter list opens).
+    let mut j = fn_idx + 2;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut seen_params = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") if !seen_params => angle += 1,
+            (TokKind::Punct, ">") if !seen_params && angle > 0 => angle -= 1,
+            (TokKind::Punct, "(") => {
+                paren += 1;
+            }
+            (TokKind::Punct, ")") => {
+                paren -= 1;
+                if paren == 0 {
+                    seen_params = true;
+                }
+            }
+            (TokKind::Punct, "{") if paren == 0 && angle == 0 && seen_params => {
+                let close = match_brace(tokens, j);
+                let qual_name = match impl_name {
+                    Some(t) => format!("{t}::{}", name_tok.text),
+                    None => name_tok.text.clone(),
+                };
+                return Some((
+                    FnItem {
+                        qual_name,
+                        line: tokens[fn_idx].line,
+                        body: j + 1..close,
+                    },
+                    j,
+                    close,
+                ));
+            }
+            (TokKind::Punct, ";") if paren == 0 && angle == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From an `enum` token, extracts the definition. Returns the def and
+/// the index of the closing brace.
+fn scan_enum(tokens: &[Token], enum_idx: usize) -> Option<(EnumDef, usize)> {
+    let name_tok = tokens.get(enum_idx + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = enum_idx + 2;
+    while j < tokens.len() && tokens[j].text != "{" {
+        if tokens[j].text == ";" {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    let close = match_brace(tokens, j);
+    // Variants: idents at brace depth 1 that start a variant clause —
+    // i.e. directly after `{` or after a depth-1 `,` (skipping attrs).
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    let mut k = j;
+    while k <= close {
+        let t = &tokens[k];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            (TokKind::Punct, "}") => depth -= 1,
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => depth -= 1,
+            (TokKind::Punct, ",") if depth == 1 => expect_variant = true,
+            // Attributes on a variant: `#` `[` … `]` — the bracket pair
+            // bumps depth, and `expect_variant` survives it.
+            (TokKind::Punct, "#") => {}
+            (TokKind::Ident, _) if depth == 1 && expect_variant => {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        EnumDef {
+            name: name_tok.text.clone(),
+            line: tokens[enum_idx].line,
+            variants,
+        },
+        close,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_get_impl_qualified_names() {
+        let src = "
+            impl<T: Clone> Widget<T> {
+                fn poke(&self) -> bool { true }
+            }
+            fn free() {}
+            impl Iterator for Widget<u8> {
+                fn next(&mut self) -> Option<u8> { None }
+            }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, vec!["Widget::poke", "free", "Widget::next"]);
+    }
+
+    #[test]
+    fn enum_variants_with_payloads_and_attrs() {
+        let src = "
+            pub enum Msg {
+                Ping,
+                #[allow(dead_code)]
+                Data { seq: u64, body: Vec<u8> },
+                Pair(u32, u32),
+            }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.enums.len(), 1);
+        let vars: Vec<&str> = f.enums[0]
+            .variants
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect();
+        assert_eq!(vars, vec!["Ping", "Data", "Pair"]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_excluded() {
+        let src = "
+            fn real() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+        let helper_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "helper")
+            .expect("token present");
+        assert!(f.in_test_code(helper_idx));
+    }
+
+    #[test]
+    fn waiver_adjacency() {
+        let src = "
+            // lint: allow(panic_path) — startup only, nothing is serving yet
+            fn boot() { opt.unwrap(); }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.waived(3, "panic_path"));
+        assert!(!f.waived(3, "determinism"));
+        assert!(!f.waived(5, "panic_path"));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { deep(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        let deep = f.tokens.iter().position(|t| t.text == "deep").unwrap();
+        assert_eq!(f.enclosing_fn(deep).unwrap().qual_name, "inner");
+    }
+}

@@ -1,0 +1,23 @@
+//! Lock-discipline fixture: two functions acquiring the same pair of
+//! mutexes in opposite orders — the seeded ABBA inversion.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *gb - *ga
+    }
+}

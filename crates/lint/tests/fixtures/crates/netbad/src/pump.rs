@@ -1,0 +1,12 @@
+//! Panic-path fixture: exactly one `.unwrap()` on the event-loop path,
+//! plus one waived `.expect()` that must NOT be reported.
+
+pub fn pump(first: Option<u32>) -> u32 {
+    // Seeded violation: unwrap in an event-loop file.
+    first.unwrap()
+}
+
+pub fn boot() {
+    // lint: allow(panic_path) — startup, nothing is serving yet
+    std::thread::Builder::new().spawn(|| {}).expect("spawn");
+}

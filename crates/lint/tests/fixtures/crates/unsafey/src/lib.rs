@@ -1,0 +1,11 @@
+//! Unsafe-audit fixture: one `unsafe` with a SAFETY comment (clean) and
+//! one without (the seeded violation).
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Wire fixture: `Drop` is the seeded uncovered variant — encode knows
+//! it, but decode and the proptests do not.
+
+pub enum FMsg {
+    Ping,
+    Pong,
+    Drop,
+}

@@ -1,0 +1,9 @@
+//! Wire fixture proptests: exercise `Ping` and `Pong` but not `Drop`.
+
+fn arbitrary_msg(coin: bool) -> FMsg {
+    if coin {
+        FMsg::Ping
+    } else {
+        FMsg::Pong
+    }
+}

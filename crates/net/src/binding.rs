@@ -138,8 +138,10 @@ impl TcpBinding {
     /// Fails only if *no* replica in the list accepts a connection; a
     /// partially available set connects to the first live address.
     pub fn connect(cfg: TcpConfig) -> io::Result<TcpBinding> {
+        // lint: allow(panic_path) — constructor API-misuse check, pre-serving
         assert!(!cfg.replicas.is_empty(), "need at least one replica");
         let (tx, rx) = mpsc::channel::<Event>();
+        // lint: allow(panic_path) — non-empty asserted above
         let coordinator = Arc::new(Mutex::new(cfg.replicas[0]));
         let mut state = ClientLoop {
             cfg: cfg.clone(),
@@ -164,6 +166,7 @@ impl TcpBinding {
         std::thread::Builder::new()
             .name(format!("icg-client-{client_id}"))
             .spawn(move || state.run(rx))
+            // lint: allow(panic_path) — startup, nothing is serving yet
             .expect("spawn client loop");
         Ok(TcpBinding {
             tx: tx.clone(),
@@ -269,7 +272,9 @@ impl ClientLoop {
         let n = self.cfg.replicas.len();
         for attempt in 0..n {
             let idx = (self.addr_idx + attempt) % n;
-            let addr = self.cfg.replicas[idx];
+            let Some(addr) = self.cfg.replicas.get(idx).copied() else {
+                continue; // n == 0: nothing to dial
+            };
             let Ok(stream) = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) else {
                 continue;
             };
@@ -284,7 +289,7 @@ impl ClientLoop {
             };
             let reply_tx = self.tx.clone();
             let close_tx = self.tx.clone();
-            spawn_reader::<Msg, _, _>(
+            let spawned = spawn_reader::<Msg, _, _>(
                 read_half,
                 &label,
                 move |msg| {
@@ -294,6 +299,10 @@ impl ClientLoop {
                     let _ = close_tx.send(Event::Disconnected { gen });
                 },
             );
+            if spawned.is_err() {
+                out.kill();
+                continue; // no reader: replies could never arrive
+            }
             self.addr_idx = idx;
             self.retry_after = None;
             *self.coordinator.lock() = addr;

@@ -114,6 +114,7 @@ impl ReplicaServer {
     pub fn local_addr(&self) -> SocketAddr {
         self.listener
             .local_addr()
+            // lint: allow(panic_path) — setup API, called before serving starts
             .expect("bound socket has an addr")
     }
 
@@ -129,6 +130,7 @@ impl ReplicaServer {
         {
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
+            // lint: allow(panic_path) — startup, nothing is serving yet
             let listener = self.listener.try_clone().expect("clone listener");
             let id = self.cfg.id;
             std::thread::Builder::new()
@@ -144,6 +146,7 @@ impl ReplicaServer {
                         register_conn(stream, conn, &tx, &format!("r{id}c{conn}"));
                     }
                 })
+                // lint: allow(panic_path) — startup, nothing is serving yet
                 .expect("spawn accept thread");
         }
 
@@ -163,10 +166,14 @@ impl ReplicaServer {
                     match TcpStream::connect_timeout(&peer_addr, Duration::from_millis(500)) {
                         Ok(stream) => {
                             let label = format!("r{id}p{peer_idx}");
-                            let out = match Outbound::spawn(
-                                stream.try_clone().expect("clone stream"),
-                                &label,
-                            ) {
+                            let write_half = match stream.try_clone() {
+                                Ok(s) => s,
+                                Err(_) => {
+                                    std::thread::sleep(retry);
+                                    continue;
+                                }
+                            };
+                            let out = match Outbound::spawn(write_half, &label) {
                                 Ok(o) => o,
                                 Err(_) => continue,
                             };
@@ -185,7 +192,7 @@ impl ReplicaServer {
                             let (down_tx, down_rx) = mpsc::channel::<()>();
                             let inbound = tx.clone();
                             let closer = tx.clone();
-                            spawn_reader::<Msg, _, _>(
+                            let spawned = spawn_reader::<Msg, _, _>(
                                 stream,
                                 &label,
                                 move |msg| {
@@ -199,6 +206,12 @@ impl ReplicaServer {
                                     let _ = down_tx.send(());
                                 },
                             );
+                            if spawned.is_err() {
+                                // No reader: treat the link as dead and retry.
+                                let _ = tx.send(Event::PeerDown { peer: peer_idx });
+                                std::thread::sleep(retry);
+                                continue;
+                            }
                             // Block until the link dies, then retry.
                             let _ = down_rx.recv();
                         }
@@ -207,6 +220,7 @@ impl ReplicaServer {
                         }
                     }
                 })
+                // lint: allow(panic_path) — startup, nothing is serving yet
                 .expect("spawn dialer thread");
         }
 
@@ -218,6 +232,7 @@ impl ReplicaServer {
             std::thread::Builder::new()
                 .name(format!("icg-replicad-{id}-loop"))
                 .spawn(move || ReplicaLoop::new(cfg, n_peers).run(rx))
+                // lint: allow(panic_path) — startup, nothing is serving yet
                 .expect("spawn event loop");
         }
 
@@ -244,7 +259,7 @@ fn register_conn(stream: TcpStream, conn: u64, tx: &Sender<Event>, label: &str) 
     }
     let inbound = tx.clone();
     let closer = tx.clone();
-    spawn_reader::<Msg, _, _>(
+    let spawned = spawn_reader::<Msg, _, _>(
         read_half,
         label,
         move |msg| {
@@ -254,6 +269,11 @@ fn register_conn(stream: TcpStream, conn: u64, tx: &Sender<Event>, label: &str) 
             let _ = closer.send(Event::Closed { conn });
         },
     );
+    if spawned.is_err() {
+        // No reader thread: the on_close closure was dropped unrun, so
+        // report the close ourselves.
+        let _ = tx.send(Event::Closed { conn });
+    }
 }
 
 /// A running replica. Dropping the handle does **not** stop the server;
@@ -344,10 +364,14 @@ impl ReplicaLoop {
                     self.conns.remove(&conn);
                 }
                 Event::PeerUp { peer, out } => {
-                    self.peer_links[peer] = Some(out);
+                    if let Some(slot) = self.peer_links.get_mut(peer) {
+                        *slot = Some(out);
+                    }
                 }
                 Event::PeerDown { peer } => {
-                    self.peer_links[peer] = None;
+                    if let Some(slot) = self.peer_links.get_mut(peer) {
+                        *slot = None;
+                    }
                 }
                 Event::Shutdown => break,
             }
@@ -543,16 +567,19 @@ impl ReplicaLoop {
         if data.version > st.best.version {
             st.best = data;
         }
-        if st.responses >= st.needed {
-            let st = self.reads.remove(&internal).expect("state present");
-            // Adopt the winning version locally: later preliminary
-            // flushes serve it, and convergence after quiescence holds
-            // even if this coordinator missed the original write.
-            if st.best.version > self.store.version_of(st.key) {
-                self.store.apply(st.key, st.best.clone());
-            }
-            self.reply_read_final(st.client_conn, st.client_op, st.kind, st.prelim, st.best);
+        if st.responses < st.needed {
+            return;
         }
+        let Some(st) = self.reads.remove(&internal) else {
+            return;
+        };
+        // Adopt the winning version locally: later preliminary
+        // flushes serve it, and convergence after quiescence holds
+        // even if this coordinator missed the original write.
+        if st.best.version > self.store.version_of(st.key) {
+            self.store.apply(st.key, st.best.clone());
+        }
+        self.reply_read_final(st.client_conn, st.client_op, st.kind, st.prelim, st.best);
     }
 
     fn client_write(
@@ -610,8 +637,9 @@ impl ReplicaLoop {
             None => false,
         };
         if finished {
-            let st = self.writes.remove(&internal).expect("state present");
-            self.send_to(st.client_conn, &Msg::WriteReply { op: st.client_op });
+            if let Some(st) = self.writes.remove(&internal) {
+                self.send_to(st.client_conn, &Msg::WriteReply { op: st.client_op });
+            }
         }
     }
 }
@@ -622,6 +650,7 @@ impl ReplicaLoop {
 /// handles in id order.
 pub fn spawn_local_cluster(n: usize, cfg_of: impl Fn(u32) -> ServerConfig) -> Vec<ReplicaHandle> {
     let servers: Vec<ReplicaServer> = (0..n)
+        // lint: allow(panic_path) — cluster bootstrap helper, pre-serving
         .map(|i| ReplicaServer::bind("127.0.0.1:0", cfg_of(i as u32)).expect("bind loopback"))
         .collect();
     let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();

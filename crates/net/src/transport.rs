@@ -28,21 +28,13 @@ use crate::frame::{encode_frame, read_frame, FrameError};
 use crate::wire::Wire;
 
 /// A handle sending messages to one connection through its dedicated
-/// writer thread. Cloning shares the same connection.
+/// writer thread. Cloning shares the same connection (the stream handle
+/// is behind an `Arc`, so clones cannot fail).
+#[derive(Clone)]
 pub struct Outbound {
     tx: Sender<Vec<u8>>,
     dead: Arc<AtomicBool>,
-    stream: TcpStream,
-}
-
-impl Clone for Outbound {
-    fn clone(&self) -> Self {
-        Outbound {
-            tx: self.tx.clone(),
-            dead: Arc::clone(&self.dead),
-            stream: self.stream.try_clone().expect("clone tcp handle"),
-        }
-    }
+    stream: Arc<TcpStream>,
 }
 
 impl Outbound {
@@ -73,9 +65,12 @@ impl Outbound {
                     }
                 }
                 let _ = write_half.shutdown(Shutdown::Write);
-            })
-            .expect("spawn writer thread");
-        Ok(Outbound { tx, dead, stream })
+            })?;
+        Ok(Outbound {
+            tx,
+            dead,
+            stream: Arc::new(stream),
+        })
     }
 
     /// Encodes `msg` and enqueues it. Returns `false` if the connection
@@ -107,13 +102,15 @@ impl Outbound {
 /// Spawns the reader thread for one connection: decodes frames off the
 /// stream and feeds each message to `sink`. When the stream ends —
 /// cleanly, by error, or by an undecodable frame — `on_close` runs
-/// exactly once with the reason (`None` for a clean EOF).
+/// exactly once with the reason (`None` for a clean EOF). Fails only if
+/// the OS refuses the thread; the caller treats that like a dead
+/// connection.
 pub fn spawn_reader<T, F, G>(
     stream: TcpStream,
     label: &str,
     mut sink: F,
     on_close: G,
-) -> JoinHandle<()>
+) -> std::io::Result<JoinHandle<()>>
 where
     T: Wire + Send + 'static,
     F: FnMut(T) + Send + 'static,
@@ -133,7 +130,6 @@ where
             };
             on_close(reason);
         })
-        .expect("spawn reader thread")
 }
 
 #[cfg(test)]
@@ -164,7 +160,8 @@ mod tests {
             move |reason| {
                 closed_tx.send(reason.is_none()).unwrap();
             },
-        );
+        )
+        .unwrap();
 
         let out = Outbound::spawn(client, "test").unwrap();
         for seq in 0..100 {
@@ -200,7 +197,8 @@ mod tests {
             move |reason| {
                 closed_tx.send(reason).unwrap();
             },
-        );
+        )
+        .unwrap();
         let out = Outbound::spawn(server_stream, "test").unwrap();
         out.kill();
         assert!(out.is_dead());

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the project-specific static analyzer (crates/lint) over the
+# workspace. Thin wrapper so CI and developers invoke the same thing.
+#
+# Usage: scripts/lint.sh [check|report|baseline|unsafety]
+#   check     (default) gate mode: exits nonzero on any finding not
+#             covered by lint.baseline, or if UNSAFETY.md is stale
+#   report    print every finding, baseline ignored, always exits 0
+#   baseline  rewrite lint.baseline to accept the current tree (only
+#             after a deliberate, reviewed decision)
+#   unsafety  regenerate UNSAFETY.md from the current tree
+#
+# The pass configuration lives in lint.toml; waive individual sites in
+# source with `// lint: allow(<pass>) — reason`. See DESIGN.md §11.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+case "$mode" in
+check | report | baseline | unsafety) ;;
+*)
+    echo "usage: scripts/lint.sh [check|report|baseline|unsafety]" >&2
+    exit 2
+    ;;
+esac
+
+exec cargo run -q -p icg-lint -- "$mode"
