@@ -17,7 +17,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use icg_apps::cli::{die, Flags};
-use icg_net::{ReplicaServer, ServerConfig};
+use icg_net::{ReplicaServer, ServerConfig, Transport};
 
 const KNOWN: &[&str] = &[
     "id",
@@ -25,15 +25,21 @@ const KNOWN: &[&str] = &[
     "peers",
     "op-timeout-ms",
     "peer-retry-ms",
+    "peer-retry-cap-ms",
+    "transport",
+    "loops",
     "help",
 ];
 
 const USAGE: &str = "icg-replicad --id N --listen ADDR [--peers ADDR,ADDR,...]
-    [--op-timeout-ms 5000] [--peer-retry-ms 200]
+    [--op-timeout-ms 5000] [--peer-retry-ms 200] [--peer-retry-cap-ms 5000]
+    [--transport reactor|blocking] [--loops 1]
 
 Hosts one quorum-store replica over TCP. --id must be unique across the
 replica set (it is the write-version tiebreak). --peers lists the OTHER
-replicas; omit it for a single-replica deployment.";
+replicas; omit it for a single-replica deployment. --transport selects
+the I/O engine (default: the epoll reactor); --loops spreads reactor
+client traffic over that many event loops.";
 
 fn main() {
     let flags = match Flags::parse(std::env::args().skip(1), KNOWN) {
@@ -56,10 +62,20 @@ fn main() {
         })
         .collect();
 
+    let transport = match flags.get_or("transport", "reactor").as_str() {
+        "reactor" => Transport::Reactor,
+        "blocking" => Transport::Blocking,
+        other => die(&format!(
+            "--transport must be reactor|blocking, got '{other}'"
+        )),
+    };
     let cfg = ServerConfig {
         id,
         op_timeout: Duration::from_millis(flags.get_u64("op-timeout-ms", 5000)),
         peer_retry: Duration::from_millis(flags.get_u64("peer-retry-ms", 200)),
+        peer_retry_cap: Duration::from_millis(flags.get_u64("peer-retry-cap-ms", 5000)),
+        transport,
+        loops: flags.get_u64("loops", 1).max(1) as usize,
     };
     let server = ReplicaServer::bind(&listen, cfg)
         .unwrap_or_else(|e| die(&format!("cannot bind {listen}: {e}")));

@@ -16,6 +16,10 @@ pub struct Config {
     /// Crates (directory names under `crates/`) whose `src/` trees the
     /// determinism pass scans.
     pub determinism_crates: Vec<String>,
+    /// Individual workspace-relative files the determinism pass scans,
+    /// for determinism islands inside otherwise wall-clock-bound crates
+    /// (e.g. the reactor's seeded-jitter backoff inside `net`).
+    pub determinism_files: Vec<String>,
     /// Workspace-relative files the panic-path pass scans.
     pub panic_path_files: Vec<String>,
     /// Crates whose `src/` trees the lock-discipline pass scans.
@@ -61,6 +65,7 @@ impl Config {
                 let slot = (section.as_str(), key.as_str());
                 match slot {
                     ("determinism", "crates") => cfg.determinism_crates = value.as_list()?,
+                    ("determinism", "files") => cfg.determinism_files = value.as_list()?,
                     ("panic_path", "files") => cfg.panic_path_files = value.as_list()?,
                     ("lock_discipline", "crates") => {
                         cfg.lock_discipline_crates = value.as_list()?
@@ -196,6 +201,7 @@ mod tests {
 # comment
 [determinism]
 crates = ["simnet", "oracle"] # trailing comment
+files = ["crates/net/src/reactor/backoff.rs"]
 
 [panic_path]
 files = [
@@ -210,6 +216,10 @@ enums = ["Msg"]
         )
         .expect("parses");
         assert_eq!(cfg.determinism_crates, vec!["simnet", "oracle"]);
+        assert_eq!(
+            cfg.determinism_files,
+            vec!["crates/net/src/reactor/backoff.rs"]
+        );
         assert_eq!(cfg.panic_path_files.len(), 2);
         assert_eq!(cfg.wire_codec, "crates/net/src/wire.rs");
         assert_eq!(cfg.wire_enums, vec!["Msg"]);

@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use super::{crate_sources, is_path2, push_unless_waived};
+use super::{crate_sources, is_path2, parse_one, push_unless_waived};
 use crate::config::Config;
 use crate::diag::Finding;
 use crate::lexer::TokKind;
@@ -43,6 +43,20 @@ pub fn run(root: &Path, cfg: &Config) -> Vec<Finding> {
         for sf in crate_sources(root, krate) {
             check_file(&sf, &mut out);
         }
+    }
+    for rel in &cfg.determinism_files {
+        let Some(sf) = parse_one(root, rel) else {
+            out.push(Finding {
+                pass: PASS,
+                file: rel.clone(),
+                line: 0,
+                kind: "missing-file",
+                detail: rel.clone(),
+                message: "file listed in [determinism].files does not exist".into(),
+            });
+            continue;
+        };
+        check_file(&sf, &mut out);
     }
     out
 }

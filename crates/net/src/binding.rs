@@ -14,6 +14,13 @@
 //! speculation, combinators, the recording layer, the oracle — runs
 //! against remote replicas with no code changes.
 //!
+//! Two I/O engines can carry a binding ([`Transport`]): the epoll
+//! reactor (default), where thousands of bindings share the event loops
+//! of a process-wide [`ClientReactor`], and the legacy blocking engine,
+//! which spends an event-loop thread plus a reader/writer thread pair
+//! per binding. The reply-matching state machine
+//! (`handle_reply`) is shared verbatim between them.
+//!
 //! ## Failover
 //!
 //! The binding takes the full replica address list. When the connection
@@ -41,7 +48,8 @@ use quorumstore::StoreOp;
 use simnet::NodeId;
 
 use crate::pump::{recv_step, Deadlines, Step};
-use crate::transport::{spawn_reader, Outbound};
+use crate::reactor::client::{ClientEv, ClientReactor, ReactorBinding};
+use crate::transport::{spawn_reader, Outbound, Transport};
 
 /// Configuration of a [`TcpBinding`].
 #[derive(Clone, Debug)]
@@ -65,11 +73,14 @@ pub struct TcpConfig {
     pub op_timeout: Duration,
     /// Per-address dial timeout during connect and failover.
     pub connect_timeout: Duration,
+    /// Which I/O engine carries this binding.
+    pub transport: Transport,
 }
 
 impl TcpConfig {
     /// A config for `replicas` with the defaults the tests and demo use:
-    /// `R = 2`, no confirmation, 2 s op timeout, 1 s connect timeout.
+    /// `R = 2`, no confirmation, 2 s op timeout, 1 s connect timeout,
+    /// reactor transport.
     pub fn new(replicas: Vec<SocketAddr>, client_id: u64) -> TcpConfig {
         TcpConfig {
             replicas,
@@ -78,11 +89,12 @@ impl TcpConfig {
             confirm: false,
             op_timeout: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(1),
+            transport: Transport::default(),
         }
     }
 }
 
-enum Event {
+pub(crate) enum Event {
     Submit {
         op: StoreOp,
         kind: ReadKind,
@@ -97,18 +109,126 @@ enum Event {
     Shutdown,
 }
 
-struct PendingOp {
-    upcall: Upcall<Versioned>,
-    close_level: ConsistencyLevel,
-    prelim: Option<Versioned>,
-    written: Option<Versioned>,
+/// One in-flight operation awaiting its reply, with the views already
+/// received that a final reply may fall back to.
+pub(crate) struct PendingOp {
+    pub(crate) upcall: Upcall<Versioned>,
+    pub(crate) close_level: ConsistencyLevel,
+    pub(crate) prelim: Option<Versioned>,
+    pub(crate) written: Option<Versioned>,
 }
 
-/// Stops the client loop when the last [`TcpBinding`] clone is dropped.
-/// The loop itself holds `Sender<Event>` clones (it hands them to every
-/// reader thread), so channel disconnection alone would never fire —
-/// this explicit shutdown-on-last-drop is what keeps an un-`shutdown`
-/// binding from leaking its threads and socket.
+/// Builds the wire message for a submitted operation, plus the locally
+/// written record a write's final view falls back to.
+pub(crate) fn encode_submit(
+    client_id: u64,
+    seq: u64,
+    op: StoreOp,
+    kind: ReadKind,
+) -> (Msg, Option<Versioned>) {
+    let id = OpId {
+        client: NodeId(client_id as usize),
+        seq,
+    };
+    match op {
+        StoreOp::Read(key) => (Msg::ClientRead { op: id, key, kind }, None),
+        StoreOp::Write(key, value) => {
+            let written = Versioned {
+                value: value.clone(),
+                version: Version::ZERO,
+            };
+            (
+                Msg::ClientWrite {
+                    op: id,
+                    key,
+                    value,
+                    w: 1,
+                },
+                Some(written),
+            )
+        }
+    }
+}
+
+/// Closes invocation `seq` with `data` (or, absent data, the held
+/// preliminary for reads / the written record for writes) — the same
+/// resolution order as the simulated gateway. A final reply with *no*
+/// view to deliver — no data, no preliminary, no written record — fails
+/// the op instead: fabricating an absent view would tell the caller
+/// "the key does not exist" with strong confidence the binding never
+/// actually obtained (the PR 3 *CC bug class, on a different path).
+fn finish(pending: &mut HashMap<u64, PendingOp>, seq: u64, data: Option<Versioned>) {
+    let Some(p) = pending.remove(&seq) else {
+        return;
+    };
+    match data.or(p.prelim).or(p.written) {
+        Some(value) => p.upcall.deliver(value, p.close_level),
+        None => p.upcall.fail(Error::Unavailable(
+            "final reply carried no view and none was held".into(),
+        )),
+    }
+}
+
+/// Routes one server reply into the pending-op table: the reply-matching
+/// half of the client state machine, shared by both transports.
+pub(crate) fn handle_reply(pending: &mut HashMap<u64, PendingOp>, client_id: u64, msg: Msg) {
+    let own = |op: OpId| op.client == NodeId(client_id as usize);
+    match msg {
+        Msg::ReadReply {
+            op,
+            phase: Phase::Preliminary,
+            data,
+        } if own(op) => {
+            if let Some(p) = pending.get_mut(&op.seq) {
+                p.prelim = Some(data.clone());
+                let up = p.upcall.clone();
+                up.deliver(data, ConsistencyLevel::Weak);
+            }
+        }
+        Msg::ReadReply { op, data, .. } if own(op) => {
+            finish(pending, op.seq, Some(data));
+        }
+        Msg::ReadConfirm { op, version } if own(op) => {
+            // *CC: confirm only against the preliminary we actually
+            // hold — never fabricate a strong view from nothing.
+            let confirmed = pending
+                .get(&op.seq)
+                .and_then(|p| p.prelim.clone())
+                .filter(|prelim| prelim.version == version);
+            match confirmed {
+                Some(prelim) => finish(pending, op.seq, Some(prelim)),
+                None => {
+                    if let Some(p) = pending.remove(&op.seq) {
+                        p.upcall.fail(Error::Unavailable(
+                            "read confirmation without matching preliminary view".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Msg::WriteReply { op } if own(op) => finish(pending, op.seq, None),
+        Msg::OpFailed { op, .. } if own(op) => {
+            if let Some(p) = pending.remove(&op.seq) {
+                p.upcall.fail(Error::Timeout);
+            }
+        }
+        // Anything else: not ours, or not client-bound. Drop.
+        _ => {}
+    }
+}
+
+/// Fails every pending operation with `err`.
+pub(crate) fn fail_all_pending(pending: &mut HashMap<u64, PendingOp>, err: impl Fn() -> Error) {
+    for (_, p) in pending.drain() {
+        p.upcall.fail(err());
+    }
+}
+
+/// Stops the blocking client loop when the last [`TcpBinding`] clone is
+/// dropped. The loop itself holds `Sender<Event>` clones (it hands them
+/// to every reader thread), so channel disconnection alone would never
+/// fire — this explicit shutdown-on-last-drop is what keeps an
+/// un-`shutdown` binding from leaking its threads and socket.
 struct DropGuard {
     tx: Sender<Event>,
 }
@@ -119,25 +239,55 @@ impl Drop for DropGuard {
     }
 }
 
+#[derive(Clone)]
+enum BindingInner {
+    Blocking {
+        tx: Sender<Event>,
+        _shutdown_on_last_drop: Arc<DropGuard>,
+    },
+    Reactor(ReactorBinding),
+}
+
 /// A [`Binding`] whose storage stack lives across a TCP connection.
 /// Cloning shares the connection and the op-id space.
 #[derive(Clone)]
 pub struct TcpBinding {
-    tx: Sender<Event>,
     r_strong: u8,
     confirm: bool,
     /// The address of the coordinator currently (or most recently)
     /// connected, for observability.
     coordinator: Arc<Mutex<SocketAddr>>,
-    _shutdown_on_last_drop: Arc<DropGuard>,
+    inner: BindingInner,
 }
 
 impl TcpBinding {
-    /// Creates the binding and dials the first reachable replica.
+    /// Creates the binding and dials the first reachable replica, on
+    /// the transport `cfg` selects (reactor bindings share the
+    /// process-wide [`ClientReactor`]).
     ///
     /// Fails only if *no* replica in the list accepts a connection; a
     /// partially available set connects to the first live address.
     pub fn connect(cfg: TcpConfig) -> io::Result<TcpBinding> {
+        match cfg.transport {
+            Transport::Reactor => Self::connect_on(cfg, ClientReactor::global()?),
+            Transport::Blocking => Self::connect_blocking(cfg),
+        }
+    }
+
+    /// Creates a reactor binding on a specific [`ClientReactor`]
+    /// (loadgen uses a dedicated reactor sized for its run).
+    pub fn connect_on(cfg: TcpConfig, reactor: &ClientReactor) -> io::Result<TcpBinding> {
+        // lint: allow(panic_path) — constructor API-misuse check, pre-serving
+        assert!(!cfg.replicas.is_empty(), "need at least one replica");
+        reactor.register(cfg).map(|(coordinator, rb)| TcpBinding {
+            r_strong: rb.r_strong,
+            confirm: rb.confirm,
+            coordinator,
+            inner: BindingInner::Reactor(rb),
+        })
+    }
+
+    fn connect_blocking(cfg: TcpConfig) -> io::Result<TcpBinding> {
         // lint: allow(panic_path) — constructor API-misuse check, pre-serving
         assert!(!cfg.replicas.is_empty(), "need at least one replica");
         let (tx, rx) = mpsc::channel::<Event>();
@@ -169,11 +319,13 @@ impl TcpBinding {
             // lint: allow(panic_path) — startup, nothing is serving yet
             .expect("spawn client loop");
         Ok(TcpBinding {
-            tx: tx.clone(),
             r_strong: cfg.r_strong,
             confirm: cfg.confirm,
             coordinator,
-            _shutdown_on_last_drop: Arc::new(DropGuard { tx }),
+            inner: BindingInner::Blocking {
+                tx: tx.clone(),
+                _shutdown_on_last_drop: Arc::new(DropGuard { tx }),
+            },
         })
     }
 
@@ -183,11 +335,16 @@ impl TcpBinding {
         *self.coordinator.lock()
     }
 
-    /// Disconnects and stops the client thread. Pending operations fail
-    /// with [`Error::Unavailable`]. Idempotent; dropping the last clone
-    /// has the same effect.
+    /// Disconnects and stops serving this binding. Pending operations
+    /// fail with [`Error::Unavailable`]. Idempotent; dropping the last
+    /// clone has the same effect.
     pub fn shutdown(&self) {
-        let _ = self.tx.send(Event::Shutdown);
+        match &self.inner {
+            BindingInner::Blocking { tx, .. } => {
+                let _ = tx.send(Event::Shutdown);
+            }
+            BindingInner::Reactor(rb) => rb.shutdown(),
+        }
     }
 }
 
@@ -214,18 +371,28 @@ impl Binding for TcpBinding {
             (true, false) => ReadKind::Single { r: 1 },
         };
         let close_level = upcall.strongest();
-        if self
-            .tx
-            .send(Event::Submit {
+        match &self.inner {
+            BindingInner::Blocking { tx, .. } => {
+                if tx
+                    .send(Event::Submit {
+                        op,
+                        kind,
+                        upcall: upcall.clone(),
+                        close_level,
+                    })
+                    .is_err()
+                {
+                    // The client loop is gone (shutdown raced the submit).
+                    upcall.fail(Error::Unavailable("client connection closed".into()));
+                }
+            }
+            BindingInner::Reactor(rb) => rb.submit(ClientEv::Submit {
+                binding: rb.id(),
                 op,
                 kind,
-                upcall: upcall.clone(),
+                upcall,
                 close_level,
-            })
-            .is_err()
-        {
-            // The client loop is gone (shutdown raced the submit).
-            upcall.fail(Error::Unavailable("client connection closed".into()));
+            }),
         }
     }
 }
@@ -335,7 +502,9 @@ impl ClientLoop {
                     upcall,
                     close_level,
                 } => self.submit(op, kind, upcall, close_level),
-                Event::Reply(msg) => self.on_reply(msg),
+                Event::Reply(msg) => {
+                    handle_reply(&mut self.pending, self.cfg.client_id, msg);
+                }
                 Event::Disconnected { gen } => {
                     if gen == self.gen {
                         self.conn = None;
@@ -363,9 +532,7 @@ impl ClientLoop {
     }
 
     fn fail_all(&mut self, err: impl Fn() -> Error) {
-        for (_, p) in self.pending.drain() {
-            p.upcall.fail(err());
-        }
+        fail_all_pending(&mut self.pending, err);
         self.deadlines.clear();
     }
 
@@ -382,28 +549,7 @@ impl ClientLoop {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = OpId {
-            client: NodeId(self.cfg.client_id as usize),
-            seq,
-        };
-        let (msg, written) = match op {
-            StoreOp::Read(key) => (Msg::ClientRead { op: id, key, kind }, None),
-            StoreOp::Write(key, value) => {
-                let written = Versioned {
-                    value: value.clone(),
-                    version: Version::ZERO,
-                };
-                (
-                    Msg::ClientWrite {
-                        op: id,
-                        key,
-                        value,
-                        w: 1,
-                    },
-                    Some(written),
-                )
-            }
-        };
+        let (msg, written) = encode_submit(self.cfg.client_id, seq, op, kind);
         self.pending.insert(
             seq,
             PendingOp {
@@ -421,67 +567,6 @@ impl ClientLoop {
                 p.upcall
                     .fail(Error::Unavailable("coordinator connection lost".into()));
             }
-        }
-    }
-
-    /// Closes invocation `seq` with `data` (or, absent data, the held
-    /// preliminary for reads / the written record for writes) — the same
-    /// resolution order as the simulated gateway.
-    fn finish(&mut self, seq: u64, data: Option<Versioned>) {
-        let Some(p) = self.pending.remove(&seq) else {
-            return;
-        };
-        let value = data
-            .or(p.prelim)
-            .or(p.written)
-            .unwrap_or_else(Versioned::absent);
-        p.upcall.deliver(value, p.close_level);
-    }
-
-    fn on_reply(&mut self, msg: Msg) {
-        let own = |op: OpId| op.client == NodeId(self.cfg.client_id as usize);
-        match msg {
-            Msg::ReadReply {
-                op,
-                phase: Phase::Preliminary,
-                data,
-            } if own(op) => {
-                if let Some(p) = self.pending.get_mut(&op.seq) {
-                    p.prelim = Some(data.clone());
-                    let up = p.upcall.clone();
-                    up.deliver(data, ConsistencyLevel::Weak);
-                }
-            }
-            Msg::ReadReply { op, data, .. } if own(op) => {
-                self.finish(op.seq, Some(data));
-            }
-            Msg::ReadConfirm { op, version } if own(op) => {
-                // *CC: confirm only against the preliminary we actually
-                // hold — never fabricate a strong view from nothing.
-                let confirmed = self
-                    .pending
-                    .get(&op.seq)
-                    .and_then(|p| p.prelim.clone())
-                    .filter(|prelim| prelim.version == version);
-                match confirmed {
-                    Some(prelim) => self.finish(op.seq, Some(prelim)),
-                    None => {
-                        if let Some(p) = self.pending.remove(&op.seq) {
-                            p.upcall.fail(Error::Unavailable(
-                                "read confirmation without matching preliminary view".into(),
-                            ));
-                        }
-                    }
-                }
-            }
-            Msg::WriteReply { op } if own(op) => self.finish(op.seq, None),
-            Msg::OpFailed { op, .. } if own(op) => {
-                if let Some(p) = self.pending.remove(&op.seq) {
-                    p.upcall.fail(Error::Timeout);
-                }
-            }
-            // Anything else: not ours, or not client-bound. Drop.
-            _ => {}
         }
     }
 }

@@ -58,13 +58,16 @@
 
 pub mod binding;
 pub mod frame;
+mod protocol;
 mod pump;
+pub mod reactor;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use binding::{TcpBinding, TcpConfig};
 pub use frame::{FrameError, MAX_FRAME};
+pub use reactor::ClientReactor;
 pub use server::{spawn_local_cluster, ReplicaHandle, ReplicaServer, ServerConfig};
-pub use transport::Outbound;
+pub use transport::{Outbound, Transport};
 pub use wire::{Reader, Wire, WireError, WIRE_VERSION};

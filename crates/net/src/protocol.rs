@@ -1,0 +1,363 @@
+//! The quorum-store replica protocol, independent of any transport.
+//!
+//! [`ReplicaCore`] is the replica's entire protocol brain: the storage
+//! map, the pending read/write tables, internal op-id minting, and the
+//! operation-deadline heap. It never touches a socket — every outbound
+//! message goes through the [`Egress`] trait, which the blocking
+//! transport implements over [`crate::transport::Outbound`] handles and
+//! the reactor implements over its event-loop connection table. Both
+//! transports therefore run byte-for-byte the same protocol; a
+//! semantics bug cannot exist in one and not the other.
+//!
+//! The protocol itself is documented in [`crate::server`]: simulated
+//! [`quorumstore::Replica`] semantics (preliminary flush, confirmation,
+//! LWW adoption) with the one divergence that peer reads fan out to
+//! *all* peers and complete at the first `R-1` responses.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use quorumstore::messages::{FailReason, Msg, Phase};
+use quorumstore::storage::LocalStore;
+use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
+use simnet::NodeId;
+
+use crate::pump::Deadlines;
+
+/// Where a replica's outbound messages go. The core never sees sockets;
+/// each transport maps these two calls onto its own connection plumbing.
+pub(crate) trait Egress {
+    /// Sends `msg` on client connection `conn`. A connection that no
+    /// longer exists drops the message silently (the client is gone;
+    /// its ops die by timeout on the client side).
+    fn to_client(&mut self, conn: u64, msg: &Msg);
+
+    /// Sends `msg` down every currently-live peer link.
+    fn to_peers(&mut self, msg: &Msg);
+}
+
+struct ReadSt {
+    client_conn: u64,
+    client_op: OpId,
+    kind: ReadKind,
+    key: Key,
+    best: Versioned,
+    responses: u8,
+    needed: u8,
+    prelim: Option<Version>,
+}
+
+struct WriteSt {
+    client_conn: u64,
+    client_op: OpId,
+    acks_left: u8,
+}
+
+/// Transport-agnostic replica protocol state. One instance per replica,
+/// owned by exactly one event-loop thread (blocking or reactor).
+pub(crate) struct ReplicaCore {
+    /// This replica's id (LWW writer tiebreak + internal op-id client).
+    id: u32,
+    /// Deadline for gathering quorums before failing an op.
+    op_timeout: Duration,
+    /// Number of configured peers — *configured*, not currently live:
+    /// quorum arithmetic must not shrink when a link flaps.
+    n_peers: usize,
+    store: LocalStore,
+    reads: HashMap<u64, ReadSt>,
+    writes: HashMap<u64, WriteSt>,
+    /// Monotone source of internal op ids.
+    next_internal: u64,
+    /// Operation deadlines, soonest first.
+    deadlines: Deadlines<u64>,
+}
+
+impl ReplicaCore {
+    pub(crate) fn new(id: u32, op_timeout: Duration, n_peers: usize) -> ReplicaCore {
+        ReplicaCore {
+            id,
+            op_timeout,
+            n_peers,
+            store: LocalStore::new(),
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            next_internal: 0,
+            deadlines: Deadlines::new(),
+        }
+    }
+
+    /// The soonest live operation deadline, for the transport's wait.
+    pub(crate) fn next_deadline(&mut self) -> Option<Instant> {
+        let reads = &self.reads;
+        let writes = &self.writes;
+        self.deadlines
+            .next_live(|internal| reads.contains_key(internal) || writes.contains_key(internal))
+    }
+
+    /// Fails every operation whose deadline has passed.
+    pub(crate) fn fire_expired(&mut self, net: &mut impl Egress) {
+        let mut failed = Vec::new();
+        let reads = &mut self.reads;
+        let writes = &mut self.writes;
+        self.deadlines.fire_expired(Instant::now(), |internal| {
+            let hit = reads
+                .remove(&internal)
+                .map(|st| (st.client_conn, st.client_op))
+                .or_else(|| {
+                    writes
+                        .remove(&internal)
+                        .map(|st| (st.client_conn, st.client_op))
+                });
+            failed.extend(hit);
+        });
+        for (conn, op) in failed {
+            net.to_client(
+                conn,
+                &Msg::OpFailed {
+                    op,
+                    reason: FailReason::Timeout,
+                },
+            );
+        }
+    }
+
+    fn now_version(&self) -> Version {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Version {
+            ts,
+            writer: self.id,
+        }
+    }
+
+    fn mint_internal(&mut self) -> (u64, OpId) {
+        let internal = self.next_internal;
+        self.next_internal += 1;
+        // Peer traffic op ids: this replica's id in the client slot, the
+        // internal counter in the sequence slot. Unique per coordinator,
+        // and coordinators' ids are unique per deployment.
+        (
+            internal,
+            OpId {
+                client: NodeId(self.id as usize),
+                seq: internal,
+            },
+        )
+    }
+
+    fn arm(&mut self, internal: u64) {
+        self.deadlines
+            .arm(Instant::now() + self.op_timeout, internal);
+    }
+
+    /// Dispatches one inbound message from connection `conn`.
+    pub(crate) fn on_msg(&mut self, net: &mut impl Egress, conn: u64, msg: Msg) {
+        match msg {
+            Msg::ClientRead { op, key, kind } => self.client_read(net, conn, op, key, kind),
+            Msg::ClientWrite { op, key, value, w } => {
+                self.client_write(net, conn, op, key, value, w)
+            }
+            Msg::PeerRead { op, key } => {
+                let data = self.store.get(key);
+                net.to_client(conn, &Msg::PeerReadResp { op, data });
+            }
+            Msg::PeerReadResp { op, data } => self.peer_read_resp(net, op, data),
+            Msg::PeerWrite { key, data, ack_op } => {
+                self.store.apply(key, data);
+                if let Some(op) = ack_op {
+                    net.to_client(conn, &Msg::PeerWriteAck { op });
+                }
+            }
+            Msg::PeerWriteAck { op } => self.peer_write_ack(net, op),
+            // Client-bound replies have no business arriving at a server;
+            // drop them (a confused or hostile peer must not crash us).
+            Msg::ReadReply { .. }
+            | Msg::ReadConfirm { .. }
+            | Msg::WriteReply { .. }
+            | Msg::OpFailed { .. } => {}
+        }
+    }
+
+    fn client_read(
+        &mut self,
+        net: &mut impl Egress,
+        conn: u64,
+        client_op: OpId,
+        key: Key,
+        kind: ReadKind,
+    ) {
+        let local = self.store.get(key);
+        let n_replicas = (self.n_peers + 1) as u8;
+        let needed = kind.quorum().clamp(1, n_replicas);
+
+        let mut prelim = None;
+        if kind.is_icg() {
+            // Preliminary flush: leak local state before coordinating.
+            prelim = Some(local.version);
+            net.to_client(
+                conn,
+                &Msg::ReadReply {
+                    op: client_op,
+                    phase: Phase::Preliminary,
+                    data: local.clone(),
+                },
+            );
+        }
+
+        if needed <= 1 {
+            self.reply_read_final(net, conn, client_op, kind, prelim, local);
+            return;
+        }
+
+        let (internal, peer_op) = self.mint_internal();
+        // Fan out to every peer and complete at the first R-1 responses —
+        // availability under a dead replica (see the module docs). Even
+        // when too few links are currently live to ever reach the
+        // quorum, the op stays pending: a peer may come back within the
+        // timeout, and the deadline converts it into OpFailed otherwise.
+        net.to_peers(&Msg::PeerRead { op: peer_op, key });
+        self.reads.insert(
+            internal,
+            ReadSt {
+                client_conn: conn,
+                client_op,
+                kind,
+                key,
+                best: local,
+                responses: 1,
+                needed,
+                prelim,
+            },
+        );
+        self.arm(internal);
+    }
+
+    fn reply_read_final(
+        &mut self,
+        net: &mut impl Egress,
+        conn: u64,
+        op: OpId,
+        kind: ReadKind,
+        prelim: Option<Version>,
+        best: Versioned,
+    ) {
+        let msg = match kind {
+            ReadKind::Icg { confirm: true, .. } if prelim == Some(best.version) => {
+                Msg::ReadConfirm {
+                    op,
+                    version: best.version,
+                }
+            }
+            ReadKind::Icg { .. } => Msg::ReadReply {
+                op,
+                phase: Phase::Final,
+                data: best,
+            },
+            ReadKind::Single { .. } => Msg::ReadReply {
+                op,
+                phase: Phase::Single,
+                data: best,
+            },
+        };
+        net.to_client(conn, &msg);
+    }
+
+    fn peer_read_resp(&mut self, net: &mut impl Egress, peer_op: OpId, data: Versioned) {
+        // Only answers to our own requests are meaningful.
+        if peer_op.client != NodeId(self.id as usize) {
+            return;
+        }
+        let internal = peer_op.seq;
+        let Some(st) = self.reads.get_mut(&internal) else {
+            return; // late response after completion or timeout
+        };
+        st.responses += 1;
+        if data.version > st.best.version {
+            st.best = data;
+        }
+        if st.responses < st.needed {
+            return;
+        }
+        let Some(st) = self.reads.remove(&internal) else {
+            return;
+        };
+        // Adopt the winning version locally: later preliminary
+        // flushes serve it, and convergence after quiescence holds
+        // even if this coordinator missed the original write.
+        if st.best.version > self.store.version_of(st.key) {
+            self.store.apply(st.key, st.best.clone());
+        }
+        self.reply_read_final(
+            net,
+            st.client_conn,
+            st.client_op,
+            st.kind,
+            st.prelim,
+            st.best,
+        );
+    }
+
+    fn client_write(
+        &mut self,
+        net: &mut impl Egress,
+        conn: u64,
+        client_op: OpId,
+        key: Key,
+        value: Value,
+        w: u8,
+    ) {
+        let data = Versioned {
+            value,
+            version: self.now_version(),
+        };
+        self.store.apply(key, data.clone());
+        let acks_needed = w.saturating_sub(1).min(self.n_peers as u8);
+        if acks_needed == 0 {
+            // W = 1 (the paper's setting): acknowledge immediately,
+            // propagate in the background.
+            net.to_peers(&Msg::PeerWrite {
+                key,
+                data,
+                ack_op: None,
+            });
+            net.to_client(conn, &Msg::WriteReply { op: client_op });
+            return;
+        }
+        let (internal, peer_op) = self.mint_internal();
+        net.to_peers(&Msg::PeerWrite {
+            key,
+            data,
+            ack_op: Some(peer_op),
+        });
+        self.writes.insert(
+            internal,
+            WriteSt {
+                client_conn: conn,
+                client_op,
+                acks_left: acks_needed,
+            },
+        );
+        self.arm(internal);
+    }
+
+    fn peer_write_ack(&mut self, net: &mut impl Egress, peer_op: OpId) {
+        if peer_op.client != NodeId(self.id as usize) {
+            return;
+        }
+        let internal = peer_op.seq;
+        let finished = match self.writes.get_mut(&internal) {
+            Some(st) => {
+                st.acks_left = st.acks_left.saturating_sub(1);
+                st.acks_left == 0
+            }
+            None => false,
+        };
+        if finished {
+            if let Some(st) = self.writes.remove(&internal) {
+                net.to_client(st.client_conn, &Msg::WriteReply { op: st.client_op });
+            }
+        }
+    }
+}

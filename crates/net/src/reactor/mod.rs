@@ -1,0 +1,36 @@
+//! icg-net v2: a dependency-free `epoll` reactor.
+//!
+//! The blocking transport ([`crate::transport`]) spends two OS threads
+//! per socket; at production connection counts that is a wall — 10k
+//! clients would mean 20k threads on each replica. This module replaces
+//! it with a small number of event-loop threads, each owning an `epoll`
+//! instance and a set of connections outright:
+//!
+//! - `sys` — the raw `epoll`/`eventfd` syscalls (hand-declared FFI;
+//!   the workspace builds offline, so no `libc` crate) behind safe
+//!   `Poller`/`WakeFd` wrappers.
+//! - `conn` — the per-connection state machine: an edge-triggered
+//!   drain-to-`WouldBlock` read path whose buffer the `Wire` codec
+//!   decodes from zero-copy, and a capped write queue flushed with
+//!   vectored writes.
+//! - `event_loop` — the loop itself: readiness dispatch, a
+//!   cross-thread command `Injector`, and the `Handler` trait protocols
+//!   implement to live on a loop.
+//! - [`backoff`] — bounded exponential backoff with deterministic
+//!   jitter for the dialer threads that feed loops reconnections.
+//! - `server` / [`client`] — `ReplicaServer` and `TcpBinding` ported
+//!   onto the loops, behind the exact same public API and semantics as
+//!   their blocking counterparts.
+//!
+//! The blocking transport remains selectable (`Transport::Blocking`)
+//! for one release; the reactor is the default.
+
+pub mod backoff;
+pub mod client;
+pub(crate) mod conn;
+pub(crate) mod event_loop;
+pub(crate) mod server;
+pub(crate) mod sys;
+
+pub use backoff::{Backoff, Sleeper, ThreadSleeper};
+pub use client::ClientReactor;

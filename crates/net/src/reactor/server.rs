@@ -1,0 +1,392 @@
+//! The quorum-store replica served by the epoll reactor.
+//!
+//! Topology: `cfg.loops` event loops. Loop 0 is the *protocol loop* —
+//! it owns the listener, the peer links, the shared
+//! [`ReplicaCore`], and its share of the client connections. Loops
+//! `1..N` are *forwarding loops*: they own the remaining client
+//! connections, decode inbound frames on their own thread, and inject
+//! the decoded messages into loop 0; replies travel back as
+//! pre-encoded frames through the forwarding loop's injector. Accepted
+//! connections round-robin across all loops, so with `loops = 1`
+//! (the default) everything runs on one thread with zero cross-loop
+//! hops.
+//!
+//! Connections are addressed by a 64-bit key: the owning loop's index
+//! in the top 16 bits, the loop-local connection id in the low 48. The
+//! core never knows the difference — its [`Egress`] routes by key.
+//!
+//! Peer links are dialed by one auxiliary thread per peer (connecting
+//! is the one operation that blocks), with the same jittered
+//! exponential backoff as the blocking engine; an established stream is
+//! handed to loop 0 and the dialer parks until the loop reports the
+//! link down.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use quorumstore::messages::Msg;
+
+use crate::frame::encode_frame;
+use crate::protocol::{Egress, ReplicaCore};
+use crate::server::{HandleInner, ReplicaHandle, ServerConfig};
+use crate::wire::Reader;
+
+use super::backoff::{Backoff, Sleeper, ThreadSleeper};
+use super::conn::CloseReason;
+use super::event_loop::{spawn_loop, Cmd, Ctl, Handler, Injector, DEFAULT_WRITE_CAP};
+
+/// Loop index lives in the key's top bits, local conn id in the rest.
+const LOOP_SHIFT: u32 = 48;
+const CONN_MASK: u64 = (1 << LOOP_SHIFT) - 1;
+
+/// Connection tag for client connections.
+const TAG_CLIENT: u64 = 0;
+/// Peer link tags: `TAG_PEER_BASE + peer_idx`.
+const TAG_PEER_BASE: u64 = 1;
+
+fn key_of(loop_idx: usize, conn: u64) -> u64 {
+    ((loop_idx as u64) << LOOP_SHIFT) | (conn & CONN_MASK)
+}
+
+/// Events other threads inject into the protocol loop.
+pub(crate) enum ServerEv {
+    /// A dialer (re)established the stream to peer `peer`.
+    PeerUp { peer: usize, stream: TcpStream },
+    /// A forwarding loop decoded `msg` on connection `key`.
+    Remote { key: u64, msg: Msg },
+}
+
+/// Starts a replica on the reactor engine.
+pub(crate) fn start(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    peers: Vec<SocketAddr>,
+) -> ReplicaHandle {
+    let addr = listener
+        .local_addr()
+        // lint: allow(panic_path) — startup, nothing is serving yet
+        .expect("bound socket has an addr");
+    let n_loops = cfg.loops.max(1);
+    let id = cfg.id;
+
+    // Forwarding loops first (the protocol loop needs their injectors).
+    // Each gets a shared slot for the protocol loop's injector, filled
+    // once that loop exists; frames arriving in the gap are parked by
+    // the kernel in the socket buffers, not lost.
+    let mut remotes: Vec<Injector<()>> = Vec::new();
+    let mut main_slots: Vec<MainSlot> = Vec::new();
+    for i in 1..n_loops {
+        let slot: MainSlot = Arc::new(PlMutex::new(None));
+        let fh = ForwardHandler {
+            idx: i,
+            main: Arc::clone(&slot),
+        };
+        let (inj, _join) = spawn_loop(
+            &format!("icg-reactor-{id}-fwd{i}"),
+            fh,
+            None,
+            DEFAULT_WRITE_CAP,
+        )
+        // lint: allow(panic_path) — startup, nothing is serving yet
+        .expect("spawn forwarding loop");
+        remotes.push(inj);
+        main_slots.push(slot);
+    }
+
+    let (down_txs, down_rxs): (Vec<Sender<()>>, Vec<Receiver<()>>) =
+        (0..peers.len()).map(|_| mpsc::channel::<()>()).unzip();
+
+    let handler = MainHandler {
+        core: ReplicaCore::new(cfg.id, cfg.op_timeout, peers.len()),
+        remotes: remotes.clone(),
+        peer_conns: vec![None; peers.len()],
+        peer_down: down_txs,
+        rr: 0,
+        scratch: Vec::new(),
+    };
+    let (main_inj, _join) = spawn_loop(
+        &format!("icg-reactor-{id}-main"),
+        handler,
+        Some(listener),
+        DEFAULT_WRITE_CAP,
+    )
+    // lint: allow(panic_path) — startup, nothing is serving yet
+    .expect("spawn protocol loop");
+
+    // Hand the protocol loop's injector to every forwarding handler.
+    for slot in &main_slots {
+        *slot.lock() = Some(main_inj.clone());
+    }
+
+    // Peer dialers: one thread per peer, parked while its link is up.
+    let stop = Arc::new(AtomicBool::new(false));
+    for ((peer_idx, peer_addr), down_rx) in peers.iter().copied().enumerate().zip(down_rxs) {
+        let inj = main_inj.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("icg-reactor-{id}-dial-{peer_idx}"))
+            .spawn(move || {
+                dial_peer_loop(cfg, peer_idx, peer_addr, inj, down_rx, stop, &ThreadSleeper)
+            })
+            // lint: allow(panic_path) — startup, nothing is serving yet
+            .expect("spawn dialer thread");
+    }
+
+    let stop_flag = Arc::clone(&stop);
+    let shutdown_inj = main_inj.clone();
+    let shutdown_remotes = remotes;
+    ReplicaHandle {
+        addr,
+        inner: HandleInner::Reactor {
+            stop: stop_flag,
+            shutdown: Box::new(move || {
+                shutdown_inj.send(Cmd::Shutdown);
+                for r in &shutdown_remotes {
+                    r.send(Cmd::Shutdown);
+                }
+            }),
+        },
+    }
+}
+
+/// A forwarding handler's view of the protocol loop's injector, which
+/// does not exist until after the forwarding loops are spawned.
+type MainSlot = Arc<PlMutex<Option<Injector<ServerEv>>>>;
+use parking_lot::Mutex as PlMutex;
+
+/// One peer dialer on the reactor engine: connect (blocking, with
+/// backoff), hand the stream to the protocol loop, park until the loop
+/// signals the link down, repeat.
+fn dial_peer_loop(
+    cfg: ServerConfig,
+    peer_idx: usize,
+    peer_addr: SocketAddr,
+    inj: Injector<ServerEv>,
+    down_rx: Receiver<()>,
+    stop: Arc<AtomicBool>,
+    sleeper: &impl Sleeper,
+) {
+    let seed = ((cfg.id as u64) << 32) ^ (peer_idx as u64) ^ 0x5EED;
+    let mut backoff = Backoff::new(cfg.peer_retry, cfg.peer_retry_cap, seed);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match TcpStream::connect_timeout(&peer_addr, Duration::from_millis(500)) {
+            Ok(stream) => {
+                backoff.reset();
+                inj.send(Cmd::Ev(ServerEv::PeerUp {
+                    peer: peer_idx,
+                    stream,
+                }));
+                // Park until the loop reports the link down (an Err means
+                // the loop itself is gone — exit).
+                if down_rx.recv().is_err() {
+                    return;
+                }
+            }
+            Err(_) => sleeper.sleep(backoff.next_delay()),
+        }
+    }
+}
+
+/// Loop 0: the listener, the peer links, and the protocol core.
+struct MainHandler {
+    core: ReplicaCore,
+    /// Injectors of loops `1..N`, indexed by `loop_idx - 1`.
+    remotes: Vec<Injector<()>>,
+    /// Loop-0 conn id of each live peer link.
+    peer_conns: Vec<Option<u64>>,
+    /// Signals the matching dialer to re-dial when its link dies.
+    peer_down: Vec<Sender<()>>,
+    /// Accept round-robin cursor across all loops.
+    rr: usize,
+    /// Frame-encode scratch for cross-loop sends.
+    scratch: Vec<u8>,
+}
+
+/// The protocol core's window onto the reactor: loop-0 sends go through
+/// `ctl`, cross-loop sends are encoded once and injected.
+struct ReactorNet<'a> {
+    ctl: &'a mut Ctl,
+    remotes: &'a [Injector<()>],
+    peer_conns: &'a [Option<u64>],
+    scratch: &'a mut Vec<u8>,
+}
+
+impl Egress for ReactorNet<'_> {
+    fn to_client(&mut self, key: u64, msg: &Msg) {
+        let loop_idx = (key >> LOOP_SHIFT) as usize;
+        if loop_idx == 0 {
+            self.ctl.send(key, msg);
+        } else if let Some(inj) = self.remotes.get(loop_idx - 1) {
+            encode_frame(msg, self.scratch);
+            inj.send(Cmd::Send {
+                conn: key & CONN_MASK,
+                frame: self.scratch.clone(),
+            });
+        }
+    }
+
+    fn to_peers(&mut self, msg: &Msg) {
+        // Encode once, enqueue the same bytes on every live link.
+        encode_frame(msg, self.scratch);
+        for conn in self.peer_conns.iter().flatten() {
+            self.ctl.send_frame(*conn, self.scratch);
+        }
+    }
+}
+
+impl MainHandler {
+    fn net<'a>(ctl: &'a mut Ctl, this: &'a mut Self) -> (ReactorNet<'a>, &'a mut ReplicaCore) {
+        (
+            ReactorNet {
+                ctl,
+                remotes: &this.remotes,
+                peer_conns: &this.peer_conns,
+                scratch: &mut this.scratch,
+            },
+            &mut this.core,
+        )
+    }
+}
+
+impl Handler for MainHandler {
+    type Ev = ServerEv;
+
+    fn on_open(&mut self, _ctl: &mut Ctl, _conn: u64, _tag: u64) {}
+
+    fn on_accept(&mut self, ctl: &mut Ctl, stream: TcpStream) {
+        let n = self.remotes.len() + 1;
+        let target = self.rr % n;
+        self.rr = self.rr.wrapping_add(1);
+        if target == 0 {
+            ctl.adopt(stream, TAG_CLIENT);
+        } else if let Some(inj) = self.remotes.get(target - 1) {
+            inj.send(Cmd::Adopt {
+                stream,
+                tag: TAG_CLIENT,
+            });
+        }
+    }
+
+    fn on_frame(&mut self, ctl: &mut Ctl, conn: u64, body: &[u8]) {
+        match Reader::new(body).finish::<Msg>() {
+            Ok(msg) => {
+                let (mut net, core) = MainHandler::net(ctl, self);
+                core.on_msg(&mut net, key_of(0, conn), msg);
+            }
+            Err(_) => ctl.close_with(conn, CloseReason::Garbage, true),
+        }
+    }
+
+    fn on_close(&mut self, _ctl: &mut Ctl, conn: u64, tag: u64, _reason: CloseReason) {
+        if tag >= TAG_PEER_BASE {
+            let peer = (tag - TAG_PEER_BASE) as usize;
+            // Only the *current* link counts: a stale close from a link
+            // already replaced by the dialer must not tear down its
+            // successor or double-signal the dialer.
+            if self.peer_conns.get(peer).copied().flatten() == Some(conn) {
+                if let Some(slot) = self.peer_conns.get_mut(peer) {
+                    *slot = None;
+                }
+                if let Some(tx) = self.peer_down.get(peer) {
+                    let _ = tx.send(());
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctl: &mut Ctl, ev: ServerEv) {
+        match ev {
+            ServerEv::PeerUp { peer, stream } => {
+                let tag = TAG_PEER_BASE + peer as u64;
+                match ctl.adopt(stream, tag) {
+                    Some(conn) => {
+                        // A link the dialer replaced is closed quietly.
+                        if let Some(old) = self.peer_conns.get(peer).copied().flatten() {
+                            ctl.close(old);
+                        }
+                        if let Some(slot) = self.peer_conns.get_mut(peer) {
+                            *slot = Some(conn);
+                        }
+                    }
+                    None => {
+                        // Registration failed: tell the dialer to retry.
+                        if let Some(tx) = self.peer_down.get(peer) {
+                            let _ = tx.send(());
+                        }
+                    }
+                }
+            }
+            ServerEv::Remote { key, msg } => {
+                let (mut net, core) = MainHandler::net(ctl, self);
+                core.on_msg(&mut net, key, msg);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctl: &mut Ctl) {
+        let (mut net, core) = MainHandler::net(ctl, self);
+        core.fire_expired(&mut net);
+    }
+
+    fn next_deadline(&mut self) -> Option<Instant> {
+        self.core.next_deadline()
+    }
+}
+
+/// Loops 1..N: decode inbound frames off this loop's connections and
+/// inject the messages into the protocol loop; outbound frames arrive
+/// pre-encoded via [`Cmd::Send`].
+struct ForwardHandler {
+    idx: usize,
+    main: MainSlot,
+}
+
+impl Handler for ForwardHandler {
+    type Ev = ();
+
+    fn on_open(&mut self, _ctl: &mut Ctl, _conn: u64, _tag: u64) {}
+
+    fn on_accept(&mut self, _ctl: &mut Ctl, _stream: TcpStream) {
+        // Forwarding loops have no listener.
+    }
+
+    fn on_frame(&mut self, ctl: &mut Ctl, conn: u64, body: &[u8]) {
+        match Reader::new(body).finish::<Msg>() {
+            Ok(msg) => {
+                // Clone the injector out of the slot so the slot lock is
+                // not held across the send (which takes the queue lock
+                // and writes the wake fd).
+                let slot = self.main.lock();
+                let main = slot.clone();
+                drop(slot);
+                if let Some(main) = main {
+                    main.send(Cmd::Ev(ServerEv::Remote {
+                        key: key_of(self.idx, conn),
+                        msg,
+                    }));
+                }
+            }
+            Err(_) => ctl.close_with(conn, CloseReason::Garbage, false),
+        }
+    }
+
+    fn on_close(&mut self, _ctl: &mut Ctl, _conn: u64, _tag: u64, _reason: CloseReason) {
+        // Replies routed to a gone connection drop silently in
+        // `Ctl::send_frame`, exactly like the blocking engine's
+        // missing-`Outbound` case; nothing to tell the protocol loop.
+    }
+
+    fn on_event(&mut self, _ctl: &mut Ctl, _ev: ()) {}
+
+    fn on_tick(&mut self, _ctl: &mut Ctl) {}
+
+    fn next_deadline(&mut self) -> Option<Instant> {
+        None
+    }
+}

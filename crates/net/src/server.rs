@@ -3,9 +3,8 @@
 //! [`ReplicaServer`] speaks exactly the protocol of the simulated
 //! [`quorumstore::Replica`] — the same [`Msg`] set, the same
 //! coordinator roles, the same preliminary-flush and confirmation
-//! behaviour — but over the wire codec and blocking transport of this
-//! crate, so an unmodified Correctables client drives it through
-//! [`crate::TcpBinding`].
+//! behaviour — but over the wire codec of this crate, so an unmodified
+//! Correctables client drives it through [`crate::TcpBinding`].
 //!
 //! One deliberate divergence from the simulated replica: the simulator
 //! sends peer reads to exactly the `R-1` nearest peers (it knows the
@@ -14,11 +13,12 @@
 //! is what keeps an `R = 2` read available when one of three replicas is
 //! down — the whole point of running a quorum system on sockets.
 //!
-//! Protocol state lives on a single event-loop thread per replica; every
-//! socket is handled by the reader/writer thread pair of
-//! [`crate::transport`]. The loop owns the storage map, the pending
-//! read/write tables, and a deadline heap for operation timeouts, and it
-//! never shares any of them — messages in, messages out.
+//! The protocol state machine itself lives in `crate::protocol` and is
+//! shared verbatim between the two I/O engines this module can serve it
+//! with ([`Transport`]): the epoll reactor (default; see
+//! [`crate::reactor`]) and the legacy blocking engine, where protocol
+//! state lives on a single event-loop thread fed by the
+//! reader/writer thread pairs of [`crate::transport`].
 
 use std::collections::HashMap;
 use std::io;
@@ -26,15 +26,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::Duration;
 
-use quorumstore::messages::{FailReason, Msg, Phase};
-use quorumstore::storage::LocalStore;
-use quorumstore::types::{Key, OpId, ReadKind, Version, Versioned};
-use simnet::NodeId;
+use quorumstore::messages::Msg;
 
-use crate::pump::{recv_step, Deadlines, Step};
-use crate::transport::{spawn_reader, Outbound};
+use crate::protocol::{Egress, ReplicaCore};
+use crate::pump::{recv_step, Step};
+use crate::reactor::backoff::{Backoff, Sleeper, ThreadSleeper};
+use crate::transport::{spawn_reader, Outbound, Transport};
 
 /// Tuning knobs of a TCP replica.
 #[derive(Clone, Copy, Debug)]
@@ -46,8 +45,17 @@ pub struct ServerConfig {
     /// Deadline for gathering quorums before failing an operation back
     /// to the client.
     pub op_timeout: Duration,
-    /// Delay between reconnection attempts to an unreachable peer.
+    /// Base delay between reconnection attempts to an unreachable peer;
+    /// doubles per consecutive failure up to [`ServerConfig::peer_retry_cap`].
     pub peer_retry: Duration,
+    /// Ceiling on the peer-reconnect backoff.
+    pub peer_retry_cap: Duration,
+    /// Which I/O engine serves the sockets.
+    pub transport: Transport,
+    /// Reactor event loops for client traffic (ignored by the blocking
+    /// engine). One loop suffices below ~10k connections per replica;
+    /// more loops spread the epoll and parse work across cores.
+    pub loops: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,11 +64,14 @@ impl Default for ServerConfig {
             id: 0,
             op_timeout: Duration::from_secs(5),
             peer_retry: Duration::from_millis(200),
+            peer_retry_cap: Duration::from_secs(5),
+            transport: Transport::default(),
+            loops: 1,
         }
     }
 }
 
-enum Event {
+pub(crate) enum Event {
     /// A connection was accepted or dialed; register its outbound half.
     Opened { conn: u64, out: Outbound },
     /// A message arrived on connection `conn`.
@@ -73,23 +84,6 @@ enum Event {
     PeerDown { peer: usize },
     /// Stop serving: close every socket and exit the event loop.
     Shutdown,
-}
-
-struct ReadSt {
-    client_conn: u64,
-    client_op: OpId,
-    kind: ReadKind,
-    key: Key,
-    best: Versioned,
-    responses: u8,
-    needed: u8,
-    prelim: Option<Version>,
-}
-
-struct WriteSt {
-    client_conn: u64,
-    client_op: OpId,
-    acks_left: u8,
 }
 
 /// A bound-but-not-yet-serving replica. Binding first and starting
@@ -118,15 +112,25 @@ impl ReplicaServer {
             .expect("bound socket has an addr")
     }
 
-    /// Starts serving: spawns the accept reactor, one dialer per peer,
-    /// and the event-loop thread. `peers` lists the *other* replicas.
+    /// Starts serving on the configured [`Transport`]. `peers` lists the
+    /// *other* replicas.
     pub fn start(self, peers: Vec<SocketAddr>) -> ReplicaHandle {
+        match self.cfg.transport {
+            Transport::Reactor => crate::reactor::server::start(self.listener, self.cfg, peers),
+            Transport::Blocking => self.start_blocking(peers),
+        }
+    }
+
+    /// The blocking engine: an accept thread, one dialer per peer, and
+    /// the event-loop thread, with a reader/writer thread pair per
+    /// socket.
+    fn start_blocking(self, peers: Vec<SocketAddr>) -> ReplicaHandle {
         let addr = self.local_addr();
         let (tx, rx) = mpsc::channel::<Event>();
         let stop = Arc::new(AtomicBool::new(false));
 
-        // Accept reactor: one thread blocking on accept(), handing each
-        // connection a reader/writer pair wired into the event loop.
+        // Accept thread: blocks on accept(), handing each connection a
+        // reader/writer pair wired into the event loop.
         {
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
@@ -151,75 +155,16 @@ impl ReplicaServer {
         }
 
         // Peer dialers: one thread per peer keeping the outbound replica
-        // link alive with bounded retry.
+        // link alive, with jittered exponential backoff between attempts
+        // so a downed replica costs its peers a couple of wakeups per
+        // cap-interval instead of a spinning core.
         for (peer_idx, peer_addr) in peers.iter().copied().enumerate() {
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
-            let retry = self.cfg.peer_retry;
-            let id = self.cfg.id;
+            let cfg = self.cfg;
             std::thread::Builder::new()
-                .name(format!("icg-replicad-{id}-dial-{peer_idx}"))
-                .spawn(move || loop {
-                    if stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    match TcpStream::connect_timeout(&peer_addr, Duration::from_millis(500)) {
-                        Ok(stream) => {
-                            let label = format!("r{id}p{peer_idx}");
-                            let write_half = match stream.try_clone() {
-                                Ok(s) => s,
-                                Err(_) => {
-                                    std::thread::sleep(retry);
-                                    continue;
-                                }
-                            };
-                            let out = match Outbound::spawn(write_half, &label) {
-                                Ok(o) => o,
-                                Err(_) => continue,
-                            };
-                            if tx
-                                .send(Event::PeerUp {
-                                    peer: peer_idx,
-                                    out: out.clone(),
-                                })
-                                .is_err()
-                            {
-                                return;
-                            }
-                            // Feed peer responses into the same event loop
-                            // (conn id u64::MAX - peer: peer links never
-                            // collide with accepted conns, which count up).
-                            let (down_tx, down_rx) = mpsc::channel::<()>();
-                            let inbound = tx.clone();
-                            let closer = tx.clone();
-                            let spawned = spawn_reader::<Msg, _, _>(
-                                stream,
-                                &label,
-                                move |msg| {
-                                    let _ = inbound.send(Event::Inbound {
-                                        conn: u64::MAX - peer_idx as u64,
-                                        msg,
-                                    });
-                                },
-                                move |_reason| {
-                                    let _ = closer.send(Event::PeerDown { peer: peer_idx });
-                                    let _ = down_tx.send(());
-                                },
-                            );
-                            if spawned.is_err() {
-                                // No reader: treat the link as dead and retry.
-                                let _ = tx.send(Event::PeerDown { peer: peer_idx });
-                                std::thread::sleep(retry);
-                                continue;
-                            }
-                            // Block until the link dies, then retry.
-                            let _ = down_rx.recv();
-                        }
-                        Err(_) => {
-                            std::thread::sleep(retry);
-                        }
-                    }
-                })
+                .name(format!("icg-replicad-{}-dial-{peer_idx}", cfg.id))
+                .spawn(move || dial_peer_loop(cfg, peer_idx, peer_addr, tx, stop, &ThreadSleeper))
                 // lint: allow(panic_path) — startup, nothing is serving yet
                 .expect("spawn dialer thread");
         }
@@ -238,10 +183,90 @@ impl ReplicaServer {
 
         ReplicaHandle {
             addr,
-            tx,
-            stop,
-            listener: self.listener,
+            inner: HandleInner::Blocking {
+                tx,
+                stop,
+                listener: self.listener,
+            },
         }
+    }
+}
+
+/// One peer dialer: keeps the outbound link to `peer_addr` alive,
+/// backing off exponentially (with jitter) while the peer is down and
+/// resetting the schedule on every successful connection.
+fn dial_peer_loop(
+    cfg: ServerConfig,
+    peer_idx: usize,
+    peer_addr: SocketAddr,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+    sleeper: &impl Sleeper,
+) {
+    // Seeded per (replica, peer) so a whole cluster restarting against
+    // one dead node spreads its retry times instead of thundering.
+    let seed = ((cfg.id as u64) << 32) ^ peer_idx as u64;
+    let mut backoff = Backoff::new(cfg.peer_retry, cfg.peer_retry_cap, seed);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match TcpStream::connect_timeout(&peer_addr, Duration::from_millis(500)) {
+            Ok(s) => s,
+            Err(_) => {
+                sleeper.sleep(backoff.next_delay());
+                continue;
+            }
+        };
+        let label = format!("r{}p{peer_idx}", cfg.id);
+        let Ok(write_half) = stream.try_clone() else {
+            sleeper.sleep(backoff.next_delay());
+            continue;
+        };
+        let Ok(out) = Outbound::spawn(write_half, &label) else {
+            sleeper.sleep(backoff.next_delay());
+            continue;
+        };
+        if tx
+            .send(Event::PeerUp {
+                peer: peer_idx,
+                out: out.clone(),
+            })
+            .is_err()
+        {
+            return;
+        }
+        // Feed peer responses into the same event loop (conn id
+        // u64::MAX - peer: peer links never collide with accepted
+        // conns, which count up).
+        let (down_tx, down_rx) = mpsc::channel::<()>();
+        let inbound = tx.clone();
+        let closer = tx.clone();
+        let spawned = spawn_reader::<Msg, _, _>(
+            stream,
+            &label,
+            move |msg| {
+                let _ = inbound.send(Event::Inbound {
+                    conn: u64::MAX - peer_idx as u64,
+                    msg,
+                });
+            },
+            move |_reason| {
+                let _ = closer.send(Event::PeerDown { peer: peer_idx });
+                let _ = down_tx.send(());
+            },
+        );
+        if spawned.is_err() {
+            // No reader: treat the link as dead and retry.
+            let _ = tx.send(Event::PeerDown { peer: peer_idx });
+            sleeper.sleep(backoff.next_delay());
+            continue;
+        }
+        // The link is up: the next outage restarts the schedule from
+        // the base delay.
+        backoff.reset();
+        // Block until the link dies, then retry.
+        let _ = down_rx.recv();
     }
 }
 
@@ -280,10 +305,20 @@ fn register_conn(stream: TcpStream, conn: u64, tx: &Sender<Event>, label: &str) 
 /// call [`ReplicaHandle::shutdown`] (the failover tests use it as the
 /// crash switch).
 pub struct ReplicaHandle {
-    addr: SocketAddr,
-    tx: Sender<Event>,
-    stop: Arc<AtomicBool>,
-    listener: TcpListener,
+    pub(crate) addr: SocketAddr,
+    pub(crate) inner: HandleInner,
+}
+
+pub(crate) enum HandleInner {
+    Blocking {
+        tx: Sender<Event>,
+        stop: Arc<AtomicBool>,
+        listener: TcpListener,
+    },
+    Reactor {
+        stop: Arc<AtomicBool>,
+        shutdown: Box<dyn Fn() + Send + Sync>,
+    },
 }
 
 impl ReplicaHandle {
@@ -298,43 +333,62 @@ impl ReplicaHandle {
     /// indistinguishable from a crash, which is exactly what the
     /// failover tests need it to be.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
-        let _ = self.tx.send(Event::Shutdown);
-        // Unblock the accept loop with a throwaway connection; it checks
-        // the stop flag right after accept returns.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        // Closing our listener clone is not enough on all platforms while
-        // the accept thread holds its own clone, but the flag + wakeup
-        // pair guarantees the thread exits either way.
-        let _ = self.listener.set_nonblocking(true);
+        match &self.inner {
+            HandleInner::Blocking { tx, stop, listener } => {
+                stop.store(true, Ordering::Release);
+                let _ = tx.send(Event::Shutdown);
+                // Unblock the accept loop with a throwaway connection; it
+                // checks the stop flag right after accept returns.
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+                // Closing our listener clone is not enough on all platforms
+                // while the accept thread holds its own clone, but the flag
+                // + wakeup pair guarantees the thread exits either way.
+                let _ = listener.set_nonblocking(true);
+            }
+            HandleInner::Reactor { stop, shutdown } => {
+                stop.store(true, Ordering::Release);
+                shutdown();
+            }
+        }
     }
 }
 
+/// The blocking engine's event loop: the shared [`ReplicaCore`] plus the
+/// [`Outbound`]-handle connection table it sends through.
 struct ReplicaLoop {
-    cfg: ServerConfig,
-    store: LocalStore,
+    core: ReplicaCore,
+    net: BlockingNet,
+}
+
+/// The blocking engine's view of the network: an [`Egress`] over
+/// per-connection writer-thread handles.
+struct BlockingNet {
     conns: HashMap<u64, Outbound>,
     peer_links: Vec<Option<Outbound>>,
-    reads: HashMap<u64, ReadSt>,
-    writes: HashMap<u64, WriteSt>,
-    /// Monotone source of internal op ids (the `seq` of op ids this
-    /// coordinator mints for peer traffic).
-    next_internal: u64,
-    /// Operation deadlines, soonest first.
-    deadlines: Deadlines<u64>,
+}
+
+impl Egress for BlockingNet {
+    fn to_client(&mut self, conn: u64, msg: &Msg) {
+        if let Some(out) = self.conns.get(&conn) {
+            out.send(msg);
+        }
+    }
+
+    fn to_peers(&mut self, msg: &Msg) {
+        for link in self.peer_links.iter().flatten() {
+            link.send(msg);
+        }
+    }
 }
 
 impl ReplicaLoop {
     fn new(cfg: ServerConfig, n_peers: usize) -> ReplicaLoop {
         ReplicaLoop {
-            cfg,
-            store: LocalStore::new(),
-            conns: HashMap::new(),
-            peer_links: vec![None; n_peers],
-            reads: HashMap::new(),
-            writes: HashMap::new(),
-            next_internal: 0,
-            deadlines: Deadlines::new(),
+            core: ReplicaCore::new(cfg.id, cfg.op_timeout, n_peers),
+            net: BlockingNet {
+                conns: HashMap::new(),
+                peer_links: vec![None; n_peers],
+            },
         }
     }
 
@@ -342,304 +396,40 @@ impl ReplicaLoop {
         loop {
             // Wait for the next event or the next op deadline, whichever
             // comes first.
-            let reads = &self.reads;
-            let writes = &self.writes;
-            let next = self.deadlines.next_live(|internal| {
-                reads.contains_key(internal) || writes.contains_key(internal)
-            });
-            let event = match recv_step(&rx, next) {
+            let event = match recv_step(&rx, self.core.next_deadline()) {
                 Step::Event(e) => e,
                 Step::Expired => {
-                    self.fire_expired();
+                    self.core.fire_expired(&mut self.net);
                     continue;
                 }
                 Step::Closed => break,
             };
             match event {
                 Event::Opened { conn, out } => {
-                    self.conns.insert(conn, out);
+                    self.net.conns.insert(conn, out);
                 }
-                Event::Inbound { conn, msg } => self.on_msg(conn, msg),
+                Event::Inbound { conn, msg } => self.core.on_msg(&mut self.net, conn, msg),
                 Event::Closed { conn } => {
-                    self.conns.remove(&conn);
+                    self.net.conns.remove(&conn);
                 }
                 Event::PeerUp { peer, out } => {
-                    if let Some(slot) = self.peer_links.get_mut(peer) {
+                    if let Some(slot) = self.net.peer_links.get_mut(peer) {
                         *slot = Some(out);
                     }
                 }
                 Event::PeerDown { peer } => {
-                    if let Some(slot) = self.peer_links.get_mut(peer) {
+                    if let Some(slot) = self.net.peer_links.get_mut(peer) {
                         *slot = None;
                     }
                 }
                 Event::Shutdown => break,
             }
         }
-        for (_, out) in self.conns.drain() {
+        for (_, out) in self.net.conns.drain() {
             out.kill();
         }
-        for link in self.peer_links.iter().flatten() {
+        for link in self.net.peer_links.iter().flatten() {
             link.kill();
-        }
-    }
-
-    fn fire_expired(&mut self) {
-        let mut failed = Vec::new();
-        let reads = &mut self.reads;
-        let writes = &mut self.writes;
-        self.deadlines.fire_expired(Instant::now(), |internal| {
-            let hit = reads
-                .remove(&internal)
-                .map(|st| (st.client_conn, st.client_op))
-                .or_else(|| {
-                    writes
-                        .remove(&internal)
-                        .map(|st| (st.client_conn, st.client_op))
-                });
-            failed.extend(hit);
-        });
-        for (conn, op) in failed {
-            self.send_to(
-                conn,
-                &Msg::OpFailed {
-                    op,
-                    reason: FailReason::Timeout,
-                },
-            );
-        }
-    }
-
-    fn now_version(&self) -> Version {
-        let ts = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
-        Version {
-            ts,
-            writer: self.cfg.id,
-        }
-    }
-
-    fn mint_internal(&mut self) -> (u64, OpId) {
-        let internal = self.next_internal;
-        self.next_internal += 1;
-        // Peer traffic op ids: this replica's id in the client slot, the
-        // internal counter in the sequence slot. Unique per coordinator,
-        // and coordinators' ids are unique per deployment.
-        (
-            internal,
-            OpId {
-                client: NodeId(self.cfg.id as usize),
-                seq: internal,
-            },
-        )
-    }
-
-    fn send_to(&self, conn: u64, msg: &Msg) {
-        if let Some(out) = self.conns.get(&conn) {
-            out.send(msg);
-        }
-    }
-
-    fn broadcast_peers(&self, msg: &Msg) {
-        for link in self.peer_links.iter().flatten() {
-            link.send(msg);
-        }
-    }
-
-    fn arm(&mut self, internal: u64) {
-        self.deadlines
-            .arm(Instant::now() + self.cfg.op_timeout, internal);
-    }
-
-    fn on_msg(&mut self, conn: u64, msg: Msg) {
-        match msg {
-            Msg::ClientRead { op, key, kind } => self.client_read(conn, op, key, kind),
-            Msg::ClientWrite { op, key, value, w } => self.client_write(conn, op, key, value, w),
-            Msg::PeerRead { op, key } => {
-                let data = self.store.get(key);
-                self.send_to(conn, &Msg::PeerReadResp { op, data });
-            }
-            Msg::PeerReadResp { op, data } => self.peer_read_resp(op, data),
-            Msg::PeerWrite { key, data, ack_op } => {
-                self.store.apply(key, data);
-                if let Some(op) = ack_op {
-                    self.send_to(conn, &Msg::PeerWriteAck { op });
-                }
-            }
-            Msg::PeerWriteAck { op } => self.peer_write_ack(op),
-            // Client-bound replies have no business arriving at a server;
-            // drop them (a confused or hostile peer must not crash us).
-            Msg::ReadReply { .. }
-            | Msg::ReadConfirm { .. }
-            | Msg::WriteReply { .. }
-            | Msg::OpFailed { .. } => {}
-        }
-    }
-
-    fn client_read(&mut self, conn: u64, client_op: OpId, key: Key, kind: ReadKind) {
-        let local = self.store.get(key);
-        let n_replicas = (self.peer_links.len() + 1) as u8;
-        let needed = kind.quorum().clamp(1, n_replicas);
-
-        let mut prelim = None;
-        if kind.is_icg() {
-            // Preliminary flush: leak local state before coordinating.
-            prelim = Some(local.version);
-            self.send_to(
-                conn,
-                &Msg::ReadReply {
-                    op: client_op,
-                    phase: Phase::Preliminary,
-                    data: local.clone(),
-                },
-            );
-        }
-
-        if needed <= 1 {
-            self.reply_read_final(conn, client_op, kind, prelim, local);
-            return;
-        }
-
-        let (internal, peer_op) = self.mint_internal();
-        // Fan out to every peer and complete at the first R-1 responses —
-        // availability under a dead replica (see the module docs). Even
-        // when too few links are currently live to ever reach the
-        // quorum, the op stays pending: a peer may come back within the
-        // timeout, and the deadline converts it into OpFailed otherwise.
-        self.broadcast_peers(&Msg::PeerRead { op: peer_op, key });
-        self.reads.insert(
-            internal,
-            ReadSt {
-                client_conn: conn,
-                client_op,
-                kind,
-                key,
-                best: local,
-                responses: 1,
-                needed,
-                prelim,
-            },
-        );
-        self.arm(internal);
-    }
-
-    fn reply_read_final(
-        &mut self,
-        conn: u64,
-        op: OpId,
-        kind: ReadKind,
-        prelim: Option<Version>,
-        best: Versioned,
-    ) {
-        let msg = match kind {
-            ReadKind::Icg { confirm: true, .. } if prelim == Some(best.version) => {
-                Msg::ReadConfirm {
-                    op,
-                    version: best.version,
-                }
-            }
-            ReadKind::Icg { .. } => Msg::ReadReply {
-                op,
-                phase: Phase::Final,
-                data: best,
-            },
-            ReadKind::Single { .. } => Msg::ReadReply {
-                op,
-                phase: Phase::Single,
-                data: best,
-            },
-        };
-        self.send_to(conn, &msg);
-    }
-
-    fn peer_read_resp(&mut self, peer_op: OpId, data: Versioned) {
-        // Only answers to our own requests are meaningful.
-        if peer_op.client != NodeId(self.cfg.id as usize) {
-            return;
-        }
-        let internal = peer_op.seq;
-        let Some(st) = self.reads.get_mut(&internal) else {
-            return; // late response after completion or timeout
-        };
-        st.responses += 1;
-        if data.version > st.best.version {
-            st.best = data;
-        }
-        if st.responses < st.needed {
-            return;
-        }
-        let Some(st) = self.reads.remove(&internal) else {
-            return;
-        };
-        // Adopt the winning version locally: later preliminary
-        // flushes serve it, and convergence after quiescence holds
-        // even if this coordinator missed the original write.
-        if st.best.version > self.store.version_of(st.key) {
-            self.store.apply(st.key, st.best.clone());
-        }
-        self.reply_read_final(st.client_conn, st.client_op, st.kind, st.prelim, st.best);
-    }
-
-    fn client_write(
-        &mut self,
-        conn: u64,
-        client_op: OpId,
-        key: Key,
-        value: quorumstore::types::Value,
-        w: u8,
-    ) {
-        let data = Versioned {
-            value,
-            version: self.now_version(),
-        };
-        self.store.apply(key, data.clone());
-        let acks_needed = w.saturating_sub(1).min(self.peer_links.len() as u8);
-        if acks_needed == 0 {
-            // W = 1 (the paper's setting): acknowledge immediately,
-            // propagate in the background.
-            self.broadcast_peers(&Msg::PeerWrite {
-                key,
-                data,
-                ack_op: None,
-            });
-            self.send_to(conn, &Msg::WriteReply { op: client_op });
-            return;
-        }
-        let (internal, peer_op) = self.mint_internal();
-        self.broadcast_peers(&Msg::PeerWrite {
-            key,
-            data,
-            ack_op: Some(peer_op),
-        });
-        self.writes.insert(
-            internal,
-            WriteSt {
-                client_conn: conn,
-                client_op,
-                acks_left: acks_needed,
-            },
-        );
-        self.arm(internal);
-    }
-
-    fn peer_write_ack(&mut self, peer_op: OpId) {
-        if peer_op.client != NodeId(self.cfg.id as usize) {
-            return;
-        }
-        let internal = peer_op.seq;
-        let finished = match self.writes.get_mut(&internal) {
-            Some(st) => {
-                st.acks_left = st.acks_left.saturating_sub(1);
-                st.acks_left == 0
-            }
-            None => false,
-        };
-        if finished {
-            if let Some(st) = self.writes.remove(&internal) {
-                self.send_to(st.client_conn, &Msg::WriteReply { op: st.client_op });
-            }
         }
     }
 }

@@ -27,6 +27,26 @@ use std::thread::JoinHandle;
 use crate::frame::{encode_frame, read_frame, FrameError};
 use crate::wire::Wire;
 
+/// Which I/O engine serves a replica's or binding's sockets.
+///
+/// Both engines speak the identical wire protocol and share the same
+/// protocol core (`crate::protocol`) — the choice only affects the
+/// threading model. The blocking engine remains selectable for one
+/// release while the reactor soaks in production; it will be removed
+/// once the reactor has a release of mileage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// The epoll reactor (icg-net v2): a fixed set of event-loop
+    /// threads multiplexing all connections. Scales to tens of
+    /// thousands of connections per process.
+    #[default]
+    Reactor,
+    /// The original thread-per-connection engine: one reader and one
+    /// writer thread per socket. Simple, but two OS threads per
+    /// connection is a wall at production connection counts.
+    Blocking,
+}
+
 /// A handle sending messages to one connection through its dedicated
 /// writer thread. Cloning shares the same connection (the stream handle
 /// is behind an `Arc`, so clones cannot fail).

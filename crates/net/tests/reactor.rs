@@ -1,0 +1,398 @@
+//! Integration tests for the epoll reactor transport (PR 8 tentpole):
+//! partial frames across readiness events, write-queue backpressure,
+//! connection churn, peer death mid-frame, multi-loop forwarding, and
+//! the blocking engine staying selectable. Everything here runs over
+//! real loopback sockets against real `ReplicaServer`s.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use correctables::Client;
+use icg_net::frame::{encode_frame, read_frame};
+use icg_net::{
+    spawn_local_cluster, ReplicaHandle, ServerConfig, TcpBinding, TcpConfig, Transport,
+    WIRE_VERSION,
+};
+use quorumstore::types::ReadKind;
+use quorumstore::{Key, Msg, OpId, Phase, StoreOp, Value};
+use simnet::NodeId;
+
+/// Raw-socket client ids live far above binding client ids.
+const RAW_CLIENT: u64 = 50_000;
+
+fn cluster(n: usize) -> Vec<ReplicaHandle> {
+    spawn_local_cluster(n, |id| ServerConfig {
+        id,
+        op_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+}
+
+fn config(replicas: &[ReplicaHandle], client_id: u64) -> TcpConfig {
+    let addrs = replicas.iter().map(|r| r.addr()).collect();
+    let mut cfg = TcpConfig::new(addrs, client_id);
+    cfg.r_strong = replicas.len().min(2) as u8;
+    cfg
+}
+
+fn op(client: u64, seq: u64) -> OpId {
+    OpId {
+        client: NodeId(client as usize),
+        seq,
+    }
+}
+
+fn frame_bytes(msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(msg, &mut out);
+    out
+}
+
+fn shutdown(replicas: Vec<ReplicaHandle>) {
+    for r in &replicas {
+        r.shutdown();
+    }
+}
+
+/// A write and a read dribbled onto the socket one byte at a time: the
+/// frame spans many edge-triggered readiness events and the reactor
+/// must buffer partial prefixes and bodies without losing its place.
+#[test]
+fn partial_frames_across_readiness_events() {
+    let replicas = cluster(1);
+    let mut sock = TcpStream::connect(replicas[0].addr()).expect("connect");
+
+    let write = frame_bytes(&Msg::ClientWrite {
+        op: op(RAW_CLIENT, 1),
+        key: Key::plain(10),
+        value: Value::Opaque(64),
+        w: 1,
+    });
+    for b in &write {
+        sock.write_all(std::slice::from_ref(b)).expect("dribble");
+        thread::sleep(Duration::from_millis(1));
+    }
+    let mut scratch = Vec::new();
+    let reply = read_frame::<Msg>(&mut sock, &mut scratch)
+        .expect("read reply")
+        .expect("reply frame");
+    assert_eq!(
+        reply,
+        Msg::WriteReply {
+            op: op(RAW_CLIENT, 1)
+        }
+    );
+
+    // Read it back, split into two arbitrary chunks.
+    let read = frame_bytes(&Msg::ClientRead {
+        op: op(RAW_CLIENT, 2),
+        key: Key::plain(10),
+        kind: ReadKind::Single { r: 1 },
+    });
+    let (a, b) = read.split_at(7);
+    sock.write_all(a).expect("first half");
+    thread::sleep(Duration::from_millis(10));
+    sock.write_all(b).expect("second half");
+    match read_frame::<Msg>(&mut sock, &mut scratch)
+        .expect("read reply")
+        .expect("reply frame")
+    {
+        Msg::ReadReply { op: o, phase, data } => {
+            assert_eq!(o, op(RAW_CLIENT, 2));
+            assert_eq!(phase, Phase::Single);
+            assert_eq!(data.value, Value::Opaque(64));
+        }
+        other => panic!("want ReadReply, got {other:?}"),
+    }
+    shutdown(replicas);
+}
+
+/// Two requests coalesced into one TCP segment: a single readiness
+/// event must dispatch both frames, in order.
+#[test]
+fn coalesced_frames_dispatch_in_order() {
+    let replicas = cluster(1);
+    let mut sock = TcpStream::connect(replicas[0].addr()).expect("connect");
+
+    let mut batch = frame_bytes(&Msg::ClientWrite {
+        op: op(RAW_CLIENT + 1, 1),
+        key: Key::plain(11),
+        value: Value::Opaque(32),
+        w: 1,
+    });
+    batch.extend(frame_bytes(&Msg::ClientRead {
+        op: op(RAW_CLIENT + 1, 2),
+        key: Key::plain(11),
+        kind: ReadKind::Single { r: 1 },
+    }));
+    sock.write_all(&batch).expect("batch");
+
+    let mut scratch = Vec::new();
+    let first = read_frame::<Msg>(&mut sock, &mut scratch)
+        .expect("read")
+        .expect("frame");
+    assert_eq!(
+        first,
+        Msg::WriteReply {
+            op: op(RAW_CLIENT + 1, 1)
+        }
+    );
+    match read_frame::<Msg>(&mut sock, &mut scratch)
+        .expect("read")
+        .expect("frame")
+    {
+        Msg::ReadReply { op: o, data, .. } => {
+            assert_eq!(o, op(RAW_CLIENT + 1, 2));
+            assert_eq!(data.value, Value::Opaque(32));
+        }
+        other => panic!("want ReadReply, got {other:?}"),
+    }
+    shutdown(replicas);
+}
+
+/// A client that pipelines reads of a ~1 MiB record without ever
+/// draining replies. The write queue must hit its cap and the server
+/// must shed the connection instead of buffering without bound — and
+/// keep serving everyone else afterwards.
+#[test]
+fn write_queue_backpressure_sheds_slow_reader() {
+    let replicas = cluster(1);
+
+    // Store a record whose read replies are ~1 MiB each.
+    let big = Value::Ids(vec![7; 128 * 1024]);
+    let mut sock = TcpStream::connect(replicas[0].addr()).expect("connect");
+    sock.write_all(&frame_bytes(&Msg::ClientWrite {
+        op: op(RAW_CLIENT + 2, 1),
+        key: Key::plain(12),
+        value: big.clone(),
+        w: 1,
+    }))
+    .expect("write big");
+    let mut scratch = Vec::new();
+    read_frame::<Msg>(&mut sock, &mut scratch)
+        .expect("ack")
+        .expect("ack frame");
+
+    // 24 pipelined reads -> ~24 MiB of replies against a 4 MiB cap.
+    const READS: u64 = 24;
+    for seq in 0..READS {
+        sock.write_all(&frame_bytes(&Msg::ClientRead {
+            op: op(RAW_CLIENT + 2, 100 + seq),
+            key: Key::plain(12),
+            kind: ReadKind::Single { r: 1 },
+        }))
+        .expect("pipelined read");
+    }
+    // Let the server run into the cap before we drain anything.
+    thread::sleep(Duration::from_millis(300));
+    let mut delivered = 0u64;
+    loop {
+        match read_frame::<Msg>(&mut sock, &mut scratch) {
+            Ok(Some(_)) => delivered += 1,
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+    assert!(
+        delivered < READS,
+        "server delivered all {READS} pipelined replies — backpressure cap never fired"
+    );
+
+    // The shed connection must not take the server down.
+    let binding = TcpBinding::connect(config(&replicas, 1500)).expect("connect");
+    let client = Client::new(binding.clone());
+    let view = client
+        .invoke_strong(StoreOp::Read(Key::plain(12)))
+        .wait_final(Duration::from_secs(5))
+        .expect("server still serves");
+    assert_eq!(view.value.value, big);
+    binding.shutdown();
+    shutdown(replicas);
+}
+
+/// A peer that dies mid-frame (length prefix promises more than it ever
+/// sends) and a peer that sends a wrong version byte: both connections
+/// are dropped without disturbing the replica.
+#[test]
+fn death_mid_frame_and_bad_version_are_contained() {
+    let replicas = cluster(1);
+
+    // Half a frame, then a hard close.
+    let mut truncated = TcpStream::connect(replicas[0].addr()).expect("connect");
+    let mut partial = 100u32.to_le_bytes().to_vec();
+    partial.push(WIRE_VERSION);
+    partial.extend_from_slice(&[1, 2, 3, 4, 5]);
+    truncated.write_all(&partial).expect("partial frame");
+    drop(truncated);
+
+    // A well-formed length prefix around an unknown protocol version.
+    let mut wrong_ver = TcpStream::connect(replicas[0].addr()).expect("connect");
+    let mut bad = 4u32.to_le_bytes().to_vec();
+    bad.push(WIRE_VERSION.wrapping_add(1));
+    bad.extend_from_slice(&[0, 0, 0]);
+    wrong_ver.write_all(&bad).expect("bad version frame");
+    // The server must close on us (read returns EOF/reset), not reply.
+    wrong_ver
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut buf = [0u8; 16];
+    match wrong_ver.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("server answered a bad-version frame with {n} bytes"),
+    }
+
+    // The replica still serves well-behaved traffic.
+    let binding = TcpBinding::connect(config(&replicas, 1501)).expect("connect");
+    let client = Client::new(binding.clone());
+    client
+        .invoke_strong(StoreOp::Write(Key::plain(13), Value::Opaque(8)))
+        .wait_final(Duration::from_secs(5))
+        .expect("write after garbage");
+    binding.shutdown();
+    shutdown(replicas);
+}
+
+/// Mass connect/disconnect churn — sudden drops, half frames, and full
+/// request/reply cycles interleaved from several threads — must leave
+/// the replica fully functional.
+#[test]
+fn connection_churn_leaves_the_server_healthy() {
+    let replicas = cluster(1);
+    let addr = replicas[0].addr();
+
+    let churners: Vec<_> = (0..3)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..50u64 {
+                    let Ok(mut sock) = TcpStream::connect(addr) else {
+                        panic!("churn connect failed");
+                    };
+                    match i % 3 {
+                        0 => {} // connect and vanish
+                        1 => {
+                            // die mid-frame
+                            let _ = sock.write_all(&[40, 0, 0, 0, WIRE_VERSION, 9]);
+                        }
+                        _ => {
+                            // full request/reply cycle
+                            sock.write_all(&frame_bytes(&Msg::ClientRead {
+                                op: op(RAW_CLIENT + 10 + t, i),
+                                key: Key::plain(1),
+                                kind: ReadKind::Single { r: 1 },
+                            }))
+                            .expect("churn read");
+                            let mut scratch = Vec::new();
+                            read_frame::<Msg>(&mut sock, &mut scratch)
+                                .expect("churn reply")
+                                .expect("churn reply frame");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in churners {
+        c.join().expect("churner");
+    }
+
+    let binding = TcpBinding::connect(config(&replicas, 1502)).expect("connect");
+    let client = Client::new(binding.clone());
+    client
+        .invoke_strong(StoreOp::Write(Key::plain(14), Value::Opaque(8)))
+        .wait_final(Duration::from_secs(5))
+        .expect("write after churn");
+    let view = client
+        .invoke_strong(StoreOp::Read(Key::plain(14)))
+        .wait_final(Duration::from_secs(5))
+        .expect("read after churn");
+    assert_eq!(view.value.value, Value::Opaque(8));
+    binding.shutdown();
+    shutdown(replicas);
+}
+
+/// `loops > 1`: client connections round-robin across event loops and
+/// the forwarding loops relay decoded frames to the protocol loop.
+/// Several clients running full write/strong-read cycles must see
+/// exactly their own data back.
+#[test]
+fn multi_loop_forwarding_round_trips() {
+    let replicas = spawn_local_cluster(3, |id| ServerConfig {
+        id,
+        op_timeout: Duration::from_secs(2),
+        loops: 2,
+        ..ServerConfig::default()
+    });
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|c| {
+            let cfg = config(&replicas, 1600 + c);
+            thread::spawn(move || {
+                let binding = TcpBinding::connect(cfg).expect("connect");
+                let client = Client::new(binding.clone());
+                for k in 0..6u64 {
+                    let key = Key::plain(1000 + c * 100 + k);
+                    client
+                        .invoke_strong(StoreOp::Write(key, Value::Opaque(16 + c as u32)))
+                        .wait_final(Duration::from_secs(5))
+                        .expect("write");
+                    let view = client
+                        .invoke_strong(StoreOp::Read(key))
+                        .wait_final(Duration::from_secs(5))
+                        .expect("strong read");
+                    assert_eq!(view.value.value, Value::Opaque(16 + c as u32));
+                }
+                binding.shutdown();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    shutdown(replicas);
+}
+
+/// The blocking engine stays selectable end to end: a cluster and a
+/// binding both pinned to `Transport::Blocking` still round-trip.
+#[test]
+fn blocking_transport_remains_selectable() {
+    let replicas = spawn_local_cluster(3, |id| ServerConfig {
+        id,
+        op_timeout: Duration::from_secs(2),
+        transport: Transport::Blocking,
+        ..ServerConfig::default()
+    });
+    let mut cfg = config(&replicas, 1700);
+    cfg.transport = Transport::Blocking;
+    let binding = TcpBinding::connect(cfg).expect("connect");
+    let client = Client::new(binding.clone());
+    client
+        .invoke_strong(StoreOp::Write(Key::plain(15), Value::Opaque(24)))
+        .wait_final(Duration::from_secs(5))
+        .expect("write");
+    let view = client
+        .invoke_strong(StoreOp::Read(Key::plain(15)))
+        .wait_final(Duration::from_secs(5))
+        .expect("read");
+    assert_eq!(view.value.value, Value::Opaque(24));
+    binding.shutdown();
+    shutdown(replicas);
+}
+
+/// A reactor binding pointed at dead addresses fails fast with a
+/// connect error instead of hanging.
+#[test]
+fn reactor_binding_fails_fast_on_dead_replicas() {
+    // Bind-then-drop to get a port nobody is listening on.
+    let dead: SocketAddr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    };
+    let mut cfg = TcpConfig::new(vec![dead], 1800);
+    cfg.connect_timeout = Duration::from_millis(200);
+    assert!(
+        TcpBinding::connect(cfg).is_err(),
+        "connect to a dead replica set must error"
+    );
+}

@@ -4,32 +4,42 @@
 # one-command proof that the deployment layer serves real traffic —
 # CI's net-smoke step runs it with --quick.
 #
-# Usage: scripts/cluster_demo.sh [--quick] [--kill]
-#   --quick   abbreviated run (CI): fewer clients/ops, skips the ICG
-#             latency-comparison pass
-#   --kill    crash one replica mid-demo and run a second loadgen pass
-#             against the surviving quorum (R=2 of 3 stays available)
+# Usage: scripts/cluster_demo.sh [--quick] [--kill] [--transport reactor|blocking]
+#   --quick      abbreviated run (CI): fewer clients/ops, skips the ICG
+#                latency-comparison pass
+#   --kill       crash one replica mid-demo and run a second loadgen pass
+#                against the surviving quorum (R=2 of 3 stays available)
+#   --transport  I/O engine for both replicas and clients (default: the
+#                epoll reactor)
 #
-# Ports: three consecutive ports starting at ICG_DEMO_PORT (default
-# 47611). Override if they clash: ICG_DEMO_PORT=5000 scripts/cluster_demo.sh
+# Ports: by default three free ports are probed from a randomized base,
+# and boot is retried on a fresh base if another process steals one in
+# the window between probe and bind — parallel CI jobs no longer flake
+# on collisions. ICG_DEMO_PORT=5000 pins the base port (no reprobe).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUICK=0
 KILL=0
-for arg in "$@"; do
-    case "$arg" in
+TRANSPORT=reactor
+while [ $# -gt 0 ]; do
+    case "$1" in
         --quick) QUICK=1 ;;
         --kill) KILL=1 ;;
-        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+        --transport)
+            shift
+            [ $# -gt 0 ] || { echo "--transport needs a value" >&2; exit 2; }
+            TRANSPORT="$1"
+            ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
+    shift
 done
-
-BASE_PORT="${ICG_DEMO_PORT:-47611}"
-P0="127.0.0.1:$BASE_PORT"
-P1="127.0.0.1:$((BASE_PORT + 1))"
-P2="127.0.0.1:$((BASE_PORT + 2))"
+case "$TRANSPORT" in
+    reactor|blocking) ;;
+    *) echo "--transport must be reactor|blocking, got '$TRANSPORT'" >&2; exit 2 ;;
+esac
 
 if [ "$QUICK" = 1 ]; then
     CLIENTS=2 OPS=300 KEYS=200
@@ -52,26 +62,93 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "=== booting 3 replicas on $P0 $P1 $P2 ==="
-"$REPLICAD" --id 0 --listen "$P0" --peers "$P1,$P2" & pids+=($!)
-"$REPLICAD" --id 1 --listen "$P1" --peers "$P0,$P2" & pids+=($!)
-"$REPLICAD" --id 2 --listen "$P2" --peers "$P0,$P1" & pids+=($!)
-# loadgen retries its initial dial for up to 10 s, so no sleep-and-hope
-# is needed; the replicas come up in milliseconds.
+# True iff nothing on loopback accepts a connection to $1.
+port_free() {
+    ! (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null
+}
+
+# Picks BASE_PORT: the pinned ICG_DEMO_PORT, or a random base whose
+# three consecutive ports all look free right now.
+pick_base() {
+    if [ -n "${ICG_DEMO_PORT:-}" ]; then
+        BASE_PORT="$ICG_DEMO_PORT"
+        return
+    fi
+    for _ in $(seq 1 20); do
+        BASE_PORT=$((20000 + RANDOM % 40000))
+        if port_free "$BASE_PORT" && port_free $((BASE_PORT + 1)) \
+            && port_free $((BASE_PORT + 2)); then
+            return
+        fi
+    done
+    echo "cannot find three free loopback ports" >&2
+    exit 1
+}
+
+# Boots the 3 replicas on $BASE_PORT.. and waits until all of them
+# accept connections. Returns nonzero if any replica dies first (port
+# stolen between probe and bind).
+boot_cluster() {
+    P0="127.0.0.1:$BASE_PORT"
+    P1="127.0.0.1:$((BASE_PORT + 1))"
+    P2="127.0.0.1:$((BASE_PORT + 2))"
+    echo "=== booting 3 replicas on $P0 $P1 $P2 (transport: $TRANSPORT) ==="
+    "$REPLICAD" --id 0 --listen "$P0" --peers "$P1,$P2" --transport "$TRANSPORT" & pids+=($!)
+    "$REPLICAD" --id 1 --listen "$P1" --peers "$P0,$P2" --transport "$TRANSPORT" & pids+=($!)
+    "$REPLICAD" --id 2 --listen "$P2" --peers "$P0,$P1" --transport "$TRANSPORT" & pids+=($!)
+    for i in $(seq 0 49); do
+        alive=1
+        for pid in "${pids[@]}"; do
+            kill -0 "$pid" 2>/dev/null || alive=0
+        done
+        if [ "$alive" = 0 ]; then
+            return 1
+        fi
+        if ! port_free "$BASE_PORT" && ! port_free $((BASE_PORT + 1)) \
+            && ! port_free $((BASE_PORT + 2)); then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "replicas did not become ready within 5s" >&2
+    return 1
+}
+
+booted=0
+for attempt in 1 2 3; do
+    pick_base
+    if boot_cluster; then
+        booted=1
+        break
+    fi
+    echo "boot attempt $attempt lost a port race; retrying on a fresh base" >&2
+    cleanup
+    pids=()
+    # A pinned base has nowhere else to go — fail loudly instead of
+    # fighting the squatter.
+    if [ -n "${ICG_DEMO_PORT:-}" ]; then
+        echo "ICG_DEMO_PORT=$ICG_DEMO_PORT is in use" >&2
+        exit 1
+    fi
+done
+if [ "$booted" = 0 ]; then
+    echo "could not boot the cluster after 3 attempts" >&2
+    exit 1
+fi
 
 echo "=== closed-loop ICG load ($CLIENTS clients x $OPS ops, zipfian over $KEYS keys) ==="
-"$LOADGEN" --replicas "$P0,$P1,$P2" \
+"$LOADGEN" --replicas "$P0,$P1,$P2" --transport "$TRANSPORT" \
     --clients "$CLIENTS" --ops "$OPS" --keys "$KEYS" --write-ratio 0.1
 
 if [ "$QUICK" = 0 ]; then
     echo "=== same load, confirmation optimization (*CC) on ==="
-    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload \
+    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload --transport "$TRANSPORT" \
         --clients "$CLIENTS" --ops "$OPS" --keys "$KEYS" --write-ratio 0.1 --confirm
 
     echo "=== single-level baselines (weak-only, strong-only reads) ==="
-    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload \
+    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload --transport "$TRANSPORT" \
         --clients "$CLIENTS" --ops "$OPS" --keys "$KEYS" --write-ratio 0.1 --mode weak
-    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload \
+    "$LOADGEN" --replicas "$P0,$P1,$P2" --no-preload --transport "$TRANSPORT" \
         --clients "$CLIENTS" --ops "$OPS" --keys "$KEYS" --write-ratio 0.1 --mode strong
 fi
 
@@ -81,7 +158,7 @@ if [ "$KILL" = 1 ]; then
     # Clients may lose in-flight replies when connections die; allow a
     # handful of failures, require the rest to complete at R=2 of the
     # two survivors.
-    "$LOADGEN" --replicas "$P0,$P1" --no-preload \
+    "$LOADGEN" --replicas "$P0,$P1" --no-preload --transport "$TRANSPORT" \
         --clients "$CLIENTS" --ops "$OPS" --keys "$KEYS" --write-ratio 0.1 \
         --allow-failures 10
 fi
