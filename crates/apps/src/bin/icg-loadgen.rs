@@ -23,6 +23,16 @@
 //!     --rate 15000 --duration-secs 20 [--bench-json lines.jsonl]
 //! ```
 //!
+//! **Spec-store loop** (`--levels weak,update,causal,strong`): drives
+//! the version-2 spec store through `TcpSpecBinding` instead of the
+//! quorum store, requesting exactly the named consistency levels on
+//! every operation. Each view is timed at its own level, so the report
+//! shows the full refinement staircase — e.g. how much sooner an
+//! `update` view lands than the `causal` and `strong` views behind it.
+//! Level names resolve through the registry, so a custom level a
+//! deployment registered (and the replicas advertise in their handshake
+//! directory) works here with no loadgen changes.
+//!
 //! `--bench-json FILE` appends per-run records in the perf-gate JSONL
 //! schema (`{"suite","benchmark","mean_ns",...}`) so `perf_gate merge`
 //! folds socket-level results into the committed `BENCH_*.json`
@@ -39,9 +49,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use icg_apps::cli::{die, Flags};
-use icg_net::{TcpBinding, TcpConfig, Transport};
+use icg_net::{SpecOp, SpecTcpConfig, TcpBinding, TcpConfig, TcpSpecBinding, Transport};
 
-use correctables::{Client, ConsistencyLevel};
+use correctables::spec::RegOp;
+use correctables::{Client, ConsistencyLevel, LevelSelection};
 use parking_lot::Mutex;
 use quorumstore::{Key, StoreOp, Value};
 use rand::rngs::SmallRng;
@@ -55,6 +66,7 @@ const KNOWN: &[&str] = &[
     "keys",
     "write-ratio",
     "mode",
+    "levels",
     "confirm",
     "r",
     "value-bytes",
@@ -77,13 +89,17 @@ const USAGE: &str = "icg-loadgen --replicas ADDR,ADDR,... [--clients 4] [--ops 2
     [--r 2] [--value-bytes 128] [--timeout-ms 2000] [--seed 42]
     [--no-preload] [--allow-failures N] [--transport reactor|blocking]
     [--open-loop --connections 1000 --rate 5000 --duration-secs 10]
+    [--levels weak,update,causal,strong]
     [--bench-json FILE] [--bench-name NAME]
 
 Zipfian load against a TCP replica set; prints p50/p95/p99 per
 consistency level. --mode icg (default) requests weak+strong on every
 read (preliminary flush + quorum view); weak/strong request a single
 level. --open-loop issues at a fixed aggregate --rate across
---connections bindings for --duration-secs, independent of completions.";
+--connections bindings for --duration-secs, independent of completions.
+--levels switches to the spec-store workload: every operation requests
+exactly the named levels (registry names, so custom levels work) and
+each view is timed at its own level.";
 
 /// One recorded view latency, tagged with its consistency level.
 struct Sample {
@@ -207,6 +223,32 @@ fn main() {
     };
     let open_loop = flags.has("open-loop");
     let bench_json = flags.get_or("bench-json", "");
+    // --levels NAMES selects the spec-store workload; each name must
+    // resolve in the level registry (builtins are pre-registered, custom
+    // levels come from the deployment's own registration).
+    let spec_levels: Option<Vec<ConsistencyLevel>> = {
+        let raw = flags.get_or("levels", "");
+        if raw.is_empty() {
+            None
+        } else {
+            let parsed: Vec<ConsistencyLevel> = raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|name| {
+                    ConsistencyLevel::lookup(name).unwrap_or_else(|| {
+                        die(&format!("--levels: '{name}' is not a registered level"))
+                    })
+                })
+                .collect();
+            if let Err(e) = correctables::LevelSet::try_of(&parsed) {
+                die(&format!("--levels: {e}"));
+            }
+            Some(parsed)
+        }
+    };
+    if spec_levels.is_some() && open_loop {
+        die("--levels (spec-store workload) is closed-loop only; drop --open-loop");
+    }
 
     // Client ids live past the replica-id space (replicas use 0..n).
     let client_id_base: u64 = 1 << 20;
@@ -233,7 +275,9 @@ fn main() {
     };
 
     // Preload: every key written once so reads return real records.
-    if !flags.has("no-preload") {
+    // The spec store starts empty by design (unknown keys read 0), so
+    // the spec workload skips it.
+    if !flags.has("no-preload") && spec_levels.is_none() {
         let binding = connect(client_id_base - 1);
         let client = Client::new(binding.clone());
         for k in 0..keys {
@@ -246,7 +290,19 @@ fn main() {
         eprintln!("preloaded {keys} keys");
     }
 
-    let (samples, issued, failures, elapsed) = if open_loop {
+    let (samples, issued, failures, elapsed) = if let Some(levels) = &spec_levels {
+        run_spec_loop(
+            &replicas,
+            levels,
+            clients,
+            ops_per_client,
+            keys,
+            write_ratio,
+            seed,
+            timeout,
+            client_id_base,
+        )
+    } else if open_loop {
         run_open_loop(
             &flags,
             connect,
@@ -307,6 +363,8 @@ fn main() {
     if !bench_json.is_empty() {
         let default_name = if open_loop {
             format!("open-{}c", flags.get_u64("connections", 64))
+        } else if spec_levels.is_some() {
+            format!("spec-{clients}c")
         } else {
             format!("closed-{clients}c")
         };
@@ -418,6 +476,116 @@ fn run_closed_loop(
     (samples, total, failed, elapsed)
 }
 
+/// The spec-store driver: a closed loop over `TcpSpecBinding`, every
+/// operation a Register read or write requesting exactly the named
+/// levels. Each view is recorded at its own level, so the report shows
+/// the whole refinement staircase (e.g. update landing well before
+/// causal and strong).
+#[allow(clippy::too_many_arguments)]
+fn run_spec_loop(
+    replicas: &[SocketAddr],
+    levels: &[ConsistencyLevel],
+    clients: u64,
+    ops_per_client: u64,
+    keys: u64,
+    write_ratio: f64,
+    seed: u64,
+    timeout: Duration,
+    client_id_base: u64,
+) -> (Vec<Sample>, u64, u64, Duration) {
+    let connect = |client_id: u64, addr: SocketAddr| -> TcpSpecBinding {
+        let mut cfg = SpecTcpConfig::new(addr, client_id);
+        cfg.op_timeout = timeout;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpSpecBinding::connect(cfg) {
+                Ok(b) => return b,
+                Err(e) if Instant::now() >= deadline => {
+                    die(&format!("cannot reach replica {addr}: {e}"))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    };
+    // Clients fan out round-robin across the replica set — the spec
+    // binding speaks to one replica, which gossips on their behalf.
+    let bindings: Vec<TcpSpecBinding> = (0..clients)
+        .map(|c| connect(client_id_base + c, replicas[c as usize % replicas.len()]))
+        .collect();
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let failures = Arc::new(Mutex::new(0u64));
+    let selection = LevelSelection::only(levels);
+    let start = Instant::now();
+
+    let mut joins = Vec::new();
+    for (c, binding) in bindings.into_iter().enumerate() {
+        let c = c as u64;
+        let samples = Arc::clone(&samples);
+        let failures = Arc::clone(&failures);
+        let selection = selection.clone();
+        joins.push(std::thread::spawn(move || {
+            let client = Client::new(binding.clone());
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c.wrapping_mul(0x9E37_79B9)));
+            let zipf = Zipfian::new(keys);
+            let mut local: Vec<Sample> = Vec::with_capacity(ops_per_client as usize * 4);
+            let mut failed = 0u64;
+            for _ in 0..ops_per_client {
+                let key = zipf.next(&mut rng);
+                let op = if rng.gen::<f64>() < write_ratio {
+                    SpecOp::Reg(RegOp::Write(key, rng.gen()))
+                } else {
+                    SpecOp::Reg(RegOp::Read(key))
+                };
+                let issued = Instant::now();
+                let corr = client.invoke_with(op, &selection);
+                let prelim_samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+                {
+                    let sink = Arc::clone(&prelim_samples);
+                    corr.on_update(move |view| {
+                        sink.lock().push(Sample {
+                            level: view.level,
+                            micros: issued.elapsed().as_micros() as u64,
+                        });
+                    });
+                }
+                match corr.wait_final(timeout + Duration::from_secs(1)) {
+                    Ok(view) => {
+                        local.append(&mut prelim_samples.lock());
+                        local.push(Sample {
+                            level: view.level,
+                            micros: issued.elapsed().as_micros() as u64,
+                        });
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+            samples.lock().append(&mut local);
+            *failures.lock() += failed;
+            binding.shutdown();
+        }));
+    }
+    for j in joins {
+        j.join().expect("spec client thread");
+    }
+    let elapsed = start.elapsed();
+    let names: Vec<&str> = levels.iter().map(|l| l.name()).collect();
+    println!(
+        "ran {} spec ops over {} clients in {:.2}s (levels {})",
+        clients * ops_per_client,
+        clients,
+        elapsed.as_secs_f64(),
+        names.join(","),
+    );
+    let total = clients * ops_per_client;
+    let failed = *failures.lock();
+    let samples = match Arc::try_unwrap(samples) {
+        Ok(m) => m.into_inner(),
+        Err(arc) => std::mem::take(&mut *arc.lock()),
+    };
+    (samples, total, failed, elapsed)
+}
+
 /// The connection-scaling driver: `--connections` bindings sharing the
 /// reactor's event loops, operations issued at a fixed aggregate
 /// `--rate` without waiting for completions (recorded by callback).
@@ -517,7 +685,7 @@ fn run_open_loop(
                     let sink = Arc::clone(&samples);
                     c.on_update(move |view| {
                         // Preliminary views only; the close lands below.
-                        if view.level == ConsistencyLevel::Weak {
+                        if view.level == ConsistencyLevel::WEAK {
                             sink.lock().push(Sample {
                                 level: view.level,
                                 micros: at.elapsed().as_micros() as u64,

@@ -90,9 +90,9 @@ mod tests {
         reader.store().settle();
         let refreshes = reader.display.lock().clone();
         assert_eq!(refreshes.len(), 3);
-        assert_eq!(refreshes[0].level, ConsistencyLevel::Cache);
-        assert_eq!(refreshes[1].level, ConsistencyLevel::Causal);
-        assert_eq!(refreshes[2].level, ConsistencyLevel::Strong);
+        assert_eq!(refreshes[0].level, ConsistencyLevel::CACHE);
+        assert_eq!(refreshes[1].level, ConsistencyLevel::CAUSAL);
+        assert_eq!(refreshes[2].level, ConsistencyLevel::STRONG);
     }
 
     #[test]

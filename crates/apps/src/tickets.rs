@@ -123,7 +123,7 @@ mod tests {
         // The fast path closes at the weak level.
         assert_eq!(
             p.final_view().unwrap().level,
-            correctables::ConsistencyLevel::Weak
+            correctables::ConsistencyLevel::WEAK
         );
     }
 
@@ -141,7 +141,7 @@ mod tests {
         }
         assert_eq!(
             p.final_view().unwrap().level,
-            correctables::ConsistencyLevel::Strong
+            correctables::ConsistencyLevel::STRONG
         );
     }
 

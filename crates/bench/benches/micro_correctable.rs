@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use correctables::{ConsistencyLevel, Correctable};
+use correctables::{ConsistencyLevel, Correctable, LevelSelection, LevelSet};
 
 fn bench_lifecycle(c: &mut Criterion) {
     c.bench_function("correctable/create+close", |b| {
         b.iter(|| {
             let (c, h) = Correctable::<u64>::pending();
-            h.close(black_box(7), ConsistencyLevel::Strong).unwrap();
+            h.close(black_box(7), ConsistencyLevel::STRONG).unwrap();
             black_box(c.final_view())
         })
     });
@@ -19,8 +19,8 @@ fn bench_lifecycle(c: &mut Criterion) {
     c.bench_function("correctable/update+close", |b| {
         b.iter(|| {
             let (c, h) = Correctable::<u64>::pending();
-            h.update(black_box(1), ConsistencyLevel::Weak).unwrap();
-            h.close(black_box(2), ConsistencyLevel::Strong).unwrap();
+            h.update(black_box(1), ConsistencyLevel::WEAK).unwrap();
+            h.close(black_box(2), ConsistencyLevel::STRONG).unwrap();
             black_box(c.final_view())
         })
     });
@@ -37,8 +37,8 @@ fn bench_lifecycle(c: &mut Criterion) {
             c.on_final(move |v| {
                 s2.fetch_add(v.value, std::sync::atomic::Ordering::Relaxed);
             });
-            h.update(1, ConsistencyLevel::Weak).unwrap();
-            h.close(2, ConsistencyLevel::Strong).unwrap();
+            h.update(1, ConsistencyLevel::WEAK).unwrap();
+            h.close(2, ConsistencyLevel::STRONG).unwrap();
             black_box(sink.load(std::sync::atomic::Ordering::Relaxed))
         })
     });
@@ -47,8 +47,8 @@ fn bench_lifecycle(c: &mut Criterion) {
         b.iter(|| {
             let (c, h) = Correctable::<u64>::pending();
             let out = c.speculate(|x| x * 2);
-            h.update(black_box(21), ConsistencyLevel::Weak).unwrap();
-            h.close(black_box(21), ConsistencyLevel::Strong).unwrap();
+            h.update(black_box(21), ConsistencyLevel::WEAK).unwrap();
+            h.close(black_box(21), ConsistencyLevel::STRONG).unwrap();
             black_box(out.final_view())
         })
     });
@@ -57,9 +57,31 @@ fn bench_lifecycle(c: &mut Criterion) {
         b.iter(|| {
             let (c, h) = Correctable::<u64>::pending();
             let out = c.speculate(|x| x * 2);
-            h.update(black_box(1), ConsistencyLevel::Weak).unwrap();
-            h.close(black_box(2), ConsistencyLevel::Strong).unwrap();
+            h.update(black_box(1), ConsistencyLevel::WEAK).unwrap();
+            h.close(black_box(2), ConsistencyLevel::STRONG).unwrap();
             black_box(out.final_view())
+        })
+    });
+
+    // The per-invoke level-selection path: build an `Only` selection
+    // from a slice and resolve it against a binding's advertised set.
+    // `LevelSet` stores up to six levels inline, so this whole path is
+    // allocation-free — the perf gate keeps it that way.
+    c.bench_function("correctable/selection-only+resolve", |b| {
+        let available = LevelSet::of(&[
+            ConsistencyLevel::WEAK,
+            ConsistencyLevel::UPDATE,
+            ConsistencyLevel::CAUSAL,
+            ConsistencyLevel::STRONG,
+        ]);
+        let want = [
+            ConsistencyLevel::WEAK,
+            ConsistencyLevel::CAUSAL,
+            ConsistencyLevel::STRONG,
+        ];
+        b.iter(|| {
+            let sel = LevelSelection::only(black_box(&want));
+            black_box(sel.resolve(&available).unwrap())
         })
     });
 
@@ -68,7 +90,7 @@ fn bench_lifecycle(c: &mut Criterion) {
             let pairs: Vec<_> = (0..16).map(|_| Correctable::<u64>::pending()).collect();
             let joined = Correctable::join_all(pairs.iter().map(|(c, _)| c.clone()).collect());
             for (i, (_, h)) in pairs.iter().enumerate() {
-                h.close(i as u64, ConsistencyLevel::Strong).unwrap();
+                h.close(i as u64, ConsistencyLevel::STRONG).unwrap();
             }
             black_box(joined.final_view())
         })

@@ -372,6 +372,7 @@ fn write_trajectory(path: &str, suites: &SuiteMap) -> Result<(), String> {
 const DEFAULT_GATES: &[&str] = &[
     "micro_correctable/correctable/update+close",
     "micro_correctable/correctable/callback-dispatch",
+    "micro_correctable/correctable/selection-only+resolve",
     "micro_simnet/simnet/ping-pong-10k-events",
 ];
 

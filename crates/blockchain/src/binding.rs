@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Upcall};
+use correctables::{Binding, ConsistencyLevel, LevelSet, Upcall};
 use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime, Timer, Topology};
 
 use crate::chain::TxId;
@@ -24,14 +24,15 @@ use crate::network::{Miner, Msg};
 /// high probability" — Bitcoin's conventional six).
 pub const FINAL_DEPTH: u64 = 6;
 
-/// The consistency level of a given confirmation depth.
+/// The consistency level of a given confirmation depth. Depths register
+/// lazily in the process-wide level lattice (idempotent — the same
+/// name/rank pair always yields the same level), ranked between CACHE
+/// and WEAK: even six confirmations are probabilistic, not a quorum.
 pub fn conf_level(depth: u64) -> ConsistencyLevel {
     const NAMES: [&str; 6] = ["conf-1", "conf-2", "conf-3", "conf-4", "conf-5", "conf-6"];
     let d = depth.clamp(1, FINAL_DEPTH);
-    ConsistencyLevel::Custom {
-        rank: d as u8,
-        name: NAMES[(d - 1) as usize],
-    }
+    ConsistencyLevel::register(NAMES[(d - 1) as usize], d as u8)
+        .expect("confirmation-depth levels are well-formed")
 }
 
 /// A submitted payment, as seen by the application.
@@ -252,7 +253,7 @@ impl Binding for ChainBinding {
     type Op = TxId;
     type Val = TxStatus;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+    fn consistency_levels(&self) -> LevelSet {
         (1..=FINAL_DEPTH).map(conf_level).collect()
     }
 
@@ -297,7 +298,7 @@ mod tests {
         for d in 1..FINAL_DEPTH {
             assert!(conf_level(d) < conf_level(d + 1));
         }
-        assert!(conf_level(1) > ConsistencyLevel::Cache);
+        assert!(conf_level(1) > ConsistencyLevel::CACHE);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, ObjectId, Upcall};
+use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, LevelSet, ObjectId, Upcall};
 use simnet::{Ctx, Engine, Faults, Node, NodeId, SimDuration, SimTime, SiteId, Timer, Topology};
 
 use crate::store::{CausalReplica, Item, Msg, OpId};
@@ -105,13 +105,13 @@ impl Gateway {
             match q.op {
                 CacheOp::Get(key) => {
                     let mut timing = LevelTiming::default();
-                    if has(ConsistencyLevel::Cache) {
+                    if has(ConsistencyLevel::CACHE) {
                         let hit = self.cache.lock().get(&key).cloned();
                         timing.views.push(("cache", 0.0));
-                        q.upcall.deliver(hit, ConsistencyLevel::Cache);
+                        q.upcall.deliver(hit, ConsistencyLevel::CACHE);
                     }
-                    let want_causal = has(ConsistencyLevel::Causal);
-                    let want_strong = has(ConsistencyLevel::Strong);
+                    let want_causal = has(ConsistencyLevel::CAUSAL);
+                    let want_strong = has(ConsistencyLevel::STRONG);
                     if !want_causal && !want_strong {
                         self.timings.lock().push(timing);
                         continue;
@@ -224,9 +224,9 @@ impl Node<Msg> for Gateway {
                 });
                 if let Some((key, up, finished)) = action {
                     let level = if from_primary {
-                        ConsistencyLevel::Strong
+                        ConsistencyLevel::STRONG
                     } else {
-                        ConsistencyLevel::Causal
+                        ConsistencyLevel::CAUSAL
                     };
                     self.refresh_cache(&key, &data);
                     up.deliver(data, level);
@@ -250,7 +250,7 @@ impl Node<Msg> for Gateway {
                         },
                     );
                     p.upcall
-                        .deliver(Some(Item { rev, items }), ConsistencyLevel::Strong);
+                        .deliver(Some(Item { rev, items }), ConsistencyLevel::STRONG);
                     self.timings.lock().push(p.timing);
                 }
             }
@@ -521,12 +521,12 @@ impl Binding for CausalBinding {
     type Op = CacheOp;
     type Val = Option<Item>;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![
-            ConsistencyLevel::Cache,
-            ConsistencyLevel::Causal,
-            ConsistencyLevel::Strong,
-        ]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[
+            ConsistencyLevel::CACHE,
+            ConsistencyLevel::CAUSAL,
+            ConsistencyLevel::STRONG,
+        ])
     }
 
     fn submit(&self, op: CacheOp, levels: &[ConsistencyLevel], upcall: Upcall<Option<Item>>) {
@@ -552,9 +552,9 @@ mod tests {
         s.settle();
         let prelims = c.preliminary_views();
         assert_eq!(prelims.len(), 2);
-        assert_eq!(prelims[0].level, ConsistencyLevel::Cache);
-        assert_eq!(prelims[1].level, ConsistencyLevel::Causal);
-        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        assert_eq!(prelims[0].level, ConsistencyLevel::CACHE);
+        assert_eq!(prelims[1].level, ConsistencyLevel::CAUSAL);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::STRONG);
         // Cache is instant; causal ~RTT(IRL, FRK); strong ~RTT(IRL, VRG).
         let t = &s.timings()[0];
         assert_eq!(t.views[0], ("cache", 0.0));
@@ -622,7 +622,7 @@ mod tests {
         let c = client.invoke_weak(CacheOp::Get("k".into()));
         s.settle();
         let v = c.final_view().unwrap();
-        assert_eq!(v.level, ConsistencyLevel::Cache);
+        assert_eq!(v.level, ConsistencyLevel::CACHE);
         assert_eq!(v.value.map(|i| i.items), Some(vec![5]));
     }
 }

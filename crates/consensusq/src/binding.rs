@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Error, Upcall};
+use correctables::{Binding, ConsistencyLevel, Error, LevelSet, Upcall};
 use simnet::{Ctx, Faults, Node, NodeId, SimDuration, SimTime, SiteId, Timer, Topology};
 
 use crate::cluster::ZkCluster;
@@ -193,7 +193,7 @@ impl Node<Msg> for Gateway {
                 if let Some(p) = self.pending.get_mut(&op) {
                     p.prelim_at = Some(ctx.now());
                     let up = p.upcall.clone();
-                    up.deliver(QueueView::from_txn(&result), ConsistencyLevel::Weak);
+                    up.deliver(QueueView::from_txn(&result), ConsistencyLevel::WEAK);
                 }
             }
             Msg::FinalResp { op, result } => {
@@ -203,7 +203,7 @@ impl Node<Msg> for Gateway {
                         final_ms: ctx.now().since(p.start).as_millis_f64(),
                     });
                     p.upcall
-                        .deliver(QueueView::from_txn(&result), ConsistencyLevel::Strong);
+                        .deliver(QueueView::from_txn(&result), ConsistencyLevel::STRONG);
                 }
             }
             Msg::ReadResp { op, result } => {
@@ -225,7 +225,7 @@ impl Node<Msg> for Gateway {
                         prelim_ms: None,
                         final_ms: ctx.now().since(p.start).as_millis_f64(),
                     });
-                    p.upcall.deliver(view, ConsistencyLevel::Weak);
+                    p.upcall.deliver(view, ConsistencyLevel::WEAK);
                 }
             }
             _ => {}
@@ -403,13 +403,13 @@ impl Binding for QueueBinding {
     type Op = QueueOp;
     type Val = QueueView;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     }
 
     fn submit(&self, op: QueueOp, levels: &[ConsistencyLevel], upcall: Upcall<QueueView>) {
-        let weak = levels.contains(&ConsistencyLevel::Weak);
-        let strong = levels.contains(&ConsistencyLevel::Strong);
+        let weak = levels.contains(&ConsistencyLevel::WEAK);
+        let strong = levels.contains(&ConsistencyLevel::STRONG);
         self.q.queue.lock().push_back(Queued {
             op,
             upcall,
@@ -468,7 +468,7 @@ mod tests {
         let c = client.invoke_weak(QueueOp::Dequeue);
         q.settle();
         let v = c.final_view().unwrap();
-        assert_eq!(v.level, ConsistencyLevel::Weak);
+        assert_eq!(v.level, ConsistencyLevel::WEAK);
         assert_eq!(v.value.name.as_deref(), Some("qn-0000000000"));
         // Nothing was dequeued: a strong dequeue still sees the head.
         let c2 = client.invoke_strong(QueueOp::Dequeue);

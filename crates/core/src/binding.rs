@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use crate::correctable::Handle;
 use crate::error::Error;
-use crate::level::ConsistencyLevel;
+use crate::level::{ConsistencyLevel, LevelSet};
 
 /// Identifies one replicated object within a multi-object store.
 ///
@@ -57,8 +57,9 @@ pub trait Binding {
     /// The result type of operations.
     type Val: Clone + Send + 'static;
 
-    /// The consistency levels this binding offers, weakest first.
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel>;
+    /// The consistency levels this binding offers, as a validated,
+    /// totally-ordered [`LevelSet`] (weakest first).
+    fn consistency_levels(&self) -> LevelSet;
 
     /// Executes `op`, delivering one result per level in `levels`
     /// (weakest-first) through `upcall`.
@@ -258,15 +259,16 @@ impl<T> Clone for Upcall<T> {
 mod tests {
     use super::*;
     use crate::correctable::{Correctable, State};
-    use crate::level::ConsistencyLevel::{Strong, Weak};
-
+    use crate::level::ConsistencyLevel;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     #[test]
     fn deliver_routes_update_vs_close() {
         let (c, h) = Correctable::<i32>::pending();
-        let up = Upcall::new(h, Strong);
-        up.deliver(1, Weak);
+        let up = Upcall::new(h, STRONG);
+        up.deliver(1, WEAK);
         assert_eq!(c.state(), State::Updating);
-        up.deliver(2, Strong);
+        up.deliver(2, STRONG);
         assert_eq!(c.state(), State::Final);
         assert_eq!(c.final_view().unwrap().value, 2);
     }
@@ -274,18 +276,18 @@ mod tests {
     #[test]
     fn weak_only_invocation_closes_on_weak() {
         let (c, h) = Correctable::<i32>::pending();
-        let up = Upcall::new(h, Weak);
-        up.deliver(1, Weak);
+        let up = Upcall::new(h, WEAK);
+        up.deliver(1, WEAK);
         assert_eq!(c.state(), State::Final);
-        assert_eq!(c.final_view().unwrap().level, Weak);
+        assert_eq!(c.final_view().unwrap().level, WEAK);
     }
 
     #[test]
     fn late_deliveries_are_ignored() {
         let (c, h) = Correctable::<i32>::pending();
-        let up = Upcall::new(h, Weak);
-        up.deliver(1, Weak);
-        up.deliver(2, Strong);
+        let up = Upcall::new(h, WEAK);
+        up.deliver(1, WEAK);
+        up.deliver(2, STRONG);
         up.fail(Error::Timeout);
         assert_eq!(c.final_view().unwrap().value, 1);
     }
@@ -293,14 +295,13 @@ mod tests {
     #[test]
     fn fail_closes_exceptionally() {
         let (c, h) = Correctable::<i32>::pending();
-        let up = Upcall::new(h, Strong);
+        let up = Upcall::new(h, STRONG);
         up.fail(Error::Unavailable("no quorum".into()));
         assert_eq!(c.state(), State::Error);
     }
 
     #[test]
     fn non_requested_level_is_skipped() {
-        use crate::level::ConsistencyLevel::Causal;
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc as StdArc;
 
@@ -310,17 +311,17 @@ mod tests {
         c.on_update(move |_| {
             n.fetch_add(1, Ordering::SeqCst);
         });
-        let up = Upcall::for_levels(h, &[Weak, Strong]);
+        let up = Upcall::for_levels(h, &[WEAK, STRONG]);
         // A binding over-delivering at a level the client never asked for
         // must not surface a spurious preliminary view.
-        up.deliver(1, Causal);
+        up.deliver(1, ConsistencyLevel::CAUSAL);
         assert_eq!(c.state(), State::Updating);
         assert_eq!(updates.load(Ordering::SeqCst), 0);
         assert!(c.preliminary_views().is_empty());
         // Requested levels still flow through normally.
-        up.deliver(2, Weak);
+        up.deliver(2, WEAK);
         assert_eq!(updates.load(Ordering::SeqCst), 1);
-        up.deliver(3, Strong);
+        up.deliver(3, STRONG);
         assert_eq!(c.final_view().unwrap().value, 3);
     }
 
@@ -335,15 +336,12 @@ mod tests {
         c.on_final(move |_| {
             n.fetch_add(1, Ordering::SeqCst);
         });
-        let up = Upcall::for_levels(h, &[Weak, Strong]);
-        let above = ConsistencyLevel::Custom {
-            rank: 99,
-            name: "stronger-than-asked",
-        };
+        let up = Upcall::for_levels(h, &[WEAK, STRONG]);
+        let above = ConsistencyLevel::register("stronger-than-asked", 99).unwrap();
         // A level above the strongest requested closes; later deliveries
         // at or above strongest are late and ignored.
         up.deliver(1, above);
-        up.deliver(2, Strong);
+        up.deliver(2, STRONG);
         up.deliver(3, above);
         assert_eq!(c.state(), State::Final);
         assert_eq!(finals.load(Ordering::SeqCst), 1);

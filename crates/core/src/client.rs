@@ -1,30 +1,32 @@
 //! The application-facing API (§3.2 of the paper): `invokeWeak`,
 //! `invokeStrong`, and `invoke`.
 //!
-//! A [`Client`] wraps a [`Binding`] and exposes the three methods of the
-//! paper verbatim. `invoke_weak` and `invoke_strong` return Correctables
-//! that close directly with a single view at one extreme of the
-//! consistency/performance trade-off; `invoke` delivers incremental views
-//! across all (or a chosen subset of) the binding's levels.
+//! A [`Client`] wraps a [`Binding`]. [`Client::invoke`] delivers
+//! incremental views across all (or a chosen subset of) the binding's
+//! levels; [`Client::invoke_at`] closes with a single view at one chosen
+//! level. The paper's `invokeWeak` / `invokeStrong` are thin wrappers
+//! over `invoke_at` at the two ends of the binding's
+//! [`LevelSet`] — new levels never require new
+//! methods.
 
 use crate::binding::{Binding, Upcall};
 use crate::correctable::Correctable;
 use crate::error::Error;
-use crate::level::{ConsistencyLevel, LevelSelection};
+use crate::level::{ConsistencyLevel, LevelSelection, LevelSet};
 
 /// A Correctables client bound to one storage stack.
 pub struct Client<B: Binding> {
     binding: B,
-    /// The binding's levels, sorted weakest-first once at construction —
-    /// the hot invocation paths only ever need one end of this list.
-    levels: Vec<ConsistencyLevel>,
+    /// The binding's advertised levels, validated and sorted weakest-first
+    /// once at construction — the hot invocation paths only ever need one
+    /// end or one member of this set.
+    levels: LevelSet,
 }
 
 impl<B: Binding> Client<B> {
     /// Wraps a binding.
     pub fn new(binding: B) -> Self {
-        let mut levels = binding.consistency_levels();
-        levels.sort();
+        let levels = binding.consistency_levels();
         Client { binding, levels }
     }
 
@@ -34,15 +36,25 @@ impl<B: Binding> Client<B> {
     }
 
     /// The consistency levels available through this client, weakest first.
-    pub fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        self.levels.clone()
+    pub fn consistency_levels(&self) -> &LevelSet {
+        &self.levels
+    }
+
+    /// Invokes `op` closing with a single view at `level`, which must be
+    /// one of the binding's advertised levels.
+    pub fn invoke_at(&self, op: B::Op, level: ConsistencyLevel) -> Correctable<B::Val> {
+        if !self.levels.contains(level) {
+            return Correctable::failed(Error::UnsupportedLevel(level));
+        }
+        self.submit(op, std::slice::from_ref(&level))
     }
 
     /// Invokes `op` with the weakest available consistency; the result
-    /// closes with that single view.
+    /// closes with that single view. Equivalent to [`Client::invoke_at`]
+    /// at [`LevelSet::weakest`].
     pub fn invoke_weak(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.levels.first() {
-            Some(weakest) => self.submit(op, std::slice::from_ref(weakest)),
+        match self.levels.weakest() {
+            Some(weakest) => self.submit(op, std::slice::from_ref(&weakest)),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
             )),
@@ -50,10 +62,11 @@ impl<B: Binding> Client<B> {
     }
 
     /// Invokes `op` with the strongest available consistency; the result
-    /// closes with that single view.
+    /// closes with that single view. Equivalent to [`Client::invoke_at`]
+    /// at [`LevelSet::strongest`].
     pub fn invoke_strong(&self, op: B::Op) -> Correctable<B::Val> {
-        match self.levels.last() {
-            Some(strongest) => self.submit(op, std::slice::from_ref(strongest)),
+        match self.levels.strongest() {
+            Some(strongest) => self.submit(op, std::slice::from_ref(&strongest)),
             None => Correctable::failed(Error::Unavailable(
                 "binding advertises no consistency levels".into(),
             )),
@@ -67,9 +80,9 @@ impl<B: Binding> Client<B> {
         if self.levels.is_empty() {
             return Correctable::failed(Error::Unavailable("no consistency level selected".into()));
         }
-        // The cached level list is already sorted and deduplicated, so the
+        // The cached level set is already sorted and validated, so the
         // all-levels fast path skips `LevelSelection::resolve` entirely.
-        self.submit(op, &self.levels)
+        self.submit(op, self.levels.as_slice())
     }
 
     /// Invokes `op` delivering only the selected levels (the optional
@@ -82,7 +95,7 @@ impl<B: Binding> Client<B> {
             Ok(levels) if levels.is_empty() => {
                 Correctable::failed(Error::Unavailable("no consistency level selected".into()))
             }
-            Ok(levels) => self.submit(op, &levels),
+            Ok(levels) => self.submit(op, levels.as_slice()),
             Err(bad) => Correctable::failed(Error::UnsupportedLevel(bad)),
         }
     }
@@ -99,8 +112,11 @@ impl<B: Binding> Client<B> {
 mod tests {
     use super::*;
     use crate::correctable::State;
-    use crate::level::ConsistencyLevel::{Causal, Strong, Weak};
     use parking_lot::Mutex;
+
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
 
     /// A binding that synchronously answers with `level.rank()` per level,
     /// recording which levels were requested.
@@ -120,8 +136,8 @@ mod tests {
         type Op = ();
         type Val = u8;
 
-        fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-            vec![Weak, Causal, Strong]
+        fn consistency_levels(&self) -> LevelSet {
+            LevelSet::of(&[WEAK, CAUSAL, STRONG])
         }
 
         fn submit(&self, _op: (), levels: &[ConsistencyLevel], upcall: Upcall<u8>) {
@@ -138,9 +154,9 @@ mod tests {
         let c = client.invoke_weak(());
         assert_eq!(c.state(), State::Final);
         let v = c.final_view().unwrap();
-        assert_eq!(v.level, Weak);
-        assert_eq!(v.value, Weak.rank());
-        assert_eq!(client.binding().requested.lock()[0], vec![Weak]);
+        assert_eq!(v.level, WEAK);
+        assert_eq!(v.value, WEAK.rank());
+        assert_eq!(client.binding().requested.lock()[0], vec![WEAK]);
     }
 
     #[test]
@@ -148,8 +164,31 @@ mod tests {
         let client = Client::new(RankBinding::new());
         let c = client.invoke_strong(());
         let v = c.final_view().unwrap();
-        assert_eq!(v.level, Strong);
-        assert_eq!(client.binding().requested.lock()[0], vec![Strong]);
+        assert_eq!(v.level, STRONG);
+        assert_eq!(client.binding().requested.lock()[0], vec![STRONG]);
+    }
+
+    #[test]
+    fn invoke_at_closes_at_any_advertised_level() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke_at((), CAUSAL);
+        assert_eq!(c.state(), State::Final);
+        let v = c.final_view().unwrap();
+        assert_eq!(v.level, CAUSAL);
+        assert_eq!(v.value, CAUSAL.rank());
+        assert!(c.preliminary_views().is_empty());
+        assert_eq!(client.binding().requested.lock()[0], vec![CAUSAL]);
+    }
+
+    #[test]
+    fn invoke_at_unadvertised_level_fails() {
+        let client = Client::new(RankBinding::new());
+        let c = client.invoke_at((), ConsistencyLevel::UPDATE);
+        assert_eq!(
+            c.error(),
+            Some(Error::UnsupportedLevel(ConsistencyLevel::UPDATE))
+        );
+        assert!(client.binding().requested.lock().is_empty());
     }
 
     #[test]
@@ -159,19 +198,19 @@ mod tests {
         assert_eq!(c.state(), State::Final);
         let prelims = c.preliminary_views();
         assert_eq!(prelims.len(), 2);
-        assert_eq!(prelims[0].level, Weak);
-        assert_eq!(prelims[1].level, Causal);
-        assert_eq!(c.final_view().unwrap().level, Strong);
+        assert_eq!(prelims[0].level, WEAK);
+        assert_eq!(prelims[1].level, CAUSAL);
+        assert_eq!(c.final_view().unwrap().level, STRONG);
     }
 
     #[test]
     fn invoke_with_subset_skips_extraneous_levels() {
         let client = Client::new(RankBinding::new());
-        let c = client.invoke_with((), &LevelSelection::Only(vec![Strong, Weak]));
+        let c = client.invoke_with((), &LevelSelection::only(&[STRONG, WEAK]));
         assert_eq!(c.preliminary_views().len(), 1);
         assert_eq!(
             client.binding().requested.lock()[0],
-            vec![Weak, Strong],
+            vec![WEAK, STRONG],
             "causal must not be requested from the binding"
         );
         let _ = c;
@@ -180,11 +219,8 @@ mod tests {
     #[test]
     fn invoke_with_unknown_level_fails() {
         let client = Client::new(RankBinding::new());
-        let bogus = ConsistencyLevel::Custom {
-            rank: 99,
-            name: "x",
-        };
-        let c = client.invoke_with((), &LevelSelection::Only(vec![bogus]));
+        let bogus = ConsistencyLevel::register("client-bogus", 99).unwrap();
+        let c = client.invoke_with((), &LevelSelection::only(&[bogus]));
         assert_eq!(c.error(), Some(Error::UnsupportedLevel(bogus)));
     }
 }

@@ -99,7 +99,7 @@ impl<T: Clone + Send + 'static> Correctable<T> {
         let (out, handle) = Correctable::<Vec<T>>::pending();
         let n = items.len();
         if n == 0 {
-            let _ = handle.close(Vec::new(), crate::level::ConsistencyLevel::Strong);
+            let _ = handle.close(Vec::new(), crate::level::ConsistencyLevel::STRONG);
             return out;
         }
         // Harvest everything already closed without registering callbacks.
@@ -195,16 +195,18 @@ impl<T: Clone + Send + 'static> Correctable<T> {
 mod tests {
     use super::*;
     use crate::correctable::State;
-    use crate::level::ConsistencyLevel::{Causal, Strong, Weak};
-
+    use crate::level::ConsistencyLevel;
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     #[test]
     fn map_transforms_updates_and_final() {
         let (c, h) = Correctable::<i32>::pending();
         let m = c.map(|x| x * 2);
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         assert_eq!(m.latest().unwrap().value, 2);
-        assert_eq!(m.latest().unwrap().level, Weak);
-        h.close(3, Strong).unwrap();
+        assert_eq!(m.latest().unwrap().level, WEAK);
+        h.close(3, STRONG).unwrap();
         assert_eq!(m.final_view().unwrap().value, 6);
     }
 
@@ -220,9 +222,9 @@ mod tests {
     fn then_chains_on_final() {
         let (c, h) = Correctable::<i32>::pending();
         let t = c.then(|v| Correctable::ready(v.value + 100));
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         assert_eq!(t.state(), State::Updating);
-        h.close(2, Strong).unwrap();
+        h.close(2, STRONG).unwrap();
         assert_eq!(t.final_view().unwrap().value, 102);
     }
 
@@ -230,7 +232,7 @@ mod tests {
     fn then_propagates_inner_error() {
         let (c, h) = Correctable::<i32>::pending();
         let t: Correctable<i32> = c.then(|_| Correctable::failed(Error::Aborted));
-        h.close(1, Strong).unwrap();
+        h.close(1, STRONG).unwrap();
         assert_eq!(t.error(), Some(Error::Aborted));
     }
 
@@ -239,9 +241,9 @@ mod tests {
         let (a, ha) = Correctable::<i32>::pending();
         let (b, hb) = Correctable::<i32>::pending();
         let j = Correctable::join_all(vec![a, b]);
-        hb.close(2, Strong).unwrap();
+        hb.close(2, STRONG).unwrap();
         assert_eq!(j.state(), State::Updating);
-        ha.close(1, Strong).unwrap();
+        ha.close(1, STRONG).unwrap();
         assert_eq!(j.final_view().unwrap().value, vec![1, 2]);
     }
 
@@ -250,9 +252,9 @@ mod tests {
         let (a, ha) = Correctable::<i32>::pending();
         let (b, hb) = Correctable::<i32>::pending();
         let j = Correctable::join_all(vec![a, b]);
-        ha.close(1, Strong).unwrap();
-        hb.close(2, Causal).unwrap();
-        assert_eq!(j.final_view().unwrap().level, Causal);
+        ha.close(1, STRONG).unwrap();
+        hb.close(2, CAUSAL).unwrap();
+        assert_eq!(j.final_view().unwrap().level, CAUSAL);
     }
 
     #[test]
@@ -275,7 +277,7 @@ mod tests {
         let (a, _ha) = Correctable::<i32>::pending();
         let (b, hb) = Correctable::<i32>::pending();
         let r = Correctable::first_final(vec![a, b]);
-        hb.close(7, Weak).unwrap();
+        hb.close(7, WEAK).unwrap();
         assert_eq!(r.final_view().unwrap().value, 7);
     }
 

@@ -166,9 +166,9 @@ impl<T: Clone + Send + 'static> Correctable<T> {
         )
     }
 
-    /// A Correctable that is already final with `value` at [`ConsistencyLevel::Strong`].
+    /// A Correctable that is already final with `value` at [`ConsistencyLevel::STRONG`].
     pub fn ready(value: T) -> Correctable<T> {
-        Correctable::ready_at(value, ConsistencyLevel::Strong)
+        Correctable::ready_at(value, ConsistencyLevel::STRONG)
     }
 
     /// A Correctable that is already final with `value` at `level`.
@@ -524,16 +524,19 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc as StdArc;
 
-    use crate::level::ConsistencyLevel::{Strong, Weak};
+    use crate::level::ConsistencyLevel;
 
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     #[test]
     fn lifecycle_update_then_close() {
         let (c, h) = Correctable::<i32>::pending();
         assert_eq!(c.state(), State::Updating);
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         assert_eq!(c.state(), State::Updating);
         assert_eq!(c.latest().unwrap().value, 1);
-        h.close(2, Strong).unwrap();
+        h.close(2, STRONG).unwrap();
         assert_eq!(c.state(), State::Final);
         assert_eq!(c.final_view().unwrap().value, 2);
         assert_eq!(c.latest().unwrap().value, 2);
@@ -543,9 +546,9 @@ mod tests {
     #[test]
     fn no_transitions_after_close() {
         let (c, h) = Correctable::<i32>::pending();
-        h.close(1, Strong).unwrap();
-        assert_eq!(h.update(2, Weak), Err(ClosedError));
-        assert_eq!(h.close(3, Strong), Err(ClosedError));
+        h.close(1, STRONG).unwrap();
+        assert_eq!(h.update(2, WEAK), Err(ClosedError));
+        assert_eq!(h.close(3, STRONG), Err(ClosedError));
         assert_eq!(h.fail(Error::Timeout), Err(ClosedError));
         assert_eq!(c.final_view().unwrap().value, 1);
     }
@@ -555,7 +558,7 @@ mod tests {
         let (c, h) = Correctable::<i32>::pending();
         h.fail(Error::Timeout).unwrap();
         assert_eq!(c.state(), State::Error);
-        assert_eq!(h.update(1, Weak), Err(ClosedError));
+        assert_eq!(h.update(1, WEAK), Err(ClosedError));
         assert_eq!(c.error(), Some(Error::Timeout));
     }
 
@@ -567,17 +570,17 @@ mod tests {
         let l2 = StdArc::clone(&log);
         c.on_update(move |v| l1.lock().push(format!("u{}", v.value)));
         c.on_final(move |v| l2.lock().push(format!("f{}", v.value)));
-        h.update(1, Weak).unwrap();
-        h.update(2, Weak).unwrap();
-        h.close(3, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.update(2, WEAK).unwrap();
+        h.close(3, STRONG).unwrap();
         assert_eq!(*log.lock(), vec!["u1", "u2", "f3"]);
     }
 
     #[test]
     fn late_callbacks_replay_history() {
         let (c, h) = Correctable::<i32>::pending();
-        h.update(1, Weak).unwrap();
-        h.close(2, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.close(2, STRONG).unwrap();
         let log = StdArc::new(Mutex::new(Vec::<i32>::new()));
         let (l1, l2) = (StdArc::clone(&log), StdArc::clone(&log));
         c.on_update(move |v| l1.lock().push(v.value));
@@ -610,10 +613,10 @@ mod tests {
             s.lock().push(v.value);
             if v.value == 1 {
                 // Deliver another view from inside the callback.
-                h2.update(2, Weak).unwrap();
+                h2.update(2, WEAK).unwrap();
             }
         });
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         assert_eq!(*seen.lock(), vec![1, 2]);
     }
 
@@ -621,7 +624,7 @@ mod tests {
     fn ready_and_failed_constructors() {
         let c = Correctable::ready(9);
         assert_eq!(c.state(), State::Final);
-        assert_eq!(c.final_view().unwrap().level, Strong);
+        assert_eq!(c.final_view().unwrap().level, STRONG);
         let f = Correctable::<i32>::failed(Error::Aborted);
         assert_eq!(f.state(), State::Error);
     }
@@ -631,9 +634,9 @@ mod tests {
         let (c, h) = Correctable::<i32>::pending();
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            h.update(1, Weak).unwrap();
+            h.update(1, WEAK).unwrap();
             std::thread::sleep(Duration::from_millis(20));
-            h.close(2, Strong).unwrap();
+            h.close(2, STRONG).unwrap();
         });
         let v = c.wait_final(Duration::from_secs(5)).unwrap();
         assert_eq!(v.value, 2);
@@ -645,12 +648,12 @@ mod tests {
         let (c, h) = Correctable::<i32>::pending();
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            h.update(7, Weak).unwrap();
+            h.update(7, WEAK).unwrap();
             // Never closes; wait_any must still return.
         });
         let v = c.wait_any(Duration::from_secs(5)).unwrap();
         assert_eq!(v.value, 7);
-        assert_eq!(v.level, Weak);
+        assert_eq!(v.level, WEAK);
         t.join().unwrap();
     }
 
@@ -678,8 +681,8 @@ mod tests {
         let (ca, cb) = (StdArc::clone(&a), StdArc::clone(&b));
         c.on_update(move |v| ca.lock().push(v.value));
         c.on_update(move |v| cb.lock().push(v.value));
-        h.update(1, Weak).unwrap();
-        h.update(2, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.update(2, WEAK).unwrap();
         assert_eq!(*a.lock(), vec![1, 2]);
         assert_eq!(*b.lock(), vec![1, 2]);
     }
@@ -689,7 +692,7 @@ mod tests {
         let (_, h) = Correctable::<i32>::pending();
         assert!(h.is_open());
         let c = h.correctable();
-        h.close(5, Strong).unwrap();
+        h.close(5, STRONG).unwrap();
         assert!(!h.is_open());
         assert_eq!(c.final_view().unwrap().value, 5);
     }
@@ -698,11 +701,11 @@ mod tests {
     fn outcome_reports_open_final_and_error() {
         let (c, h) = Correctable::<i32>::pending();
         assert!(c.outcome().is_none());
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         assert!(c.outcome().is_none());
-        h.close(2, Strong).unwrap();
+        h.close(2, STRONG).unwrap();
         let v = c.outcome().unwrap().unwrap();
-        assert_eq!((v.value, v.level), (2, Strong));
+        assert_eq!((v.value, v.level), (2, STRONG));
 
         let (c, h) = Correctable::<i32>::pending();
         h.fail(Error::Aborted).unwrap();
@@ -716,9 +719,9 @@ mod tests {
         let s = StdArc::clone(&seen);
         c.on_update(move |v| s.lock().push(v.value));
         for i in 0..16 {
-            h.update(i, Weak).unwrap();
+            h.update(i, WEAK).unwrap();
         }
-        h.close(99, Strong).unwrap();
+        h.close(99, STRONG).unwrap();
         assert_eq!(*seen.lock(), (0..16).collect::<Vec<_>>());
         assert_eq!(c.preliminary_views().len(), 16);
     }
@@ -733,7 +736,7 @@ mod tests {
                 n.fetch_add(1, Ordering::SeqCst);
             });
         }
-        h.close(1, Strong).unwrap();
+        h.close(1, STRONG).unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 9);
     }
 }

@@ -58,7 +58,7 @@ mod tests {
         assert!(Error::Unavailable("quorum lost".into())
             .to_string()
             .contains("quorum lost"));
-        assert!(Error::UnsupportedLevel(ConsistencyLevel::Causal)
+        assert!(Error::UnsupportedLevel(ConsistencyLevel::CAUSAL)
             .to_string()
             .contains("causal"));
         assert_eq!(ClosedError.to_string(), "correctable already closed");

@@ -125,6 +125,30 @@ impl<T, const N: usize> Default for InlineVec<T, N> {
     }
 }
 
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = InlineVec::new();
+        for item in self.as_slice() {
+            out.push(item.clone());
+        }
+        out
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
 impl<T, const N: usize> Drop for InlineVec<T, N> {
     fn drop(&mut self) {
         self.clear();

@@ -6,60 +6,248 @@
 //! the binding maps each level onto a storage-specific mechanism (quorum
 //! size, cache access, leader read, …). Levels are totally ordered from
 //! weakest to strongest by their [`rank`](ConsistencyLevel::rank).
+//!
+//! ## The open lattice
+//!
+//! Levels are **not** a closed enum. [`ConsistencyLevel`] is an interned
+//! handle into a process-wide registry: five builtin levels
+//! ([`CACHE`](ConsistencyLevel::CACHE) < [`WEAK`](ConsistencyLevel::WEAK)
+//! < [`UPDATE`](ConsistencyLevel::UPDATE) <
+//! [`CAUSAL`](ConsistencyLevel::CAUSAL) <
+//! [`STRONG`](ConsistencyLevel::STRONG)) ship with the workspace, and a
+//! binding registers anything else with
+//! [`ConsistencyLevel::register`] — a blockchain binding can expose
+//! per-confirmation levels, a quorum store per-`R` levels, and no core
+//! code changes. Each level carries a stable small-int **wire id** (the
+//! byte the TCP handshake negotiates level directories with), a rank, and
+//! an owned (leaked-`'static`) name.
+//!
+//! A binding advertises its levels as a [`LevelSet`]: a validated,
+//! totally-ordered (by rank), duplicate-free set with
+//! [`weakest`](LevelSet::weakest) / [`strongest`](LevelSet::strongest) /
+//! [`floor`](LevelSet::floor) lattice queries. Client code selects levels
+//! with [`LevelSelection`]; the `Only` variant is backed by the inline
+//! small-vector, so per-invoke selections stay allocation-free.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::inline::InlineVec;
+
+/// Wire ids of the builtin levels (stable across versions; the codec's
+/// decode-compat tests pin them).
+const WIRE_CACHE: u8 = 0;
+const WIRE_WEAK: u8 = 1;
+const WIRE_UPDATE: u8 = 2;
+const WIRE_CAUSAL: u8 = 3;
+const WIRE_STRONG: u8 = 4;
+/// First wire id handed to custom registrations; ids below are reserved
+/// for future builtins.
+const WIRE_CUSTOM_BASE: u8 = 16;
 
 /// A consistency guarantee an operation result can satisfy.
 ///
-/// The well-known levels cover the bindings shipped in this repository;
-/// `Custom` lets a binding expose anything else (e.g. per-confirmation
-/// levels of a blockchain binding) while keeping the total order.
+/// A `ConsistencyLevel` is a cheap `Copy` handle: rank (position in the
+/// weak→strong total order), wire id (stable byte for codecs and
+/// handshakes), and name. Builtin levels are associated constants;
+/// anything else is minted through [`ConsistencyLevel::register`], so the
+/// lattice is open — core, transport, and sharding code query ranks and
+/// roles instead of matching on a closed set of names.
 #[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
-pub enum ConsistencyLevel {
-    /// Client-local cache: fastest, no freshness guarantee at all.
-    Cache,
-    /// Weak / eventual consistency (e.g. a single-replica read).
-    Weak,
-    /// Causal consistency.
-    Causal,
-    /// Strong consistency (linearizability or the strongest the store has).
-    Strong,
-    /// A binding-defined level with an explicit rank and name.
-    Custom {
-        /// Position in the weak-to-strong order (higher is stronger).
-        rank: u8,
-        /// Human-readable label.
-        name: &'static str,
+pub struct ConsistencyLevel {
+    rank: u8,
+    wire_id: u8,
+    name: &'static str,
+}
+
+/// Why a level registration or set construction was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LevelError {
+    /// A level with this name exists at a different rank.
+    NameTaken {
+        /// The conflicting name.
+        name: String,
+        /// The rank it is already registered at.
+        existing_rank: u8,
     },
+    /// The registry ran out of wire ids (more than ~240 custom levels).
+    Exhausted,
+    /// The name is empty or longer than 64 bytes.
+    BadName,
+    /// Two distinct levels in one set share a rank: the set would not be
+    /// totally ordered.
+    AmbiguousRank(u8),
+}
+
+impl fmt::Display for LevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelError::NameTaken {
+                name,
+                existing_rank,
+            } => write!(
+                f,
+                "level name {name:?} already registered at rank {existing_rank}"
+            ),
+            LevelError::Exhausted => f.write_str("level registry out of wire ids"),
+            LevelError::BadName => f.write_str("level name must be 1..=64 bytes"),
+            LevelError::AmbiguousRank(r) => {
+                write!(f, "two distinct levels share rank {r}: not totally ordered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LevelError {}
+
+struct Registry {
+    /// Every registered level, builtin and custom, in registration order.
+    levels: Vec<ConsistencyLevel>,
+    by_name: HashMap<&'static str, ConsistencyLevel>,
+    next_wire_id: u8,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let builtins = [
+            ConsistencyLevel::CACHE,
+            ConsistencyLevel::WEAK,
+            ConsistencyLevel::UPDATE,
+            ConsistencyLevel::CAUSAL,
+            ConsistencyLevel::STRONG,
+        ];
+        let by_name = builtins.iter().map(|l| (l.name, *l)).collect();
+        Mutex::new(Registry {
+            levels: builtins.to_vec(),
+            by_name,
+            next_wire_id: WIRE_CUSTOM_BASE,
+        })
+    })
 }
 
 impl ConsistencyLevel {
+    /// Client-local cache: fastest, no freshness guarantee at all.
+    pub const CACHE: ConsistencyLevel = ConsistencyLevel {
+        rank: 0,
+        wire_id: WIRE_CACHE,
+        name: "cache",
+    };
+    /// Weak / eventual consistency (e.g. a single-replica read).
+    pub const WEAK: ConsistencyLevel = ConsistencyLevel {
+        rank: 10,
+        wire_id: WIRE_WEAK,
+        name: "weak",
+    };
+    /// Update consistency (Perrin, Mostéfaoui & Jard): updates are
+    /// wait-free and all replicas eventually agree on a *single
+    /// linearization of all updates* that respects each process's local
+    /// order. Stronger than eventual consistency, cheaper than
+    /// linearizability.
+    pub const UPDATE: ConsistencyLevel = ConsistencyLevel {
+        rank: 15,
+        wire_id: WIRE_UPDATE,
+        name: "update",
+    };
+    /// Causal consistency.
+    pub const CAUSAL: ConsistencyLevel = ConsistencyLevel {
+        rank: 20,
+        wire_id: WIRE_CAUSAL,
+        name: "causal",
+    };
+    /// Strong consistency (linearizability or the strongest the store has).
+    pub const STRONG: ConsistencyLevel = ConsistencyLevel {
+        rank: 40,
+        wire_id: WIRE_STRONG,
+        name: "strong",
+    };
+
+    /// Registers (or finds) a custom level named `name` at `rank`.
+    ///
+    /// Registration is idempotent: asking for an existing name at its
+    /// registered rank returns the existing handle, so bindings and tests
+    /// can call this freely at startup.
+    ///
+    /// # Errors
+    ///
+    /// [`LevelError::NameTaken`] if `name` exists at a different rank,
+    /// [`LevelError::BadName`] for an empty or oversized name, and
+    /// [`LevelError::Exhausted`] if the wire-id space is full.
+    pub fn register(name: &str, rank: u8) -> Result<ConsistencyLevel, LevelError> {
+        if name.is_empty() || name.len() > 64 {
+            return Err(LevelError::BadName);
+        }
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = reg.by_name.get(name) {
+            return if existing.rank == rank {
+                Ok(*existing)
+            } else {
+                Err(LevelError::NameTaken {
+                    name: name.to_string(),
+                    existing_rank: existing.rank,
+                })
+            };
+        }
+        if reg.next_wire_id == u8::MAX {
+            return Err(LevelError::Exhausted);
+        }
+        // Leaked once per distinct level name, at registration time —
+        // never on a per-invoke path. This is what keeps the handle Copy.
+        let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let level = ConsistencyLevel {
+            rank,
+            wire_id: reg.next_wire_id,
+            name,
+        };
+        reg.next_wire_id += 1;
+        reg.levels.push(level);
+        reg.by_name.insert(name, level);
+        Ok(level)
+    }
+
+    /// Looks up a registered level by name (builtins included).
+    pub fn lookup(name: &str) -> Option<ConsistencyLevel> {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.by_name.get(name).copied()
+    }
+
+    /// Looks up a registered level by its wire id (builtins included).
+    pub fn from_wire_id(id: u8) -> Option<ConsistencyLevel> {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.levels.iter().find(|l| l.wire_id == id).copied()
+    }
+
+    /// Every level registered in this process, in registration order.
+    pub fn all_registered() -> Vec<ConsistencyLevel> {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.levels.clone()
+    }
+
     /// Position of this level in the weak-to-strong total order.
     pub fn rank(&self) -> u8 {
-        match self {
-            ConsistencyLevel::Cache => 0,
-            ConsistencyLevel::Weak => 10,
-            ConsistencyLevel::Causal => 20,
-            ConsistencyLevel::Strong => 40,
-            ConsistencyLevel::Custom { rank, .. } => *rank,
-        }
+        self.rank
+    }
+
+    /// The stable small-int id codecs and handshakes use for this level.
+    pub fn wire_id(&self) -> u8 {
+        self.wire_id
     }
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
-        match self {
-            ConsistencyLevel::Cache => "cache",
-            ConsistencyLevel::Weak => "weak",
-            ConsistencyLevel::Causal => "causal",
-            ConsistencyLevel::Strong => "strong",
-            ConsistencyLevel::Custom { name, .. } => name,
-        }
+        self.name
+    }
+
+    /// Whether this is one of the five builtin levels.
+    pub fn is_builtin(&self) -> bool {
+        self.wire_id < WIRE_CUSTOM_BASE
     }
 
     /// Whether this level is at least as strong as `other`.
     pub fn at_least(&self, other: ConsistencyLevel) -> bool {
-        self.rank() >= other.rank()
+        self.rank >= other.rank
     }
 }
 
@@ -71,51 +259,235 @@ impl PartialOrd for ConsistencyLevel {
 
 impl Ord for ConsistencyLevel {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.rank().cmp(&other.rank())
+        // Rank is the lattice order; wire id breaks ties between distinct
+        // levels that happen to share a rank so sorting stays total.
+        (self.rank, self.wire_id, self.name).cmp(&(other.rank, other.wire_id, other.name))
     }
 }
 
 impl fmt::Display for ConsistencyLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        f.write_str(self.name)
+    }
+}
+
+/// How many levels a [`LevelSet`] holds inline before spilling: the five
+/// builtins plus one custom fit without touching the allocator.
+const INLINE_LEVELS: usize = 6;
+
+/// A binding-advertised, totally-ordered, validated set of levels.
+///
+/// Invariants (enforced by every constructor): sorted weakest-first,
+/// duplicate-free, and no two distinct members share a rank — so
+/// [`weakest`](LevelSet::weakest), [`strongest`](LevelSet::strongest),
+/// and [`floor`](LevelSet::floor) are well-defined lattice queries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelSet {
+    levels: InlineVec<ConsistencyLevel, INLINE_LEVELS>,
+}
+
+impl LevelSet {
+    /// The empty set.
+    pub fn new() -> LevelSet {
+        LevelSet::default()
+    }
+
+    /// Builds a set from `levels`, sorting and deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// [`LevelError::AmbiguousRank`] if two *distinct* levels share a
+    /// rank — such a set has no total order.
+    pub fn try_of(levels: &[ConsistencyLevel]) -> Result<LevelSet, LevelError> {
+        let mut set = LevelSet::new();
+        for l in levels {
+            set.insert(*l)?;
+        }
+        Ok(set)
+    }
+
+    /// Builds a set from `levels`, sorting and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// If two distinct levels share a rank. Bindings advertise statically
+    /// known sets, so this is an API-misuse panic; use
+    /// [`LevelSet::try_of`] for dynamic input.
+    pub fn of(levels: &[ConsistencyLevel]) -> LevelSet {
+        match LevelSet::try_of(levels) {
+            Ok(set) => set,
+            Err(e) => panic!("invalid level set: {e}"),
+        }
+    }
+
+    /// Inserts one level, keeping the set sorted. Inserting a member
+    /// again is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`LevelError::AmbiguousRank`] if a *different* level with the same
+    /// rank is already present.
+    pub fn insert(&mut self, level: ConsistencyLevel) -> Result<(), LevelError> {
+        match self
+            .levels
+            .as_slice()
+            .binary_search_by(|m| m.rank().cmp(&level.rank()))
+        {
+            Ok(i) => {
+                if self.levels[i] == level {
+                    Ok(())
+                } else {
+                    Err(LevelError::AmbiguousRank(level.rank()))
+                }
+            }
+            Err(i) => {
+                // InlineVec has no `insert`; push + rotate the tail.
+                self.levels.push(level);
+                self.levels.as_mut_slice()[i..].rotate_right(1);
+                Ok(())
+            }
+        }
+    }
+
+    /// The weakest member, if any.
+    pub fn weakest(&self) -> Option<ConsistencyLevel> {
+        self.levels.first().copied()
+    }
+
+    /// The strongest member, if any.
+    pub fn strongest(&self) -> Option<ConsistencyLevel> {
+        self.levels.last().copied()
+    }
+
+    /// Whether `level` is a member.
+    pub fn contains(&self, level: ConsistencyLevel) -> bool {
+        self.levels
+            .as_slice()
+            .binary_search_by(|m| m.rank().cmp(&level.rank()))
+            .is_ok_and(|i| self.levels[i] == level)
+    }
+
+    /// The strongest member whose rank is `<= rank`: the lattice floor.
+    ///
+    /// This is what a merge (e.g. the shard router's scatter/gather)
+    /// uses to land a combined view on an *advertised* level instead of
+    /// assuming the minimum input level is one.
+    pub fn floor(&self, rank: u8) -> Option<ConsistencyLevel> {
+        self.levels
+            .as_slice()
+            .iter()
+            .rev()
+            .find(|l| l.rank() <= rank)
+            .copied()
+    }
+
+    /// The intersection of two sets (set meet).
+    pub fn meet(&self, other: &LevelSet) -> LevelSet {
+        let mut out = LevelSet::new();
+        for l in self.iter() {
+            if other.contains(l) {
+                // Members of a valid set can always be re-inserted.
+                let _ = out.insert(l);
+            }
+        }
+        out
+    }
+
+    /// Members as a sorted slice, weakest first.
+    pub fn as_slice(&self) -> &[ConsistencyLevel] {
+        self.levels.as_slice()
+    }
+
+    /// Iterates the members weakest-first.
+    pub fn iter(&self) -> impl Iterator<Item = ConsistencyLevel> + '_ {
+        self.levels.as_slice().iter().copied()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Members as an owned `Vec` (allocates; prefer
+    /// [`as_slice`](LevelSet::as_slice) on hot paths).
+    pub fn to_vec(&self) -> Vec<ConsistencyLevel> {
+        self.levels.as_slice().to_vec()
+    }
+}
+
+impl<'a> IntoIterator for &'a LevelSet {
+    type Item = ConsistencyLevel;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ConsistencyLevel>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.levels.as_slice().iter().copied()
+    }
+}
+
+impl FromIterator<ConsistencyLevel> for LevelSet {
+    /// Collects levels into a set.
+    ///
+    /// # Panics
+    ///
+    /// If two distinct levels share a rank (see [`LevelSet::of`]).
+    fn from_iter<I: IntoIterator<Item = ConsistencyLevel>>(iter: I) -> LevelSet {
+        let mut set = LevelSet::new();
+        for l in iter {
+            if let Err(e) = set.insert(l) {
+                panic!("invalid level set: {e}");
+            }
+        }
+        set
     }
 }
 
 /// Which of a binding's levels an `invoke` should deliver.
+///
+/// `Only` is backed by a [`LevelSet`] (inline storage for up to six
+/// levels), so building a per-invoke selection does not allocate.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum LevelSelection {
     /// Deliver every level the binding supports (the default of `invoke`).
     #[default]
     All,
     /// Deliver only the listed levels (must be a subset of the binding's).
-    Only(Vec<ConsistencyLevel>),
+    Only(LevelSet),
 }
 
 impl LevelSelection {
+    /// A selection of exactly the given levels (sorted, deduplicated;
+    /// allocation-free for up to six levels).
+    ///
+    /// # Panics
+    ///
+    /// If two distinct levels share a rank (see [`LevelSet::of`]).
+    pub fn only(levels: &[ConsistencyLevel]) -> LevelSelection {
+        LevelSelection::Only(LevelSet::of(levels))
+    }
+
     /// Resolves the selection against a binding's advertised levels,
     /// returning the requested levels sorted weakest-first.
     ///
     /// # Errors
     ///
     /// Returns the offending level if it is not advertised by the binding.
-    pub fn resolve(
-        &self,
-        available: &[ConsistencyLevel],
-    ) -> Result<Vec<ConsistencyLevel>, ConsistencyLevel> {
-        let mut chosen = match self {
-            LevelSelection::All => available.to_vec(),
-            LevelSelection::Only(ls) => {
-                for l in ls {
+    pub fn resolve(&self, available: &LevelSet) -> Result<LevelSet, ConsistencyLevel> {
+        match self {
+            LevelSelection::All => Ok(available.clone()),
+            LevelSelection::Only(set) => {
+                for l in set.iter() {
                     if !available.contains(l) {
-                        return Err(*l);
+                        return Err(l);
                     }
                 }
-                ls.clone()
+                Ok(set.clone())
             }
-        };
-        chosen.sort();
-        chosen.dedup();
-        Ok(chosen)
+        }
     }
 }
 
@@ -123,58 +495,138 @@ impl LevelSelection {
 mod tests {
     use super::*;
 
+    const CACHE: ConsistencyLevel = ConsistencyLevel::CACHE;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
+    const UPDATE: ConsistencyLevel = ConsistencyLevel::UPDATE;
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+
     #[test]
     fn ordering_is_weak_to_strong() {
-        use ConsistencyLevel::*;
-        assert!(Cache < Weak);
-        assert!(Weak < Causal);
-        assert!(Causal < Strong);
-        assert!(
-            Weak < Custom {
-                rank: 15,
-                name: "quorum-2"
-            }
-        );
-        assert!(Strong.at_least(Weak));
-        assert!(!Weak.at_least(Strong));
-        assert!(Weak.at_least(Weak));
+        assert!(CACHE < WEAK);
+        assert!(WEAK < UPDATE);
+        assert!(UPDATE < CAUSAL);
+        assert!(CAUSAL < STRONG);
+        let quorum2 = ConsistencyLevel::register("quorum-2", 25).unwrap();
+        assert!(CAUSAL < quorum2 && quorum2 < STRONG);
+        assert!(STRONG.at_least(WEAK));
+        assert!(!WEAK.at_least(STRONG));
+        assert!(WEAK.at_least(WEAK));
     }
 
     #[test]
     fn display_names() {
-        assert_eq!(ConsistencyLevel::Strong.to_string(), "strong");
-        let c = ConsistencyLevel::Custom {
-            rank: 3,
-            name: "one-conf",
-        };
+        assert_eq!(STRONG.to_string(), "strong");
+        let c = ConsistencyLevel::register("one-conf", 3).unwrap();
         assert_eq!(c.to_string(), "one-conf");
     }
 
     #[test]
+    fn registration_is_idempotent_and_rank_checked() {
+        let a = ConsistencyLevel::register("bronze", 13).unwrap();
+        let b = ConsistencyLevel::register("bronze", 13).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            ConsistencyLevel::register("bronze", 14),
+            Err(LevelError::NameTaken {
+                name: "bronze".into(),
+                existing_rank: 13
+            })
+        );
+        assert_eq!(ConsistencyLevel::register("", 1), Err(LevelError::BadName));
+    }
+
+    #[test]
+    fn registry_lookup_by_name_and_wire_id() {
+        assert_eq!(ConsistencyLevel::lookup("weak"), Some(WEAK));
+        assert_eq!(ConsistencyLevel::lookup("update"), Some(UPDATE));
+        assert_eq!(ConsistencyLevel::lookup("no-such-level"), None);
+        assert_eq!(ConsistencyLevel::from_wire_id(WEAK.wire_id()), Some(WEAK));
+        let c = ConsistencyLevel::register("silver", 17).unwrap();
+        assert!(!c.is_builtin());
+        assert!(c.wire_id() >= WIRE_CUSTOM_BASE);
+        assert_eq!(ConsistencyLevel::from_wire_id(c.wire_id()), Some(c));
+        assert_eq!(ConsistencyLevel::from_wire_id(250), None);
+    }
+
+    #[test]
+    fn builtin_wire_ids_are_stable() {
+        assert_eq!(CACHE.wire_id(), 0);
+        assert_eq!(WEAK.wire_id(), 1);
+        assert_eq!(UPDATE.wire_id(), 2);
+        assert_eq!(CAUSAL.wire_id(), 3);
+        assert_eq!(STRONG.wire_id(), 4);
+        assert!(CACHE.is_builtin() && STRONG.is_builtin());
+    }
+
+    #[test]
+    fn level_set_sorts_dedups_and_queries() {
+        let set = LevelSet::of(&[STRONG, WEAK, STRONG, CAUSAL]);
+        assert_eq!(set.as_slice(), &[WEAK, CAUSAL, STRONG]);
+        assert_eq!(set.weakest(), Some(WEAK));
+        assert_eq!(set.strongest(), Some(STRONG));
+        assert!(set.contains(CAUSAL));
+        assert!(!set.contains(UPDATE));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.floor(UPDATE.rank()), Some(WEAK));
+        assert_eq!(set.floor(CAUSAL.rank()), Some(CAUSAL));
+        assert_eq!(set.floor(u8::MAX), Some(STRONG));
+        assert_eq!(set.floor(0), None);
+    }
+
+    #[test]
+    fn level_set_rejects_ambiguous_ranks() {
+        let twin = ConsistencyLevel::register("strong-twin", STRONG.rank()).unwrap();
+        assert_eq!(
+            LevelSet::try_of(&[STRONG, twin]),
+            Err(LevelError::AmbiguousRank(STRONG.rank()))
+        );
+    }
+
+    #[test]
+    fn level_set_meet_is_intersection() {
+        let a = LevelSet::of(&[WEAK, UPDATE, STRONG]);
+        let b = LevelSet::of(&[WEAK, CAUSAL, STRONG]);
+        assert_eq!(a.meet(&b).as_slice(), &[WEAK, STRONG]);
+        assert_eq!(a.meet(&LevelSet::new()), LevelSet::new());
+    }
+
+    #[test]
     fn selection_all_resolves_sorted() {
-        use ConsistencyLevel::*;
-        let avail = vec![Strong, Weak];
+        let avail = LevelSet::of(&[STRONG, WEAK]);
         let got = LevelSelection::All.resolve(&avail).unwrap();
-        assert_eq!(got, vec![Weak, Strong]);
+        assert_eq!(got.as_slice(), &[WEAK, STRONG]);
     }
 
     #[test]
     fn selection_subset_validated() {
-        use ConsistencyLevel::*;
-        let avail = vec![Weak, Strong];
-        let ok = LevelSelection::Only(vec![Strong]).resolve(&avail).unwrap();
-        assert_eq!(ok, vec![Strong]);
-        let err = LevelSelection::Only(vec![Causal]).resolve(&avail);
-        assert_eq!(err, Err(Causal));
+        let avail = LevelSet::of(&[WEAK, STRONG]);
+        let ok = LevelSelection::only(&[STRONG]).resolve(&avail).unwrap();
+        assert_eq!(ok.as_slice(), &[STRONG]);
+        let err = LevelSelection::only(&[CAUSAL]).resolve(&avail);
+        assert_eq!(err, Err(CAUSAL));
     }
 
     #[test]
     fn selection_dedups() {
-        use ConsistencyLevel::*;
-        let avail = vec![Weak, Strong];
-        let got = LevelSelection::Only(vec![Strong, Weak, Strong])
+        let avail = LevelSet::of(&[WEAK, STRONG]);
+        let got = LevelSelection::only(&[STRONG, WEAK, STRONG])
             .resolve(&avail)
             .unwrap();
-        assert_eq!(got, vec![Weak, Strong]);
+        assert_eq!(got.as_slice(), &[WEAK, STRONG]);
+    }
+
+    #[test]
+    fn fifth_custom_level_needs_no_core_changes() {
+        // The acceptance test of the open lattice: mint a level between
+        // causal and strong and drive the whole selection machinery with
+        // it, without touching any core code.
+        let audit = ConsistencyLevel::register("audited", 30).unwrap();
+        let avail = LevelSet::of(&[WEAK, UPDATE, CAUSAL, audit, STRONG]);
+        assert_eq!(avail.as_slice()[3], audit);
+        let sel = LevelSelection::only(&[audit, WEAK]);
+        let resolved = sel.resolve(&avail).unwrap();
+        assert_eq!(resolved.as_slice(), &[WEAK, audit]);
+        assert_eq!(avail.floor(35), Some(audit));
     }
 }

@@ -49,7 +49,7 @@
 //! let prelim = result.wait_any(Duration::from_secs(5)).unwrap();
 //! assert_eq!(prelim.value.as_deref(), Some("Ada"));
 //! let fin = result.wait_final(Duration::from_secs(5)).unwrap();
-//! assert_eq!(fin.level, ConsistencyLevel::Strong);
+//! assert_eq!(fin.level, ConsistencyLevel::STRONG);
 //! ```
 
 // Public API documentation is complete and enforced: CI's lint job runs
@@ -65,6 +65,7 @@ pub mod inline;
 pub mod level;
 pub mod local;
 pub mod record;
+pub mod spec;
 pub mod speculate;
 pub mod view;
 
@@ -72,7 +73,7 @@ pub use binding::{Binding, DeliveryObserver, KeyedOp, ObjectId, Upcall};
 pub use client::Client;
 pub use correctable::{Correctable, Handle, State};
 pub use error::{ClosedError, Error};
-pub use level::{ConsistencyLevel, LevelSelection};
+pub use level::{ConsistencyLevel, LevelError, LevelSelection, LevelSet};
 pub use record::{History, HistoryEvent, Invocation, RecordingBinding};
 pub use speculate::SpeculationStats;
 pub use view::View;

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::binding::{Binding, KeyedOp, ObjectId, Upcall};
-use crate::level::ConsistencyLevel;
+use crate::level::{ConsistencyLevel, LevelSet};
 
 /// Artificial latencies of the toy cluster.
 #[derive(Clone, Copy, Debug)]
@@ -119,8 +119,8 @@ impl Binding for LocalBinding {
     type Op = LocalOp;
     type Val = Option<String>;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     }
 
     fn submit(&self, op: LocalOp, levels: &[ConsistencyLevel], upcall: Upcall<Option<String>>) {
@@ -128,20 +128,20 @@ impl Binding for LocalBinding {
         let d = st.delays;
         match op {
             LocalOp::Get(key) => {
-                if levels.contains(&ConsistencyLevel::Weak) {
+                if levels.contains(&ConsistencyLevel::WEAK) {
                     let st2 = Arc::clone(&st);
                     let key2 = key.clone();
                     let up = upcall.clone();
                     self.cluster.sched.schedule(d.weak_read, move || {
                         let v = st2.backup.lock().get(&key2).map(|(_, s)| s.clone());
-                        up.deliver(v, ConsistencyLevel::Weak);
+                        up.deliver(v, ConsistencyLevel::WEAK);
                     });
                 }
-                if levels.contains(&ConsistencyLevel::Strong) {
+                if levels.contains(&ConsistencyLevel::STRONG) {
                     let up = upcall;
                     self.cluster.sched.schedule(d.strong_read, move || {
                         let v = st.primary.lock().get(&key).map(|(_, s)| s.clone());
-                        up.deliver(v, ConsistencyLevel::Strong);
+                        up.deliver(v, ConsistencyLevel::STRONG);
                     });
                 }
             }
@@ -322,10 +322,10 @@ mod tests {
         let client = Client::new(cluster.binding());
         let c = client.invoke(LocalOp::Get("k".into()));
         let first = c.wait_any(Duration::from_secs(5)).unwrap();
-        assert_eq!(first.level, ConsistencyLevel::Weak);
+        assert_eq!(first.level, ConsistencyLevel::WEAK);
         assert_eq!(first.value.as_deref(), Some("v0"));
         let last = c.wait_final(Duration::from_secs(5)).unwrap();
-        assert_eq!(last.level, ConsistencyLevel::Strong);
+        assert_eq!(last.level, ConsistencyLevel::STRONG);
     }
 
     #[test]
@@ -384,7 +384,7 @@ mod tests {
             .wait_final(Duration::from_secs(5))
             .unwrap();
         assert_eq!(v.value, None);
-        assert_eq!(v.level, ConsistencyLevel::Strong);
+        assert_eq!(v.level, ConsistencyLevel::STRONG);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use crate::binding::{Binding, DeliveryObserver, Upcall};
 use crate::correctable::Correctable;
 use crate::error::Error;
-use crate::level::ConsistencyLevel;
+use crate::level::{ConsistencyLevel, LevelSet};
 
 /// One recorded delivery of an invocation.
 #[derive(Clone, Debug)]
@@ -338,7 +338,7 @@ where
     type Op = B::Op;
     type Val = B::Val;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+    fn consistency_levels(&self) -> LevelSet {
         self.inner.consistency_levels()
     }
 
@@ -358,8 +358,10 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::correctable::State;
-    use crate::level::ConsistencyLevel::{Causal, Strong, Weak};
-
+    use crate::level::{ConsistencyLevel, LevelSet};
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     /// Synchronously answers `level.rank()` at every requested level.
     #[derive(Clone)]
     struct RankBinding;
@@ -368,8 +370,8 @@ mod tests {
         type Op = u8;
         type Val = u8;
 
-        fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-            vec![Weak, Causal, Strong]
+        fn consistency_levels(&self) -> LevelSet {
+            LevelSet::of(&[WEAK, CAUSAL, STRONG])
         }
 
         fn submit(&self, _op: u8, levels: &[ConsistencyLevel], upcall: Upcall<u8>) {
@@ -389,12 +391,12 @@ mod tests {
         assert_eq!(invs.len(), 1);
         let inv = &invs[0];
         assert_eq!(inv.op, 7);
-        assert_eq!(inv.levels, vec![Weak, Causal, Strong]);
+        assert_eq!(inv.levels, vec![WEAK, CAUSAL, STRONG]);
         assert_eq!(inv.events.len(), 3);
         assert!(!inv.events[0].is_closing());
         assert!(!inv.events[1].is_closing());
         assert!(inv.events[2].is_closing());
-        assert_eq!(inv.final_view().unwrap().1, Strong);
+        assert_eq!(inv.final_view().unwrap().1, STRONG);
         // Sequence numbers strictly ascend and start after the submission.
         assert!(inv.submitted < inv.events[0].seq());
         assert!(inv.events.windows(2).all(|w| w[0].seq() < w[1].seq()));
@@ -407,10 +409,10 @@ mod tests {
         let c = client.invoke(1);
         let prelims = c.preliminary_views();
         assert_eq!(prelims.len(), 2);
-        assert_eq!(prelims[0].level, Weak);
-        assert_eq!(prelims[1].level, Causal);
-        assert_eq!(c.final_view().unwrap().level, Strong);
-        assert_eq!(c.final_view().unwrap().value, Strong.rank());
+        assert_eq!(prelims[0].level, WEAK);
+        assert_eq!(prelims[1].level, CAUSAL);
+        assert_eq!(c.final_view().unwrap().level, STRONG);
+        assert_eq!(c.final_view().unwrap().value, STRONG.rank());
     }
 
     #[test]
@@ -418,12 +420,12 @@ mod tests {
         use crate::level::LevelSelection;
         let history = History::new();
         let client = Client::new(RecordingBinding::new(RankBinding, history.clone()));
-        let _c = client.invoke_with(3, &LevelSelection::Only(vec![Weak, Strong]));
+        let _c = client.invoke_with(3, &LevelSelection::only(&[WEAK, STRONG]));
         let invs = history.snapshot();
-        // Causal was delivered by the binding but never requested: the
+        // CAUSAL was delivered by the binding but never requested: the
         // recorded stream must not contain it.
         assert_eq!(invs[0].events.len(), 2);
-        assert_eq!(invs[0].levels, vec![Weak, Strong]);
+        assert_eq!(invs[0].levels, vec![WEAK, STRONG]);
     }
 
     #[test]
@@ -433,11 +435,11 @@ mod tests {
         impl Binding for FailBinding {
             type Op = ();
             type Val = u8;
-            fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-                vec![Weak, Strong]
+            fn consistency_levels(&self) -> LevelSet {
+                LevelSet::of(&[WEAK, STRONG])
             }
             fn submit(&self, _op: (), _levels: &[ConsistencyLevel], upcall: Upcall<u8>) {
-                upcall.deliver(1, Weak);
+                upcall.deliver(1, WEAK);
                 upcall.fail(Error::Timeout);
             }
         }
@@ -461,9 +463,9 @@ mod tests {
     fn observe_replays_and_follows_a_correctable() {
         let history: History<&str, u8> = History::new();
         let (c, h) = Correctable::pending();
-        h.update(1, Weak).unwrap();
-        history.observe("gathered", vec![Weak, Strong], &c);
-        h.close(2, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        history.observe("gathered", vec![WEAK, STRONG], &c);
+        h.close(2, STRONG).unwrap();
         let invs = history.snapshot();
         assert_eq!(invs[0].events.len(), 2);
         assert_eq!(invs[0].op, "gathered");

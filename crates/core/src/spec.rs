@@ -1,8 +1,12 @@
-//! Pluggable sequential specifications for the linearizability checker.
+//! Pluggable sequential specifications: the deterministic state machines
+//! that both the spec-driven bindings and the oracle's linearizability
+//! checker replay.
 //!
-//! A [`SeqSpec`] is a deterministic state machine: the checker searches
-//! for an order of the observed operations in which replaying them
-//! through [`SeqSpec::apply`] reproduces every observed return value.
+//! A [`SeqSpec`] is a deterministic state machine. The update-consistency
+//! and causal bindings replay one through [`SeqSpec::apply`] to turn a
+//! totally-ordered (or causally-ordered) update log into views; the
+//! oracle's checker searches for an order of the observed operations in
+//! which the same replay reproduces every observed return value.
 //! Specs model exactly what the bindings promise — a last-value
 //! register map (quorum store), a counter map (the in-memory shard
 //! backend), a sequenced FIFO queue (the ZooKeeper-model queue), and a

@@ -259,7 +259,7 @@ where
                         if g.closed || g.epoch != epoch {
                             None
                         } else {
-                            let done = View::new(value, ConsistencyLevel::Strong);
+                            let done = View::new(value, ConsistencyLevel::STRONG);
                             g.cur_done = Some(done.clone());
                             match g.final_view.clone() {
                                 Some(fv) if g.cur_input.as_ref() == Some(&fv.value) => {
@@ -326,8 +326,9 @@ mod tests {
     use std::sync::Arc as StdArc;
 
     use crate::correctable::State;
-    use crate::level::ConsistencyLevel::{Strong, Weak};
-
+    use crate::level::ConsistencyLevel;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     #[test]
     fn confirmed_speculation_closes_with_spec_result() {
         let (c, h) = Correctable::<i32>::pending();
@@ -337,12 +338,12 @@ mod tests {
             calls2.fetch_add(1, Ordering::SeqCst);
             x * 10
         });
-        h.update(4, Weak).unwrap();
+        h.update(4, WEAK).unwrap();
         assert_eq!(out.state(), State::Updating);
-        h.close(4, Strong).unwrap();
+        h.close(4, STRONG).unwrap();
         let v = out.final_view().expect("closed");
         assert_eq!(v.value, 40);
-        assert_eq!(v.level, Strong);
+        assert_eq!(v.level, STRONG);
         // The speculation ran exactly once: no redo on confirmation.
         assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
@@ -353,8 +354,8 @@ mod tests {
         let aborted = StdArc::new(Mutex::new(Vec::<i32>::new()));
         let ab = StdArc::clone(&aborted);
         let out = c.speculate_with_abort(|x| x * 10, move |bad| ab.lock().push(*bad));
-        h.update(4, Weak).unwrap();
-        h.close(5, Strong).unwrap();
+        h.update(4, WEAK).unwrap();
+        h.close(5, STRONG).unwrap();
         assert_eq!(out.final_view().unwrap().value, 50);
         assert_eq!(*aborted.lock(), vec![4]);
     }
@@ -363,7 +364,7 @@ mod tests {
     fn no_preliminary_still_produces_result() {
         let (c, h) = Correctable::<i32>::pending();
         let out = c.speculate(|x| x + 1);
-        h.close(9, Strong).unwrap();
+        h.close(9, STRONG).unwrap();
         assert_eq!(out.final_view().unwrap().value, 10);
     }
 
@@ -376,9 +377,9 @@ mod tests {
             calls2.fetch_add(1, Ordering::SeqCst);
             *x
         });
-        h.update(7, Weak).unwrap();
-        h.update(7, Weak).unwrap();
-        h.close(7, Strong).unwrap();
+        h.update(7, WEAK).unwrap();
+        h.update(7, WEAK).unwrap();
+        h.close(7, STRONG).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(out.final_view().unwrap().value, 7);
     }
@@ -399,12 +400,12 @@ mod tests {
             },
             |_| {},
         );
-        h.update(1, Weak).unwrap();
-        h.close(1, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.close(1, STRONG).unwrap();
         // Final view arrived, but the speculative work is still running.
         assert_eq!(out.state(), State::Updating);
         let wh = pending.lock().pop().unwrap();
-        wh.close(111, Strong).unwrap();
+        wh.close(111, STRONG).unwrap();
         assert_eq!(out.final_view().unwrap().value, 111);
     }
 
@@ -412,9 +413,9 @@ mod tests {
     fn async_speculation_completing_before_final_closes_on_final() {
         let (c, h) = Correctable::<i32>::pending();
         let out = c.speculate_async(|x| Correctable::ready(x * 2), |_| {});
-        h.update(3, Weak).unwrap();
+        h.update(3, WEAK).unwrap();
         assert_eq!(out.state(), State::Updating);
-        h.close(3, Strong).unwrap();
+        h.close(3, STRONG).unwrap();
         assert_eq!(out.final_view().unwrap().value, 6);
     }
 
@@ -432,8 +433,8 @@ mod tests {
             },
             |_| {},
         );
-        h.update(1, Weak).unwrap();
-        h.close(2, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.close(2, STRONG).unwrap();
         // Finish the stale speculation (input 1) after the relaunch (input 2).
         let mut hs = handles.lock();
         assert_eq!(hs.len(), 2);
@@ -441,9 +442,9 @@ mod tests {
         let (fresh_in, fresh_h) = hs.remove(0);
         drop(hs);
         assert_eq!((stale_in, fresh_in), (1, 2));
-        stale_h.close(-1, Strong).unwrap();
+        stale_h.close(-1, STRONG).unwrap();
         assert_eq!(out.state(), State::Updating, "stale result must not close");
-        fresh_h.close(22, Strong).unwrap();
+        fresh_h.close(22, STRONG).unwrap();
         assert_eq!(out.final_view().unwrap().value, 22);
     }
 
@@ -456,7 +457,7 @@ mod tests {
             |_| Correctable::<i32>::pending().0, // never completes
             move |bad| ab.lock().push(*bad),
         );
-        h.update(5, Weak).unwrap();
+        h.update(5, WEAK).unwrap();
         h.fail(Error::Timeout).unwrap();
         assert_eq!(out.state(), State::Error);
         assert_eq!(out.error(), Some(Error::Timeout));
@@ -470,7 +471,7 @@ mod tests {
             |_| Correctable::<i32>::failed(Error::Storage("boom".into())),
             |_| {},
         );
-        h.update(5, Weak).unwrap();
+        h.update(5, WEAK).unwrap();
         assert_eq!(out.state(), State::Error);
         assert_eq!(out.error(), Some(Error::Storage("boom".into())));
     }
@@ -490,9 +491,9 @@ mod tests {
                 a2.fetch_add(1, Ordering::SeqCst);
             },
         );
-        h.update(1, Weak).unwrap();
-        h.update(2, Weak).unwrap();
-        h.close(2, Strong).unwrap();
+        h.update(1, WEAK).unwrap();
+        h.update(2, WEAK).unwrap();
+        h.close(2, STRONG).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 2);
         assert_eq!(aborts.load(Ordering::SeqCst), 1);
         assert_eq!(out.final_view().unwrap().value, 2);

@@ -33,9 +33,9 @@ mod tests {
 
     #[test]
     fn map_preserves_level() {
-        let v = View::new(21, ConsistencyLevel::Weak);
+        let v = View::new(21, ConsistencyLevel::WEAK);
         let w = v.map(|x| x * 2);
         assert_eq!(w.value, 42);
-        assert_eq!(w.level, ConsistencyLevel::Weak);
+        assert_eq!(w.level, ConsistencyLevel::WEAK);
     }
 }

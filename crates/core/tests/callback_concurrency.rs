@@ -8,7 +8,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use correctables::ConsistencyLevel::{Strong, Weak};
+use correctables::ConsistencyLevel;
+
+const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+
+const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
 use correctables::Correctable;
 use parking_lot::Mutex;
 
@@ -24,9 +28,9 @@ fn concurrent_registration_sees_full_history_in_order() {
         let (c, h) = Correctable::<usize>::pending();
         let producer = thread::spawn(move || {
             for i in 0..VIEWS {
-                h.update(i, Weak).unwrap();
+                h.update(i, WEAK).unwrap();
             }
-            h.close(VIEWS, Strong).unwrap();
+            h.close(VIEWS, STRONG).unwrap();
         });
         let mut observers = Vec::new();
         let mut registrars = Vec::new();
@@ -91,12 +95,12 @@ fn registration_while_delivery_in_flight_does_not_block() {
         .unwrap();
     });
 
-    h.update(1, Weak).unwrap();
+    h.update(1, WEAK).unwrap();
     assert!(helper_done.load(Ordering::SeqCst));
     // The late observer replayed the view whose delivery was in flight.
     assert_eq!(*helper_saw.lock(), vec![1]);
-    h.update(2, Weak).unwrap();
-    h.close(3, Strong).unwrap();
+    h.update(2, WEAK).unwrap();
+    h.close(3, STRONG).unwrap();
     // And it keeps receiving subsequent views exactly once, in order.
     assert_eq!(*helper_saw.lock(), vec![1, 2]);
 }

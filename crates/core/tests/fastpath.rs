@@ -10,7 +10,15 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use correctables::ConsistencyLevel::{Cache, Causal, Strong, Weak};
+use correctables::ConsistencyLevel;
+
+const CACHE: ConsistencyLevel = ConsistencyLevel::CACHE;
+
+const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+
+const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+
+const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
 use correctables::{Correctable, Error, State, Upcall, View};
 
 /// Registering update callbacks from one thread while another delivers
@@ -24,12 +32,12 @@ fn registration_races_delivery_without_losing_views() {
         let (c, h) = Correctable::<i32>::pending();
         let producer = std::thread::spawn(move || {
             for i in 0..VIEWS {
-                h.update(i, Weak).unwrap();
+                h.update(i, WEAK).unwrap();
                 if i % 50 == round % 50 {
                     std::thread::yield_now();
                 }
             }
-            h.close(VIEWS, Strong).unwrap();
+            h.close(VIEWS, STRONG).unwrap();
         });
         let logs: Vec<Arc<Mutex<Vec<i32>>>> = (0..CALLBACKS)
             .map(|_| Arc::new(Mutex::new(Vec::new())))
@@ -61,14 +69,14 @@ fn parked_waiters_are_woken_after_callback_only_traffic() {
         // Callback-only traffic first, so the producer's no-waiter fast
         // path has been exercised before anyone parks.
         c.on_update(|_| {});
-        h.update(1, Weak).unwrap();
+        h.update(1, WEAK).unwrap();
         let waiter = std::thread::spawn(move || c.wait_final(Duration::from_secs(10)));
         // Give the waiter a moment to park.
         std::thread::yield_now();
-        h.update(2, Causal).unwrap();
-        h.close(3, Strong).unwrap();
+        h.update(2, CAUSAL).unwrap();
+        h.close(3, STRONG).unwrap();
         let v = waiter.join().unwrap().expect("waiter must wake");
-        assert_eq!((v.value, v.level), (3, Strong));
+        assert_eq!((v.value, v.level), (3, STRONG));
     }
 }
 
@@ -77,9 +85,9 @@ fn wait_any_wakes_on_preliminary_after_parking() {
     let (c, h) = Correctable::<u64>::pending();
     let waiter = std::thread::spawn(move || c.wait_any(Duration::from_secs(10)));
     std::thread::sleep(Duration::from_millis(5));
-    h.update(9, Weak).unwrap();
+    h.update(9, WEAK).unwrap();
     let v = waiter.join().unwrap().expect("wait_any must wake");
-    assert_eq!((v.value, v.level), (9, Weak));
+    assert_eq!((v.value, v.level), (9, WEAK));
 }
 
 /// `join_all` over a mix of already-closed and still-pending inputs: the
@@ -88,30 +96,30 @@ fn wait_any_wakes_on_preliminary_after_parking() {
 #[test]
 fn join_all_mixed_closed_and_pending() {
     let ready_strong = Correctable::ready(10u64);
-    let ready_weak = Correctable::ready_at(20u64, Weak);
+    let ready_weak = Correctable::ready_at(20u64, WEAK);
     let (pending_a, ha) = Correctable::<u64>::pending();
     let (pending_b, hb) = Correctable::<u64>::pending();
     let joined = Correctable::join_all(vec![ready_strong, pending_a, ready_weak, pending_b]);
     assert_eq!(joined.state(), State::Updating);
-    hb.close(40, Strong).unwrap();
+    hb.close(40, STRONG).unwrap();
     assert_eq!(joined.state(), State::Updating);
-    ha.close(30, Strong).unwrap();
+    ha.close(30, STRONG).unwrap();
     let v = joined.final_view().expect("all inputs closed");
     assert_eq!(v.value, vec![10, 30, 20, 40]);
-    // The weakest input view (the ready-at-Weak one) bounds the level.
-    assert_eq!(v.level, Weak);
+    // The weakest input view (the ready-at-WEAK one) bounds the level.
+    assert_eq!(v.level, WEAK);
 }
 
 #[test]
 fn join_all_all_closed_closes_synchronously() {
     let joined = Correctable::join_all(vec![
         Correctable::ready(1),
-        Correctable::ready_at(2, Causal),
+        Correctable::ready_at(2, CAUSAL),
         Correctable::ready(3),
     ]);
     let v = joined.final_view().expect("closed without any callback");
     assert_eq!(v.value, vec![1, 2, 3]);
-    assert_eq!(v.level, Causal);
+    assert_eq!(v.level, CAUSAL);
 }
 
 #[test]
@@ -142,7 +150,7 @@ fn join_all_pending_input_failing_later_fails_the_join() {
 /// above the strongest closes.
 #[test]
 fn for_levels_cached_filter_drops_exactly_the_non_requested_levels() {
-    let all = [Cache, Weak, Causal, Strong];
+    let all = [CACHE, WEAK, CAUSAL, STRONG];
     // Every non-empty subset of the four levels.
     for mask in 1u32..16 {
         let requested: Vec<_> = all
@@ -194,9 +202,9 @@ fn post_close_deliveries_are_dropped_at_every_level() {
     c.on_update(move |_| {
         n.fetch_add(1, Ordering::SeqCst);
     });
-    let up = Upcall::for_levels(h, &[Weak, Causal, Strong]);
-    up.deliver(1, Strong);
-    for l in [Cache, Weak, Causal, Strong] {
+    let up = Upcall::for_levels(h, &[WEAK, CAUSAL, STRONG]);
+    up.deliver(1, STRONG);
+    for l in [CACHE, WEAK, CAUSAL, STRONG] {
         up.deliver(9, l);
     }
     up.fail(Error::Timeout);

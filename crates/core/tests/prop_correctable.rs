@@ -41,7 +41,7 @@ proptest! {
         for a in &actions {
             match a {
                 Action::Update(v) => {
-                    let r = h.update(*v, ConsistencyLevel::Weak);
+                    let r = h.update(*v, ConsistencyLevel::WEAK);
                     if closed.is_none() {
                         prop_assert!(r.is_ok());
                         expected_updates.push(*v);
@@ -50,7 +50,7 @@ proptest! {
                     }
                 }
                 Action::Close(v) => {
-                    let r = h.close(*v, ConsistencyLevel::Strong);
+                    let r = h.close(*v, ConsistencyLevel::STRONG);
                     if closed.is_none() {
                         prop_assert!(r.is_ok());
                         closed = Some(Ok(*v));
@@ -105,12 +105,12 @@ proptest! {
                 attach(&log, &c);
                 attached = true;
             }
-            h.update(*v, ConsistencyLevel::Weak).unwrap();
+            h.update(*v, ConsistencyLevel::WEAK).unwrap();
         }
         if !attached {
             attach(&log, &c);
         }
-        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        h.close(fin, ConsistencyLevel::STRONG).unwrap();
         prop_assert_eq!(log.lock().clone(), values);
     }
 
@@ -124,9 +124,9 @@ proptest! {
         let (c, h) = Correctable::<i64>::pending();
         let out = c.speculate(|x| x.wrapping_mul(3) ^ 0x55);
         for p in &prelims {
-            h.update(*p, ConsistencyLevel::Weak).unwrap();
+            h.update(*p, ConsistencyLevel::WEAK).unwrap();
         }
-        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        h.close(fin, ConsistencyLevel::STRONG).unwrap();
         prop_assert_eq!(out.final_view().unwrap().value, fin.wrapping_mul(3) ^ 0x55);
     }
 
@@ -139,9 +139,9 @@ proptest! {
         let (c, h) = Correctable::<i32>::pending();
         let mapped = c.map(|x| i64::from(*x) + 1);
         for p in &prelims {
-            h.update(*p, ConsistencyLevel::Weak).unwrap();
+            h.update(*p, ConsistencyLevel::WEAK).unwrap();
         }
-        h.close(fin, ConsistencyLevel::Strong).unwrap();
+        h.close(fin, ConsistencyLevel::STRONG).unwrap();
         let got: Vec<i64> = mapped.preliminary_views().iter().map(|v| v.value).collect();
         let want: Vec<i64> = prelims.iter().map(|p| i64::from(*p) + 1).collect();
         prop_assert_eq!(got, want);
@@ -156,7 +156,7 @@ proptest! {
         // Close in reverse order; the aggregate must still be input-ordered.
         for (i, (_, h)) in pairs.iter().enumerate().rev() {
             prop_assert_eq!(joined.is_closed(), false);
-            h.close(values[i], ConsistencyLevel::Strong).unwrap();
+            h.close(values[i], ConsistencyLevel::STRONG).unwrap();
         }
         prop_assert_eq!(joined.final_view().unwrap().value, values);
     }

@@ -26,6 +26,9 @@ pub struct Config {
     pub lock_discipline_crates: Vec<String>,
     /// Crates whose `src/` trees the unsafe-audit pass scans.
     pub unsafe_audit_crates: Vec<String>,
+    /// Crates whose `src/` trees the level-lattice pass scans for
+    /// closed matches over consistency levels.
+    pub level_lattice_crates: Vec<String>,
     /// Enum names the wire pass cross-checks.
     pub wire_enums: Vec<String>,
     /// Files the wire enums are defined in.
@@ -71,6 +74,7 @@ impl Config {
                         cfg.lock_discipline_crates = value.as_list()?
                     }
                     ("unsafe_audit", "crates") => cfg.unsafe_audit_crates = value.as_list()?,
+                    ("level_lattice", "crates") => cfg.level_lattice_crates = value.as_list()?,
                     ("wire", "enums") => cfg.wire_enums = value.as_list()?,
                     ("wire", "enum_files") => cfg.wire_enum_files = value.as_list()?,
                     ("wire", "codec") => cfg.wire_codec = value.as_string()?,

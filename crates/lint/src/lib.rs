@@ -1,6 +1,6 @@
 //! icg-lint — project-specific static analysis for the ICG workspace.
 //!
-//! Five passes enforce invariants the compiler cannot see but the
+//! Six passes enforce invariants the compiler cannot see but the
 //! paper's guarantees depend on (DESIGN.md §11):
 //!
 //! | pass | invariant |
@@ -10,6 +10,7 @@
 //! | `lock_discipline` | no lock-order inversions; no guard held across a blocking call |
 //! | `unsafe_audit` | every `unsafe` carries an adjacent `// SAFETY:` argument |
 //! | `wire` | every wire-enum variant is encoded, decoded, and property-tested |
+//! | `level_lattice` | no `match` over consistency levels enumerates only the builtins — the lattice is open |
 //!
 //! The engine is a hand-rolled lexer + item scanner ([`lexer`],
 //! [`scan`]) — no `syn`, no `rustc` internals — because the workspace
@@ -40,6 +41,7 @@ pub const PASSES: &[&str] = &[
     "lock_discipline",
     "unsafe_audit",
     "wire",
+    "level_lattice",
 ];
 
 /// Runs every pass over the workspace at `root`, returning all findings
@@ -51,6 +53,7 @@ pub fn run_all(root: &Path, cfg: &Config) -> Vec<Finding> {
     out.extend(passes::lock_discipline::run(root, cfg));
     out.extend(passes::unsafe_audit::run(root, cfg));
     out.extend(passes::wire::run(root, cfg));
+    out.extend(passes::level_lattice::run(root, cfg));
     out.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
     out
 }

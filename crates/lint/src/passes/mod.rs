@@ -1,4 +1,4 @@
-//! The five project-specific passes.
+//! The six project-specific passes.
 //!
 //! Each pass loads the files its `lint.toml` section names, walks their
 //! token streams, and emits [`Finding`]s. Findings on a line carrying a
@@ -7,6 +7,7 @@
 //! baseline when the caller gates.
 
 pub mod determinism;
+pub mod level_lattice;
 pub mod lock_discipline;
 pub mod panic_path;
 pub mod unsafe_audit;

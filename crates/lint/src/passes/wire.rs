@@ -106,9 +106,15 @@ fn check_enum(
     let encode_fn = encode_fn.expect("checked above");
     let decode_fn = decode_fn.expect("checked above");
 
+    let encode_ranges = with_helper_bodies(codec, encode_fn.body.clone());
+    let decode_ranges = with_helper_bodies(codec, decode_fn.body.clone());
     for (variant, line) in &def.variants {
-        let in_encode = mentions_variant(codec, encode_fn.body.clone(), name, variant);
-        let in_decode = mentions_variant(codec, decode_fn.body.clone(), name, variant);
+        let in_encode = encode_ranges
+            .iter()
+            .any(|r| mentions_variant(codec, r.clone(), name, variant));
+        let in_decode = decode_ranges
+            .iter()
+            .any(|r| mentions_variant(codec, r.clone(), name, variant));
         let in_props = mentions_variant(props, 0..props.tokens.len(), name, variant);
         let mut missing: Vec<(&str, &str)> = Vec::new();
         if !in_encode {
@@ -147,6 +153,38 @@ fn push_finding(
         ),
     };
     super::push_unless_waived(out, def_file, f);
+}
+
+/// The body range plus the bodies of module-level helper functions in
+/// the codec file that the range calls (`shared tag decoders like
+/// `decode_msg_body` keep variant construction out of the `impl Wire`
+/// body itself). One level of following — helpers of helpers would
+/// need a fixpoint nobody's codec warrants yet.
+fn with_helper_bodies(
+    codec: &SourceFile,
+    body: std::ops::Range<usize>,
+) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = vec![body.clone()];
+    for i in body {
+        let t = &codec.tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // A call `helper(` where `helper` is a module-level fn in the
+        // codec file (qualified names are method/assoc calls, skip).
+        if codec.tokens.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if i > 0 && codec.tokens[i - 1].text == ":" {
+            continue;
+        }
+        if let Some(f) = codec.fns.iter().find(|f| f.qual_name == t.text) {
+            if !ranges.contains(&f.body) {
+                ranges.push(f.body.clone());
+            }
+        }
+    }
+    ranges
 }
 
 /// Whether `E::V` (or `Self::V`) appears in `range` of `sf`'s tokens.
@@ -235,6 +273,29 @@ mod tests {
         let out = check(TYPES, "fn unrelated() {}", "");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].kind, "no-wire-impl");
+    }
+
+    #[test]
+    fn variants_built_in_a_called_helper_count() {
+        let codec = "
+            impl Wire for Msg {
+                fn encode(&self, b: &mut Vec<u8>) {
+                    match self { Msg::Ping => {}, Msg::Pong => {}, Msg::Data(x) => {} }
+                }
+                fn decode(r: &mut R) -> Result<Self, E> {
+                    let tag = r.u8()?;
+                    decode_body(tag, r)
+                }
+            }
+            fn decode_body(tag: u8, r: &mut R) -> Result<Msg, E> {
+                match tag {
+                    0 => Ok(Msg::Ping), 1 => Ok(Msg::Pong), 2 => Ok(Msg::Data(r.u32()?)),
+                    t => Err(E::BadTag(t)),
+                }
+            }
+        ";
+        let props = "fn arb() { let _ = (Msg::Ping, Msg::Pong, Msg::Data(1)); }";
+        assert!(check(TYPES, codec, props).is_empty());
     }
 
     #[test]

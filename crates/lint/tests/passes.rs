@@ -30,6 +30,11 @@ fn each_pass_flags_exactly_its_seeded_fixture() {
         .collect();
     let want = vec![
         (
+            "level_lattice".to_string(),
+            "closed-level-match",
+            "crates/levely/src/lib.rs".to_string(),
+        ),
+        (
             "lock_discipline".to_string(),
             "lock-cycle",
             "crates/locky/src/lib.rs".to_string(),

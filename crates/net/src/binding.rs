@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Error, Upcall};
+use correctables::{Binding, ConsistencyLevel, Error, LevelSet, Upcall};
 use quorumstore::messages::{Msg, Phase};
 use quorumstore::types::{OpId, ReadKind, Version, Versioned};
 use quorumstore::StoreOp;
@@ -182,7 +182,7 @@ pub(crate) fn handle_reply(pending: &mut HashMap<u64, PendingOp>, client_id: u64
             if let Some(p) = pending.get_mut(&op.seq) {
                 p.prelim = Some(data.clone());
                 let up = p.upcall.clone();
-                up.deliver(data, ConsistencyLevel::Weak);
+                up.deliver(data, ConsistencyLevel::WEAK);
             }
         }
         Msg::ReadReply { op, data, .. } if own(op) => {
@@ -352,16 +352,16 @@ impl Binding for TcpBinding {
     type Op = StoreOp;
     type Val = Versioned;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     }
 
     fn submit(&self, op: StoreOp, levels: &[ConsistencyLevel], upcall: Upcall<Versioned>) {
         // The same level→ReadKind mapping as the simulated QuorumBinding:
         // both ends requested → server-side ICG read; strong only → one
         // quorum read; weak only → one R=1 read.
-        let weak = levels.contains(&ConsistencyLevel::Weak);
-        let strong = levels.contains(&ConsistencyLevel::Strong);
+        let weak = levels.contains(&ConsistencyLevel::WEAK);
+        let strong = levels.contains(&ConsistencyLevel::STRONG);
         let kind = match (weak, strong) {
             (true, true) => ReadKind::Icg {
                 r: self.r_strong,

@@ -9,15 +9,18 @@
 //! ```
 //!
 //! `len` counts everything after itself (version byte + body), so a
-//! reader can skip a frame it cannot parse. `ver` is
-//! [`WIRE_VERSION`]; a receiver rejects
-//! frames from an incompatible future revision instead of misparsing
-//! them. The body is one [`Wire`]-encoded message, decoded with
-//! exact-length consumption (trailing bytes are an error).
+//! reader can skip a frame it cannot parse. `ver` is the *message's*
+//! minimum wire version ([`Wire::min_wire_version`]) — a message every
+//! peer understands travels in the oldest frame that can carry it, so
+//! mixed-version deployments interoperate on the shared message subset.
+//! A receiver accepts [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] and
+//! rejects anything outside instead of misparsing it. The body is one
+//! [`Wire`]-encoded message, decoded with exact-length consumption
+//! (trailing bytes are an error).
 
 use std::io::{self, Read, Write};
 
-use crate::wire::{Reader, Wire, WireError, WIRE_VERSION};
+use crate::wire::{Reader, Wire, WireError, MIN_WIRE_VERSION, WIRE_VERSION};
 
 /// Hard cap on a frame's announced length. Nothing this protocol sends
 /// comes near it; a peer announcing more is corrupt or hostile and the
@@ -68,8 +71,10 @@ impl std::error::Error for FrameError {}
 /// clearing it first. The result is ready for a single `write_all`.
 pub fn encode_frame<T: Wire>(msg: &T, scratch: &mut Vec<u8>) {
     scratch.clear();
-    // Reserve the length slot, then encode in place.
-    scratch.extend_from_slice(&[0, 0, 0, 0, WIRE_VERSION]);
+    // Reserve the length slot, then encode in place. The version byte is
+    // the oldest version that understands *this* message, not the newest
+    // this build speaks — see the module docs.
+    scratch.extend_from_slice(&[0, 0, 0, 0, msg.min_wire_version()]);
     msg.encode(scratch);
     let len = (scratch.len() - 4) as u32;
     scratch[..4].copy_from_slice(&len.to_le_bytes());
@@ -115,7 +120,7 @@ pub fn read_frame<T: Wire>(
     scratch.resize(len as usize, 0);
     r.read_exact(scratch)?;
     let ver = scratch[0];
-    if ver != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&ver) {
         return Err(WireError::BadVersion { got: ver }.into());
     }
     Ok(Some(Reader::new(&scratch[1..]).finish()?))
@@ -124,6 +129,7 @@ pub fn read_frame<T: Wire>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::NetMsg;
     use quorumstore::types::{Key, OpId, ReadKind};
     use quorumstore::Msg;
     use simnet::NodeId;
@@ -179,6 +185,36 @@ mod tests {
             read_frame::<Msg>(&mut cur, &mut buf),
             Err(FrameError::Wire(WireError::BadVersion { got: 9 }))
         ));
+    }
+
+    #[test]
+    fn frames_carry_each_messages_minimum_version() {
+        // Version-1-compatible messages travel in version-1 frames —
+        // bare Msg and its NetMsg::Store envelope identically — while a
+        // version-2-only message is stamped 2 so an old peer rejects it
+        // cleanly instead of misparsing it.
+        let mut bytes = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut bytes, &msg(), &mut scratch).unwrap();
+        assert_eq!(bytes[4], 1);
+        let mut wrapped = Vec::new();
+        write_frame(&mut wrapped, &NetMsg::Store(msg()), &mut scratch).unwrap();
+        assert_eq!(wrapped, bytes, "Store envelope must be byte-identical");
+        let mut hello = Vec::new();
+        write_frame(&mut hello, &NetMsg::Hello { client: 7 }, &mut scratch).unwrap();
+        assert_eq!(hello[4], 2);
+    }
+
+    #[test]
+    fn version_1_frames_decode_as_store_envelopes() {
+        // A frame from a version-1 peer decodes on a version-2 reader.
+        let mut bytes = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut bytes, &msg(), &mut scratch).unwrap();
+        let mut cur = Cursor::new(bytes);
+        let mut buf = Vec::new();
+        let got = read_frame::<NetMsg>(&mut cur, &mut buf).unwrap().unwrap();
+        assert_eq!(got, NetMsg::Store(msg()));
     }
 
     #[test]

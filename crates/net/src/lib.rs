@@ -10,22 +10,31 @@
 //!
 //! The crate has four layers, bottom up:
 //!
-//! - [`wire`] — derive-free [`Wire`] encode/decode for every
-//!   quorum-store message and its component types. No serde; the byte
-//!   layout is explicit, documented (`DESIGN.md` §10), and
-//!   property-tested for round-trip identity and rejection of truncated
-//!   or corrupt input.
-//! - [`frame`] — length-prefixed framing with a version byte for forward
-//!   compatibility and a hard size cap against corrupt length prefixes.
-//! - [`transport`] — per-connection writer/reader thread pairs over
-//!   blocking `TcpStream`s. No async runtime: the concurrency model is
-//!   one event-loop thread per protocol participant plus two I/O threads
-//!   per socket, which is simple to reason about and plenty for a
-//!   replica set.
-//! - [`server`] / [`binding`] — the quorum-store replica
-//!   ([`ReplicaServer`]) and the client binding ([`TcpBinding`]).
-//!   `TcpBinding` implements `Binding`, so incremental
-//!   consistency — preliminary weak views, strong closes, the *CC
+//! - [`wire`] — derive-free [`Wire`] encode/decode for every message and
+//!   its component types. No serde; the byte layout is explicit,
+//!   documented (`DESIGN.md` §10), and property-tested for round-trip
+//!   identity and rejection of truncated or corrupt input. Two
+//!   generations share one tag space: the v1 quorum-store `Msg`, and
+//!   the v2 [`NetMsg`] envelope that adds the spec-store protocol —
+//!   `Hello`/`HelloAck` (the consistency-level directory handshake,
+//!   `DESIGN.md` §13) and `SpecSubmit`/`SpecReply`/`SpecGossip`/
+//!   `SpecAck`/`SpecFailed`. A `NetMsg::Store` frame is byte-identical
+//!   to the bare v1 `Msg`, so old and new peers interoperate.
+//! - [`frame`] — length-prefixed framing with a version byte
+//!   (per-message minimum via [`Wire::min_wire_version`]; readers
+//!   accept [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]) and a hard size
+//!   cap against corrupt length prefixes.
+//! - [`transport`] / [`reactor`] — the blocking per-connection
+//!   writer/reader thread pairs, and the default hand-rolled epoll
+//!   reactor (edge-triggered loops, per-connection state machines,
+//!   vectored writes with backpressure). No async runtime either way.
+//! - [`server`] / [`binding`] / [`spec_binding`] — the replica
+//!   ([`ReplicaServer`], hosting the quorum store and the
+//!   `specstore`-backed update/causal/strong levels) and the client
+//!   bindings ([`TcpBinding`] for the quorum store, [`TcpSpecBinding`]
+//!   for spec objects at any registered consistency level). Both
+//!   implement `Binding`, so incremental consistency — preliminary
+//!   weak views, update/causal refinement, strong closes, the *CC
 //!   confirmation optimization, speculation, recording, the oracle —
 //!   works over sockets unchanged.
 //!
@@ -62,6 +71,7 @@ mod protocol;
 mod pump;
 pub mod reactor;
 pub mod server;
+pub mod spec_binding;
 pub mod transport;
 pub mod wire;
 
@@ -69,5 +79,8 @@ pub use binding::{TcpBinding, TcpConfig};
 pub use frame::{FrameError, MAX_FRAME};
 pub use reactor::ClientReactor;
 pub use server::{spawn_local_cluster, ReplicaHandle, ReplicaServer, ServerConfig};
+pub use spec_binding::{SpecTcpConfig, TcpSpecBinding};
 pub use transport::{Outbound, Transport};
-pub use wire::{Reader, Wire, WireError, WIRE_VERSION};
+pub use wire::{
+    LevelInfo, NetMsg, Reader, SpecOp, Wire, WireError, MIN_WIRE_VERSION, WIRE_VERSION,
+};

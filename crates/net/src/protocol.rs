@@ -14,15 +14,18 @@
 //! LWW adoption) with the one divergence that peer reads fan out to
 //! *all* peers and complete at the first `R-1` responses.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use correctables::spec::{CounterSpec, RegisterSpec, SeqSpec};
+use correctables::ConsistencyLevel;
 use quorumstore::messages::{FailReason, Msg, Phase};
 use quorumstore::storage::LocalStore;
 use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
 use simnet::NodeId;
 
 use crate::pump::Deadlines;
+use crate::wire::{LevelInfo, NetMsg, SpecOp, MAX_LEVELS, WIRE_VERSION};
 
 /// Where a replica's outbound messages go. The core never sees sockets;
 /// each transport maps these two calls onto its own connection plumbing.
@@ -30,10 +33,20 @@ pub(crate) trait Egress {
     /// Sends `msg` on client connection `conn`. A connection that no
     /// longer exists drops the message silently (the client is gone;
     /// its ops die by timeout on the client side).
-    fn to_client(&mut self, conn: u64, msg: &Msg);
+    fn to_client(&mut self, conn: u64, msg: &NetMsg);
 
     /// Sends `msg` down every currently-live peer link.
-    fn to_peers(&mut self, msg: &Msg);
+    fn to_peers(&mut self, msg: &NetMsg);
+
+    /// Convenience: wraps a version-1 store message for `to_client`.
+    fn store_to_client(&mut self, conn: u64, msg: Msg) {
+        self.to_client(conn, &NetMsg::Store(msg));
+    }
+
+    /// Convenience: wraps a version-1 store message for `to_peers`.
+    fn store_to_peers(&mut self, msg: Msg) {
+        self.to_peers(&NetMsg::Store(msg));
+    }
 }
 
 struct ReadSt {
@@ -70,6 +83,8 @@ pub(crate) struct ReplicaCore {
     next_internal: u64,
     /// Operation deadlines, soonest first.
     deadlines: Deadlines<u64>,
+    /// The update/causal/strong spec store riding the same connections.
+    spec: SpecCore,
 }
 
 impl ReplicaCore {
@@ -83,7 +98,65 @@ impl ReplicaCore {
             writes: HashMap::new(),
             next_internal: 0,
             deadlines: Deadlines::new(),
+            spec: SpecCore::new(id, n_peers + 1),
         }
+    }
+
+    /// Dispatches one inbound envelope from connection `conn` — the
+    /// version-1 store subset into [`ReplicaCore::on_msg`], the
+    /// version-2 handshake and spec-store messages into [`SpecCore`].
+    pub(crate) fn on_net(&mut self, net: &mut impl Egress, conn: u64, msg: NetMsg) {
+        match msg {
+            NetMsg::Store(m) => self.on_msg(net, conn, m),
+            NetMsg::Hello { .. } => {
+                let levels = self.spec.level_directory();
+                net.to_client(
+                    conn,
+                    &NetMsg::HelloAck {
+                        version: WIRE_VERSION,
+                        levels,
+                    },
+                );
+            }
+            NetMsg::SpecSubmit {
+                client,
+                seq,
+                op,
+                wants,
+            } => self.spec.submit(net, conn, client, seq, op, &wants),
+            NetMsg::SpecGossip {
+                origin,
+                seq,
+                ts,
+                vc,
+                op,
+            } => self.spec.on_gossip(
+                net,
+                SpecUpdate {
+                    ts,
+                    origin,
+                    seq,
+                    vc,
+                    op,
+                },
+            ),
+            NetMsg::SpecAck {
+                origin,
+                seq,
+                acker,
+                acker_seq,
+            } => self.spec.on_ack(net, origin, seq, acker, acker_seq),
+            // Client-bound replies have no business arriving at a
+            // server; drop them (a confused or hostile peer must not
+            // crash us).
+            NetMsg::HelloAck { .. } | NetMsg::SpecReply { .. } | NetMsg::SpecFailed { .. } => {}
+        }
+    }
+
+    /// A peer link (re)connected: give the spec store a chance to
+    /// retransmit updates the peer may have missed while down.
+    pub(crate) fn on_peer_up(&mut self, net: &mut impl Egress) {
+        self.spec.retransmit(net);
     }
 
     /// The soonest live operation deadline, for the transport's wait.
@@ -111,9 +184,9 @@ impl ReplicaCore {
             failed.extend(hit);
         });
         for (conn, op) in failed {
-            net.to_client(
+            net.store_to_client(
                 conn,
-                &Msg::OpFailed {
+                Msg::OpFailed {
                     op,
                     reason: FailReason::Timeout,
                 },
@@ -161,13 +234,13 @@ impl ReplicaCore {
             }
             Msg::PeerRead { op, key } => {
                 let data = self.store.get(key);
-                net.to_client(conn, &Msg::PeerReadResp { op, data });
+                net.store_to_client(conn, Msg::PeerReadResp { op, data });
             }
             Msg::PeerReadResp { op, data } => self.peer_read_resp(net, op, data),
             Msg::PeerWrite { key, data, ack_op } => {
                 self.store.apply(key, data);
                 if let Some(op) = ack_op {
-                    net.to_client(conn, &Msg::PeerWriteAck { op });
+                    net.store_to_client(conn, Msg::PeerWriteAck { op });
                 }
             }
             Msg::PeerWriteAck { op } => self.peer_write_ack(net, op),
@@ -196,9 +269,9 @@ impl ReplicaCore {
         if kind.is_icg() {
             // Preliminary flush: leak local state before coordinating.
             prelim = Some(local.version);
-            net.to_client(
+            net.store_to_client(
                 conn,
-                &Msg::ReadReply {
+                Msg::ReadReply {
                     op: client_op,
                     phase: Phase::Preliminary,
                     data: local.clone(),
@@ -217,7 +290,7 @@ impl ReplicaCore {
         // when too few links are currently live to ever reach the
         // quorum, the op stays pending: a peer may come back within the
         // timeout, and the deadline converts it into OpFailed otherwise.
-        net.to_peers(&Msg::PeerRead { op: peer_op, key });
+        net.store_to_peers(Msg::PeerRead { op: peer_op, key });
         self.reads.insert(
             internal,
             ReadSt {
@@ -261,7 +334,7 @@ impl ReplicaCore {
                 data: best,
             },
         };
-        net.to_client(conn, &msg);
+        net.store_to_client(conn, msg);
     }
 
     fn peer_read_resp(&mut self, net: &mut impl Egress, peer_op: OpId, data: Versioned) {
@@ -317,16 +390,16 @@ impl ReplicaCore {
         if acks_needed == 0 {
             // W = 1 (the paper's setting): acknowledge immediately,
             // propagate in the background.
-            net.to_peers(&Msg::PeerWrite {
+            net.store_to_peers(Msg::PeerWrite {
                 key,
                 data,
                 ack_op: None,
             });
-            net.to_client(conn, &Msg::WriteReply { op: client_op });
+            net.store_to_client(conn, Msg::WriteReply { op: client_op });
             return;
         }
         let (internal, peer_op) = self.mint_internal();
-        net.to_peers(&Msg::PeerWrite {
+        net.store_to_peers(Msg::PeerWrite {
             key,
             data,
             ack_op: Some(peer_op),
@@ -356,7 +429,506 @@ impl ReplicaCore {
         };
         if finished {
             if let Some(st) = self.writes.remove(&internal) {
-                net.to_client(st.client_conn, &Msg::WriteReply { op: st.client_op });
+                net.store_to_client(st.client_conn, Msg::WriteReply { op: st.client_op });
+            }
+        }
+    }
+}
+
+/// One replicated spec-store update: the unit of the gossip protocol
+/// and of the agreed `(ts, origin, seq)` total order.
+pub(crate) struct SpecUpdate {
+    ts: u64,
+    origin: u32,
+    seq: u64,
+    vc: Vec<u64>,
+    op: SpecOp,
+}
+
+impl SpecUpdate {
+    fn order_key(&self) -> (u64, u32, u64) {
+        (self.ts, self.origin, self.seq)
+    }
+}
+
+/// Which of the four served levels a submission asked for.
+#[derive(Clone, Copy)]
+struct SpecWants {
+    weak: bool,
+    update: bool,
+    causal: bool,
+    strong: bool,
+}
+
+/// An own update still owed views or acks.
+struct SpecPending {
+    conn: u64,
+    client: u64,
+    client_seq: u64,
+    key: (u64, u32, u64),
+    wants: SpecWants,
+    /// Per-replica causal-delivery acks (own entry pre-set).
+    acked: Vec<bool>,
+    /// Per-replica submission counts reported with each ack; a strong
+    /// view additionally waits until these are delivered locally.
+    acker_seq: Vec<u64>,
+    causal_sent: bool,
+    strong_sent: bool,
+}
+
+impl SpecPending {
+    fn fully_acked(&self) -> bool {
+        self.acked.iter().all(|a| *a)
+    }
+
+    fn served(&self) -> bool {
+        (!self.wants.causal || self.causal_sent) && (!self.wants.strong || self.strong_sent)
+    }
+}
+
+/// The TCP-side spec store: the update-consistency / causal / strong
+/// machinery of `specstore::SpecReplica`, ported onto real peer links.
+///
+/// Every replica keeps a totally-ordered update log (lamport `(ts,
+/// origin, seq)` order), a vector clock gating causal delivery (CBCAST
+/// buffering), and — for its *own* updates — per-peer delivery acks.
+/// The four views a submission can ask for:
+///
+/// - **weak** — the op applied on top of the local replay, replied
+///   before any coordination;
+/// - **update** — the op's return in the agreed total order as
+///   currently known locally (wait-free; the order is what all
+///   replicas converge to);
+/// - **causal** — replied once at least one peer confirmed causal
+///   delivery (evidence the update propagated with its causal past);
+/// - **strong** — replied once *every* replica delivered the update
+///   **and** everything those replicas had themselves submitted by
+///   their ack is delivered here, so the op's position in the total
+///   order can no longer change (stability, not just receipt).
+///
+/// Anti-entropy is connection-driven rather than timer-driven: peer
+/// links re-gossip all not-fully-acked own updates whenever a link
+/// comes (back) up, and a replica re-acks retransmissions of updates it
+/// already delivered — so a flapping link cannot wedge a strong view
+/// open, and no timers race the event loop.
+///
+/// Replica ids double as vector-clock indexes, so a spec deployment
+/// requires ids `0..n` — exactly what [`crate::spawn_local_cluster`]
+/// assigns. Gossip from an out-of-range origin is dropped.
+pub(crate) struct SpecCore {
+    id: u32,
+    n: usize,
+    lamport: u64,
+    /// Own submissions so far (1-based seq of the next own update).
+    next_seq: u64,
+    /// Deliveries per origin; own entry counts own submissions.
+    vc: Vec<u64>,
+    /// Causally delivered updates, sorted by `(ts, origin, seq)`.
+    log: Vec<SpecUpdate>,
+    /// Received but not yet causally deliverable.
+    buffer: Vec<SpecUpdate>,
+    /// Own updates awaiting views or acks, by own seq.
+    pending: HashMap<u64, SpecPending>,
+    reg: RegisterSpec,
+    ctr: CounterSpec,
+}
+
+impl SpecCore {
+    fn new(id: u32, n: usize) -> SpecCore {
+        SpecCore {
+            id,
+            n,
+            lamport: 0,
+            next_seq: 0,
+            vc: vec![0; n],
+            log: Vec::new(),
+            buffer: Vec::new(),
+            pending: HashMap::new(),
+            reg: RegisterSpec::default(),
+            ctr: CounterSpec,
+        }
+    }
+
+    /// The level directory advertised in the handshake: every level
+    /// registered in this process, truncated at the wire bound.
+    fn level_directory(&self) -> Vec<LevelInfo> {
+        ConsistencyLevel::all_registered()
+            .into_iter()
+            .take(MAX_LEVELS as usize)
+            .map(|l| LevelInfo {
+                id: l.wire_id(),
+                rank: l.rank(),
+                name: l.name().to_string(),
+            })
+            .collect()
+    }
+
+    /// Resolves requested level ids against the four levels this store
+    /// implements. `None` means the submission asked for a level the
+    /// store cannot honestly serve — the caller replies `SpecFailed`
+    /// rather than delivering a weaker guarantee under a stronger name.
+    fn resolve_wants(wants: &[u8]) -> Option<SpecWants> {
+        let mut w = SpecWants {
+            weak: false,
+            update: false,
+            causal: false,
+            strong: false,
+        };
+        for &id in wants {
+            let level = ConsistencyLevel::from_wire_id(id)?;
+            if level == ConsistencyLevel::WEAK {
+                w.weak = true;
+            } else if level == ConsistencyLevel::UPDATE {
+                w.update = true;
+            } else if level == ConsistencyLevel::CAUSAL {
+                w.causal = true;
+            } else if level == ConsistencyLevel::STRONG {
+                w.strong = true;
+            } else {
+                return None;
+            }
+        }
+        (w.weak || w.update || w.causal || w.strong).then_some(w)
+    }
+
+    /// Applies one op to the running two-spec state, returning the
+    /// op's value.
+    fn apply(
+        &self,
+        regs: &mut BTreeMap<u64, u64>,
+        ctrs: &mut BTreeMap<u64, u64>,
+        op: &SpecOp,
+    ) -> u64 {
+        match op {
+            SpecOp::Reg(op) => {
+                let (next, ret) = self.reg.apply(regs, op);
+                *regs = next;
+                ret
+            }
+            SpecOp::Ctr(op) => {
+                let (next, ret) = self.ctr.apply(ctrs, op);
+                *ctrs = next;
+                ret
+            }
+        }
+    }
+
+    /// Replays the log in the agreed order and returns the value of the
+    /// update at `key` (or, with `key` absent from the log, of `extra`
+    /// applied on top — the weak pre-stamp view).
+    fn replay(&self, key: (u64, u32, u64), extra: Option<&SpecOp>) -> u64 {
+        let mut regs = BTreeMap::new();
+        let mut ctrs = BTreeMap::new();
+        for u in &self.log {
+            let ret = self.apply(&mut regs, &mut ctrs, &u.op);
+            if u.order_key() == key {
+                return ret;
+            }
+        }
+        match extra {
+            Some(op) => self.apply(&mut regs, &mut ctrs, op),
+            None => 0,
+        }
+    }
+
+    fn insert_sorted(&mut self, u: SpecUpdate) {
+        let at = self
+            .log
+            .partition_point(|have| have.order_key() < u.order_key());
+        self.log.insert(at, u);
+    }
+
+    fn reply(
+        &self,
+        net: &mut impl Egress,
+        p: &SpecPending,
+        level: ConsistencyLevel,
+        val: u64,
+        closing: bool,
+    ) {
+        net.to_client(
+            p.conn,
+            &NetMsg::SpecReply {
+                client: p.client,
+                seq: p.client_seq,
+                level: level.wire_id(),
+                val,
+                closing,
+            },
+        );
+    }
+
+    /// One client submission: weak view immediately, then the update
+    /// enters the replicated log and the stronger views follow the
+    /// protocol (see the type docs).
+    fn submit(
+        &mut self,
+        net: &mut impl Egress,
+        conn: u64,
+        client: u64,
+        client_seq: u64,
+        op: SpecOp,
+        wants: &[u8],
+    ) {
+        let Some(w) = Self::resolve_wants(wants) else {
+            net.to_client(
+                conn,
+                &NetMsg::SpecFailed {
+                    client,
+                    seq: client_seq,
+                },
+            );
+            return;
+        };
+        // Weak: the op on top of the local replay, before any ordering.
+        // Even when weak is the *only* requested level the update still
+        // enters the replicated log below — only the client's view is
+        // weak, never the store's state.
+        if w.weak {
+            let val = self.replay((u64::MAX, u32::MAX, u64::MAX), Some(&op));
+            let closing = !(w.update || w.causal || w.strong);
+            net.to_client(
+                conn,
+                &NetMsg::SpecReply {
+                    client,
+                    seq: client_seq,
+                    level: ConsistencyLevel::WEAK.wire_id(),
+                    val,
+                    closing,
+                },
+            );
+        }
+
+        // Stamp and deliver locally.
+        self.lamport += 1;
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        if let Some(slot) = self.vc.get_mut(self.id as usize) {
+            *slot = seq;
+        }
+        let u = SpecUpdate {
+            ts: self.lamport,
+            origin: self.id,
+            seq,
+            vc: self.vc.clone(),
+            op,
+        };
+        let key = u.order_key();
+        net.to_peers(&NetMsg::SpecGossip {
+            origin: u.origin,
+            seq: u.seq,
+            ts: u.ts,
+            vc: u.vc.clone(),
+            op: u.op.clone(),
+        });
+        self.insert_sorted(u);
+
+        let mut acked = vec![false; self.n];
+        let mut acker_seq = vec![0; self.n];
+        if let Some(slot) = acked.get_mut(self.id as usize) {
+            *slot = true;
+        }
+        if let Some(slot) = acker_seq.get_mut(self.id as usize) {
+            *slot = seq;
+        }
+        let p = SpecPending {
+            conn,
+            client,
+            client_seq,
+            key,
+            wants: w,
+            acked,
+            acker_seq,
+            causal_sent: false,
+            strong_sent: false,
+        };
+        if w.update {
+            let val = self.replay(key, None);
+            let closing = !(w.causal || w.strong);
+            self.reply(net, &p, ConsistencyLevel::UPDATE, val, closing);
+        }
+        // Track every own update until fully acked — even one whose
+        // client is already served: peers that missed the gossip can
+        // only be healed by the retransmit path, and a permanently
+        // missing seq would wedge their vector clocks forever.
+        self.pending.insert(seq, p);
+        self.settle(net);
+    }
+
+    /// One gossiped update from a peer: re-ack retransmissions of
+    /// already-delivered updates, buffer the rest, deliver causally.
+    fn on_gossip(&mut self, net: &mut impl Egress, u: SpecUpdate) {
+        if u.origin as usize >= self.n || u.origin == self.id || u.vc.len() != self.n {
+            return;
+        }
+        let delivered = self.vc.get(u.origin as usize).copied().unwrap_or(0);
+        if u.seq <= delivered {
+            // A retransmission of something we already delivered — the
+            // origin is missing our ack; repeat the cumulative one.
+            self.ack(net, u.origin, delivered);
+            return;
+        }
+        if self
+            .buffer
+            .iter()
+            .any(|b| b.origin == u.origin && b.seq == u.seq)
+        {
+            return;
+        }
+        self.lamport = self.lamport.max(u.ts);
+        self.buffer.push(u);
+        self.deliver_causal(net);
+    }
+
+    /// Broadcasts a *cumulative* delivery ack: "I have delivered every
+    /// update of `origin` up through `seq`". Cumulative semantics make
+    /// acks freely re-sendable — a lost ack is healed by any later one
+    /// (or by the peer-up re-broadcast in [`SpecCore::retransmit`]).
+    /// Peer links form a full mesh; everyone but the origin ignores it.
+    fn ack(&self, net: &mut impl Egress, origin: u32, seq: u64) {
+        net.to_peers(&NetMsg::SpecAck {
+            origin,
+            seq,
+            acker: self.id,
+            acker_seq: self.next_seq,
+        });
+    }
+
+    /// CBCAST delivery: an update is deliverable once its causal past
+    /// is — its origin entry is exactly our next expected, every other
+    /// entry is no newer than what we delivered.
+    fn deliver_causal(&mut self, net: &mut impl Egress) {
+        loop {
+            let next = self.buffer.iter().position(|u| {
+                u.vc.iter().enumerate().all(|(j, &c)| {
+                    let have = self.vc.get(j).copied().unwrap_or(0);
+                    if j == u.origin as usize {
+                        c == have + 1
+                    } else {
+                        c <= have
+                    }
+                })
+            });
+            let Some(at) = next else { break };
+            let u = self.buffer.swap_remove(at);
+            if let Some(slot) = self.vc.get_mut(u.origin as usize) {
+                *slot = u.seq;
+            }
+            let (origin, seq) = (u.origin, u.seq);
+            self.insert_sorted(u);
+            self.ack(net, origin, seq);
+        }
+        self.settle(net);
+    }
+
+    /// One cumulative delivery ack for our own updates: marks `acker`
+    /// on every pending update with seq at or below the acked one.
+    fn on_ack(&mut self, net: &mut impl Egress, origin: u32, seq: u64, acker: u32, acker_seq: u64) {
+        if origin != self.id || acker as usize >= self.n {
+            return;
+        }
+        for (own_seq, p) in self.pending.iter_mut() {
+            if *own_seq > seq {
+                continue;
+            }
+            if let Some(slot) = p.acked.get_mut(acker as usize) {
+                *slot = true;
+            }
+            if let Some(slot) = p.acker_seq.get_mut(acker as usize) {
+                *slot = (*slot).max(acker_seq);
+            }
+        }
+        self.settle(net);
+    }
+
+    /// Serves every causal/strong view whose condition now holds and
+    /// retires own updates that are fully served and fully acked.
+    fn settle(&mut self, net: &mut impl Egress) {
+        let mut done = Vec::new();
+        let seqs: Vec<u64> = self.pending.keys().copied().collect();
+        for seq in seqs {
+            let Some(p) = self.pending.get(&seq) else {
+                continue;
+            };
+            let others_acked = p
+                .acked
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != self.id as usize)
+                .filter(|(_, a)| **a)
+                .count();
+            let causal_ready = self.n == 1 || others_acked > 0;
+            let stable = p.fully_acked()
+                && p.acker_seq
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &s)| self.vc.get(i).copied().unwrap_or(0) >= s);
+            let key = p.key;
+            let wants = p.wants;
+
+            if wants.causal && !p.causal_sent && causal_ready {
+                let val = self.replay(key, None);
+                let closing = !wants.strong;
+                if let Some(p) = self.pending.get_mut(&seq) {
+                    p.causal_sent = true;
+                }
+                if let Some(p) = self.pending.get(&seq) {
+                    self.reply(net, p, ConsistencyLevel::CAUSAL, val, closing);
+                }
+            }
+            if wants.strong && stable {
+                let strong_sent = self
+                    .pending
+                    .get(&seq)
+                    .map(|p| p.strong_sent)
+                    .unwrap_or(true);
+                if !strong_sent {
+                    let val = self.replay(key, None);
+                    if let Some(p) = self.pending.get_mut(&seq) {
+                        p.strong_sent = true;
+                    }
+                    if let Some(p) = self.pending.get(&seq) {
+                        self.reply(net, p, ConsistencyLevel::STRONG, val, true);
+                    }
+                }
+            }
+            if let Some(p) = self.pending.get(&seq) {
+                if p.served() && p.fully_acked() {
+                    done.push(seq);
+                }
+            }
+        }
+        for seq in done {
+            self.pending.remove(&seq);
+        }
+    }
+
+    /// Connection-driven anti-entropy, run whenever a peer link comes
+    /// (back) up. Two roles:
+    ///
+    /// - *origin*: re-gossip every own update still awaiting acks — the
+    ///   peer may have been down (or the link not yet established) when
+    ///   the gossip first went out;
+    /// - *acker*: re-broadcast the cumulative delivery ack for every
+    ///   other origin — an ack sent while our own outbound link was
+    ///   still down was lost, and the origin's strong views wait on it.
+    fn retransmit(&mut self, net: &mut impl Egress) {
+        let keys: Vec<(u64, u32, u64)> = self.pending.values().map(|p| p.key).collect();
+        for key in keys {
+            let Some(u) = self.log.iter().find(|u| u.order_key() == key) else {
+                continue;
+            };
+            net.to_peers(&NetMsg::SpecGossip {
+                origin: u.origin,
+                seq: u.seq,
+                ts: u.ts,
+                vc: u.vc.clone(),
+                op: u.op.clone(),
+            });
+        }
+        for (j, &delivered) in self.vc.clone().iter().enumerate() {
+            if j != self.id as usize && delivered > 0 {
+                self.ack(net, j as u32, delivered);
             }
         }
     }

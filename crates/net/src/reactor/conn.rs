@@ -23,7 +23,7 @@ use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 
 use crate::frame::MAX_FRAME;
-use crate::wire::WIRE_VERSION;
+use crate::wire::{MIN_WIRE_VERSION, WIRE_VERSION};
 
 /// Bytes asked of the socket per `read` call. Small frames dominate
 /// this protocol; 16 KiB keeps per-connection memory modest at high
@@ -87,12 +87,12 @@ pub(crate) fn extract_frame(buf: &[u8], pos: usize) -> Extract {
     if buf.len() < body_end {
         // The version byte travels first in the frame, so an
         // incompatible peer is rejected before its full frame arrives.
-        if *ver != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(ver) {
             return Extract::Bad;
         }
         return Extract::NeedMore;
     }
-    if *ver != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(ver) {
         return Extract::Bad;
     }
     Extract::Frame {

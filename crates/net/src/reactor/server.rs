@@ -27,12 +27,10 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use quorumstore::messages::Msg;
-
 use crate::frame::encode_frame;
 use crate::protocol::{Egress, ReplicaCore};
 use crate::server::{HandleInner, ReplicaHandle, ServerConfig};
-use crate::wire::Reader;
+use crate::wire::{NetMsg, Reader};
 
 use super::backoff::{Backoff, Sleeper, ThreadSleeper};
 use super::conn::CloseReason;
@@ -56,7 +54,7 @@ pub(crate) enum ServerEv {
     /// A dialer (re)established the stream to peer `peer`.
     PeerUp { peer: usize, stream: TcpStream },
     /// A forwarding loop decoded `msg` on connection `key`.
-    Remote { key: u64, msg: Msg },
+    Remote { key: u64, msg: NetMsg },
 }
 
 /// Starts a replica on the reactor engine.
@@ -218,7 +216,7 @@ struct ReactorNet<'a> {
 }
 
 impl Egress for ReactorNet<'_> {
-    fn to_client(&mut self, key: u64, msg: &Msg) {
+    fn to_client(&mut self, key: u64, msg: &NetMsg) {
         let loop_idx = (key >> LOOP_SHIFT) as usize;
         if loop_idx == 0 {
             self.ctl.send(key, msg);
@@ -231,7 +229,7 @@ impl Egress for ReactorNet<'_> {
         }
     }
 
-    fn to_peers(&mut self, msg: &Msg) {
+    fn to_peers(&mut self, msg: &NetMsg) {
         // Encode once, enqueue the same bytes on every live link.
         encode_frame(msg, self.scratch);
         for conn in self.peer_conns.iter().flatten() {
@@ -274,10 +272,10 @@ impl Handler for MainHandler {
     }
 
     fn on_frame(&mut self, ctl: &mut Ctl, conn: u64, body: &[u8]) {
-        match Reader::new(body).finish::<Msg>() {
+        match Reader::new(body).finish::<NetMsg>() {
             Ok(msg) => {
                 let (mut net, core) = MainHandler::net(ctl, self);
-                core.on_msg(&mut net, key_of(0, conn), msg);
+                core.on_net(&mut net, key_of(0, conn), msg);
             }
             Err(_) => ctl.close_with(conn, CloseReason::Garbage, true),
         }
@@ -313,6 +311,8 @@ impl Handler for MainHandler {
                         if let Some(slot) = self.peer_conns.get_mut(peer) {
                             *slot = Some(conn);
                         }
+                        let (mut net, core) = MainHandler::net(ctl, self);
+                        core.on_peer_up(&mut net);
                     }
                     None => {
                         // Registration failed: tell the dialer to retry.
@@ -324,7 +324,7 @@ impl Handler for MainHandler {
             }
             ServerEv::Remote { key, msg } => {
                 let (mut net, core) = MainHandler::net(ctl, self);
-                core.on_msg(&mut net, key, msg);
+                core.on_net(&mut net, key, msg);
             }
         }
     }
@@ -357,7 +357,7 @@ impl Handler for ForwardHandler {
     }
 
     fn on_frame(&mut self, ctl: &mut Ctl, conn: u64, body: &[u8]) {
-        match Reader::new(body).finish::<Msg>() {
+        match Reader::new(body).finish::<NetMsg>() {
             Ok(msg) => {
                 // Clone the injector out of the slot so the slot lock is
                 // not held across the send (which takes the queue lock

@@ -1,7 +1,7 @@
 //! A quorum-store replica served over real TCP sockets.
 //!
 //! [`ReplicaServer`] speaks exactly the protocol of the simulated
-//! [`quorumstore::Replica`] — the same [`Msg`] set, the same
+//! [`quorumstore::Replica`] — the same [`quorumstore::Msg`] set, the same
 //! coordinator roles, the same preliminary-flush and confirmation
 //! behaviour — but over the wire codec of this crate, so an unmodified
 //! Correctables client drives it through [`crate::TcpBinding`].
@@ -28,12 +28,11 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use quorumstore::messages::Msg;
-
 use crate::protocol::{Egress, ReplicaCore};
 use crate::pump::{recv_step, Step};
 use crate::reactor::backoff::{Backoff, Sleeper, ThreadSleeper};
 use crate::transport::{spawn_reader, Outbound, Transport};
+use crate::wire::NetMsg;
 
 /// Tuning knobs of a TCP replica.
 #[derive(Clone, Copy, Debug)]
@@ -75,7 +74,7 @@ pub(crate) enum Event {
     /// A connection was accepted or dialed; register its outbound half.
     Opened { conn: u64, out: Outbound },
     /// A message arrived on connection `conn`.
-    Inbound { conn: u64, msg: Msg },
+    Inbound { conn: u64, msg: NetMsg },
     /// Connection `conn` closed (either direction, any reason).
     Closed { conn: u64 },
     /// The dialer (re)established the connection to peer `peer`.
@@ -242,7 +241,7 @@ fn dial_peer_loop(
         let (down_tx, down_rx) = mpsc::channel::<()>();
         let inbound = tx.clone();
         let closer = tx.clone();
-        let spawned = spawn_reader::<Msg, _, _>(
+        let spawned = spawn_reader::<NetMsg, _, _>(
             stream,
             &label,
             move |msg| {
@@ -284,7 +283,7 @@ fn register_conn(stream: TcpStream, conn: u64, tx: &Sender<Event>, label: &str) 
     }
     let inbound = tx.clone();
     let closer = tx.clone();
-    let spawned = spawn_reader::<Msg, _, _>(
+    let spawned = spawn_reader::<NetMsg, _, _>(
         read_half,
         label,
         move |msg| {
@@ -368,13 +367,13 @@ struct BlockingNet {
 }
 
 impl Egress for BlockingNet {
-    fn to_client(&mut self, conn: u64, msg: &Msg) {
+    fn to_client(&mut self, conn: u64, msg: &NetMsg) {
         if let Some(out) = self.conns.get(&conn) {
             out.send(msg);
         }
     }
 
-    fn to_peers(&mut self, msg: &Msg) {
+    fn to_peers(&mut self, msg: &NetMsg) {
         for link in self.peer_links.iter().flatten() {
             link.send(msg);
         }
@@ -408,7 +407,7 @@ impl ReplicaLoop {
                 Event::Opened { conn, out } => {
                     self.net.conns.insert(conn, out);
                 }
-                Event::Inbound { conn, msg } => self.core.on_msg(&mut self.net, conn, msg),
+                Event::Inbound { conn, msg } => self.core.on_net(&mut self.net, conn, msg),
                 Event::Closed { conn } => {
                     self.net.conns.remove(&conn);
                 }
@@ -416,6 +415,7 @@ impl ReplicaLoop {
                     if let Some(slot) = self.net.peer_links.get_mut(peer) {
                         *slot = Some(out);
                     }
+                    self.core.on_peer_up(&mut self.net);
                 }
                 Event::PeerDown { peer } => {
                     if let Some(slot) = self.net.peer_links.get_mut(peer) {

@@ -1,0 +1,398 @@
+//! The spec-store client: a [`Binding`] over the version-2 wire.
+//!
+//! [`TcpSpecBinding`] drives the replicated sequential-spec store that
+//! rides the replica servers' connections (see `SpecCore` in the
+//! protocol module): `Register` and `Counter` operations with the full
+//! incremental refinement *weak → update → causal → strong* on a single
+//! Correctable.
+//!
+//! ## The level-directory handshake
+//!
+//! Custom consistency levels get their wire ids assigned per process, in
+//! registration order — a client and a server that registered levels in
+//! different orders disagree on the numbering. The handshake resolves
+//! this: on connect the binding sends [`NetMsg::Hello`] and the server
+//! answers [`NetMsg::HelloAck`] with its complete level directory
+//! (`id`, `rank`, `name` per level). The binding registers every
+//! directory entry locally (idempotent for levels it already knows) and
+//! keeps a two-way id translation table, so:
+//!
+//! - levels requested on [`Binding::submit`] are sent under the
+//!   *server's* ids;
+//! - levels on [`NetMsg::SpecReply`] are translated back to local
+//!   [`ConsistencyLevel`] values before the upcall sees them.
+//!
+//! A level the server advertises but this process never registered
+//! becomes a fresh local registration — a fifth custom level on the
+//! server needs zero client code changes to round-trip.
+//!
+//! Unlike [`crate::TcpBinding`] this binding holds a single connection
+//! with no failover list: the spec store serves every view from the
+//! replica the client connected to, and a lost connection fails the
+//! in-flight operations with [`Error::Unavailable`] and the binding
+//! stays down (reconnect by constructing a new binding).
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use correctables::{Binding, ConsistencyLevel, Error, LevelSet, Upcall};
+
+use crate::frame::{read_frame, write_frame};
+use crate::pump::{recv_step, Deadlines, Step};
+use crate::transport::{spawn_reader, Outbound};
+use crate::wire::{LevelInfo, NetMsg, SpecOp};
+
+/// Configuration of a [`TcpSpecBinding`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpecTcpConfig {
+    /// The replica to connect to.
+    pub addr: SocketAddr,
+    /// This client's id, echoed in every reply. Must be unique among
+    /// concurrently connected spec clients.
+    pub client_id: u64,
+    /// Client-side deadline per operation; an operation whose strongest
+    /// requested view never arrives fails with [`Error::Timeout`]
+    /// instead of wedging open.
+    pub op_timeout: Duration,
+    /// Dial and handshake timeout.
+    pub connect_timeout: Duration,
+}
+
+impl SpecTcpConfig {
+    /// A config for `addr` with the defaults the tests use: 5 s op
+    /// timeout, 1 s connect timeout.
+    pub fn new(addr: SocketAddr, client_id: u64) -> SpecTcpConfig {
+        SpecTcpConfig {
+            addr,
+            client_id,
+            op_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The two-way wire-id translation table built from the handshake.
+struct Directory {
+    /// Local wire id → server wire id, for submissions.
+    to_server: HashMap<u8, u8>,
+    /// Server wire id → local level, for replies.
+    from_server: HashMap<u8, ConsistencyLevel>,
+    /// Every advertised level, as local values, directory order.
+    levels: Vec<ConsistencyLevel>,
+}
+
+impl Directory {
+    /// Folds the server's level directory into the local registry. An
+    /// advertised level unknown here is registered on the spot; one
+    /// whose name exists locally under a *different rank* cannot be
+    /// represented and is skipped (submitting at it is impossible from
+    /// this process anyway — no local value denotes it).
+    fn build(infos: &[LevelInfo]) -> Directory {
+        let mut dir = Directory {
+            to_server: HashMap::new(),
+            from_server: HashMap::new(),
+            levels: Vec::new(),
+        };
+        for info in infos {
+            let Ok(local) = ConsistencyLevel::register(&info.name, info.rank) else {
+                continue;
+            };
+            dir.to_server.insert(local.wire_id(), info.id);
+            dir.from_server.insert(info.id, local);
+            dir.levels.push(local);
+        }
+        dir
+    }
+}
+
+enum Event {
+    Submit {
+        op: SpecOp,
+        wants: Vec<u8>,
+        upcall: Upcall<u64>,
+    },
+    Reply(NetMsg),
+    Disconnected,
+    Shutdown,
+}
+
+/// Stops the client loop when the last binding clone is dropped (the
+/// loop hands `Sender<Event>` clones to the reader thread, so channel
+/// disconnection alone would never fire).
+struct DropGuard {
+    tx: Sender<Event>,
+}
+
+impl Drop for DropGuard {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+    }
+}
+
+/// A [`Binding`] for the replicated spec store: `Op` = [`SpecOp`],
+/// `Val` = `u64`, four incremental levels per invocation. Cloning
+/// shares the connection and the op-id space.
+#[derive(Clone)]
+pub struct TcpSpecBinding {
+    tx: Sender<Event>,
+    levels: LevelSet,
+    server_levels: Vec<ConsistencyLevel>,
+    server_version: u8,
+    _shutdown_on_last_drop: Arc<DropGuard>,
+}
+
+impl TcpSpecBinding {
+    /// Dials `cfg.addr`, performs the level-directory handshake, and
+    /// starts the client loop.
+    ///
+    /// Fails if the replica is unreachable, closes mid-handshake, or
+    /// answers the `Hello` with anything but a `HelloAck`.
+    pub fn connect(cfg: SpecTcpConfig) -> io::Result<TcpSpecBinding> {
+        let stream = TcpStream::connect_timeout(&cfg.addr, cfg.connect_timeout)?;
+        // Handshake synchronously, before any reader thread exists: one
+        // Hello out, one HelloAck back. The read timeout covers a peer
+        // that accepts but never answers (e.g. a version-1 server that
+        // dropped the Hello frame as garbage and closed).
+        stream.set_read_timeout(Some(cfg.connect_timeout))?;
+        let mut read_half = stream.try_clone()?;
+        let mut scratch = Vec::new();
+        {
+            let mut write_half = stream.try_clone()?;
+            write_frame(
+                &mut write_half,
+                &NetMsg::Hello {
+                    client: cfg.client_id,
+                },
+                &mut scratch,
+            )?;
+        }
+        let ack = read_frame::<NetMsg>(&mut read_half, &mut scratch)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let Some(NetMsg::HelloAck { version, levels }) = ack else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected HelloAck as the first frame",
+            ));
+        };
+        stream.set_read_timeout(None)?;
+        let dir = Directory::build(&levels);
+        let server_levels = dir.levels.clone();
+
+        let (tx, rx) = mpsc::channel::<Event>();
+        let label = format!("spec{}", cfg.client_id);
+        let out = Outbound::spawn(stream, &label)?;
+        let reply_tx = tx.clone();
+        let close_tx = tx.clone();
+        spawn_reader::<NetMsg, _, _>(
+            read_half,
+            &label,
+            move |msg| {
+                let _ = reply_tx.send(Event::Reply(msg));
+            },
+            move |_reason| {
+                let _ = close_tx.send(Event::Disconnected);
+            },
+        )?;
+        let state = SpecLoop {
+            cfg,
+            conn: out,
+            dir,
+            next_seq: 0,
+            pending: HashMap::new(),
+            deadlines: Deadlines::new(),
+        };
+        std::thread::Builder::new()
+            .name(format!("icg-spec-client-{}", cfg.client_id))
+            .spawn(move || state.run(rx))?;
+        Ok(TcpSpecBinding {
+            tx: tx.clone(),
+            levels: LevelSet::of(&[
+                ConsistencyLevel::WEAK,
+                ConsistencyLevel::UPDATE,
+                ConsistencyLevel::CAUSAL,
+                ConsistencyLevel::STRONG,
+            ]),
+            server_levels,
+            server_version: version,
+            _shutdown_on_last_drop: Arc::new(DropGuard { tx }),
+        })
+    }
+
+    /// Every level the server's handshake directory advertised,
+    /// translated to local values — including custom levels this
+    /// process first learned of from the handshake.
+    pub fn server_levels(&self) -> &[ConsistencyLevel] {
+        &self.server_levels
+    }
+
+    /// The wire version the server announced in its `HelloAck`.
+    pub fn server_version(&self) -> u8 {
+        self.server_version
+    }
+
+    /// Disconnects and stops serving this binding. Pending operations
+    /// fail with [`Error::Unavailable`]. Idempotent; dropping the last
+    /// clone has the same effect.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Event::Shutdown);
+    }
+}
+
+impl Binding for TcpSpecBinding {
+    type Op = SpecOp;
+    type Val = u64;
+
+    fn consistency_levels(&self) -> LevelSet {
+        self.levels.clone()
+    }
+
+    fn submit(&self, op: SpecOp, levels: &[ConsistencyLevel], upcall: Upcall<u64>) {
+        // Requested levels travel under the *local* ids here; the loop
+        // translates to server ids (it owns the directory). A loop
+        // that's gone means shutdown raced the submit.
+        let wants: Vec<u8> = levels.iter().map(|l| l.wire_id()).collect();
+        if self
+            .tx
+            .send(Event::Submit {
+                op,
+                wants,
+                upcall: upcall.clone(),
+            })
+            .is_err()
+        {
+            upcall.fail(Error::Unavailable("spec client shut down".into()));
+        }
+    }
+}
+
+/// One in-flight spec operation.
+struct PendingSpec {
+    upcall: Upcall<u64>,
+}
+
+struct SpecLoop {
+    cfg: SpecTcpConfig,
+    conn: Outbound,
+    dir: Directory,
+    next_seq: u64,
+    pending: HashMap<u64, PendingSpec>,
+    deadlines: Deadlines<u64>,
+}
+
+impl SpecLoop {
+    fn run(mut self, rx: Receiver<Event>) {
+        loop {
+            let pending = &self.pending;
+            let next = self.deadlines.next_live(|seq| pending.contains_key(seq));
+            let event = match recv_step(&rx, next) {
+                Step::Event(e) => e,
+                Step::Expired => {
+                    self.fire_expired();
+                    continue;
+                }
+                Step::Closed => break,
+            };
+            match event {
+                Event::Submit { op, wants, upcall } => self.submit(op, &wants, upcall),
+                Event::Reply(msg) => self.handle_reply(msg),
+                Event::Disconnected => {
+                    self.fail_all(|| Error::Unavailable("spec connection lost".into()));
+                }
+                Event::Shutdown => break,
+            }
+        }
+        self.conn.kill();
+        self.fail_all(|| Error::Unavailable("spec client shut down".into()));
+    }
+
+    fn fire_expired(&mut self) {
+        let pending = &mut self.pending;
+        self.deadlines.fire_expired(Instant::now(), |seq| {
+            if let Some(p) = pending.remove(&seq) {
+                p.upcall.fail(Error::Timeout);
+            }
+        });
+    }
+
+    fn fail_all(&mut self, err: impl Fn() -> Error) {
+        for (_, p) in self.pending.drain() {
+            p.upcall.fail(err());
+        }
+        self.deadlines.clear();
+    }
+
+    fn submit(&mut self, op: SpecOp, local_wants: &[u8], upcall: Upcall<u64>) {
+        // Translate requested levels to the server's numbering. A level
+        // with no directory entry cannot be requested honestly — fail
+        // rather than silently downgrade the guarantee.
+        let mut wants = Vec::with_capacity(local_wants.len());
+        for &local in local_wants {
+            let Some(&server) = self.dir.to_server.get(&local) else {
+                upcall.fail(Error::Unavailable(
+                    "server does not advertise a requested level".into(),
+                ));
+                return;
+            };
+            wants.push(server);
+        }
+        if self.conn.is_dead() {
+            upcall.fail(Error::Unavailable("spec connection lost".into()));
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = NetMsg::SpecSubmit {
+            client: self.cfg.client_id,
+            seq,
+            op,
+            wants,
+        };
+        self.pending.insert(seq, PendingSpec { upcall });
+        self.deadlines
+            .arm(Instant::now() + self.cfg.op_timeout, seq);
+        if !self.conn.send(&msg) {
+            if let Some(p) = self.pending.remove(&seq) {
+                p.upcall
+                    .fail(Error::Unavailable("spec connection lost".into()));
+            }
+        }
+    }
+
+    fn handle_reply(&mut self, msg: NetMsg) {
+        match msg {
+            NetMsg::SpecReply {
+                client,
+                seq,
+                level,
+                val,
+                closing,
+            } if client == self.cfg.client_id => {
+                // A reply at a level the directory cannot translate
+                // would deliver under the wrong name; drop it and let
+                // the op's other views (or its deadline) resolve it.
+                let Some(&local) = self.dir.from_server.get(&level) else {
+                    return;
+                };
+                if let Some(p) = self.pending.get(&seq) {
+                    p.upcall.deliver(val, local);
+                }
+                if closing {
+                    self.pending.remove(&seq);
+                }
+            }
+            NetMsg::SpecFailed { client, seq } if client == self.cfg.client_id => {
+                if let Some(p) = self.pending.remove(&seq) {
+                    p.upcall.fail(Error::Unavailable(
+                        "server refused the submission (unknown or unserved level)".into(),
+                    ));
+                }
+            }
+            // Anything else: not ours, or not client-bound. Drop.
+            _ => {}
+        }
+    }
+}

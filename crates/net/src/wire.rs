@@ -11,6 +11,7 @@
 //! The layout of each type is documented in `DESIGN.md` §10; the framing
 //! that wraps an encoded message on a stream lives in [`crate::frame`].
 
+use correctables::spec::{CtrOp, RegOp};
 use quorumstore::messages::{FailReason, Msg, Phase};
 use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
 use quorumstore::StoreOp;
@@ -22,6 +23,16 @@ use simnet::NodeId;
 /// and encode panics on them — a sender must fail loudly rather than
 /// emit a poison frame every receiver will reject.
 pub const MAX_IDS: u32 = 1 << 20;
+
+/// Protocol bound on the level directory a handshake advertises and on
+/// the per-submit wanted-level list. The level registry's wire-id space
+/// is a `u8`, so 255 is the true ceiling; 64 is already far beyond any
+/// sane deployment.
+pub const MAX_LEVELS: u8 = 64;
+
+/// Protocol bound on the vector-clock width of a spec-store gossip
+/// message — i.e. on the replica-set size of a TCP spec deployment.
+pub const MAX_REPLICAS: u32 = 64;
 
 /// Why a byte sequence failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,7 +79,7 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion { got } => {
                 write!(
                     f,
-                    "unsupported wire version {got} (speak version {WIRE_VERSION})"
+                    "unsupported wire version {got} (speak versions {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
         }
@@ -77,10 +88,26 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// The wire-format version this build speaks. The frame header carries it
-/// so a future incompatible revision can be rejected cleanly instead of
-/// misparsed (see [`crate::frame`]).
-pub const WIRE_VERSION: u8 = 1;
+/// The newest wire-format version this build speaks. The frame header
+/// carries a version byte so an incompatible revision is rejected
+/// cleanly instead of misparsed (see [`crate::frame`]).
+///
+/// Version history:
+///
+/// - **1** — the original quorum-store message set ([`Msg`],
+///   tags `0x01..=0x0A`).
+/// - **2** — the [`NetMsg`] envelope: a level-directory handshake
+///   ([`NetMsg::Hello`]/[`NetMsg::HelloAck`]) and the spec-store
+///   messages (tags `0x0B..=0x11`), whose replies carry a consistency
+///   level id byte. Version-1 frames remain fully decodable — every
+///   `Msg` encodes byte-identically inside [`NetMsg::Store`] — and
+///   version-1-compatible messages are still *sent* in version-1 frames
+///   (see [`Wire::min_wire_version`]), so old and new peers interoperate
+///   on the shared subset.
+pub const WIRE_VERSION: u8 = 2;
+
+/// The oldest wire-format version this build still accepts.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// A cursor over a received byte buffer.
 ///
@@ -157,6 +184,16 @@ pub trait Wire: Sized {
 
     /// Decodes one value from the reader, advancing it.
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// The oldest wire version whose decoder understands this *value*
+    /// (not just this type). Framing stamps each frame with this, so a
+    /// message that predates the current version still reaches
+    /// old-version peers, while a genuinely new message is cleanly
+    /// rejected by them ([`WireError::BadVersion`]) instead of
+    /// misparsed. Defaults to [`WIRE_VERSION`].
+    fn min_wire_version(&self) -> u8 {
+        WIRE_VERSION
+    }
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -374,9 +411,12 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
-/// Message tags of [`Msg`] on the wire (one byte, after the version byte
-/// of the frame header). Documented in `DESIGN.md` §10; new messages
-/// append new tags, existing tags are never reused.
+/// Message tags on the wire (one byte, after the version byte of the
+/// frame header). Documented in `DESIGN.md` §10; new messages append
+/// new tags, existing tags are never reused. Tags `0x01..=0x0A` are the
+/// version-1 [`Msg`] set; `0x0B` and up are the version-2 [`NetMsg`]
+/// additions. The two share one tag space, which is what makes
+/// [`NetMsg::Store`] byte-identical to a bare [`Msg`].
 mod tag {
     pub const CLIENT_READ: u8 = 0x01;
     pub const CLIENT_WRITE: u8 = 0x02;
@@ -388,6 +428,16 @@ mod tag {
     pub const READ_CONFIRM: u8 = 0x08;
     pub const WRITE_REPLY: u8 = 0x09;
     pub const OP_FAILED: u8 = 0x0A;
+    /// Highest version-1 tag: everything at or below decodes as a
+    /// [`super::Msg`] inside [`super::NetMsg::Store`].
+    pub const STORE_MAX: u8 = OP_FAILED;
+    pub const HELLO: u8 = 0x0B;
+    pub const HELLO_ACK: u8 = 0x0C;
+    pub const SPEC_SUBMIT: u8 = 0x0D;
+    pub const SPEC_REPLY: u8 = 0x0E;
+    pub const SPEC_GOSSIP: u8 = 0x0F;
+    pub const SPEC_ACK: u8 = 0x10;
+    pub const SPEC_FAILED: u8 = 0x11;
 }
 
 impl Wire for Msg {
@@ -450,52 +500,65 @@ impl Wire for Msg {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.u8()? {
-            tag::CLIENT_READ => Ok(Msg::ClientRead {
-                op: OpId::decode(r)?,
-                key: Key::decode(r)?,
-                kind: ReadKind::decode(r)?,
-            }),
-            tag::CLIENT_WRITE => Ok(Msg::ClientWrite {
-                op: OpId::decode(r)?,
-                key: Key::decode(r)?,
-                value: Value::decode(r)?,
-                w: r.u8()?,
-            }),
-            tag::PEER_READ => Ok(Msg::PeerRead {
-                op: OpId::decode(r)?,
-                key: Key::decode(r)?,
-            }),
-            tag::PEER_READ_RESP => Ok(Msg::PeerReadResp {
-                op: OpId::decode(r)?,
-                data: Versioned::decode(r)?,
-            }),
-            tag::PEER_WRITE => Ok(Msg::PeerWrite {
-                key: Key::decode(r)?,
-                data: Versioned::decode(r)?,
-                ack_op: Option::<OpId>::decode(r)?,
-            }),
-            tag::PEER_WRITE_ACK => Ok(Msg::PeerWriteAck {
-                op: OpId::decode(r)?,
-            }),
-            tag::READ_REPLY => Ok(Msg::ReadReply {
-                op: OpId::decode(r)?,
-                phase: Phase::decode(r)?,
-                data: Versioned::decode(r)?,
-            }),
-            tag::READ_CONFIRM => Ok(Msg::ReadConfirm {
-                op: OpId::decode(r)?,
-                version: Version::decode(r)?,
-            }),
-            tag::WRITE_REPLY => Ok(Msg::WriteReply {
-                op: OpId::decode(r)?,
-            }),
-            tag::OP_FAILED => Ok(Msg::OpFailed {
-                op: OpId::decode(r)?,
-                reason: FailReason::decode(r)?,
-            }),
-            tag => Err(WireError::BadTag { what: "Msg", tag }),
-        }
+        let tag = r.u8()?;
+        decode_msg_body(tag, r)
+    }
+
+    /// Every [`Msg`] predates version 2 and must keep reaching
+    /// version-1 peers.
+    fn min_wire_version(&self) -> u8 {
+        1
+    }
+}
+
+/// Decodes a [`Msg`] body whose tag byte has already been consumed —
+/// shared by [`Msg::decode`] and the [`NetMsg`] envelope decoder.
+fn decode_msg_body(tag: u8, r: &mut Reader<'_>) -> Result<Msg, WireError> {
+    match tag {
+        tag::CLIENT_READ => Ok(Msg::ClientRead {
+            op: OpId::decode(r)?,
+            key: Key::decode(r)?,
+            kind: ReadKind::decode(r)?,
+        }),
+        tag::CLIENT_WRITE => Ok(Msg::ClientWrite {
+            op: OpId::decode(r)?,
+            key: Key::decode(r)?,
+            value: Value::decode(r)?,
+            w: r.u8()?,
+        }),
+        tag::PEER_READ => Ok(Msg::PeerRead {
+            op: OpId::decode(r)?,
+            key: Key::decode(r)?,
+        }),
+        tag::PEER_READ_RESP => Ok(Msg::PeerReadResp {
+            op: OpId::decode(r)?,
+            data: Versioned::decode(r)?,
+        }),
+        tag::PEER_WRITE => Ok(Msg::PeerWrite {
+            key: Key::decode(r)?,
+            data: Versioned::decode(r)?,
+            ack_op: Option::<OpId>::decode(r)?,
+        }),
+        tag::PEER_WRITE_ACK => Ok(Msg::PeerWriteAck {
+            op: OpId::decode(r)?,
+        }),
+        tag::READ_REPLY => Ok(Msg::ReadReply {
+            op: OpId::decode(r)?,
+            phase: Phase::decode(r)?,
+            data: Versioned::decode(r)?,
+        }),
+        tag::READ_CONFIRM => Ok(Msg::ReadConfirm {
+            op: OpId::decode(r)?,
+            version: Version::decode(r)?,
+        }),
+        tag::WRITE_REPLY => Ok(Msg::WriteReply {
+            op: OpId::decode(r)?,
+        }),
+        tag::OP_FAILED => Ok(Msg::OpFailed {
+            op: OpId::decode(r)?,
+            reason: FailReason::decode(r)?,
+        }),
+        tag => Err(WireError::BadTag { what: "Msg", tag }),
     }
 }
 
@@ -522,6 +585,418 @@ impl Wire for StoreOp {
                 what: "StoreOp",
                 tag,
             }),
+        }
+    }
+}
+
+/// One entry of the level directory a replica advertises in
+/// [`NetMsg::HelloAck`]: the server-side wire id, lattice rank, and name
+/// of a registered consistency level. A client resolves the ids of every
+/// later reply through this directory, registering levels it has never
+/// heard of — which is how a deployment-defined level reaches clients
+/// with zero code changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelInfo {
+    /// The advertising process's wire id for this level (stable per
+    /// process, *not* across processes for custom levels — hence the
+    /// directory).
+    pub id: u8,
+    /// Position in the weak-to-strong total order.
+    pub rank: u8,
+    /// Registered name (non-empty, at most 64 bytes — the registry's
+    /// own bound).
+    pub name: String,
+}
+
+impl Wire for LevelInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        assert!(
+            !self.name.is_empty() && self.name.len() <= 64,
+            "level name length {} outside the wire protocol bound (1..=64)",
+            self.name.len()
+        );
+        buf.push(self.id);
+        buf.push(self.rank);
+        buf.push(self.name.len() as u8);
+        buf.extend_from_slice(self.name.as_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = r.u8()?;
+        let rank = r.u8()?;
+        let len = r.u8()?;
+        if len == 0 || len > 64 {
+            return Err(WireError::TooLarge {
+                what: "LevelInfo::name",
+                len: u64::from(len),
+            });
+        }
+        let bytes = r.take(len as usize)?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| WireError::BadTag {
+                what: "LevelInfo::name (utf-8)",
+                tag: bytes[0],
+            })?
+            .to_string();
+        Ok(LevelInfo { id, rank, name })
+    }
+}
+
+/// An operation of the TCP spec store: which sequential specification
+/// it addresses and the op itself. The server hosts one register map
+/// and one counter map side by side; both return `u64`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecOp {
+    /// A last-value-register operation ([`correctables::spec::RegisterSpec`]).
+    Reg(RegOp),
+    /// A counter-map operation ([`correctables::spec::CounterSpec`]).
+    Ctr(CtrOp),
+}
+
+impl SpecOp {
+    /// Whether the op leaves the spec state unchanged (reads gate no
+    /// convergence obligations).
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            SpecOp::Reg(RegOp::Read(_)) | SpecOp::Ctr(CtrOp::Get(_))
+        )
+    }
+}
+
+impl Wire for SpecOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            SpecOp::Reg(RegOp::Read(k)) => {
+                buf.push(0);
+                put_u64(buf, *k);
+            }
+            SpecOp::Reg(RegOp::Write(k, v)) => {
+                buf.push(1);
+                put_u64(buf, *k);
+                put_u64(buf, *v);
+            }
+            SpecOp::Ctr(CtrOp::Get(k)) => {
+                buf.push(2);
+                put_u64(buf, *k);
+            }
+            SpecOp::Ctr(CtrOp::Put(k, v)) => {
+                buf.push(3);
+                put_u64(buf, *k);
+                put_u64(buf, *v);
+            }
+            SpecOp::Ctr(CtrOp::Add(k, d)) => {
+                buf.push(4);
+                put_u64(buf, *k);
+                put_u64(buf, *d);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SpecOp::Reg(RegOp::Read(r.u64()?))),
+            1 => Ok(SpecOp::Reg(RegOp::Write(r.u64()?, r.u64()?))),
+            2 => Ok(SpecOp::Ctr(CtrOp::Get(r.u64()?))),
+            3 => Ok(SpecOp::Ctr(CtrOp::Put(r.u64()?, r.u64()?))),
+            4 => Ok(SpecOp::Ctr(CtrOp::Add(r.u64()?, r.u64()?))),
+            tag => Err(WireError::BadTag {
+                what: "SpecOp",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The version-2 message envelope: everything a replica connection can
+/// carry.
+///
+/// [`NetMsg::Store`] wraps the version-1 quorum-store [`Msg`] set and
+/// encodes **byte-identically** to a bare `Msg` (the two share one tag
+/// space), so a version-1 peer's frames decode as `Store` variants and a
+/// `Store` frame — stamped version 1 by [`Wire::min_wire_version`] —
+/// decodes on a version-1 peer. The other variants are version-2-only:
+/// the level-directory handshake and the spec store, whose replies carry
+/// the consistency level id negotiated through that directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetMsg {
+    /// A version-1 quorum-store message, byte-compatible both ways.
+    Store(Msg),
+    /// Client → server: request the level directory. `client` is the
+    /// sender's client id, echoed nowhere — it exists so a server log
+    /// can attribute handshakes.
+    Hello {
+        /// The connecting client's id.
+        client: u64,
+    },
+    /// Server → client: the wire version the server speaks and its full
+    /// consistency-level directory.
+    HelloAck {
+        /// The server's [`WIRE_VERSION`].
+        version: u8,
+        /// Every level registered in the server process, registration
+        /// order, at most [`MAX_LEVELS`] entries.
+        levels: Vec<LevelInfo>,
+    },
+    /// Client → server: submit one spec-store operation, asking for
+    /// views at the listed levels (server-side wire ids, weakest
+    /// first).
+    SpecSubmit {
+        /// Submitting client's id.
+        client: u64,
+        /// Client-assigned sequence number, echoed in every reply.
+        seq: u64,
+        /// The operation.
+        op: SpecOp,
+        /// Requested level ids, at most [`MAX_LEVELS`].
+        wants: Vec<u8>,
+    },
+    /// Server → client: one view of a submitted operation at one
+    /// consistency level.
+    SpecReply {
+        /// Echo of the submitting client's id.
+        client: u64,
+        /// Echo of the client-assigned sequence number.
+        seq: u64,
+        /// The level id of this view (resolve via the handshake
+        /// directory).
+        level: u8,
+        /// The view's value.
+        val: u64,
+        /// Whether this is the strongest view the op will receive.
+        closing: bool,
+    },
+    /// Server → server: replicate one spec-store update.
+    SpecGossip {
+        /// Originating replica id.
+        origin: u32,
+        /// Origin-local sequence number of the update (1-based,
+        /// gapless per origin).
+        seq: u64,
+        /// Lamport timestamp — the agreed total order is `(ts, origin,
+        /// seq)`.
+        ts: u64,
+        /// The origin's vector clock *after* creating the update
+        /// (causal-delivery guard), at most [`MAX_REPLICAS`] wide.
+        vc: Vec<u64>,
+        /// The operation.
+        op: SpecOp,
+    },
+    /// Server → server: acknowledge causal delivery of one update back
+    /// toward its origin.
+    SpecAck {
+        /// The acknowledged update's origin.
+        origin: u32,
+        /// The acknowledged update's origin-local sequence number.
+        seq: u64,
+        /// The acknowledging replica.
+        acker: u32,
+        /// How many updates the acker itself had submitted when it
+        /// acked — the origin's strong views wait until these are
+        /// delivered locally (stability, not just receipt).
+        acker_seq: u64,
+    },
+    /// Server → client: the op cannot be served (e.g. it asked for a
+    /// level this store does not implement).
+    SpecFailed {
+        /// Echo of the submitting client's id.
+        client: u64,
+        /// Echo of the client-assigned sequence number.
+        seq: u64,
+    },
+}
+
+impl Wire for NetMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            NetMsg::Store(m) => m.encode(buf),
+            NetMsg::Hello { client } => {
+                buf.push(tag::HELLO);
+                put_u64(buf, *client);
+            }
+            NetMsg::HelloAck { version, levels } => {
+                assert!(
+                    levels.len() <= MAX_LEVELS as usize,
+                    "level directory with {} entries exceeds the wire protocol bound ({MAX_LEVELS})",
+                    levels.len()
+                );
+                buf.push(tag::HELLO_ACK);
+                buf.push(*version);
+                buf.push(levels.len() as u8);
+                for l in levels {
+                    l.encode(buf);
+                }
+            }
+            NetMsg::SpecSubmit {
+                client,
+                seq,
+                op,
+                wants,
+            } => {
+                assert!(
+                    wants.len() <= MAX_LEVELS as usize,
+                    "wanted-level list with {} entries exceeds the wire protocol bound ({MAX_LEVELS})",
+                    wants.len()
+                );
+                buf.push(tag::SPEC_SUBMIT);
+                put_u64(buf, *client);
+                put_u64(buf, *seq);
+                op.encode(buf);
+                buf.push(wants.len() as u8);
+                buf.extend_from_slice(wants);
+            }
+            NetMsg::SpecReply {
+                client,
+                seq,
+                level,
+                val,
+                closing,
+            } => {
+                buf.push(tag::SPEC_REPLY);
+                put_u64(buf, *client);
+                put_u64(buf, *seq);
+                buf.push(*level);
+                put_u64(buf, *val);
+                buf.push(u8::from(*closing));
+            }
+            NetMsg::SpecGossip {
+                origin,
+                seq,
+                ts,
+                vc,
+                op,
+            } => {
+                assert!(
+                    vc.len() <= MAX_REPLICAS as usize,
+                    "vector clock of width {} exceeds the wire protocol bound ({MAX_REPLICAS})",
+                    vc.len()
+                );
+                buf.push(tag::SPEC_GOSSIP);
+                put_u32(buf, *origin);
+                put_u64(buf, *seq);
+                put_u64(buf, *ts);
+                put_u32(buf, vc.len() as u32);
+                for v in vc {
+                    put_u64(buf, *v);
+                }
+                op.encode(buf);
+            }
+            NetMsg::SpecAck {
+                origin,
+                seq,
+                acker,
+                acker_seq,
+            } => {
+                buf.push(tag::SPEC_ACK);
+                put_u32(buf, *origin);
+                put_u64(buf, *seq);
+                put_u32(buf, *acker);
+                put_u64(buf, *acker_seq);
+            }
+            NetMsg::SpecFailed { client, seq } => {
+                buf.push(tag::SPEC_FAILED);
+                put_u64(buf, *client);
+                put_u64(buf, *seq);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let t = r.u8()?;
+        match t {
+            0x01..=tag::STORE_MAX => Ok(NetMsg::Store(decode_msg_body(t, r)?)),
+            tag::HELLO => Ok(NetMsg::Hello { client: r.u64()? }),
+            tag::HELLO_ACK => {
+                let version = r.u8()?;
+                let n = r.u8()?;
+                if n > MAX_LEVELS {
+                    return Err(WireError::TooLarge {
+                        what: "NetMsg::HelloAck levels",
+                        len: u64::from(n),
+                    });
+                }
+                let mut levels = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    levels.push(LevelInfo::decode(r)?);
+                }
+                Ok(NetMsg::HelloAck { version, levels })
+            }
+            tag::SPEC_SUBMIT => {
+                let client = r.u64()?;
+                let seq = r.u64()?;
+                let op = SpecOp::decode(r)?;
+                let n = r.u8()?;
+                if n > MAX_LEVELS {
+                    return Err(WireError::TooLarge {
+                        what: "NetMsg::SpecSubmit wants",
+                        len: u64::from(n),
+                    });
+                }
+                let wants = r.take(n as usize)?.to_vec();
+                Ok(NetMsg::SpecSubmit {
+                    client,
+                    seq,
+                    op,
+                    wants,
+                })
+            }
+            tag::SPEC_REPLY => Ok(NetMsg::SpecReply {
+                client: r.u64()?,
+                seq: r.u64()?,
+                level: r.u8()?,
+                val: r.u64()?,
+                closing: r.u8()? != 0,
+            }),
+            tag::SPEC_GOSSIP => {
+                let origin = r.u32()?;
+                let seq = r.u64()?;
+                let ts = r.u64()?;
+                let n = r.u32()?;
+                if n > MAX_REPLICAS {
+                    return Err(WireError::TooLarge {
+                        what: "NetMsg::SpecGossip vc",
+                        len: u64::from(n),
+                    });
+                }
+                if r.remaining() < n as usize * 8 {
+                    return Err(WireError::Truncated);
+                }
+                let mut vc = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    vc.push(r.u64()?);
+                }
+                let op = SpecOp::decode(r)?;
+                Ok(NetMsg::SpecGossip {
+                    origin,
+                    seq,
+                    ts,
+                    vc,
+                    op,
+                })
+            }
+            tag::SPEC_ACK => Ok(NetMsg::SpecAck {
+                origin: r.u32()?,
+                seq: r.u64()?,
+                acker: r.u32()?,
+                acker_seq: r.u64()?,
+            }),
+            tag::SPEC_FAILED => Ok(NetMsg::SpecFailed {
+                client: r.u64()?,
+                seq: r.u64()?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "NetMsg",
+                tag,
+            }),
+        }
+    }
+
+    /// Store messages still travel in version-1 frames (old peers must
+    /// keep decoding them); everything else is version-2-only.
+    fn min_wire_version(&self) -> u8 {
+        match self {
+            NetMsg::Store(m) => m.min_wire_version(),
+            _ => 2,
         }
     }
 }

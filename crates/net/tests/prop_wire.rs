@@ -9,8 +9,10 @@
 
 use proptest::prelude::*;
 
+use correctables::spec::{CtrOp, RegOp};
 use icg_net::wire::{from_bytes, to_bytes, MAX_IDS};
-use icg_net::{Reader, Wire, WireError};
+use icg_net::wire::{MAX_LEVELS, MAX_REPLICAS};
+use icg_net::{LevelInfo, NetMsg, Reader, SpecOp, Wire, WireError};
 use quorumstore::messages::{FailReason, Msg, Phase};
 use quorumstore::types::{Key, OpId, ReadKind, Value, Version, Versioned};
 use quorumstore::StoreOp;
@@ -109,6 +111,89 @@ fn arb_store_op() -> impl Strategy<Value = StoreOp> {
     ]
 }
 
+fn arb_spec_op() -> impl Strategy<Value = SpecOp> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(|k| SpecOp::Reg(RegOp::Read(k))),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(k, v)| SpecOp::Reg(RegOp::Write(k, v))),
+        (0u64..u64::MAX).prop_map(|k| SpecOp::Ctr(CtrOp::Get(k))),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(k, v)| SpecOp::Ctr(CtrOp::Put(k, v))),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(k, d)| SpecOp::Ctr(CtrOp::Add(k, d))),
+    ]
+}
+
+fn arb_level_info() -> impl Strategy<Value = LevelInfo> {
+    let name = proptest::collection::vec(0u64..26, 1..32)
+        .prop_map(|cs| cs.into_iter().map(|c| (b'a' + c as u8) as char).collect());
+    (name, 0u64..256, 0u64..256).prop_map(|(name, id, rank): (String, u64, u64)| LevelInfo {
+        id: id as u8,
+        rank: rank as u8,
+        name,
+    })
+}
+
+fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
+    prop_oneof![
+        arb_msg().prop_map(NetMsg::Store),
+        (0u64..u64::MAX).prop_map(|client| NetMsg::Hello { client }),
+        (1u64..3, proptest::collection::vec(arb_level_info(), 0..8)).prop_map(
+            |(version, levels)| NetMsg::HelloAck {
+                version: version as u8,
+                levels,
+            }
+        ),
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            arb_spec_op(),
+            proptest::collection::vec(0u64..256, 0..6)
+        )
+            .prop_map(|(client, seq, op, wants)| NetMsg::SpecSubmit {
+                client,
+                seq,
+                op,
+                wants: wants.into_iter().map(|w| w as u8).collect(),
+            }),
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..256,
+            0u64..u64::MAX,
+            any::<bool>()
+        )
+            .prop_map(|(client, seq, level, val, closing)| NetMsg::SpecReply {
+                client,
+                seq,
+                level: level as u8,
+                val,
+                closing,
+            }),
+        (
+            0u64..1 << 32,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            proptest::collection::vec(0u64..u64::MAX, 0..8),
+            arb_spec_op()
+        )
+            .prop_map(|(origin, seq, ts, vc, op)| NetMsg::SpecGossip {
+                origin: origin as u32,
+                seq,
+                ts,
+                vc,
+                op,
+            }),
+        (0u64..1 << 32, 0u64..u64::MAX, 0u64..1 << 32, 0u64..u64::MAX).prop_map(
+            |(origin, seq, acker, acker_seq)| NetMsg::SpecAck {
+                origin: origin as u32,
+                seq,
+                acker: acker as u32,
+                acker_seq,
+            }
+        ),
+        (0u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(client, seq)| NetMsg::SpecFailed { client, seq }),
+    ]
+}
+
 /// Round-trip + truncation + garbage-tag, for one encodable value.
 fn codec_contract<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
     let bytes = to_bytes(v);
@@ -192,5 +277,65 @@ proptest! {
         let r = Reader::new(&buf).finish::<Value>();
         let rejected = matches!(r, Err(WireError::TooLarge { .. }) | Err(WireError::Truncated));
         prop_assert!(rejected, "oversized list accepted: {:?}", r);
+    }
+
+    /// The version-2 envelope and its component types hold the same
+    /// contract as the version-1 set: round-trip identity, every strict
+    /// prefix rejected, trailing bytes rejected — never a panic.
+    #[test]
+    fn net_msg_codec_contract(m in arb_net_msg()) {
+        codec_contract(&m)?;
+    }
+
+    #[test]
+    fn spec_op_and_level_info_codec_contract(op in arb_spec_op(), info in arb_level_info()) {
+        codec_contract(&op)?;
+        codec_contract(&info)?;
+    }
+
+    /// The `Store` envelope is byte-identical to the bare message: a
+    /// version-1 peer's frames decode as envelopes, and envelope frames
+    /// decode on a version-1 reader.
+    #[test]
+    fn store_envelope_is_byte_identical_to_bare_msg(m in arb_msg()) {
+        let bare = to_bytes(&m);
+        let wrapped = to_bytes(&NetMsg::Store(m.clone()));
+        prop_assert_eq!(&bare, &wrapped);
+        prop_assert_eq!(from_bytes::<NetMsg>(&bare).expect("v1 bytes decode as envelope"),
+            NetMsg::Store(m.clone()));
+        prop_assert_eq!(from_bytes::<Msg>(&wrapped).expect("envelope bytes decode as v1"), m);
+    }
+
+    /// Random bytes fed to the envelope decoder: any outcome but a panic.
+    #[test]
+    fn random_bytes_never_panic_net(bytes in proptest::collection::vec(0u64..256, 0..64)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = from_bytes::<NetMsg>(&bytes);
+        let _ = from_bytes::<SpecOp>(&bytes);
+        let _ = from_bytes::<LevelInfo>(&bytes);
+    }
+
+    /// Level-directory and wants lists beyond MAX_LEVELS, and vector
+    /// clocks beyond MAX_REPLICAS, are rejected before allocating.
+    #[test]
+    fn oversized_level_and_vc_lists_rejected(extra in 1u64..200) {
+        // HelloAck with too many advertised levels.
+        let mut buf = vec![0x0C, 2];
+        buf.push((MAX_LEVELS as u64 + extra).min(255) as u8);
+        let r = from_bytes::<NetMsg>(&buf);
+        prop_assert!(
+            matches!(r, Err(WireError::TooLarge { .. }) | Err(WireError::Truncated)),
+            "oversized directory accepted: {:?}", r
+        );
+        // SpecGossip with an oversized vector clock.
+        let mut buf = vec![0x0F];
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 16]); // seq + ts
+        buf.extend_from_slice(&((MAX_REPLICAS as u64 + extra) as u32).to_le_bytes());
+        let r = from_bytes::<NetMsg>(&buf);
+        prop_assert!(
+            matches!(r, Err(WireError::TooLarge { .. }) | Err(WireError::Truncated)),
+            "oversized vector clock accepted: {:?}", r
+        );
     }
 }

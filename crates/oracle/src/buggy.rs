@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Upcall};
+use correctables::{Binding, ConsistencyLevel, LevelSet, Upcall};
 use icg_shard::KvOp;
 
 struct LaggyState {
@@ -53,8 +53,8 @@ impl Binding for LaggyMem {
     type Op = KvOp;
     type Val = u64;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     }
 
     fn submit(&self, op: KvOp, levels: &[ConsistencyLevel], upcall: Upcall<u64>) {
@@ -87,7 +87,7 @@ impl Binding for LaggyMem {
             }
         };
         for l in levels {
-            let v = if *l == ConsistencyLevel::Strong {
+            let v = if *l == ConsistencyLevel::STRONG {
                 strong_val
             } else {
                 weak_val // BUG for reads: quiescent weak views stay stale.

@@ -36,6 +36,12 @@ pub enum ViolationKind {
     /// A preliminary view's value differs from the final view's value
     /// (convergence check).
     Diverged,
+    /// Two replicas' applied-update logs disagree on the total order
+    /// (update-consistency check).
+    OrderDiverged,
+    /// A replica's applied-update log violates some origin's local
+    /// submission order (update-consistency check).
+    LocalOrderViolated,
 }
 
 /// One checker finding, tied to an invocation of the history.
@@ -195,10 +201,71 @@ pub fn check_convergence<Op: fmt::Debug, T: PartialEq + fmt::Debug>(
     out
 }
 
+/// Checks *update consistency* (Perrin, Mostéfaoui & Jard) over the
+/// replicas' applied-update logs at quiescence: all replicas must have
+/// converged to a **single** total order of updates, and that order must
+/// respect every origin's local submission order (each origin's `seq`s
+/// appear ascending and gapless).
+///
+/// Unlike the view checkers above, this one inspects replica state, not
+/// client histories — convergence *of the order* is exactly the
+/// guarantee update consistency adds over eventual consistency, and it
+/// is invisible from any single client's views. `Violation::invocation`
+/// carries the index of the offending replica (the detail string says
+/// so too).
+pub fn check_update_consistency(logs: &[Vec<specstore::UpdateId>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(reference) = logs.first() else {
+        return out;
+    };
+    for (i, log) in logs.iter().enumerate().skip(1) {
+        if log != reference {
+            let at = reference
+                .iter()
+                .zip(log.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| reference.len().min(log.len()));
+            out.push(Violation {
+                invocation: i,
+                kind: ViolationKind::OrderDiverged,
+                detail: format!(
+                    "replica {i} log ({} updates) diverges from replica 0 ({} updates) \
+                     at position {at}: {:?} vs {:?}",
+                    log.len(),
+                    reference.len(),
+                    log.get(at),
+                    reference.get(at),
+                ),
+            });
+        }
+    }
+    for (i, log) in logs.iter().enumerate() {
+        let mut last_seq: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for u in log {
+            let prev = last_seq.insert(u.origin, u.seq);
+            let expected = prev.map_or(1, |p| p + 1);
+            if u.seq != expected {
+                out.push(Violation {
+                    invocation: i,
+                    kind: ViolationKind::LocalOrderViolated,
+                    detail: format!(
+                        "replica {i}: origin {} seq {} follows seq {:?} (expected {expected})",
+                        u.origin, u.seq, prev
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use correctables::ConsistencyLevel::{Causal, Strong, Weak};
+    use correctables::ConsistencyLevel;
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     use correctables::Error;
 
     fn view<T>(
@@ -220,7 +287,7 @@ mod tests {
         Invocation {
             id,
             op: "op",
-            levels: vec![Weak, Strong],
+            levels: vec![WEAK, STRONG],
             submitted: 0,
             at_nanos: 0,
             events,
@@ -231,7 +298,7 @@ mod tests {
     fn clean_history_passes() {
         let h = vec![inv(
             0,
-            vec![view(1, Weak, 1, false), view(2, Strong, 2, true)],
+            vec![view(1, WEAK, 1, false), view(2, STRONG, 2, true)],
         )];
         assert!(check_monotonicity(&h, true).is_empty());
     }
@@ -241,13 +308,13 @@ mod tests {
         let h = vec![inv(
             0,
             vec![
-                view(1, Causal, 1, false),
-                view(2, Weak, 2, false),
-                view(3, Strong, 3, true),
+                view(1, CAUSAL, 1, false),
+                view(2, WEAK, 2, false),
+                view(3, STRONG, 3, true),
             ],
         )];
         let v = check_monotonicity(&h, true);
-        assert_eq!(v.len(), 2, "{v:?}"); // regression + unrequested Causal
+        assert_eq!(v.len(), 2, "{v:?}"); // regression + unrequested CAUSAL
         assert!(v.iter().any(|x| x.kind == ViolationKind::LevelRegressed));
     }
 
@@ -255,7 +322,7 @@ mod tests {
     fn event_after_close_rejected() {
         let h = vec![inv(
             0,
-            vec![view(1, Strong, 1, true), view(2, Weak, 2, false)],
+            vec![view(1, STRONG, 1, true), view(2, WEAK, 2, false)],
         )];
         let v = check_monotonicity(&h, true);
         assert!(v.iter().any(|x| x.kind == ViolationKind::EventAfterClose));
@@ -265,7 +332,7 @@ mod tests {
     fn double_close_rejected() {
         let h = vec![inv(
             0,
-            vec![view(1, Strong, 1, true), view(2, Strong, 2, true)],
+            vec![view(1, STRONG, 1, true), view(2, STRONG, 2, true)],
         )];
         let v = check_monotonicity(&h, true);
         assert!(v.iter().any(|x| x.kind == ViolationKind::MultipleCloses));
@@ -273,7 +340,7 @@ mod tests {
 
     #[test]
     fn never_closed_rejected_only_when_required() {
-        let h = vec![inv(0, vec![view(1, Weak, 1, false)])];
+        let h = vec![inv(0, vec![view(1, WEAK, 1, false)])];
         assert!(check_monotonicity(&h, false).is_empty());
         let v = check_monotonicity(&h, true);
         assert_eq!(v[0].kind, ViolationKind::NeverClosed);
@@ -281,14 +348,14 @@ mod tests {
 
     #[test]
     fn weak_close_rejected() {
-        let h = vec![inv(0, vec![view(1, Weak, 1, true)])];
+        let h = vec![inv(0, vec![view(1, WEAK, 1, true)])];
         let v = check_monotonicity(&h, true);
         assert_eq!(v[0].kind, ViolationKind::WeakClose);
     }
 
     #[test]
     fn error_close_is_a_valid_close() {
-        let mut i = inv(0, vec![view(1, Weak, 1, false)]);
+        let mut i = inv(0, vec![view(1, WEAK, 1, false)]);
         i.events.push(HistoryEvent::Failed {
             seq: 2,
             at_nanos: 0,
@@ -299,9 +366,9 @@ mod tests {
 
     #[test]
     fn convergence_rejects_diverging_prelims_in_scope_only() {
-        let mut a = inv(0, vec![view(1, Weak, 7, false), view(2, Strong, 9, true)]);
+        let mut a = inv(0, vec![view(1, WEAK, 7, false), view(2, STRONG, 9, true)]);
         a.submitted = 0;
-        let mut b = inv(1, vec![view(4, Weak, 7, false), view(5, Strong, 9, true)]);
+        let mut b = inv(1, vec![view(4, WEAK, 7, false), view(5, STRONG, 9, true)]);
         b.submitted = 3;
         let h = vec![a, b];
         // Scoped after `a`: only `b` is checked.
@@ -312,8 +379,43 @@ mod tests {
         // Converged history passes.
         let ok = vec![inv(
             0,
-            vec![view(1, Weak, 9, false), view(2, Strong, 9, true)],
+            vec![view(1, WEAK, 9, false), view(2, STRONG, 9, true)],
         )];
         assert!(check_convergence(&ok, 0).is_empty());
+    }
+
+    fn uid(origin: usize, seq: u64) -> specstore::UpdateId {
+        specstore::UpdateId { origin, seq }
+    }
+
+    #[test]
+    fn update_consistency_accepts_one_converged_order() {
+        let order = vec![uid(0, 1), uid(1, 1), uid(0, 2), uid(2, 1)];
+        let logs = vec![order.clone(), order.clone(), order];
+        assert!(check_update_consistency(&logs).is_empty());
+    }
+
+    #[test]
+    fn update_consistency_rejects_diverged_orders() {
+        let a = vec![uid(0, 1), uid(1, 1)];
+        let b = vec![uid(1, 1), uid(0, 1)];
+        let v = check_update_consistency(&[a.clone(), a, b]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::OrderDiverged);
+        assert_eq!(v[0].invocation, 2);
+    }
+
+    #[test]
+    fn update_consistency_rejects_local_order_violations() {
+        // Converged, but origin 0's seq 2 precedes its seq 1 — the
+        // common order breaks process-local order on every replica.
+        let order = vec![uid(0, 2), uid(0, 1)];
+        let v = check_update_consistency(&[order.clone(), order]);
+        // Two findings per replica: the gap (2 where 1 was expected) and
+        // the regression (1 after 2).
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v
+            .iter()
+            .all(|x| x.kind == ViolationKind::LocalOrderViolated));
     }
 }

@@ -26,9 +26,10 @@ use causalstore::{CacheOp, Item, SimCausal};
 use consensusq::{seq_of, QueueOp, QueueView, ServerConfig, SimQueue};
 use icg_shard::{KvOp, ShardedBinding};
 use quorumstore::{Key, QuorumBinding, ReplicaConfig, SimStore, StoreOp, Value, Versioned};
+use specstore::SimSpecStore;
 
 use crate::buggy::LaggyMem;
-use crate::checkers::{check_convergence, check_monotonicity};
+use crate::checkers::{check_convergence, check_monotonicity, check_update_consistency};
 use crate::lin::{check_linearizable, LinEntry};
 use crate::spec::{
     CounterSpec, CtrOp, KvStoreSpec, KvsOp, QOp, QRet, QueueSpec, RegOp, RegisterSpec,
@@ -51,9 +52,18 @@ pub enum StackKind {
         /// Number of shards.
         shards: usize,
     },
+    /// The spec-generic four-level store (`weak → update → causal →
+    /// strong`) over the register spec.
+    SpecRegister,
+    /// The spec-generic four-level store over the counter spec.
+    SpecCounter,
     /// The deliberately buggy in-memory binding ([`LaggyMem`]) — the
     /// negative fixture proving the checkers reject real violations.
     BuggyMem,
+    /// The deliberately broken spec store: replicas apply updates in
+    /// arrival order instead of the agreed total order — the negative
+    /// fixture for the update-consistency checker.
+    BuggySpec,
 }
 
 impl fmt::Display for StackKind {
@@ -64,7 +74,10 @@ impl fmt::Display for StackKind {
             StackKind::Queue => write!(f, "queue"),
             StackKind::Causal => write!(f, "causal"),
             StackKind::ShardedStore { shards } => write!(f, "sharded-store({shards})"),
+            StackKind::SpecRegister => write!(f, "spec-register"),
+            StackKind::SpecCounter => write!(f, "spec-counter"),
             StackKind::BuggyMem => write!(f, "buggy-mem"),
+            StackKind::BuggySpec => write!(f, "buggy-spec"),
         }
     }
 }
@@ -259,7 +272,10 @@ fn run_one(
         StackKind::Queue => run_queue(seed, schedule, cfg),
         StackKind::Causal => run_causal(seed, schedule, cfg),
         StackKind::ShardedStore { shards } => run_sharded(seed, schedule, cfg, shards),
+        StackKind::SpecRegister => run_spec_register(seed, schedule, cfg),
+        StackKind::SpecCounter => run_spec_counter(seed, schedule, cfg),
         StackKind::BuggyMem => run_buggy(seed, cfg),
+        StackKind::BuggySpec => run_buggy_spec(seed, cfg),
     }
 }
 
@@ -305,7 +321,7 @@ fn opaque(v: &Value) -> u64 {
 }
 
 fn store_lin_entries(invs: &[Invocation<StoreOp, Versioned>]) -> Vec<LinEntry<RegOp, u64>> {
-    let strong = ConsistencyLevel::Strong;
+    let strong = ConsistencyLevel::STRONG;
     let mut out = Vec::new();
     for inv in invs {
         let op = match &inv.op {
@@ -432,7 +448,7 @@ fn run_store(
 // ---------------------------------------------------------------------
 
 fn queue_lin_entries(invs: &[Invocation<QueueOp, QueueView>]) -> Vec<LinEntry<QOp, QRet>> {
-    let strong = ConsistencyLevel::Strong;
+    let strong = ConsistencyLevel::STRONG;
     let mut out = Vec::new();
     for inv in invs {
         let op = match inv.op {
@@ -543,7 +559,7 @@ fn item_pair(v: &Option<Item>) -> RevItems {
 fn causal_lin_entries(
     invs: &[Invocation<CacheOp, Option<Item>>],
 ) -> Vec<LinEntry<KvsOp, RevItems>> {
-    let strong = ConsistencyLevel::Strong;
+    let strong = ConsistencyLevel::STRONG;
     let mut out = Vec::new();
     for inv in invs {
         let op = match &inv.op {
@@ -780,6 +796,223 @@ fn run_sharded(
 // Buggy in-memory binding (negative fixture)
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Spec-generic four-level store
+// ---------------------------------------------------------------------
+
+/// Strong closes of a spec store partake in the strong order with the
+/// spec's own op type — no translation layer, the binding *is* the
+/// spec. Crashed writes are maybe-applied; crashed reads drop out.
+fn spec_lin_entries<Op: Clone + fmt::Debug>(
+    invs: &[Invocation<Op, u64>],
+    is_read: impl Fn(&Op) -> bool,
+) -> Vec<LinEntry<Op, u64>> {
+    let strong = ConsistencyLevel::STRONG;
+    let mut out = Vec::new();
+    for inv in invs {
+        match inv.closing_event() {
+            Some(HistoryEvent::View { level, value, .. }) if level.at_least(strong) => {
+                out.push(LinEntry::done(
+                    inv.id,
+                    inv.op.clone(),
+                    *value,
+                    inv.submitted,
+                    inv.closed_at(),
+                ));
+            }
+            Some(HistoryEvent::Failed { .. }) if !is_read(&inv.op) => {
+                out.push(LinEntry::crashed(inv.id, inv.op.clone(), inv.submitted));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn run_spec_register(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+) -> (RunSummary, Vec<String>) {
+    let store = SimSpecStore::ec2(RegisterSpec::default(), "IRL", seed);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+    store.set_client_timeout(ms(cfg.client_timeout_ms));
+    store.set_faults(schedule.clone());
+
+    let history: History<RegOp, u64> = History::new();
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut next: u64 = 10_000;
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = wl.below(cfg.keys);
+            match wl.below(10) {
+                0..=3 => {
+                    client.invoke(RegOp::Write(k, next));
+                    next += 1;
+                }
+                4..=8 => {
+                    client.invoke(RegOp::Read(k));
+                }
+                _ => {
+                    client.invoke_weak(RegOp::Read(k));
+                }
+            }
+            issued += 1;
+        }
+        store.settle();
+        store.advance(ms(wl.range(1, 120)));
+    }
+
+    store.set_faults(Faults::none());
+    store.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    let tail_mark = history.mark();
+    for k in 0..cfg.keys {
+        client.invoke(RegOp::Read(k));
+        store.settle();
+    }
+    // Let trailing acks and anti-entropy finish before sampling the
+    // replicas' logs: update consistency promises convergence *at
+    // quiescence*, not mid-gossip.
+    store.advance(ms(2_000));
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    violations.extend(
+        check_update_consistency(&store.applied_logs())
+            .into_iter()
+            .map(|v| format!("update-consistency: {v}")),
+    );
+    let entries = spec_lin_entries(&invs, |op| matches!(op, RegOp::Read(_)));
+    if let Err(v) = check_linearizable(&RegisterSpec::default(), &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+fn run_spec_counter(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+) -> (RunSummary, Vec<String>) {
+    let store = SimSpecStore::ec2(CounterSpec, "IRL", seed);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+    store.set_client_timeout(ms(cfg.client_timeout_ms));
+    store.set_faults(schedule.clone());
+
+    let history: History<CtrOp, u64> = History::new();
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = wl.below(cfg.keys);
+            match wl.below(10) {
+                0..=3 => {
+                    client.invoke(CtrOp::Add(k, 1 + wl.below(9)));
+                }
+                4..=8 => {
+                    client.invoke(CtrOp::Get(k));
+                }
+                _ => {
+                    client.invoke_weak(CtrOp::Get(k));
+                }
+            }
+            issued += 1;
+        }
+        store.settle();
+        store.advance(ms(wl.range(1, 120)));
+    }
+
+    store.set_faults(Faults::none());
+    store.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    let tail_mark = history.mark();
+    for k in 0..cfg.keys {
+        client.invoke(CtrOp::Get(k));
+        store.settle();
+    }
+    store.advance(ms(2_000));
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    violations.extend(
+        check_update_consistency(&store.applied_logs())
+            .into_iter()
+            .map(|v| format!("update-consistency: {v}")),
+    );
+    let entries = spec_lin_entries(&invs, |op| matches!(op, CtrOp::Get(_)));
+    if let Err(v) = check_linearizable(&CounterSpec, &entries) {
+        violations.push(format!("linearizability: {v}"));
+    }
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+/// The arrival-order fixture runs without faults: even on a clean
+/// network, concurrent submissions reach the replicas in different
+/// orders, so the per-replica linearizations diverge and the
+/// update-consistency checker must reject. (Faults would only mask the
+/// signal behind timeouts.)
+fn run_buggy_spec(seed: u64, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
+    let store = SimSpecStore::ec2_buggy(RegisterSpec::default(), "IRL", seed);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+
+    let history: History<RegOp, u64> = History::new();
+    let client = Client::new(RecordingBinding::new(
+        store.update_binding(),
+        history.clone(),
+    ));
+
+    let mut wl = workload_rng(seed);
+    for next in 10_000..10_000 + cfg.ops as u64 {
+        // Submit in bursts without settling in between: the round-robin
+        // origins then genuinely race, which is what makes arrival
+        // orders differ across replicas.
+        let k = wl.below(cfg.keys);
+        client.invoke(RegOp::Write(k, next));
+        if wl.below(4) == 0 {
+            store.settle();
+        }
+    }
+    store.settle();
+    store.advance(ms(5_000));
+
+    let tail_mark = history.mark();
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    violations.extend(
+        check_update_consistency(&store.applied_logs())
+            .into_iter()
+            .map(|v| format!("update-consistency: {v}")),
+    );
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: 0,
+        },
+        violations,
+    )
+}
+
 fn run_buggy(seed: u64, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
     let history: History<KvOp, u64> = History::new();
     let client = Client::new(RecordingBinding::new(LaggyMem::default(), history.clone()));
@@ -818,7 +1051,7 @@ fn run_buggy(seed: u64, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
             KvOp::Add(k, d) => CtrOp::Add(k, d),
         };
         if let Some((value, level)) = inv.final_view() {
-            if level.at_least(ConsistencyLevel::Strong) {
+            if level.at_least(ConsistencyLevel::STRONG) {
                 entries.push(LinEntry::done(
                     inv.id,
                     op,

@@ -33,10 +33,16 @@ pub mod buggy;
 pub mod checkers;
 pub mod explorer;
 pub mod lin;
-pub mod spec;
+/// Sequential specifications (re-exported from `correctables::spec`, where
+/// the spec-driven bindings also build on them).
+pub mod spec {
+    pub use correctables::spec::*;
+}
 
 pub use buggy::LaggyMem;
-pub use checkers::{check_convergence, check_monotonicity, Violation, ViolationKind};
+pub use checkers::{
+    check_convergence, check_monotonicity, check_update_consistency, Violation, ViolationKind,
+};
 pub use explorer::{explore, replay, ExplorerConfig, FailureReport, RunSummary, StackKind};
 pub use lin::{check_linearizable, LinEntry, LinOutcome, LinViolation};
 pub use spec::{

@@ -8,8 +8,11 @@
 //! `runtime_prevents_what_the_monotonicity_checker_guards`).
 
 use correctables::record::{History, HistoryEvent, Invocation, RecordingBinding};
-use correctables::ConsistencyLevel::{Causal, Strong, Weak};
-use correctables::{Binding, Client, ConsistencyLevel, Upcall};
+use correctables::{Binding, Client, ConsistencyLevel, LevelSet, Upcall};
+
+const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
 use icg_oracle::{
     check_convergence, check_linearizable, check_monotonicity, explore, replay, ExplorerConfig,
     LinEntry, RegOp, RegisterSpec, StackKind, ViolationKind,
@@ -29,7 +32,7 @@ fn inv(id: usize, events: Vec<HistoryEvent<u64>>) -> Invocation<&'static str, u6
     Invocation {
         id,
         op: "injected",
-        levels: vec![Weak, Causal, Strong],
+        levels: vec![WEAK, CAUSAL, STRONG],
         submitted: 0,
         at_nanos: 0,
         events,
@@ -42,26 +45,26 @@ fn monotonicity_rejects_every_injected_corruption() {
         // Levels descend.
         (
             vec![
-                view(1, Causal, 1, false),
-                view(2, Weak, 2, false),
-                view(3, Strong, 3, true),
+                view(1, CAUSAL, 1, false),
+                view(2, WEAK, 2, false),
+                view(3, STRONG, 3, true),
             ],
             ViolationKind::LevelRegressed,
         ),
         // Two closes.
         (
-            vec![view(1, Strong, 1, true), view(2, Strong, 2, true)],
+            vec![view(1, STRONG, 1, true), view(2, STRONG, 2, true)],
             ViolationKind::MultipleCloses,
         ),
         // Delivery after the close.
         (
-            vec![view(1, Strong, 1, true), view(2, Weak, 2, false)],
+            vec![view(1, STRONG, 1, true), view(2, WEAK, 2, false)],
             ViolationKind::EventAfterClose,
         ),
         // Never closes.
-        (vec![view(1, Weak, 1, false)], ViolationKind::NeverClosed),
+        (vec![view(1, WEAK, 1, false)], ViolationKind::NeverClosed),
         // Closes below the strongest requested level.
-        (vec![view(1, Weak, 1, true)], ViolationKind::WeakClose),
+        (vec![view(1, WEAK, 1, true)], ViolationKind::WeakClose),
     ];
     for (events, expected) in cases {
         let h = vec![inv(0, events)];
@@ -77,7 +80,7 @@ fn monotonicity_rejects_every_injected_corruption() {
 fn convergence_rejects_diverging_quiescent_views() {
     let h = vec![inv(
         0,
-        vec![view(1, Weak, 7, false), view(2, Strong, 9, true)],
+        vec![view(1, WEAK, 7, false), view(2, STRONG, 9, true)],
     )];
     let violations = check_convergence(&h, 0);
     assert_eq!(violations.len(), 1);
@@ -109,13 +112,13 @@ fn runtime_prevents_what_the_monotonicity_checker_guards() {
     impl Binding for Chaotic {
         type Op = ();
         type Val = u64;
-        fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-            vec![Weak, Strong]
+        fn consistency_levels(&self) -> LevelSet {
+            LevelSet::of(&[WEAK, STRONG])
         }
         fn submit(&self, _op: (), _levels: &[ConsistencyLevel], upcall: Upcall<u64>) {
-            upcall.deliver(1, Strong);
-            upcall.deliver(2, Weak);
-            upcall.deliver(3, Strong);
+            upcall.deliver(1, STRONG);
+            upcall.deliver(2, WEAK);
+            upcall.deliver(3, STRONG);
         }
     }
     let history = History::new();
@@ -147,6 +150,28 @@ fn buggy_binding_fails_convergence_and_linearizability() {
         "schedule not minimal: {}",
         report.schedule
     );
+}
+
+#[test]
+fn arrival_order_spec_store_fails_update_consistency() {
+    // The BuggySpec fixture keeps each replica's log in arrival order
+    // instead of the agreed lamport order: client-visible views stay
+    // plausible, but the replicas never converge to one linearization —
+    // exactly (and only) the update-consistency checker's job.
+    let cfg = ExplorerConfig::default();
+    let report =
+        explore(StackKind::BuggySpec, 1, &cfg).expect_err("arrival order must be rejected");
+    let all = report.violations.join("\n");
+    assert!(
+        all.contains("update-consistency"),
+        "missing update-consistency finding:\n{all}"
+    );
+    assert!(
+        all.contains("OrderDiverged"),
+        "divergence not attributed to the order:\n{all}"
+    );
+    // The healthy spec store passes the same seed and config.
+    assert!(explore(StackKind::SpecRegister, 1, &cfg).is_ok());
 }
 
 #[test]

@@ -8,20 +8,24 @@
 use proptest::prelude::*;
 
 use correctables::record::History;
-use correctables::ConsistencyLevel::{self, Cache, Causal, Strong, Weak};
+use correctables::ConsistencyLevel;
+const CACHE: ConsistencyLevel = ConsistencyLevel::CACHE;
+const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
 use correctables::Correctable;
 use icg_oracle::check_monotonicity;
 use icg_shard::router::gather;
 use simnet::DetRng;
 
-const PRELIMS: [ConsistencyLevel; 3] = [Cache, Weak, Causal];
+const PRELIMS: [ConsistencyLevel; 3] = [CACHE, WEAK, CAUSAL];
 
 proptest! {
-    /// Each part delivers an ascending subset of {Cache, Weak, Causal}
-    /// then closes at Strong; parts are interleaved randomly. The
+    /// Each part delivers an ascending subset of {CACHE, WEAK, CAUSAL}
+    /// then closes at STRONG; parts are interleaved randomly. The
     /// merged Correctable's recorded history must satisfy the
     /// monotonicity checker (levels strictly ascend, close exactly
-    /// once, nothing after the close) and close at Strong.
+    /// once, nothing after the close) and close at STRONG.
     #[test]
     fn merged_views_are_monotone_under_any_interleaving(
         masks in proptest::collection::vec(0u8..8, 1..5),
@@ -35,12 +39,12 @@ proptest! {
         let history: History<&'static str, Vec<u64>> = History::new();
         let id = history.observe(
             "scatter",
-            vec![Cache, Weak, Causal, Strong],
+            vec![CACHE, WEAK, CAUSAL, STRONG],
             &merged,
         );
 
         // Per-part delivery plans: the selected prelim levels in
-        // ascending order, then the Strong close.
+        // ascending order, then the STRONG close.
         let mut plans: Vec<Vec<(ConsistencyLevel, bool)>> = masks
             .iter()
             .map(|mask| {
@@ -50,7 +54,7 @@ proptest! {
                     .filter(|(i, _)| mask & (1 << i) != 0)
                     .map(|(_, l)| (*l, false))
                     .collect();
-                plan.push((Strong, true));
+                plan.push((STRONG, true));
                 plan
             })
             .collect();
@@ -77,7 +81,7 @@ proptest! {
         prop_assert!(violations.is_empty(), "merged stream not monotone: {violations:?}");
         let inv = invs.iter().find(|i| i.id == id).unwrap();
         let (_, close_level) = inv.final_view().expect("merge must close");
-        prop_assert_eq!(close_level, Strong);
+        prop_assert_eq!(close_level, STRONG);
         // Every emission carries one value per part.
         for e in &inv.events {
             if let correctables::record::HistoryEvent::View { value, .. } = e {

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, ObjectId, Upcall};
+use correctables::{Binding, ConsistencyLevel, Error, KeyedOp, LevelSet, ObjectId, Upcall};
 use simnet::{Ctx, Node, NodeId, SimDuration, SimTime, Timer, Topology};
 
 use crate::cluster::Cluster;
@@ -197,7 +197,7 @@ impl Node<Msg> for Gateway {
                     p.prelim = Some(data.clone());
                     p.prelim_at = Some(ctx.now());
                     let up = p.upcall.clone();
-                    up.deliver(data, ConsistencyLevel::Weak);
+                    up.deliver(data, ConsistencyLevel::WEAK);
                 }
             }
             Msg::ReadReply { op, data, .. } => {
@@ -467,13 +467,13 @@ impl Binding for QuorumBinding {
     type Op = StoreOp;
     type Val = Versioned;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     }
 
     fn submit(&self, op: StoreOp, levels: &[ConsistencyLevel], upcall: Upcall<Versioned>) {
-        let weak = levels.contains(&ConsistencyLevel::Weak);
-        let strong = levels.contains(&ConsistencyLevel::Strong);
+        let weak = levels.contains(&ConsistencyLevel::WEAK);
+        let strong = levels.contains(&ConsistencyLevel::STRONG);
         let kind = match (weak, strong) {
             (true, true) => ReadKind::Icg {
                 r: self.store.r_strong,
@@ -514,7 +514,7 @@ mod tests {
         assert_eq!(c.state(), State::Updating);
         s.settle();
         let v = c.final_view().expect("settled");
-        assert_eq!(v.level, ConsistencyLevel::Weak);
+        assert_eq!(v.level, ConsistencyLevel::WEAK);
         assert_eq!(v.value.value, Value::Opaque(100));
         assert!(c.preliminary_views().is_empty());
     }
@@ -526,7 +526,7 @@ mod tests {
         let c = client.invoke(StoreOp::Read(Key::plain(1)));
         s.settle();
         assert_eq!(c.preliminary_views().len(), 1);
-        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::STRONG);
         // Preliminary (local flush) must beat final (quorum of 2) by ~ the
         // FRK–IRL RTT.
         let t = s.timings();
@@ -568,7 +568,7 @@ mod tests {
         // as a confirmation — the value must still be the real record.
         let v = c.final_view().unwrap();
         assert_eq!(v.value.value, Value::Opaque(100));
-        assert_eq!(v.level, ConsistencyLevel::Strong);
+        assert_eq!(v.level, ConsistencyLevel::STRONG);
     }
 
     #[test]

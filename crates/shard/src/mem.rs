@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use correctables::{Binding, ConsistencyLevel, KeyedOp, ObjectId, Upcall};
+use correctables::{Binding, ConsistencyLevel, KeyedOp, LevelSet, ObjectId, Upcall};
 
 /// Operations of the in-memory counter store.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,11 +71,11 @@ impl Binding for MemBinding {
     type Op = KvOp;
     type Val = u64;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+    fn consistency_levels(&self) -> LevelSet {
         if self.weak_only {
-            vec![ConsistencyLevel::Weak]
+            LevelSet::of(&[ConsistencyLevel::WEAK])
         } else {
-            vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+            LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
         }
     }
 
@@ -140,8 +140,8 @@ mod tests {
         let c = client.invoke(KvOp::Add(3, 4));
         assert_eq!(c.state(), State::Final);
         assert_eq!(c.preliminary_views().len(), 1);
-        assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::Weak);
-        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+        assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::WEAK);
+        assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::STRONG);
         assert_eq!(c.final_view().unwrap().value, 4);
     }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use correctables::{
-    Binding, ConsistencyLevel, Correctable, Error, KeyedOp, LevelSelection, Upcall, View,
+    Binding, ConsistencyLevel, Correctable, Error, KeyedOp, LevelSelection, LevelSet, Upcall, View,
 };
 
 use crate::pipeline::{PipelineConfig, Worker};
@@ -31,7 +31,7 @@ struct Inner<B: Binding> {
     shards: Vec<B>,
     ring: HashRing,
     /// The common level set of all shards, sorted weakest-first.
-    levels: Vec<ConsistencyLevel>,
+    levels: LevelSet,
     /// Per-shard batching workers; empty in inline mode.
     workers: Vec<Worker<Job<B>>>,
     /// Ops routed to each shard so far.
@@ -71,20 +71,14 @@ where
         }
     }
 
-    fn layout(
-        shards: &[B],
-        vnodes: usize,
-        seed: u64,
-    ) -> (HashRing, Vec<ConsistencyLevel>, Vec<AtomicU64>) {
+    fn layout(shards: &[B], vnodes: usize, seed: u64) -> (HashRing, LevelSet, Vec<AtomicU64>) {
         assert!(
             !shards.is_empty(),
             "sharded binding needs at least one shard"
         );
-        let mut levels = shards[0].consistency_levels();
-        levels.sort();
+        let levels = shards[0].consistency_levels();
         for (i, s) in shards.iter().enumerate().skip(1) {
-            let mut ls = s.consistency_levels();
-            ls.sort();
+            let ls = s.consistency_levels();
             assert_eq!(
                 ls, levels,
                 "shard {i} advertises different consistency levels"
@@ -188,7 +182,11 @@ where
             self.inner.routed[idx].fetch_add(1, Ordering::Relaxed);
             let (c, handle) = Correctable::pending();
             outs.push(c);
-            per_shard[idx].push((op, Arc::clone(&shared), Upcall::for_levels(handle, &levels)));
+            per_shard[idx].push((
+                op,
+                Arc::clone(&shared),
+                Upcall::for_levels(handle, levels.as_slice()),
+            ));
         }
         for (idx, jobs) in per_shard.into_iter().enumerate() {
             if jobs.is_empty() {
@@ -264,7 +262,7 @@ where
     type Op = B::Op;
     type Val = B::Val;
 
-    fn consistency_levels(&self) -> Vec<ConsistencyLevel> {
+    fn consistency_levels(&self) -> LevelSet {
         self.inner.levels.clone()
     }
 
@@ -295,7 +293,7 @@ pub fn gather<T: Clone + Send + 'static>(parts: Vec<Correctable<T>>) -> Correcta
     let (out, handle) = Correctable::pending();
     let n = parts.len();
     if n == 0 {
-        let _ = handle.close(Vec::new(), ConsistencyLevel::Strong);
+        let _ = handle.close(Vec::new(), ConsistencyLevel::STRONG);
         return out;
     }
     struct GatherState<T> {
@@ -405,7 +403,10 @@ pub fn gather<T: Clone + Send + 'static>(parts: Vec<Correctable<T>>) -> Correcta
 #[cfg(test)]
 mod tests {
     use super::*;
-    use correctables::ConsistencyLevel::{Causal, Strong, Weak};
+    use correctables::ConsistencyLevel;
+    const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
+    const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
+    const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
     use correctables::{Client, State};
 
     use crate::mem::{KvOp, MemBinding};
@@ -425,9 +426,9 @@ mod tests {
             let c = client.invoke(KvOp::Get(k));
             assert_eq!(c.state(), State::Final);
             assert_eq!(c.preliminary_views().len(), 1);
-            assert_eq!(c.preliminary_views()[0].level, Weak);
+            assert_eq!(c.preliminary_views()[0].level, WEAK);
             let fin = c.final_view().unwrap();
-            assert_eq!(fin.level, Strong);
+            assert_eq!(fin.level, STRONG);
             assert_eq!(fin.value, k * 10);
         }
         // Keys actually spread over the shards.
@@ -532,16 +533,16 @@ mod tests {
         }
         let c = s.scatter((0..16).map(KvOp::Get).collect());
         assert_eq!(c.state(), State::Final);
-        // MemBinding delivers Weak then Strong per shard, so the merge
-        // surfaces one Weak common view before closing at Strong.
+        // MemBinding delivers WEAK then STRONG per shard, so the merge
+        // surfaces one WEAK common view before closing at STRONG.
         let prelims = c.preliminary_views();
         assert!(!prelims.is_empty());
-        assert_eq!(prelims[0].level, Weak);
+        assert_eq!(prelims[0].level, WEAK);
         assert!(prelims
             .windows(2)
             .all(|w| w[0].level.rank() < w[1].level.rank()));
         let fin = c.final_view().unwrap();
-        assert_eq!(fin.level, Strong);
+        assert_eq!(fin.level, STRONG);
         assert_eq!(fin.value, (0..16).map(|k| 100 + k).collect::<Vec<_>>());
     }
 
@@ -557,24 +558,24 @@ mod tests {
         let (a, ha) = Correctable::<u32>::pending();
         let (b, hb) = Correctable::<u32>::pending();
         let g = gather(vec![a, b]);
-        ha.update(1, Weak).unwrap();
+        ha.update(1, WEAK).unwrap();
         // Only one part has delivered: nothing surfaces yet.
         assert!(g.preliminary_views().is_empty());
-        hb.update(2, Causal).unwrap();
-        // Both delivered; the common floor is Weak.
+        hb.update(2, CAUSAL).unwrap();
+        // Both delivered; the common floor is WEAK.
         assert_eq!(g.preliminary_views().len(), 1);
-        assert_eq!(g.preliminary_views()[0].level, Weak);
+        assert_eq!(g.preliminary_views()[0].level, WEAK);
         assert_eq!(g.preliminary_views()[0].value, vec![1, 2]);
-        ha.update(3, Causal).unwrap();
-        // Floor rises to Causal.
+        ha.update(3, CAUSAL).unwrap();
+        // Floor rises to CAUSAL.
         assert_eq!(g.preliminary_views().len(), 2);
-        assert_eq!(g.preliminary_views()[1].level, Causal);
-        ha.close(4, Strong).unwrap();
+        assert_eq!(g.preliminary_views()[1].level, CAUSAL);
+        ha.close(4, STRONG).unwrap();
         // One part final, the other not: still open.
         assert_eq!(g.state(), State::Updating);
-        hb.close(5, Strong).unwrap();
+        hb.close(5, STRONG).unwrap();
         let fin = g.final_view().unwrap();
-        assert_eq!(fin.level, Strong);
+        assert_eq!(fin.level, STRONG);
         assert_eq!(fin.value, vec![4, 5]);
     }
 
@@ -629,23 +630,23 @@ mod tests {
         let ha2 = ha.clone();
         let hb2 = hb.clone();
         g.on_update(move |v| {
-            if v.level == Weak {
-                // Raise both parts to Causal from inside the emission.
-                let _ = ha2.update(30, Causal);
-                let _ = hb2.update(40, Causal);
+            if v.level == WEAK {
+                // Raise both parts to CAUSAL from inside the emission.
+                let _ = ha2.update(30, CAUSAL);
+                let _ = hb2.update(40, CAUSAL);
             }
         });
-        ha.update(1, Weak).unwrap();
-        hb.update(2, Weak).unwrap();
-        // The Weak emission triggered the Causal round re-entrantly.
+        ha.update(1, WEAK).unwrap();
+        hb.update(2, WEAK).unwrap();
+        // The WEAK emission triggered the CAUSAL round re-entrantly.
         let prelims = g.preliminary_views();
         assert_eq!(prelims.len(), 2);
-        assert_eq!(prelims[0].level, Weak);
+        assert_eq!(prelims[0].level, WEAK);
         assert_eq!(prelims[0].value, vec![1, 2]);
-        assert_eq!(prelims[1].level, Causal);
+        assert_eq!(prelims[1].level, CAUSAL);
         assert_eq!(prelims[1].value, vec![30, 40]);
-        ha.close(5, Strong).unwrap();
-        hb.close(6, Strong).unwrap();
+        ha.close(5, STRONG).unwrap();
+        hb.close(6, STRONG).unwrap();
         assert_eq!(g.final_view().unwrap().value, vec![5, 6]);
     }
 
@@ -654,9 +655,9 @@ mod tests {
         let (a, ha) = Correctable::<u32>::pending();
         let (b, hb) = Correctable::<u32>::pending();
         let g = gather(vec![a, b]);
-        ha.close(1, Strong).unwrap();
-        hb.close(2, Causal).unwrap();
-        assert_eq!(g.final_view().unwrap().level, Causal);
+        ha.close(1, STRONG).unwrap();
+        hb.close(2, CAUSAL).unwrap();
+        assert_eq!(g.final_view().unwrap().level, CAUSAL);
     }
 
     #[test]

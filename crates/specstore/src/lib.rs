@@ -1,0 +1,41 @@
+//! # specstore — one replicated object, four consistency levels, any spec
+//!
+//! The generalized-lattice stack: a replicated object defined by nothing
+//! but a sequential specification ([`correctables::spec::SeqSpec`]),
+//! served at four consistency levels in one incremental `invoke`:
+//!
+//! - **weak** — the op applied to the origin replica's current local
+//!   state; wait-free, eventually consistent.
+//! - **update** — *update consistency* (Perrin, Mostéfaoui & Jard):
+//!   wait-free like weak, but every replica additionally converges to a
+//!   **single linearization** of all updates — a total `(lamport ts,
+//!   origin, seq)` order that each replica replays through the spec. The
+//!   view is the op's return value at its place in that linearization as
+//!   currently known; the order (and thus the value) is revised toward
+//!   agreement as gossip arrives.
+//! - **causal** — *causal consistency for any spec'd object*
+//!   (Mostéfaoui, Perrin & Raynal, generalizing the `causalstore`
+//!   stack's baked-in store semantics): updates carry vector clocks and
+//!   are delivered CBCAST-style; the view closes once at least one peer
+//!   replica has causally delivered the update, and reflects exactly the
+//!   causally delivered prefix.
+//! - **strong** — linearizable without a primary: the view closes once
+//!   the op's position in the total order is **stable** (every peer has
+//!   acknowledged it and no earlier-timestamped update can still arrive),
+//!   so the returned value is final.
+//!
+//! Internals:
+//!
+//! - [`replica::SpecReplica`] — the per-replica protocol node: lamport
+//!   log, CBCAST buffer, ack/stability tracking, anti-entropy
+//!   retransmission;
+//! - [`binding::SimSpecStore`] — the simulated deployment (three
+//!   replicas on the paper's EC2 sites plus a client gateway) and its
+//!   [`binding::SpecBinding`] / [`binding::UpdateBinding`] /
+//!   [`binding::CausalSpec`] Correctables bindings.
+
+pub mod binding;
+pub mod replica;
+
+pub use binding::{CausalSpec, SimSpecStore, SpecBinding, UpdateBinding};
+pub use replica::{SpecReplica, Update, UpdateId};

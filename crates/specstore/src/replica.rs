@@ -1,0 +1,593 @@
+//! The per-replica protocol node of the spec store.
+//!
+//! Every client operation is an *update* in the sense of Perrin,
+//! Mostéfaoui & Jard: it is stamped `(lamport ts, origin, seq)` at its
+//! origin replica, applied locally at once (wait-free), and gossiped to
+//! the peers, which merge it into the same totally-ordered log. Three
+//! orthogonal mechanisms produce the three non-weak levels:
+//!
+//! - the **lamport log** — kept sorted by `(ts, origin, seq)`; replaying
+//!   it through the spec realizes update consistency's single eventual
+//!   linearization;
+//! - the **CBCAST buffer** — updates carry vector clocks and are
+//!   causally delivered in dependency order (reusing `causalstore`'s
+//!   [`VectorClock`] delivery rule); the causally delivered prefix,
+//!   replayed in log order (an order consistent with causality), backs
+//!   the causal views;
+//! - **ack stability** — each peer acknowledges an update when it
+//!   causally delivers it, reporting its own submission count. Once
+//!   every peer has acked update `u` and the origin has causally
+//!   delivered each peer's reported submissions, no update with a
+//!   timestamp below `u.ts` can still arrive anywhere, so `u`'s position
+//!   in the total order — and therefore its replayed return value — is
+//!   final. That is the strong (linearizable) close, with no primary.
+//!
+//! Lost gossip and acks are repaired by per-origin anti-entropy: every
+//! replica periodically re-broadcasts its own not-fully-acked updates,
+//! and re-acks retransmissions of updates it has already delivered.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use causalstore::VectorClock;
+use correctables::spec::SeqSpec;
+use correctables::ConsistencyLevel;
+use simnet::{Ctx, NodeId, SimDuration, Timer, Wire};
+
+/// Identity of one update: which replica accepted it, and where it sits
+/// in that replica's local submission order (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UpdateId {
+    /// Index of the origin replica.
+    pub origin: usize,
+    /// 1-based position in the origin's local submission order.
+    pub seq: u64,
+}
+
+/// One update as it travels between replicas.
+#[derive(Clone, Debug)]
+pub struct Update<Op> {
+    /// Origin replica and per-origin sequence number.
+    pub id: UpdateId,
+    /// Lamport timestamp; `(ts, origin, seq)` is the total order.
+    pub ts: u64,
+    /// Vector clock at the origin when the update was accepted (its own
+    /// entry already bumped) — the CBCAST causal stamp.
+    pub vc: VectorClock,
+    /// The operation itself.
+    pub op: Op,
+}
+
+impl<Op> Update<Op> {
+    /// The total-order key.
+    fn key(&self) -> (u64, usize, u64) {
+        (self.ts, self.id.origin, self.id.seq)
+    }
+}
+
+/// Which levels one submission wants served.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wants {
+    /// Deliver a weak view.
+    pub weak: bool,
+    /// Deliver an update-consistency view.
+    pub update: bool,
+    /// Deliver a causal view.
+    pub causal: bool,
+    /// Deliver a strong view.
+    pub strong: bool,
+}
+
+impl Wants {
+    /// The strongest requested level (the one that closes the upcall).
+    pub fn strongest(&self) -> ConsistencyLevel {
+        if self.strong {
+            ConsistencyLevel::STRONG
+        } else if self.causal {
+            ConsistencyLevel::CAUSAL
+        } else if self.update {
+            ConsistencyLevel::UPDATE
+        } else {
+            ConsistencyLevel::WEAK
+        }
+    }
+}
+
+/// Client-operation identity at the gateway (its own sequence space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpId(pub u64);
+
+/// Protocol messages of the spec store.
+#[derive(Clone, Debug)]
+pub enum SpecMsg<S: SeqSpec> {
+    /// Gateway → replica: accept `op` as a new update.
+    Submit {
+        /// Client operation id (scoped to the gateway).
+        op: OpId,
+        /// The operation.
+        client_op: S::Op,
+        /// Levels to serve.
+        wants: Wants,
+    },
+    /// Replica → gateway: the wait-free views (weak and/or update),
+    /// emitted synchronously at accept time.
+    Immediate {
+        /// Client operation id.
+        op: OpId,
+        /// `(level, return value)` in level order.
+        views: Vec<(ConsistencyLevel, S::Ret)>,
+        /// Whether the strongest requested level is among `views`.
+        closing: bool,
+    },
+    /// Replica → gateway: a causal or strong view that needed peer acks.
+    Later {
+        /// Client operation id.
+        op: OpId,
+        /// The level of this view.
+        level: ConsistencyLevel,
+        /// The replayed return value.
+        ret: S::Ret,
+        /// Whether this is the strongest requested level.
+        closing: bool,
+    },
+    /// Replica → replica: one update (also used for retransmission).
+    Gossip {
+        /// The update.
+        update: Update<S::Op>,
+    },
+    /// Replica → origin replica: `acker` causally delivered `of`.
+    Ack {
+        /// The acknowledged update.
+        of: UpdateId,
+        /// Index of the acknowledging replica.
+        acker: usize,
+        /// The acker's own submission count at delivery time; the origin
+        /// must causally deliver that many of the acker's updates before
+        /// `of` counts as stable.
+        acker_seq: u64,
+    },
+}
+
+impl<S: SeqSpec> Wire for SpecMsg<S> {
+    fn wire_size(&self) -> usize {
+        // A coarse model: fixed framing plus the causal stamp; op bodies
+        // are spec-dependent and modeled as one machine word.
+        match self {
+            SpecMsg::Submit { .. } => 32,
+            SpecMsg::Immediate { views, .. } => 16 + 16 * views.len(),
+            SpecMsg::Later { .. } => 32,
+            SpecMsg::Gossip { update } => 40 + 8 * update.vc.len(),
+            SpecMsg::Ack { .. } => 32,
+        }
+    }
+
+    fn category(&self) -> &'static str {
+        match self {
+            SpecMsg::Submit { .. } => "submit",
+            SpecMsg::Immediate { .. } | SpecMsg::Later { .. } => "reply",
+            SpecMsg::Gossip { .. } => "gossip",
+            SpecMsg::Ack { .. } => "ack",
+        }
+    }
+}
+
+/// Ack/stability bookkeeping for one locally accepted update.
+struct OwnUpdate {
+    /// The client op to answer, if this update came through the binding
+    /// (anti-entropy applies to every update regardless).
+    client: Option<(OpId, NodeId, Wants)>,
+    /// Per-peer `acker_seq`, `None` until that peer acks.
+    acks: Vec<Option<u64>>,
+    causal_sent: bool,
+    strong_sent: bool,
+}
+
+impl OwnUpdate {
+    fn fully_acked(&self, me: usize) -> bool {
+        self.acks
+            .iter()
+            .enumerate()
+            .all(|(i, a)| i == me || a.is_some())
+    }
+}
+
+/// One replica of the spec store.
+pub struct SpecReplica<S: SeqSpec> {
+    spec: S,
+    /// This replica's index.
+    id: usize,
+    /// Replica count.
+    n: usize,
+    /// Node ids of all replicas, index-aligned; set via
+    /// [`SpecReplica::set_peers`] after construction.
+    peers: Vec<NodeId>,
+    /// Lamport clock.
+    lamport: u64,
+    /// Own submission count (the next update gets `seq = next_seq + 1`).
+    next_seq: u64,
+    /// Causally delivered count per origin (CBCAST state).
+    vc: VectorClock,
+    /// The update log. Sorted by `(ts, origin, seq)` — unless
+    /// `arrival_order` is set, which keeps raw arrival order: the
+    /// deliberately buggy fixture the update-consistency checker must
+    /// catch.
+    log: Vec<Update<S::Op>>,
+    /// Updates received but not yet causally deliverable.
+    buffer: Vec<Update<S::Op>>,
+    /// Ack state of every update accepted here, by seq.
+    own: HashMap<u64, OwnUpdate>,
+    /// Apply updates in arrival order instead of the lamport order.
+    arrival_order: bool,
+    /// Anti-entropy period.
+    retransmit_every: SimDuration,
+    /// Generation token of the live retransmit timer. The engine drops
+    /// timer fires for a node that is down when they come due, so a
+    /// plain "armed" flag would wedge shut after downtime; instead every
+    /// message receipt arms a fresh generation (invalidating the old
+    /// one) and [`SpecReplica::on_timer`] ignores stale generations.
+    timer_gen: u64,
+}
+
+impl<S> SpecReplica<S>
+where
+    S: SeqSpec + Send + 'static,
+    S::Op: Send,
+    S::Ret: Send,
+{
+    /// A replica with index `id` out of `n`.
+    pub fn new(spec: S, id: usize, n: usize) -> Self {
+        SpecReplica {
+            spec,
+            id,
+            n,
+            peers: Vec::new(),
+            lamport: 0,
+            next_seq: 0,
+            vc: VectorClock::zero(n),
+            log: Vec::new(),
+            buffer: Vec::new(),
+            own: HashMap::new(),
+            arrival_order: false,
+            retransmit_every: SimDuration::from_millis(200),
+            timer_gen: 0,
+        }
+    }
+
+    /// Switches this replica to the buggy arrival-order log (the
+    /// negative fixture for the update-consistency checker).
+    pub fn set_arrival_order(&mut self, buggy: bool) {
+        self.arrival_order = buggy;
+    }
+
+    /// Registers the node ids of all replicas (index-aligned).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        assert_eq!(peers.len(), self.n, "peer list must cover all replicas");
+        self.peers = peers;
+    }
+
+    /// The log as applied by this replica, in its current order.
+    pub fn applied_log(&self) -> Vec<UpdateId> {
+        self.log.iter().map(|u| u.id).collect()
+    }
+
+    /// Whether every peer has acknowledged every update accepted here.
+    pub fn fully_acked(&self) -> bool {
+        self.own.values().all(|o| o.fully_acked(self.id))
+    }
+
+    fn insert(&mut self, update: Update<S::Op>) {
+        if self.arrival_order {
+            self.log.push(update);
+            return;
+        }
+        let key = update.key();
+        let pos = self
+            .log
+            .binary_search_by(|u| u.key().cmp(&key))
+            .unwrap_err();
+        self.log.insert(pos, update);
+    }
+
+    /// Replays the log through the spec and returns the return value of
+    /// update `id`. With `causal_only`, restricts the replay to the
+    /// causally delivered prefix (log order is consistent with
+    /// causality, so this is a valid causal serialization).
+    fn replay_ret(&self, id: UpdateId, causal_only: bool) -> Option<S::Ret> {
+        let mut state = self.spec.initial();
+        let mut found = None;
+        for u in &self.log {
+            if causal_only && u.id.seq > self.vc.0[u.id.origin] {
+                continue;
+            }
+            let (next, ret) = self.spec.apply(&state, &u.op);
+            state = next;
+            if u.id == id {
+                found = Some(ret);
+            }
+        }
+        found
+    }
+
+    /// The current fully-merged state with `op` applied on top — the
+    /// weak view: local, wait-free, no ordering promise.
+    fn weak_ret(&self, op: &S::Op) -> S::Ret {
+        let mut state = self.spec.initial();
+        for u in &self.log {
+            state = self.spec.apply(&state, &u.op).0;
+        }
+        self.spec.apply(&state, op).1
+    }
+
+    /// Arms a fresh retransmit-timer generation if any own update still
+    /// lacks acks. Safe to call on every message: the newest generation
+    /// supersedes all pending ones.
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_, SpecMsg<S>>) {
+        let unacked = self.own.values().any(|e| !e.fully_acked(self.id));
+        if unacked && self.n > 1 {
+            self.timer_gen += 1;
+            ctx.set_timer(self.retransmit_every, Timer(self.timer_gen));
+        }
+    }
+
+    fn accept(
+        &mut self,
+        ctx: &mut Ctx<'_, SpecMsg<S>>,
+        from: NodeId,
+        op: OpId,
+        client_op: S::Op,
+        wants: Wants,
+    ) {
+        // Weak view: computed against the pre-accept state.
+        let weak = wants.weak.then(|| self.weak_ret(&client_op));
+        // Stamp and log the update.
+        self.lamport += 1;
+        self.next_seq += 1;
+        self.vc.bump(self.id);
+        let id = UpdateId {
+            origin: self.id,
+            seq: self.next_seq,
+        };
+        let update = Update {
+            id,
+            ts: self.lamport,
+            vc: self.vc.clone(),
+            op: client_op,
+        };
+        for (i, peer) in self.peers.clone().into_iter().enumerate() {
+            if i != self.id {
+                ctx.send(
+                    peer,
+                    SpecMsg::Gossip {
+                        update: update.clone(),
+                    },
+                );
+            }
+        }
+        self.insert(update);
+        self.own.insert(
+            id.seq,
+            OwnUpdate {
+                client: Some((op, from, wants)),
+                acks: vec![None; self.n],
+                causal_sent: false,
+                strong_sent: false,
+            },
+        );
+        // Wait-free views go straight back.
+        let mut views = Vec::new();
+        if let Some(ret) = weak {
+            views.push((ConsistencyLevel::WEAK, ret));
+        }
+        if wants.update {
+            let ret = self.replay_ret(id, false).expect("own update is logged");
+            views.push((ConsistencyLevel::UPDATE, ret));
+        }
+        let closing = !wants.causal && !wants.strong;
+        if !views.is_empty() || closing {
+            ctx.send(from, SpecMsg::Immediate { op, views, closing });
+        }
+        // Single-replica deployments have no peers to wait for.
+        self.settle_pending(ctx);
+        self.arm_timer(ctx);
+    }
+
+    /// Drains the CBCAST buffer, delivering (and acking) every update
+    /// whose causal dependencies are satisfied.
+    fn deliver_causal(&mut self, ctx: &mut Ctx<'_, SpecMsg<S>>) {
+        loop {
+            let Some(pos) = self
+                .buffer
+                .iter()
+                .position(|u| self.vc.deliverable(&u.vc, u.id.origin))
+            else {
+                return;
+            };
+            let u = self.buffer.swap_remove(pos);
+            self.vc.bump(u.id.origin);
+            ctx.send(
+                self.peers[u.id.origin],
+                SpecMsg::Ack {
+                    of: u.id,
+                    acker: self.id,
+                    acker_seq: self.next_seq,
+                },
+            );
+        }
+    }
+
+    /// Fires causal/strong replies for own updates whose conditions now
+    /// hold.
+    fn settle_pending(&mut self, ctx: &mut Ctx<'_, SpecMsg<S>>) {
+        let mut replies: Vec<(NodeId, SpecMsg<S>)> = Vec::new();
+        let mut done: Vec<u64> = Vec::new();
+        let me = self.id;
+        let seqs: Vec<u64> = self.own.keys().copied().collect();
+        for seq in seqs {
+            let id = UpdateId { origin: me, seq };
+            let entry = self.own.get(&seq).expect("listed");
+            let acked = entry.fully_acked(me) || self.n == 1;
+            let any_ack = self.n == 1 || entry.acks.iter().any(|a| a.is_some());
+            // Stable: all peers acked, and each peer's reported
+            // submissions are causally delivered here — nothing with a
+            // smaller timestamp is still in flight.
+            let stable = acked
+                && entry
+                    .acks
+                    .iter()
+                    .enumerate()
+                    .all(|(i, a)| i == me || a.is_some_and(|s| self.vc.0[i] >= s));
+            let (causal_due, strong_due, client) = {
+                let e = self.own.get(&seq).expect("listed");
+                let Some((op, gw, wants)) = e.client else {
+                    if e.fully_acked(me) {
+                        done.push(seq);
+                    }
+                    continue;
+                };
+                (
+                    wants.causal && !e.causal_sent && any_ack,
+                    wants.strong && !e.strong_sent && stable,
+                    (op, gw, wants),
+                )
+            };
+            let (op, gw, wants) = client;
+            if causal_due {
+                let ret = self.replay_ret(id, true).expect("own update is delivered");
+                replies.push((
+                    gw,
+                    SpecMsg::Later {
+                        op,
+                        level: ConsistencyLevel::CAUSAL,
+                        ret,
+                        closing: !wants.strong,
+                    },
+                ));
+                self.own.get_mut(&seq).expect("listed").causal_sent = true;
+            }
+            if strong_due {
+                let ret = self.replay_ret(id, false).expect("own update is logged");
+                replies.push((
+                    gw,
+                    SpecMsg::Later {
+                        op,
+                        level: ConsistencyLevel::STRONG,
+                        ret,
+                        closing: true,
+                    },
+                ));
+                self.own.get_mut(&seq).expect("listed").strong_sent = true;
+            }
+            let e = self.own.get_mut(&seq).expect("listed");
+            let served = (!e.client.expect("set above").2.causal || e.causal_sent)
+                && (!e.client.expect("set above").2.strong || e.strong_sent);
+            if served && e.fully_acked(me) {
+                e.client = None;
+                done.push(seq);
+            }
+        }
+        for seq in done {
+            self.own.remove(&seq);
+        }
+        for (to, msg) in replies {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl<S> simnet::Node<SpecMsg<S>> for SpecReplica<S>
+where
+    S: SeqSpec + Send + 'static,
+    S::Op: Send,
+    S::Ret: Send,
+{
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SpecMsg<S>>, from: NodeId, msg: SpecMsg<S>) {
+        match msg {
+            SpecMsg::Submit {
+                op,
+                client_op,
+                wants,
+            } => self.accept(ctx, from, op, client_op, wants),
+            SpecMsg::Gossip { update } => {
+                let origin = update.id.origin;
+                let seq = update.id.seq;
+                if seq <= self.vc.0[origin] {
+                    // Retransmission of something already delivered: the
+                    // origin must have lost our ack — re-ack.
+                    ctx.send(
+                        self.peers[origin],
+                        SpecMsg::Ack {
+                            of: update.id,
+                            acker: self.id,
+                            acker_seq: self.next_seq,
+                        },
+                    );
+                    return;
+                }
+                if self.buffer.iter().any(|u| u.id == update.id) {
+                    return; // buffered duplicate
+                }
+                self.lamport = self.lamport.max(update.ts) + 1;
+                self.buffer.push(update.clone());
+                self.insert(update);
+                self.deliver_causal(ctx);
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            SpecMsg::Ack {
+                of,
+                acker,
+                acker_seq,
+            } => {
+                debug_assert_eq!(of.origin, self.id, "ack routed to the wrong origin");
+                if let Some(e) = self.own.get_mut(&of.seq) {
+                    let slot = &mut e.acks[acker];
+                    // Keep the largest report; retransmitted acks carry
+                    // fresher submission counts.
+                    *slot = Some(slot.unwrap_or(0).max(acker_seq));
+                }
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            SpecMsg::Immediate { .. } | SpecMsg::Later { .. } => {
+                debug_assert!(false, "replies are addressed to the gateway");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SpecMsg<S>>, timer: Timer) {
+        if timer.0 != self.timer_gen {
+            return; // superseded generation
+        }
+        // Anti-entropy: re-broadcast own updates that some peer has not
+        // acked yet (covers lost gossip and lost acks alike).
+        let unacked: Vec<(u64, Vec<usize>)> = self
+            .own
+            .iter()
+            .filter_map(|(seq, e)| {
+                let missing: Vec<usize> = (0..self.n)
+                    .filter(|&i| i != self.id && e.acks[i].is_none())
+                    .collect();
+                (!missing.is_empty()).then_some((*seq, missing))
+            })
+            .collect();
+        for (seq, missing) in &unacked {
+            if let Some(u) = self
+                .log
+                .iter()
+                .find(|u| u.id.origin == self.id && u.id.seq == *seq)
+            {
+                let u = u.clone();
+                for &i in missing {
+                    ctx.send(self.peers[i], SpecMsg::Gossip { update: u.clone() });
+                }
+            }
+        }
+        if !unacked.is_empty() {
+            self.arm_timer(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -73,7 +73,7 @@ fn main() {
         fin.level,
         t0.elapsed()
     );
-    assert_eq!(fin.level, ConsistencyLevel::Strong);
+    assert_eq!(fin.level, ConsistencyLevel::STRONG);
     assert_eq!(fin.value.as_deref(), Some("fresh value"));
 
     // --- speculate: Listing 3 of the paper -------------------------------

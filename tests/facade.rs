@@ -6,18 +6,14 @@
 
 use icg::causalstore::{CacheOp, SimCausal};
 use icg::consensusq::{QueueOp, ServerConfig, SimQueue};
-use icg::correctables::{Binding, Client, ConsistencyLevel, LevelSelection};
+use icg::correctables::{Binding, Client, ConsistencyLevel, LevelSelection, LevelSet};
 use icg::quorumstore::{Key, ReplicaConfig, SimStore, StoreOp, Value};
 
 /// Drives one op through `binding` at every advertised level in
 /// isolation, then incrementally across all levels, settling the
 /// simulation via `settle` after each invocation. Returns the advertised
 /// levels for substrate-specific assertions.
-fn exercise_all_levels<B, F>(
-    binding: B,
-    mut op: impl FnMut() -> B::Op,
-    mut settle: F,
-) -> Vec<ConsistencyLevel>
+fn exercise_all_levels<B, F>(binding: B, mut op: impl FnMut() -> B::Op, mut settle: F) -> LevelSet
 where
     B: Binding + Clone + 'static,
     B::Op: Send + 'static,
@@ -26,14 +22,14 @@ where
     let levels = binding.consistency_levels();
     assert!(!levels.is_empty(), "binding advertises no levels");
     assert!(
-        levels.windows(2).all(|w| w[0] < w[1]),
+        levels.as_slice().windows(2).all(|w| w[0] < w[1]),
         "levels must be advertised weakest-first: {levels:?}"
     );
 
     // Each level alone: exactly one view, final, at the requested level.
-    for &level in &levels {
+    for level in &levels {
         let client = Client::new(binding.clone());
-        let c = client.invoke_with(op(), &LevelSelection::Only(vec![level]));
+        let c = client.invoke_with(op(), &LevelSelection::only(&[level]));
         settle();
         assert!(
             c.preliminary_views().is_empty(),
@@ -59,7 +55,11 @@ where
         .map(|v| v.level)
         .chain(c.final_view().map(|v| v.level))
         .collect();
-    assert_eq!(seen, levels, "incremental invoke must deliver every level");
+    assert_eq!(
+        seen,
+        levels.to_vec(),
+        "incremental invoke must deliver every level"
+    );
 
     levels
 }
@@ -75,7 +75,7 @@ fn quorum_store_serves_every_level() {
     );
     assert_eq!(
         levels,
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     );
 }
 
@@ -86,7 +86,7 @@ fn consensus_queue_serves_every_level() {
     let levels = exercise_all_levels(q.binding(), || QueueOp::Dequeue, || q.settle());
     assert_eq!(
         levels,
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
     );
 }
 
@@ -97,11 +97,11 @@ fn causal_store_serves_every_level() {
     let levels = exercise_all_levels(n.binding(), || CacheOp::Get("key".into()), || n.settle());
     assert_eq!(
         levels,
-        vec![
-            ConsistencyLevel::Cache,
-            ConsistencyLevel::Causal,
-            ConsistencyLevel::Strong
-        ]
+        LevelSet::of(&[
+            ConsistencyLevel::CACHE,
+            ConsistencyLevel::CAUSAL,
+            ConsistencyLevel::STRONG
+        ])
     );
 }
 
@@ -109,7 +109,7 @@ fn causal_store_serves_every_level() {
 fn facade_reexports_every_workspace_crate() {
     // One load-bearing item per re-exported crate; a missing or renamed
     // re-export fails this test at compile time.
-    let _level: icg::correctables::ConsistencyLevel = icg::correctables::ConsistencyLevel::Weak;
+    let _level: icg::correctables::ConsistencyLevel = icg::correctables::ConsistencyLevel::WEAK;
     let _duration = icg::simnet::SimDuration::from_millis(1);
     let _key = icg::quorumstore::Key::plain(0);
     let _op = icg::consensusq::QueueOp::Dequeue;

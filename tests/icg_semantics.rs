@@ -29,7 +29,7 @@ fn views_arrive_weakest_to_strongest_on_every_binding() {
         .collect();
     assert_eq!(
         levels,
-        vec![ConsistencyLevel::Weak, ConsistencyLevel::Strong]
+        vec![ConsistencyLevel::WEAK, ConsistencyLevel::STRONG]
     );
 
     // Queue: weak (simulation) then strong (atomic).
@@ -38,8 +38,8 @@ fn views_arrive_weakest_to_strongest_on_every_binding() {
     let qc = Client::new(q.binding());
     let d = qc.invoke(QueueOp::Dequeue);
     q.settle();
-    assert_eq!(d.preliminary_views()[0].level, ConsistencyLevel::Weak);
-    assert_eq!(d.final_view().unwrap().level, ConsistencyLevel::Strong);
+    assert_eq!(d.preliminary_views()[0].level, ConsistencyLevel::WEAK);
+    assert_eq!(d.final_view().unwrap().level, ConsistencyLevel::STRONG);
 
     // Cached causal store: cache, causal, strong.
     let n = SimCausal::ec2("VRG", "IRL", 3);
@@ -50,9 +50,9 @@ fn views_arrive_weakest_to_strongest_on_every_binding() {
     let levels: Vec<ConsistencyLevel> = g.preliminary_views().iter().map(|v| v.level).collect();
     assert_eq!(
         levels,
-        vec![ConsistencyLevel::Cache, ConsistencyLevel::Causal]
+        vec![ConsistencyLevel::CACHE, ConsistencyLevel::CAUSAL]
     );
-    assert_eq!(g.final_view().unwrap().level, ConsistencyLevel::Strong);
+    assert_eq!(g.final_view().unwrap().level, ConsistencyLevel::STRONG);
 }
 
 #[test]
@@ -144,7 +144,7 @@ fn wait_final_interops_with_simulated_bindings() {
     // is deliberately generous — it only matters if settle ever regresses,
     // and then a clear timeout beats a flaky one.
     let v = c.wait_final(Duration::from_secs(5)).expect("already final");
-    assert_eq!(v.level, ConsistencyLevel::Strong);
+    assert_eq!(v.level, ConsistencyLevel::STRONG);
 }
 
 #[test]
@@ -155,9 +155,9 @@ fn level_subset_requests_skip_extraneous_work() {
     // Requesting only Strong must not produce a preliminary view.
     let c = client.invoke_with(
         StoreOp::Read(Key::plain(2)),
-        &LevelSelection::Only(vec![ConsistencyLevel::Strong]),
+        &LevelSelection::only(&[ConsistencyLevel::STRONG]),
     );
     qs.settle();
     assert!(c.preliminary_views().is_empty());
-    assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::Strong);
+    assert_eq!(c.final_view().unwrap().level, ConsistencyLevel::STRONG);
 }

@@ -38,7 +38,7 @@ fn subset_selection_works_on_multi_level_bindings() {
     let client = Client::new(chain.binding());
     let c = client.invoke_with(
         888u64,
-        &LevelSelection::Only(vec![conf_level(2), conf_level(FINAL_DEPTH)]),
+        &LevelSelection::only(&[conf_level(2), conf_level(FINAL_DEPTH)]),
     );
     chain.run_for(SimDuration::from_secs(3600));
     assert_eq!(c.state(), State::Final);

@@ -71,6 +71,22 @@ fleet! {
     sharded_seed5: StackKind::ShardedStore { shards: 3 }, 5;
     sharded_seed6: StackKind::ShardedStore { shards: 2 }, 6;
     sharded_seed7: StackKind::ShardedStore { shards: 2 }, 7;
+    spec_reg_seed0: StackKind::SpecRegister, 0;
+    spec_reg_seed1: StackKind::SpecRegister, 1;
+    spec_reg_seed2: StackKind::SpecRegister, 2;
+    spec_reg_seed3: StackKind::SpecRegister, 3;
+    spec_reg_seed4: StackKind::SpecRegister, 4;
+    spec_reg_seed5: StackKind::SpecRegister, 5;
+    spec_reg_seed6: StackKind::SpecRegister, 6;
+    spec_reg_seed7: StackKind::SpecRegister, 7;
+    spec_ctr_seed0: StackKind::SpecCounter, 0;
+    spec_ctr_seed1: StackKind::SpecCounter, 1;
+    spec_ctr_seed2: StackKind::SpecCounter, 2;
+    spec_ctr_seed3: StackKind::SpecCounter, 3;
+    spec_ctr_seed4: StackKind::SpecCounter, 4;
+    spec_ctr_seed5: StackKind::SpecCounter, 5;
+    spec_ctr_seed6: StackKind::SpecCounter, 6;
+    spec_ctr_seed7: StackKind::SpecCounter, 7;
 }
 
 /// Wide-range soak: 64 seeds per stack. Run with
@@ -86,6 +102,8 @@ fn oracle_soak_wide_seed_range() {
         StackKind::Queue,
         StackKind::Causal,
         StackKind::ShardedStore { shards: 2 },
+        StackKind::SpecRegister,
+        StackKind::SpecCounter,
     ] {
         for seed in 0..64u64 {
             if let Err(report) = explore(stack, seed, &cfg) {

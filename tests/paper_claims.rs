@@ -140,9 +140,9 @@ fn misspeculation_still_delivers_correct_result() {
         },
         |_| {},
     );
-    h.update(vec![1], ConsistencyLevel::Weak).unwrap();
+    h.update(vec![1], ConsistencyLevel::WEAK).unwrap();
     s.settle(); // speculative prefetch of key 1 completes
-    h.close(vec![2], ConsistencyLevel::Strong).unwrap(); // divergence!
+    h.close(vec![2], ConsistencyLevel::STRONG).unwrap(); // divergence!
     s.settle(); // redo fetches key 2
     let v = out.final_view().expect("resolved despite misspeculation");
     assert_eq!(

@@ -24,9 +24,9 @@ fn sharded_quorum_store_routes_and_reemits_every_level() {
         // The owning shard's ICG pipeline flows through unchanged:
         // preliminary at Weak, close at Strong.
         assert_eq!(c.preliminary_views().len(), 1, "key {i}");
-        assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::Weak);
+        assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::WEAK);
         let fin = c.final_view().unwrap();
-        assert_eq!(fin.level, ConsistencyLevel::Strong);
+        assert_eq!(fin.level, ConsistencyLevel::STRONG);
         assert_eq!(fin.value.value, Value::Opaque(100 + i as u32));
     }
     // The keyspace actually spread across the fleet.
@@ -67,9 +67,9 @@ fn scatter_closes_when_every_shard_delivered_strongest() {
     // shard flushed a preliminary, then the close at Strong.
     let prelims = c.preliminary_views();
     assert!(!prelims.is_empty());
-    assert_eq!(prelims[0].level, ConsistencyLevel::Weak);
+    assert_eq!(prelims[0].level, ConsistencyLevel::WEAK);
     let fin = c.final_view().unwrap();
-    assert_eq!(fin.level, ConsistencyLevel::Strong);
+    assert_eq!(fin.level, ConsistencyLevel::STRONG);
     let values: Vec<Value> = fin.value.iter().map(|v| v.value.clone()).collect();
     assert_eq!(
         values,
@@ -116,10 +116,10 @@ fn sharded_causal_store_keeps_three_level_pipeline() {
     for (k, c) in reads.iter().enumerate() {
         let prelims = c.preliminary_views();
         assert_eq!(prelims.len(), 2, "key {k}");
-        assert_eq!(prelims[0].level, ConsistencyLevel::Cache);
-        assert_eq!(prelims[1].level, ConsistencyLevel::Causal);
+        assert_eq!(prelims[0].level, ConsistencyLevel::CACHE);
+        assert_eq!(prelims[1].level, ConsistencyLevel::CAUSAL);
         let fin = c.final_view().unwrap();
-        assert_eq!(fin.level, ConsistencyLevel::Strong);
+        assert_eq!(fin.level, ConsistencyLevel::STRONG);
         assert_eq!(fin.value.map(|i| i.items), Some(vec![k as u64]));
     }
 }

@@ -83,27 +83,27 @@ fn preliminary_then_final_over_loopback() {
     for k in 0..8 {
         let c = client.invoke(StoreOp::Read(Key::plain(k)));
         let fin = c.wait_final(Duration::from_secs(5)).expect("final view");
-        assert_eq!(fin.level, ConsistencyLevel::Strong);
+        assert_eq!(fin.level, ConsistencyLevel::STRONG);
         assert_eq!(fin.value.value, Value::Opaque(64));
         // The preliminary flush arrived first, at Weak, with the same
         // converged record.
         let prelims = c.preliminary_views();
         assert_eq!(prelims.len(), 1, "one preliminary per ICG read");
-        assert_eq!(prelims[0].level, ConsistencyLevel::Weak);
+        assert_eq!(prelims[0].level, ConsistencyLevel::WEAK);
         assert_eq!(prelims[0].value.value, Value::Opaque(64));
     }
 
     // Weak-only and strong-only invocations close with a single view.
     let weak = client.invoke_weak(StoreOp::Read(Key::plain(1)));
     let v = weak.wait_final(Duration::from_secs(5)).expect("weak read");
-    assert_eq!(v.level, ConsistencyLevel::Weak);
+    assert_eq!(v.level, ConsistencyLevel::WEAK);
     assert!(weak.preliminary_views().is_empty());
 
     let strong = client.invoke_strong(StoreOp::Read(Key::plain(1)));
     let v = strong
         .wait_final(Duration::from_secs(5))
         .expect("strong read");
-    assert_eq!(v.level, ConsistencyLevel::Strong);
+    assert_eq!(v.level, ConsistencyLevel::STRONG);
 
     binding.shutdown();
     for r in &replicas {
@@ -125,7 +125,7 @@ fn confirmation_mode_promotes_the_preliminary() {
     for k in 0..4 {
         let c = client.invoke(StoreOp::Read(Key::plain(k)));
         let fin = c.wait_final(Duration::from_secs(5)).expect("final view");
-        assert_eq!(fin.level, ConsistencyLevel::Strong);
+        assert_eq!(fin.level, ConsistencyLevel::STRONG);
         assert_eq!(fin.value.value, Value::Opaque(64));
     }
 
@@ -233,7 +233,7 @@ fn killed_replica_failover_keeps_oracle_guarantees() {
         let fin = c
             .wait_final(Duration::from_secs(5))
             .expect("quiescent read on the surviving quorum");
-        assert_eq!(fin.level, ConsistencyLevel::Strong);
+        assert_eq!(fin.level, ConsistencyLevel::STRONG);
         assert_eq!(c.state(), State::Final);
     }
 
