@@ -40,5 +40,5 @@ pub use dataset::{AdsDataset, TwissandraDataset};
 pub use driver::{LoadDriver, LoadStats, MeasuredOp};
 pub use news::{NewsReader, Refresh, LATEST};
 pub use sharded::{run_sharded_ycsb, ShardedYcsbConfig, ShardedYcsbStats};
-pub use tickets::{Purchase, TicketOffice};
+pub use tickets::{EscrowOffice, Purchase, TicketOffice};
 pub use twissandra::Twissandra;

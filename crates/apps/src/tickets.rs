@@ -5,12 +5,22 @@
 //! the preliminary view (a local simulation of the dequeue) is safe to act
 //! on while the stock is comfortably above a threshold; only the last few
 //! tickets pay for atomic (final) semantics, avoiding overselling.
+//!
+//! [`EscrowOffice`] is the segmented-invariant-confluence variant: the
+//! stock is split into per-replica escrow segments, each replica sells
+//! from its own segment coordination-free (the weak view *is* the
+//! confirmation), and only segment exhaustion pays a strong transfer
+//! round. Where [`TicketOffice`] thresholds on a global stock estimate,
+//! the escrow split makes the fast path *provably* safe: a segment's
+//! owner is the only writer of its `sold` row, so a local sale can
+//! never violate the global no-oversell invariant.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use consensusq::{QueueBinding, QueueOp, SimQueue};
 use correctables::{Client, Correctable};
+use icg_crdt::{EscrowBinding, EscrowOp, Sale, SimEscrow};
 
 /// The outcome of one purchase attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +107,75 @@ impl TicketOffice {
     }
 }
 
+/// The escrow-segmented retailer: sells from the local replica's
+/// segment without coordination, falling back to the strong transfer
+/// path only when the segment runs dry.
+pub struct EscrowOffice {
+    store: SimEscrow,
+    client: Arc<Client<EscrowBinding>>,
+}
+
+impl EscrowOffice {
+    /// Opens an office over an escrow store.
+    pub fn new(store: SimEscrow) -> Self {
+        let client = Arc::new(Client::new(store.binding()));
+        EscrowOffice { store, client }
+    }
+
+    /// The underlying store (for `settle` and timings).
+    pub fn store(&self) -> &SimEscrow {
+        &self.store
+    }
+
+    /// Buys one ticket. A sale the local segment covers confirms on the
+    /// *weak* view — unlike Listing 5's threshold heuristic, the escrow
+    /// split guarantees the preliminary can never be rolled back. A
+    /// sale the segment cannot cover waits for the final view of the
+    /// transfer round: another segment's surplus, or `SoldOut`.
+    pub fn purchase_ticket(&self) -> Correctable<Purchase> {
+        let (out, handle) = Correctable::<Purchase>::pending();
+        let done = Arc::new(AtomicBool::new(false));
+        let c = self.client.invoke(EscrowOp::Buy);
+        let h_u = handle.clone();
+        let done_u = Arc::clone(&done);
+        c.on_update(move |weak| {
+            // The weak view only ever reports a *fast* sale, and a fast
+            // sale is already durable in the local segment: confirm.
+            if let Sale::Confirmed { fast: true } = weak.value {
+                done_u.store(true, Ordering::Relaxed);
+                let _ = h_u.close(
+                    Purchase::Confirmed {
+                        via_prelim: true,
+                        ticket: None,
+                    },
+                    weak.level,
+                );
+            }
+        });
+        let h_f = handle.clone();
+        let done_f = done;
+        c.on_final(move |strong| {
+            if !done_f.load(Ordering::Relaxed) {
+                let outcome = match strong.value {
+                    Sale::Confirmed { .. } => Purchase::Confirmed {
+                        via_prelim: false,
+                        ticket: None,
+                    },
+                    // Buys never answer with a stock count; treat a
+                    // miswired reply as a failed sale.
+                    Sale::SoldOut | Sale::Stock(_) => Purchase::SoldOut,
+                };
+                let _ = h_f.close(outcome, strong.level);
+            }
+        });
+        let h_e = handle;
+        c.on_error(move |e| {
+            let _ = h_e.fail(e.clone());
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +250,63 @@ mod tests {
         }
         assert_eq!(confirmed, 30, "exactly the stock is sold");
         assert!(sold_out);
+    }
+
+    fn escrow_office(allocs: Vec<u64>, seed: u64) -> EscrowOffice {
+        EscrowOffice::new(SimEscrow::ec2(allocs, "FRK", seed, false))
+    }
+
+    #[test]
+    fn escrow_covered_sale_confirms_on_the_preliminary() {
+        let office = escrow_office(vec![4, 4, 4], 5);
+        let p = office.purchase_ticket();
+        office.store().settle();
+        match p.final_view().unwrap().value {
+            Purchase::Confirmed { via_prelim, .. } => {
+                assert!(via_prelim, "a covered sale must use the fast path");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            p.final_view().unwrap().level,
+            correctables::ConsistencyLevel::WEAK
+        );
+    }
+
+    #[test]
+    fn escrow_exhausted_segment_waits_for_a_transfer() {
+        // The client's origin owns nothing: every sale pulls a grant.
+        let store = SimEscrow::ec2(vec![0, 5, 5], "FRK", 9, false);
+        store.set_local_origin(true);
+        let office = EscrowOffice::new(store);
+        let p = office.purchase_ticket();
+        office.store().settle();
+        match p.final_view().unwrap().value {
+            Purchase::Confirmed { via_prelim, .. } => {
+                assert!(!via_prelim, "an uncovered sale must pay the transfer round");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            p.final_view().unwrap().level,
+            correctables::ConsistencyLevel::STRONG
+        );
+    }
+
+    #[test]
+    fn escrow_draining_the_stock_never_oversells() {
+        let office = escrow_office(vec![2, 2, 2], 13);
+        let mut confirmed = 0;
+        let mut sold_out = 0;
+        for _ in 0..9 {
+            let p = office.purchase_ticket();
+            office.store().settle();
+            match p.final_view().unwrap().value {
+                Purchase::Confirmed { .. } => confirmed += 1,
+                Purchase::SoldOut => sold_out += 1,
+            }
+        }
+        assert_eq!(confirmed, 6, "exactly the stock is sold");
+        assert_eq!(sold_out, 3);
     }
 }

@@ -1,0 +1,192 @@
+//! Microbenchmarks of the `icg-crdt` hot paths:
+//!
+//! 1. state-based anti-entropy — merging two diverged composite states
+//!    (the cost one `SyncState` message imposes on a replica);
+//! 2. op-based delivery — applying a buffered batch of prepared
+//!    downstream effects (the CBCAST drain loop's inner cost);
+//! 3. OR-Set prepare+effect round trip (tag allocation + observed-set
+//!    bookkeeping, the most allocation-heavy of the shipped types);
+//! 4. the escrow fast path — one coordination-free sale against the
+//!    local segment, the operation the tickets app rides.
+//!
+//! Batch benches process [`EFFECTS_PER_ITER`] effects per iteration, so
+//! per-effect cost is `mean / EFFECTS_PER_ITER`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use icg_crdt::types::{Crdt, EffectCtx, OrSet, SetOp};
+use icg_crdt::{CrdtEffect, CrdtOp, CrdtState, EscrowState};
+
+const REPLICAS: usize = 3;
+const GROW_OPS: usize = 200;
+const EFFECTS_PER_ITER: usize = 256;
+
+/// Splitmix64 word stream for op decoding.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn decode(w: u64) -> CrdtOp {
+    let key = (w >> 3) % 8;
+    match w % 5 {
+        0 => CrdtOp::CtrAdd(key, ((w >> 5) % 40) as i64 - 20),
+        1 => CrdtOp::SetAdd(key, (w >> 5) % 16),
+        2 => CrdtOp::SetRemove(key, (w >> 5) % 16),
+        3 => CrdtOp::MapPut(key, (w >> 5) % 8, (w >> 7) % 1_000),
+        _ => CrdtOp::CtrAdd(key, ((w >> 5) % 7) as i64),
+    }
+}
+
+/// Grows a composite state from `n` decoded ops at round-robin replicas.
+fn grown(seed: u64, n: usize) -> CrdtState {
+    let mut state = CrdtState::new();
+    let mut seqs = [0u64; REPLICAS];
+    let mut w = seed;
+    for i in 0..n {
+        w = mix(w);
+        let r = i % REPLICAS;
+        seqs[r] += 1;
+        let ctx = EffectCtx {
+            replica: r,
+            seq: seqs[r],
+            lamport: 1 + i as u64,
+        };
+        let e = state.prepare(&decode(w), ctx);
+        state.effect(&e);
+    }
+    state
+}
+
+fn bench_state_merge(c: &mut Criterion) {
+    // Two states grown from a shared prefix, then diverged: the shape a
+    // replica actually sees when anti-entropy brings a peer's state in.
+    let base = grown(11, GROW_OPS);
+    let mut a = base.clone();
+    let mut b = base;
+    for (i, seed) in [(0usize, 77u64), (1, 99)] {
+        let target = if i == 0 { &mut a } else { &mut b };
+        let mut w = seed;
+        for j in 0..GROW_OPS / 2 {
+            w = mix(w);
+            let ctx = EffectCtx {
+                replica: i,
+                seq: 1_001 + j as u64,
+                lamport: 10_000 + j as u64,
+            };
+            let e = target.prepare(&decode(w), ctx);
+            target.effect(&e);
+        }
+    }
+    c.bench_function("crdt/state-merge-300ops", |bch| {
+        bch.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&b));
+            black_box(m)
+        })
+    });
+}
+
+fn bench_effect_apply(c: &mut Criterion) {
+    // Pre-prepared concurrent effects from all three origins, applied in
+    // one drain — the op-mode deliver_buffered inner loop.
+    let base = grown(23, GROW_OPS);
+    let mut locals: Vec<CrdtState> = (0..REPLICAS).map(|_| base.clone()).collect();
+    let mut seqs = [10_000u64; REPLICAS];
+    let mut w = 5u64;
+    let effects: Vec<CrdtEffect> = (0..EFFECTS_PER_ITER)
+        .map(|i| {
+            w = mix(w);
+            let r = i % REPLICAS;
+            seqs[r] += 1;
+            let ctx = EffectCtx {
+                replica: r,
+                seq: seqs[r],
+                lamport: 20_000 + i as u64,
+            };
+            let e = locals[r].prepare(&decode(w), ctx);
+            locals[r].effect(&e);
+            e
+        })
+        .collect();
+    c.bench_function("crdt/apply-256effects", |bch| {
+        bch.iter(|| {
+            let mut s = base.clone();
+            for e in &effects {
+                s.effect(black_box(e));
+            }
+            black_box(s)
+        })
+    });
+}
+
+fn bench_orset_roundtrip(c: &mut Criterion) {
+    let mut set = OrSet::<u64>::default();
+    let mut seq = 0u64;
+    c.bench_function("crdt/orset-add-remove", |bch| {
+        bch.iter(|| {
+            seq += 1;
+            let add = set.prepare(
+                &SetOp::Add(seq % 64),
+                EffectCtx {
+                    replica: 0,
+                    seq,
+                    lamport: seq,
+                },
+            );
+            set.effect(&add);
+            seq += 1;
+            let rm = set.prepare(
+                &SetOp::Remove(seq % 64),
+                EffectCtx {
+                    replica: 0,
+                    seq,
+                    lamport: seq,
+                },
+            );
+            set.effect(&rm);
+            black_box(set.contains(&(seq % 64)))
+        })
+    });
+}
+
+fn bench_escrow_sell(c: &mut Criterion) {
+    // One covered sale: the entire coordination-free fast path at the
+    // data layer (remaining check + own-row bump).
+    let base = EscrowState::new(vec![1_000_000, 0, 0]);
+    let mut ledger = base.clone();
+    c.bench_function("crdt/escrow-sell", |bch| {
+        bch.iter(|| {
+            if ledger.remaining(0) == 0 {
+                ledger = base.clone();
+            }
+            black_box(ledger.sell(black_box(0)))
+        })
+    });
+
+    // The gossip absorption cost for the 3-segment ledger.
+    let mut peer = base.clone();
+    peer.grant(0, 1, 500);
+    for _ in 0..400 {
+        peer.sell(1);
+    }
+    c.bench_function("crdt/escrow-merge", |bch| {
+        bch.iter(|| {
+            let mut m = base.clone();
+            m.merge(black_box(&peer));
+            black_box(m.total_sold())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_state_merge,
+    bench_effect_apply,
+    bench_orset_roundtrip,
+    bench_escrow_sell
+);
+criterion_main!(benches);

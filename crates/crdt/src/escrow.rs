@@ -1,0 +1,909 @@
+//! Segmented invariant confluence: escrow-style ticket sales.
+//!
+//! The global invariant — never sell more tickets than exist — is not
+//! invariant-confluent under plain merge, so a naive CRDT cannot keep
+//! it. Following Whittaker's *segmented* invariant confluence, the
+//! stock is partitioned into per-replica **escrow segments**: replica
+//! `i` owns `initial[i]` tickets and sells from its own segment with no
+//! coordination at all (the weak path). Only when a segment runs dry
+//! does the replica run a **transfer round** — ask every peer to grant
+//! half its remainder — and that is the only point the strong path's
+//! coordination is paid. The numbers in EXPERIMENTS.md quantify the
+//! gap; Whittaker reports 10–100× over linearizable replication for
+//! exactly this workload shape.
+//!
+//! Why this never oversells: [`EscrowState`] is a CRDT of single-writer
+//! monotone counters — `sold[i]` and the grant row `granted[i][·]` are
+//! only ever bumped by replica `i`, so pointwise-max merge is exact for
+//! the rows a replica sells against, and *under*-approximates only the
+//! incoming grants `granted[·][i]`. A replica's local `remaining(i)` is
+//! therefore a lower bound of the truth, and selling against a lower
+//! bound is always safe. The oracle's `check_escrow` verifies the
+//! invariant over merged final states in every explorer run.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use correctables::{Binding, ConsistencyLevel, Error, LevelSet, Upcall};
+use simnet::{Ctx, Engine, Faults, Node, NodeId, SimDuration, SiteId, Timer, Topology, Wire};
+
+use crate::store::{OpId, Wants};
+
+/// The escrow ledger: a join-semilattice of single-writer counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EscrowState {
+    /// Fixed per-replica segment sizes.
+    initial: Vec<u64>,
+    /// Tickets sold by each replica (single-writer, monotone).
+    sold: Vec<u64>,
+    /// `granted[i][j]`: total tickets replica `i` has granted to `j`
+    /// (row `i` single-writer at `i`, monotone).
+    granted: Vec<Vec<u64>>,
+}
+
+impl EscrowState {
+    /// A fresh ledger with the given segment allocation.
+    pub fn new(initial: Vec<u64>) -> EscrowState {
+        let n = initial.len();
+        EscrowState {
+            initial,
+            sold: vec![0; n],
+            granted: vec![vec![0; n]; n],
+        }
+    }
+
+    /// Replica count.
+    pub fn n(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Replica `i`'s current allocation: its segment plus incoming
+    /// grants minus outgoing grants.
+    pub fn alloc(&self, i: usize) -> u64 {
+        let incoming: u64 = (0..self.n()).map(|j| self.granted[j][i]).sum();
+        let outgoing: u64 = self.granted[i].iter().sum();
+        self.initial[i]
+            .saturating_add(incoming)
+            .saturating_sub(outgoing)
+    }
+
+    /// Replica `i`'s unsold remainder (a lower bound under merge lag).
+    pub fn remaining(&self, i: usize) -> u64 {
+        self.alloc(i).saturating_sub(self.sold[i])
+    }
+
+    /// Total stock.
+    pub fn total_initial(&self) -> u64 {
+        self.initial.iter().sum()
+    }
+
+    /// Total sold across all replicas (in this state's view).
+    pub fn total_sold(&self) -> u64 {
+        self.sold.iter().sum()
+    }
+
+    /// Replica `i`'s sold count.
+    pub fn sold_of(&self, i: usize) -> u64 {
+        self.sold[i]
+    }
+
+    /// Sells one ticket from `i`'s segment if it has remainder.
+    pub fn sell(&mut self, i: usize) -> bool {
+        if self.remaining(i) > 0 {
+            self.sold[i] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Grants up to `amount` tickets from `from`'s remainder to `to`;
+    /// returns what was actually granted.
+    pub fn grant(&mut self, from: usize, to: usize, amount: u64) -> u64 {
+        let amt = amount.min(self.remaining(from));
+        self.granted[from][to] += amt;
+        amt
+    }
+
+    /// Join: pointwise max of all monotone counters. Exact for every
+    /// single-writer row, which is what makes local sells safe.
+    pub fn merge(&mut self, other: &EscrowState) {
+        debug_assert_eq!(self.initial, other.initial, "segment layouts differ");
+        for i in 0..self.n() {
+            self.sold[i] = self.sold[i].max(other.sold[i]);
+            for j in 0..self.n() {
+                self.granted[i][j] = self.granted[i][j].max(other.granted[i][j]);
+            }
+        }
+    }
+
+    /// Whether this state dominates `other` (merge would be a no-op).
+    pub fn covers(&self, other: &EscrowState) -> bool {
+        (0..self.n()).all(|i| {
+            self.sold[i] >= other.sold[i]
+                && (0..self.n()).all(|j| self.granted[i][j] >= other.granted[i][j])
+        })
+    }
+}
+
+/// Ticket-office operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscrowOp {
+    /// Buy one ticket.
+    Buy,
+    /// How many tickets are left?
+    Avail,
+}
+
+/// Ticket-office results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sale {
+    /// A ticket was sold. `fast` marks the coordination-free segment
+    /// path (vs. a transfer round).
+    Confirmed {
+        /// Sold from the local segment without coordination.
+        fast: bool,
+    },
+    /// No tickets anywhere (after a transfer round found none).
+    SoldOut,
+    /// Remaining-stock answer to [`EscrowOp::Avail`]: local remainder
+    /// at weak, global remainder at strong.
+    Stock(u64),
+}
+
+/// Protocol messages of the escrow store.
+#[derive(Clone, Debug)]
+pub enum EscrowMsg {
+    /// Gateway → replica: accept `op`.
+    Submit {
+        /// Client operation id.
+        op: OpId,
+        /// The operation.
+        client_op: EscrowOp,
+        /// Levels to serve.
+        wants: Wants,
+    },
+    /// Replica → gateway: the wait-free weak view.
+    Immediate {
+        /// Client operation id.
+        op: OpId,
+        /// `(level, value)` — at most the weak view.
+        views: Vec<(ConsistencyLevel, Sale)>,
+        /// Whether strong was not requested.
+        closing: bool,
+    },
+    /// Replica → gateway: a view that needed peer communication.
+    Later {
+        /// Client operation id.
+        op: OpId,
+        /// The level of this view.
+        level: ConsistencyLevel,
+        /// The value.
+        val: Sale,
+        /// Always true.
+        closing: bool,
+    },
+    /// Replica → replica: ledger anti-entropy.
+    Sync {
+        /// Sender index.
+        from: usize,
+        /// Sender's ledger.
+        state: EscrowState,
+    },
+    /// Replica → replica: anti-entropy reply (receiver's ledger).
+    SyncAck {
+        /// Sender index.
+        from: usize,
+        /// Sender's ledger.
+        state: EscrowState,
+    },
+    /// Replica → replica: `asker` is out of tickets (or polling);
+    /// grant from your remainder.
+    TransferReq {
+        /// Requesting replica.
+        asker: usize,
+        /// Round identity (scoped to the asker).
+        nonce: u64,
+        /// Tickets wanted (0 = state poll only, grant nothing).
+        need: u64,
+    },
+    /// Replica → replica: the grant (carried in the granter's ledger).
+    TransferGrant {
+        /// Granting replica.
+        granter: usize,
+        /// Round identity.
+        nonce: u64,
+        /// The granter's ledger, grant included.
+        state: EscrowState,
+    },
+}
+
+impl Wire for EscrowMsg {
+    fn wire_size(&self) -> usize {
+        // Ledger snapshots are n sold counters plus an n×n grant matrix.
+        let ledger = |s: &EscrowState| 8 * (2 * s.n() + s.n() * s.n());
+        match self {
+            EscrowMsg::Submit { .. } => 32,
+            EscrowMsg::Immediate { views, .. } => 16 + 16 * views.len(),
+            EscrowMsg::Later { .. } => 32,
+            EscrowMsg::Sync { state, .. } | EscrowMsg::SyncAck { state, .. } => 16 + ledger(state),
+            EscrowMsg::TransferReq { .. } => 32,
+            EscrowMsg::TransferGrant { state, .. } => 24 + ledger(state),
+        }
+    }
+
+    fn category(&self) -> &'static str {
+        match self {
+            EscrowMsg::Submit { .. } => "submit",
+            EscrowMsg::Immediate { .. } | EscrowMsg::Later { .. } => "reply",
+            EscrowMsg::Sync { .. } | EscrowMsg::SyncAck { .. } => "gossip",
+            EscrowMsg::TransferReq { .. } | EscrowMsg::TransferGrant { .. } => "transfer",
+        }
+    }
+}
+
+/// A transfer round in flight at the asker.
+struct Round {
+    op: OpId,
+    gw: NodeId,
+    wants: Wants,
+    client_op: EscrowOp,
+    replies: usize,
+}
+
+/// A fast sale waiting for its strong close (sold-stability).
+struct PendingStrong {
+    /// Our sold count at sale time; stable once every peer's acked
+    /// ledger reports at least this much of our column.
+    mark: u64,
+    op: OpId,
+    gw: NodeId,
+    val: Sale,
+}
+
+/// One replica of the escrow store.
+pub struct EscrowReplica {
+    id: usize,
+    n: usize,
+    peers: Vec<NodeId>,
+    /// Pay a transfer round on *every* buy — the coordination baseline
+    /// the weak path is measured against.
+    strong_only: bool,
+    state: EscrowState,
+    /// Last ledger each peer acknowledged holding.
+    peer_state: Vec<EscrowState>,
+    next_nonce: u64,
+    rounds: BTreeMap<u64, Round>,
+    pending_strong: Vec<PendingStrong>,
+    retransmit_every: SimDuration,
+    timer_gen: u64,
+}
+
+impl EscrowReplica {
+    /// A replica with index `id` out of `allocs.len()`.
+    pub fn new(id: usize, allocs: Vec<u64>, strong_only: bool) -> Self {
+        let n = allocs.len();
+        EscrowReplica {
+            id,
+            n,
+            peers: Vec::new(),
+            strong_only,
+            state: EscrowState::new(allocs.clone()),
+            peer_state: vec![EscrowState::new(allocs); n],
+            next_nonce: 0,
+            rounds: BTreeMap::new(),
+            pending_strong: Vec::new(),
+            retransmit_every: SimDuration::from_millis(200),
+            timer_gen: 0,
+        }
+    }
+
+    /// Registers the node ids of all replicas (index-aligned).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        assert_eq!(peers.len(), self.n, "peer list must cover all replicas");
+        self.peers = peers;
+    }
+
+    /// The current ledger.
+    pub fn state(&self) -> EscrowState {
+        self.state.clone()
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_, EscrowMsg>) {
+        let lagging = (0..self.n).any(|j| j != self.id && !self.peer_state[j].covers(&self.state));
+        if lagging && self.n > 1 {
+            self.timer_gen += 1;
+            ctx.set_timer(self.retransmit_every, Timer(self.timer_gen));
+        }
+    }
+
+    fn sync_peers(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, only_lagging: bool) {
+        for (j, peer) in self.peers.clone().into_iter().enumerate() {
+            if j == self.id || (only_lagging && self.peer_state[j].covers(&self.state)) {
+                continue;
+            }
+            ctx.send(
+                peer,
+                EscrowMsg::Sync {
+                    from: self.id,
+                    state: self.state.clone(),
+                },
+            );
+        }
+    }
+
+    /// Starts a transfer round; the reply to the client fires once all
+    /// peers have answered (or the gateway's client timeout fails it).
+    fn start_round(
+        &mut self,
+        ctx: &mut Ctx<'_, EscrowMsg>,
+        op: OpId,
+        gw: NodeId,
+        wants: Wants,
+        client_op: EscrowOp,
+        need: u64,
+    ) {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.rounds.insert(
+            nonce,
+            Round {
+                op,
+                gw,
+                wants,
+                client_op,
+                replies: 0,
+            },
+        );
+        for (j, peer) in self.peers.clone().into_iter().enumerate() {
+            if j != self.id {
+                ctx.send(
+                    peer,
+                    EscrowMsg::TransferReq {
+                        asker: self.id,
+                        nonce,
+                        need,
+                    },
+                );
+            }
+        }
+        if self.n == 1 {
+            self.finish_round(ctx, nonce);
+        }
+    }
+
+    fn finish_round(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, nonce: u64) {
+        let Some(r) = self.rounds.remove(&nonce) else {
+            return;
+        };
+        let val = match r.client_op {
+            EscrowOp::Buy => {
+                if self.state.sell(self.id) {
+                    Sale::Confirmed { fast: false }
+                } else {
+                    Sale::SoldOut
+                }
+            }
+            // After hearing every peer, the merged ledger's global
+            // remainder is exact up to sales concurrent with the round.
+            EscrowOp::Avail => Sale::Stock(
+                self.state
+                    .total_initial()
+                    .saturating_sub(self.state.total_sold()),
+            ),
+        };
+        let level = if r.wants.strong {
+            ConsistencyLevel::STRONG
+        } else {
+            ConsistencyLevel::WEAK
+        };
+        ctx.send(
+            r.gw,
+            EscrowMsg::Later {
+                op: r.op,
+                level,
+                val,
+                closing: true,
+            },
+        );
+        self.sync_peers(ctx, false);
+    }
+
+    fn settle_pending(&mut self, ctx: &mut Ctx<'_, EscrowMsg>) {
+        let me = self.id;
+        let mut still = Vec::new();
+        for p in std::mem::take(&mut self.pending_strong) {
+            let stable = self.n == 1
+                || (0..self.n).all(|j| j == me || self.peer_state[j].sold_of(me) >= p.mark);
+            if stable {
+                // The fast sale is now incorporated everywhere; the
+                // strong view confirms the same outcome.
+                ctx.send(
+                    p.gw,
+                    EscrowMsg::Later {
+                        op: p.op,
+                        level: ConsistencyLevel::STRONG,
+                        val: p.val,
+                        closing: true,
+                    },
+                );
+            } else {
+                still.push(p);
+            }
+        }
+        self.pending_strong = still;
+    }
+
+    fn accept(
+        &mut self,
+        ctx: &mut Ctx<'_, EscrowMsg>,
+        from: NodeId,
+        op: OpId,
+        client_op: EscrowOp,
+        wants: Wants,
+    ) {
+        match client_op {
+            EscrowOp::Buy if !self.strong_only && self.state.remaining(self.id) > 0 => {
+                // Fast path: sell from the local segment, zero
+                // coordination. Safe because `remaining` is a lower
+                // bound (module docs).
+                self.state.sell(self.id);
+                let val = Sale::Confirmed { fast: true };
+                let mut views = Vec::new();
+                if wants.weak {
+                    views.push((ConsistencyLevel::WEAK, val));
+                }
+                let closing = !wants.strong;
+                if !views.is_empty() || closing {
+                    ctx.send(from, EscrowMsg::Immediate { op, views, closing });
+                }
+                if wants.strong {
+                    self.pending_strong.push(PendingStrong {
+                        mark: self.state.sold_of(self.id),
+                        op,
+                        gw: from,
+                        val,
+                    });
+                }
+                self.sync_peers(ctx, false);
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            EscrowOp::Buy => {
+                // Segment exhausted (or strong-only baseline): the one
+                // place coordination is paid — a transfer round.
+                let need = if self.state.remaining(self.id) > 0 {
+                    0
+                } else {
+                    1
+                };
+                self.start_round(ctx, op, from, wants, client_op, need);
+            }
+            EscrowOp::Avail => {
+                let mut views = Vec::new();
+                if wants.weak {
+                    views.push((
+                        ConsistencyLevel::WEAK,
+                        Sale::Stock(self.state.remaining(self.id)),
+                    ));
+                }
+                if wants.strong {
+                    if !views.is_empty() {
+                        ctx.send(
+                            from,
+                            EscrowMsg::Immediate {
+                                op,
+                                views,
+                                closing: false,
+                            },
+                        );
+                    }
+                    // Global remainder needs everyone's ledger: a
+                    // need-0 transfer round is exactly a state poll.
+                    self.start_round(ctx, op, from, wants, client_op, 0);
+                } else {
+                    ctx.send(
+                        from,
+                        EscrowMsg::Immediate {
+                            op,
+                            views,
+                            closing: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Node<EscrowMsg> for EscrowReplica {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, from: NodeId, msg: EscrowMsg) {
+        match msg {
+            EscrowMsg::Submit {
+                op,
+                client_op,
+                wants,
+            } => self.accept(ctx, from, op, client_op, wants),
+            EscrowMsg::Sync { from: i, state } => {
+                self.state.merge(&state);
+                self.peer_state[i].merge(&state);
+                ctx.send(
+                    self.peers[i],
+                    EscrowMsg::SyncAck {
+                        from: self.id,
+                        state: self.state.clone(),
+                    },
+                );
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            EscrowMsg::SyncAck { from: i, state } => {
+                self.state.merge(&state);
+                self.peer_state[i].merge(&state);
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            EscrowMsg::TransferReq { asker, nonce, need } => {
+                if need > 0 {
+                    // Grant half the remainder (rounded up): repeated
+                    // exhaustion drains peers geometrically, so a run
+                    // on one segment costs O(log stock) rounds total.
+                    let half = self.state.remaining(self.id).div_ceil(2);
+                    self.state.grant(self.id, asker, half.max(need.min(1)));
+                }
+                ctx.send(
+                    self.peers[asker],
+                    EscrowMsg::TransferGrant {
+                        granter: self.id,
+                        nonce,
+                        state: self.state.clone(),
+                    },
+                );
+                self.arm_timer(ctx);
+            }
+            EscrowMsg::TransferGrant {
+                granter,
+                nonce,
+                state,
+            } => {
+                self.state.merge(&state);
+                self.peer_state[granter].merge(&state);
+                if let Some(r) = self.rounds.get_mut(&nonce) {
+                    r.replies += 1;
+                    if r.replies == self.n - 1 {
+                        self.finish_round(ctx, nonce);
+                    }
+                }
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            EscrowMsg::Immediate { .. } | EscrowMsg::Later { .. } => {
+                debug_assert!(false, "replies are addressed to the gateway");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, timer: Timer) {
+        if timer.0 != self.timer_gen {
+            return; // superseded generation
+        }
+        self.sync_peers(ctx, true);
+        self.arm_timer(ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gateway + deployment
+// ---------------------------------------------------------------------
+
+struct Queued {
+    op: EscrowOp,
+    wants: Wants,
+    upcall: Upcall<Sale>,
+}
+
+type OpQueue = Arc<Mutex<VecDeque<Queued>>>;
+
+const KICK: u64 = u64::MAX - 1;
+
+struct Gateway {
+    replicas: Vec<NodeId>,
+    rr: usize,
+    /// When set, all submissions originate at this replica (the one
+    /// colocated with the client site) instead of round-robining —
+    /// the measurement setup for weak-vs-strong latency.
+    local_origin: Option<usize>,
+    queue: OpQueue,
+    next_seq: u64,
+    pending: BTreeMap<OpId, Upcall<Sale>>,
+    client_timeout: Option<SimDuration>,
+    timer_ops: BTreeMap<u64, OpId>,
+    next_timer: u64,
+}
+
+impl Gateway {
+    fn drain(&mut self, ctx: &mut Ctx<'_, EscrowMsg>) {
+        loop {
+            let Some(q) = self.queue.lock().pop_front() else {
+                return;
+            };
+            let op = OpId(self.next_seq);
+            self.next_seq += 1;
+            let idx = self.local_origin.unwrap_or_else(|| {
+                let i = self.rr % self.replicas.len();
+                self.rr += 1;
+                i
+            });
+            ctx.send(
+                self.replicas[idx],
+                EscrowMsg::Submit {
+                    op,
+                    client_op: q.op,
+                    wants: q.wants,
+                },
+            );
+            self.pending.insert(op, q.upcall);
+            if let Some(d) = self.client_timeout {
+                let token = self.next_timer;
+                self.next_timer += 1;
+                self.timer_ops.insert(token, op);
+                ctx.set_timer(d, Timer(token));
+            }
+        }
+    }
+}
+
+impl Node<EscrowMsg> for Gateway {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, _from: NodeId, msg: EscrowMsg) {
+        match msg {
+            EscrowMsg::Immediate { op, views, closing } => {
+                if let Some(u) = self.pending.get(&op) {
+                    for (level, val) in views {
+                        u.deliver(val, level);
+                    }
+                    if closing {
+                        self.pending.remove(&op);
+                    }
+                }
+            }
+            EscrowMsg::Later {
+                op,
+                level,
+                val,
+                closing,
+            } => {
+                if let Some(u) = self.pending.get(&op) {
+                    u.deliver(val, level);
+                    if closing {
+                        self.pending.remove(&op);
+                    }
+                }
+            }
+            _ => debug_assert!(false, "protocol messages are addressed to replicas"),
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, EscrowMsg>, timer: Timer) {
+        if timer.0 == KICK {
+            self.drain(ctx);
+        } else if let Some(op) = self.timer_ops.remove(&timer.0) {
+            if let Some(u) = self.pending.remove(&op) {
+                u.fail(Error::Timeout);
+            }
+            self.drain(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct NState {
+    engine: Engine<EscrowMsg>,
+    gateway: NodeId,
+    replicas: Vec<NodeId>,
+    client_replica: usize,
+}
+
+/// A simulated escrow ticket store: three replicas plus a gateway.
+#[derive(Clone)]
+pub struct SimEscrow {
+    state: Arc<Mutex<NState>>,
+    queue: OpQueue,
+}
+
+impl SimEscrow {
+    /// Builds the deployment: one replica per paper site with segment
+    /// `allocs[i]`, gateway at `client_site`. With `strong_only`, every
+    /// buy pays a transfer round — the coordination baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_site` is unknown or `allocs` is not one
+    /// segment per site.
+    pub fn ec2(allocs: Vec<u64>, client_site: &str, seed: u64, strong_only: bool) -> Self {
+        let topo = Topology::ec2_frk_irl_vrg();
+        let sites = ["FRK", "IRL", "VRG"];
+        assert_eq!(allocs.len(), sites.len(), "one segment per site");
+        let client_site_id = topo.site_named(client_site).expect("known client site");
+        let client_replica = sites.iter().position(|s| *s == client_site).unwrap_or(0);
+        let mut engine = Engine::new(topo, seed);
+        let replicas: Vec<NodeId> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let site = engine.topology().site_named(s).expect("site");
+                engine.add_node(
+                    site,
+                    Box::new(EscrowReplica::new(i, allocs.clone(), strong_only)),
+                )
+            })
+            .collect();
+        for id in &replicas {
+            engine
+                .node_as::<EscrowReplica>(*id)
+                .set_peers(replicas.clone());
+        }
+        let queue: OpQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let gateway = engine.add_node(
+            client_site_id,
+            Box::new(Gateway {
+                replicas: replicas.clone(),
+                rr: 0,
+                local_origin: None,
+                queue: Arc::clone(&queue),
+                next_seq: 0,
+                pending: BTreeMap::new(),
+                client_timeout: None,
+                timer_ops: BTreeMap::new(),
+                next_timer: 0,
+            }),
+        );
+        SimEscrow {
+            state: Arc::new(Mutex::new(NState {
+                engine,
+                gateway,
+                replicas,
+                client_replica,
+            })),
+            queue,
+        }
+    }
+
+    /// The two-level (weak/strong) binding.
+    pub fn binding(&self) -> EscrowBinding {
+        EscrowBinding {
+            store: self.clone(),
+        }
+    }
+
+    /// Pins all submissions to the replica colocated with the client
+    /// site (instead of round-robin) — the latency-measurement setup:
+    /// weak views then never cross a WAN link.
+    pub fn set_local_origin(&self, on: bool) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        let idx = st.client_replica;
+        st.engine.node_as::<Gateway>(gw).local_origin = on.then_some(idx);
+    }
+
+    /// Installs a fault plan.
+    pub fn set_faults(&self, faults: Faults) {
+        self.state.lock().engine.set_faults(faults);
+    }
+
+    /// Sets a client-side deadline per operation.
+    pub fn set_client_timeout(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.engine.node_as::<Gateway>(gw).client_timeout = Some(d);
+    }
+
+    /// The replica node ids (FRK/IRL/VRG order).
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.state.lock().replicas.clone()
+    }
+
+    /// All site ids of the deployment's topology.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let st = self.state.lock();
+        (0..st.engine.topology().len()).map(SiteId).collect()
+    }
+
+    /// Every replica's current ledger (input to `check_escrow`).
+    pub fn states(&self) -> Vec<EscrowState> {
+        let mut st = self.state.lock();
+        let ids = st.replicas.clone();
+        ids.into_iter()
+            .map(|id| st.engine.node_as::<EscrowReplica>(id).state())
+            .collect()
+    }
+
+    /// Current virtual time (for latency measurements).
+    pub fn now(&self) -> simnet::SimTime {
+        self.state.lock().engine.now()
+    }
+
+    /// Drives the simulation until every submitted operation resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations cannot resolve within a very large horizon.
+    pub fn settle(&self) {
+        let slice = SimDuration::from_millis(5);
+        for _ in 0..2_000_000 {
+            let mut st = self.state.lock();
+            let gw = st.gateway;
+            st.engine.schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
+            let limit = st.engine.now() + slice;
+            st.engine.run_until(limit);
+            let pending_empty = st.engine.node_as::<Gateway>(gw).pending.is_empty();
+            if pending_empty && self.queue.lock().is_empty() {
+                return;
+            }
+        }
+        panic!(
+            "escrow operations cannot settle (lost replies without a \
+             client timeout? see SimEscrow::set_client_timeout)"
+        );
+    }
+
+    /// Runs the simulation for `d` without submitting anything.
+    pub fn advance(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let until = st.engine.now() + d;
+        st.engine.run_until(until);
+    }
+
+    /// Kicks the gateway once, then runs the simulation for `d`.
+    ///
+    /// Freshly submitted operations only enter the network when the
+    /// gateway drains its queue on a kick, which [`Self::settle`] does
+    /// internally; `step` exposes one such slice so callers can measure
+    /// how much virtual time passes before an individual operation
+    /// resolves, instead of settling all the way to quiescence.
+    pub fn step(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.engine.schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
+        let until = st.engine.now() + d;
+        st.engine.run_until(until);
+    }
+}
+
+/// The two-level (weak/strong) `Binding` over a [`SimEscrow`]: weak
+/// buys are coordination-free segment sales, strong views wait for
+/// sold-stability (fast path) or a transfer round (slow path).
+#[derive(Clone)]
+pub struct EscrowBinding {
+    store: SimEscrow,
+}
+
+impl Binding for EscrowBinding {
+    type Op = EscrowOp;
+    type Val = Sale;
+
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
+    }
+
+    fn submit(&self, op: EscrowOp, levels: &[ConsistencyLevel], upcall: Upcall<Sale>) {
+        let wants = Wants {
+            weak: levels.contains(&ConsistencyLevel::WEAK),
+            strong: levels.contains(&ConsistencyLevel::STRONG),
+        };
+        self.store
+            .queue
+            .lock()
+            .push_back(Queued { op, wants, upcall });
+    }
+}

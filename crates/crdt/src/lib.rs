@@ -1,0 +1,50 @@
+//! # icg-crdt — coordination-free CRDT bindings
+//!
+//! Grounds the weak end of the Correctables lattice in CRDT theory:
+//! weak views become *coordination-free by construction* instead of
+//! cheap-by-accident, and their convergence obligations are checked
+//! mechanically (the oracle's SEC checker) rather than asserted.
+//!
+//! The crate has four layers:
+//!
+//! - [`types`] — hand-rolled CRDTs behind one [`Crdt`] trait that is
+//!   both state-based (join-semilattice [`Crdt::merge`]) and op-based
+//!   ([`Crdt::prepare`]/[`Crdt::effect`] with a [`Crdt::ready`]
+//!   delivery precondition): [`GCounter`]/[`PnCounter`], add-wins
+//!   [`OrSet`], [`LwwMap`] — plus [`BrokenCrdt`], the deliberately
+//!   non-commutative negative fixture;
+//! - [`object`] — [`CrdtState`], the composite keyed store ([`CrdtOp`]
+//!   is a `KeyedOp`, so it routes through `ShardedBinding` too);
+//! - [`store`] — [`SimCrdtStore`], the simulated three-site deployment
+//!   replicating [`CrdtState`] by op-shipping (CBCAST causal delivery)
+//!   or state-shipping (full-state merge), with [`CrdtBinding`] serving
+//!   weak locally pre-merge and strong at anti-entropy quiescence;
+//!   [`local`] is the synchronous single-process variant with a
+//!   freshness-lagged weak view for shard-router tests;
+//! - [`escrow`] — segmented invariant confluence: [`SimEscrow`] sells
+//!   tickets from per-replica escrow segments coordination-free and
+//!   pays a transfer round only at segment exhaustion, keeping the
+//!   global no-oversell invariant that plain merge cannot.
+//!
+//! Correctness story (test-first): `tests/prop_crdt.rs` proves the
+//! semilattice laws and op-commutativity; the oracle drives both
+//! deployments through the seeded fault-schedule explorer and checks
+//! strong eventual consistency — eventual visibility, commutativity of
+//! concurrent deliveries, convergence of merged states — shrinking any
+//! violation to a minimal `(seed, schedule)` repro.
+
+#![warn(missing_docs)]
+
+pub mod escrow;
+pub mod local;
+pub mod object;
+pub mod store;
+pub mod types;
+
+pub use escrow::{EscrowBinding, EscrowOp, EscrowReplica, EscrowState, Sale, SimEscrow};
+pub use local::LocalCrdt;
+pub use object::{CrdtEffect, CrdtOp, CrdtState, CrdtVal};
+pub use store::{CrdtBinding, CrdtMsg, CrdtReplica, Repl, SecEntry, SimCrdtStore, Wants};
+pub use types::{
+    BrokenCrdt, Crdt, EffectCtx, GCounter, LwwMap, MapOp, OrSet, PnCounter, SetOp, Stamp, Tag,
+};

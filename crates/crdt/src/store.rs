@@ -1,0 +1,879 @@
+//! The simulated CRDT deployment and its Correctables binding.
+//!
+//! [`SimCrdtStore`] places three [`CrdtReplica`]s on the paper's EC2
+//! sites (FRK/IRL/VRG) plus a client gateway, round-robining
+//! submissions across the replicas so the explorer exercises genuinely
+//! concurrent multi-origin histories. Two replication modes share one
+//! replica type:
+//!
+//! - **op-shipping** ([`Repl::Op`], CmRDT): the origin prepares an
+//!   effect, applies it locally, and broadcasts it; receivers buffer and
+//!   causally deliver (CBCAST, reusing `causalstore`'s [`VectorClock`]
+//!   rule), gated additionally on the CRDT's own [`Crdt::ready`]
+//!   precondition. Anti-entropy retransmits a replica's own effects to
+//!   any peer whose acknowledged delivery vector has gaps.
+//! - **state-shipping** ([`Repl::State`], CvRDT): the origin applies
+//!   locally and broadcasts its full state; receivers [`Crdt::merge`].
+//!   Anti-entropy re-broadcasts state while some peer has not covered
+//!   this replica's updates.
+//!
+//! Either way the lattice slice is two levels: **weak** is served
+//! locally at the origin, wait-free, before any peer communication —
+//! this is the coordination-free path CRDT theory licenses — and
+//! **strong** closes once every peer acknowledges having incorporated
+//! the update (anti-entropy quiescence for this op), re-evaluated
+//! against the by-then-converged state.
+//!
+//! [`SimCrdtStore::ec2_broken`] swaps in the [`BrokenCrdt`] counters —
+//! the negative fixture whose non-commutative effects the oracle's SEC
+//! checker must reject.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use causalstore::VectorClock;
+use correctables::{Binding, ConsistencyLevel, Error, LevelSet, Upcall};
+use simnet::{Ctx, Engine, Faults, Node, NodeId, SimDuration, SiteId, Timer, Topology, Wire};
+
+use crate::object::{CrdtEffect, CrdtOp, CrdtState, CrdtVal};
+use crate::types::Crdt;
+
+/// Replication mode of a deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repl {
+    /// Op-based: broadcast effects, causally deliver (CmRDT).
+    Op,
+    /// State-based: broadcast full states, merge (CvRDT).
+    State,
+}
+
+/// Client-operation identity at the gateway (its own sequence space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// Which levels one submission wants served.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wants {
+    /// Deliver the local, wait-free view.
+    pub weak: bool,
+    /// Deliver the post-quiescence view.
+    pub strong: bool,
+}
+
+/// One applied update in a replica's SEC log: identity, causal stamp,
+/// and the effect itself. The oracle's SEC checker replays these logs —
+/// same entry set in different orders must reach the same state.
+#[derive(Clone, Debug)]
+pub struct SecEntry {
+    /// Index of the origin replica.
+    pub origin: usize,
+    /// 1-based position in the origin's local submission order.
+    pub seq: u64,
+    /// Lamport timestamp at the origin.
+    pub ts: u64,
+    /// Vector clock at the origin at accept time (own entry bumped).
+    pub vc: VectorClock,
+    /// The prepared downstream effect.
+    pub effect: CrdtEffect,
+}
+
+impl SecEntry {
+    /// Update identity (origin, seq) — unique across the deployment.
+    pub fn id(&self) -> (usize, u64) {
+        (self.origin, self.seq)
+    }
+}
+
+/// Protocol messages of the CRDT store.
+#[derive(Clone, Debug)]
+pub enum CrdtMsg {
+    /// Gateway → replica: accept `op` as a new update.
+    Submit {
+        /// Client operation id (scoped to the gateway).
+        op: OpId,
+        /// The operation.
+        client_op: CrdtOp,
+        /// Levels to serve.
+        wants: Wants,
+    },
+    /// Replica → gateway: the wait-free weak view.
+    Immediate {
+        /// Client operation id.
+        op: OpId,
+        /// `(level, value)` — at most the weak view.
+        views: Vec<(ConsistencyLevel, CrdtVal)>,
+        /// Whether strong was not requested (weak closes).
+        closing: bool,
+    },
+    /// Replica → gateway: the post-quiescence strong view.
+    Later {
+        /// Client operation id.
+        op: OpId,
+        /// The level of this view (strong).
+        level: ConsistencyLevel,
+        /// The re-evaluated value.
+        val: CrdtVal,
+        /// Always true (strong is the strongest served level).
+        closing: bool,
+    },
+    /// Replica → replica (op mode): one effect (also retransmission).
+    Effect {
+        /// The logged entry.
+        entry: SecEntry,
+    },
+    /// Replica → replica (state mode): full state anti-entropy.
+    SyncState {
+        /// Index of the sender.
+        from: usize,
+        /// The sender's full state.
+        state: CrdtState,
+        /// The sender's incorporated-updates vector.
+        seen: VectorClock,
+    },
+    /// Replica → replica: `from` has incorporated updates up to `seen`.
+    Ack {
+        /// Index of the acknowledging replica.
+        from: usize,
+        /// The acker's incorporated-updates vector.
+        seen: VectorClock,
+    },
+}
+
+impl Wire for CrdtMsg {
+    fn wire_size(&self) -> usize {
+        // A coarse model: fixed framing plus causal stamps; state
+        // snapshots are modeled as one word per incorporated update.
+        match self {
+            CrdtMsg::Submit { .. } => 32,
+            CrdtMsg::Immediate { views, .. } => 16 + 16 * views.len(),
+            CrdtMsg::Later { .. } => 32,
+            CrdtMsg::Effect { entry } => 48 + 8 * entry.vc.len(),
+            CrdtMsg::SyncState { seen, .. } => {
+                16 + 8 * seen.len() + 8 * seen.0.iter().sum::<u64>() as usize
+            }
+            CrdtMsg::Ack { seen, .. } => 16 + 8 * seen.len(),
+        }
+    }
+
+    fn category(&self) -> &'static str {
+        match self {
+            CrdtMsg::Submit { .. } => "submit",
+            CrdtMsg::Immediate { .. } | CrdtMsg::Later { .. } => "reply",
+            CrdtMsg::Effect { .. } | CrdtMsg::SyncState { .. } => "gossip",
+            CrdtMsg::Ack { .. } => "ack",
+        }
+    }
+}
+
+/// Strong-close bookkeeping for one locally accepted update.
+struct OwnOp {
+    /// The client to answer once quiescent (`None` after serving).
+    client: Option<(OpId, NodeId, CrdtOp)>,
+}
+
+/// One replica of the CRDT store.
+pub struct CrdtReplica {
+    /// This replica's index.
+    id: usize,
+    /// Replica count.
+    n: usize,
+    /// Node ids of all replicas, index-aligned (set via `set_peers`).
+    peers: Vec<NodeId>,
+    /// Replication mode.
+    mode: Repl,
+    /// The composite CRDT state.
+    state: CrdtState,
+    /// Incorporated-updates vector: `seen.0[i]` = how many of replica
+    /// `i`'s updates are reflected in `state`. In op mode this is the
+    /// CBCAST delivery vector; in state mode it rides the merges.
+    seen: VectorClock,
+    /// Lamport clock.
+    lamport: u64,
+    /// Own submission count.
+    next_seq: u64,
+    /// Op mode: effects received but not yet deliverable.
+    buffer: Vec<SecEntry>,
+    /// Applied updates, in local application order — the SEC log.
+    log: Vec<SecEntry>,
+    /// Strong-close state per own seq.
+    own: BTreeMap<u64, OwnOp>,
+    /// Strong reads parked on the write frontier they observed:
+    /// `(frontier_seq, client op, gateway, op)`.
+    reads: Vec<(u64, OpId, NodeId, CrdtOp)>,
+    /// Last acknowledged `seen` vector of each peer.
+    peer_seen: Vec<VectorClock>,
+    /// Anti-entropy period.
+    retransmit_every: SimDuration,
+    /// Generation token of the live retransmit timer (stale fires are
+    /// ignored; every message receipt arms a fresh generation).
+    timer_gen: u64,
+}
+
+impl CrdtReplica {
+    /// A replica with index `id` out of `n`.
+    pub fn new(id: usize, n: usize, mode: Repl, broken: bool) -> Self {
+        CrdtReplica {
+            id,
+            n,
+            peers: Vec::new(),
+            mode,
+            state: if broken {
+                CrdtState::new_broken()
+            } else {
+                CrdtState::new()
+            },
+            seen: VectorClock::zero(n),
+            lamport: 0,
+            next_seq: 0,
+            buffer: Vec::new(),
+            log: Vec::new(),
+            own: BTreeMap::new(),
+            reads: Vec::new(),
+            peer_seen: vec![VectorClock::zero(n); n],
+            retransmit_every: SimDuration::from_millis(200),
+            timer_gen: 0,
+        }
+    }
+
+    /// Registers the node ids of all replicas (index-aligned).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        assert_eq!(peers.len(), self.n, "peer list must cover all replicas");
+        self.peers = peers;
+    }
+
+    /// The applied-update log in local application order (SEC input).
+    pub fn sec_log(&self) -> Vec<SecEntry> {
+        self.log.clone()
+    }
+
+    /// The current composite state.
+    pub fn state(&self) -> CrdtState {
+        self.state.clone()
+    }
+
+    /// Whether every peer has acknowledged incorporating every update
+    /// accepted here.
+    fn covered(&self, peer: usize, seq: u64) -> bool {
+        self.peer_seen[peer].0[self.id] >= seq
+    }
+
+    fn all_covered(&self) -> bool {
+        (0..self.n).all(|j| j == self.id || self.covered(j, self.next_seq))
+    }
+
+    /// Arms a fresh retransmit-timer generation while some peer lags.
+    /// Safe to call on every message: the newest generation supersedes
+    /// all pending ones.
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_, CrdtMsg>) {
+        if !self.all_covered() && self.n > 1 {
+            self.timer_gen += 1;
+            ctx.set_timer(self.retransmit_every, Timer(self.timer_gen));
+        }
+    }
+
+    fn broadcast_state(&mut self, ctx: &mut Ctx<'_, CrdtMsg>, only: Option<usize>) {
+        for (i, peer) in self.peers.clone().into_iter().enumerate() {
+            if i == self.id || only.is_some_and(|o| o != i) {
+                continue;
+            }
+            ctx.send(
+                peer,
+                CrdtMsg::SyncState {
+                    from: self.id,
+                    state: self.state.clone(),
+                    seen: self.seen.clone(),
+                },
+            );
+        }
+    }
+
+    fn accept(
+        &mut self,
+        ctx: &mut Ctx<'_, CrdtMsg>,
+        from: NodeId,
+        op: OpId,
+        client_op: CrdtOp,
+        wants: Wants,
+    ) {
+        if client_op.is_read() {
+            // Reads replicate nothing: the weak view is the local state,
+            // the strong view re-reads after quiescence of all *writes*
+            // accepted here so far.
+            let mut views = Vec::new();
+            if wants.weak {
+                views.push((ConsistencyLevel::WEAK, self.state.eval(&client_op)));
+            }
+            let closing = !wants.strong;
+            if !views.is_empty() || closing {
+                ctx.send(from, CrdtMsg::Immediate { op, views, closing });
+            }
+            if wants.strong {
+                // Park on the current write frontier: the strong read
+                // fires once every write accepted here so far is
+                // incorporated everywhere.
+                self.reads.push((self.next_seq, op, from, client_op));
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            return;
+        }
+        // Write: stamp, prepare at the pre-apply state, apply locally —
+        // the coordination-free fast path.
+        self.lamport += 1;
+        self.next_seq += 1;
+        let ctx_eff = crate::types::EffectCtx {
+            replica: self.id,
+            seq: self.next_seq,
+            lamport: self.lamport,
+        };
+        let effect = self.state.prepare(&client_op, ctx_eff);
+        self.state.effect(&effect);
+        self.seen.bump(self.id);
+        let entry = SecEntry {
+            origin: self.id,
+            seq: self.next_seq,
+            ts: self.lamport,
+            vc: self.seen.clone(),
+            effect,
+        };
+        self.log.push(entry.clone());
+        match self.mode {
+            Repl::Op => {
+                for (i, peer) in self.peers.clone().into_iter().enumerate() {
+                    if i != self.id {
+                        ctx.send(
+                            peer,
+                            CrdtMsg::Effect {
+                                entry: entry.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            Repl::State => self.broadcast_state(ctx, None),
+        }
+        // Weak view: the post-apply local read — read-your-write, no
+        // peer communication.
+        let mut views = Vec::new();
+        if wants.weak {
+            views.push((ConsistencyLevel::WEAK, self.state.eval(&client_op)));
+        }
+        let closing = !wants.strong;
+        if !views.is_empty() || closing {
+            ctx.send(from, CrdtMsg::Immediate { op, views, closing });
+        }
+        self.own.insert(
+            self.next_seq,
+            OwnOp {
+                client: wants.strong.then_some((op, from, client_op)),
+            },
+        );
+        // Single-replica deployments have no peers to wait for.
+        self.settle_pending(ctx);
+        self.arm_timer(ctx);
+    }
+
+    /// Op mode: drains the buffer, applying every effect whose causal
+    /// dependencies and CRDT precondition are satisfied, then acks the
+    /// new incorporated frontier to all peers.
+    fn deliver_buffered(&mut self, ctx: &mut Ctx<'_, CrdtMsg>) {
+        let before = self.seen.clone();
+        while let Some(pos) = self
+            .buffer
+            .iter()
+            .position(|e| self.seen.deliverable(&e.vc, e.origin) && self.state.ready(&e.effect))
+        {
+            let e = self.buffer.swap_remove(pos);
+            self.seen.bump(e.origin);
+            self.state.effect(&e.effect);
+            self.log.push(e);
+        }
+        if self.seen != before {
+            for (i, peer) in self.peers.clone().into_iter().enumerate() {
+                if i != self.id {
+                    ctx.send(
+                        peer,
+                        CrdtMsg::Ack {
+                            from: self.id,
+                            seen: self.seen.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fires strong replies for own ops whose quiescence now holds, and
+    /// garbage-collects fully covered entries.
+    fn settle_pending(&mut self, ctx: &mut Ctx<'_, CrdtMsg>) {
+        let mut replies: Vec<(NodeId, CrdtMsg)> = Vec::new();
+        let mut done: Vec<u64> = Vec::new();
+        let me = self.id;
+        let seqs: Vec<u64> = self.own.keys().copied().collect();
+        for seq in seqs {
+            // Quiescent for seq: every peer has incorporated all our
+            // updates through seq (and for reads, seq is the write
+            // frontier at submission — all prior writes are stable).
+            let quiescent = self.n == 1 || (0..self.n).all(|j| j == me || self.covered(j, seq));
+            let e = self.own.get_mut(&seq).expect("listed");
+            if let Some((op, gw, client_op)) = e.client {
+                if quiescent {
+                    replies.push((
+                        gw,
+                        CrdtMsg::Later {
+                            op,
+                            level: ConsistencyLevel::STRONG,
+                            val: self.state.eval(&client_op),
+                            closing: true,
+                        },
+                    ));
+                    e.client = None;
+                }
+            }
+            if e.client.is_none() && quiescent {
+                done.push(seq);
+            }
+        }
+        for seq in done {
+            self.own.remove(&seq);
+        }
+        let mut still_parked = Vec::new();
+        for (frontier, op, gw, client_op) in std::mem::take(&mut self.reads) {
+            let quiescent =
+                self.n == 1 || (0..self.n).all(|j| j == me || self.covered(j, frontier));
+            if quiescent {
+                replies.push((
+                    gw,
+                    CrdtMsg::Later {
+                        op,
+                        level: ConsistencyLevel::STRONG,
+                        val: self.state.eval(&client_op),
+                        closing: true,
+                    },
+                ));
+            } else {
+                still_parked.push((frontier, op, gw, client_op));
+            }
+        }
+        self.reads = still_parked;
+        for (to, msg) in replies {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl Node<CrdtMsg> for CrdtReplica {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CrdtMsg>, from: NodeId, msg: CrdtMsg) {
+        match msg {
+            CrdtMsg::Submit {
+                op,
+                client_op,
+                wants,
+            } => self.accept(ctx, from, op, client_op, wants),
+            CrdtMsg::Effect { entry } => {
+                debug_assert_eq!(self.mode, Repl::Op, "effects only ship in op mode");
+                if entry.seq <= self.seen.0[entry.origin] {
+                    // Retransmission of something already incorporated:
+                    // the origin must have lost our ack — re-ack.
+                    ctx.send(
+                        self.peers[entry.origin],
+                        CrdtMsg::Ack {
+                            from: self.id,
+                            seen: self.seen.clone(),
+                        },
+                    );
+                    return;
+                }
+                if self.buffer.iter().any(|e| e.id() == entry.id()) {
+                    return; // buffered duplicate
+                }
+                self.lamport = self.lamport.max(entry.ts) + 1;
+                self.buffer.push(entry);
+                self.deliver_buffered(ctx);
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            CrdtMsg::SyncState {
+                from: i,
+                state,
+                seen,
+            } => {
+                debug_assert_eq!(self.mode, Repl::State, "states only ship in state mode");
+                self.state.merge(&state);
+                self.seen.merge(&seen);
+                // The sender has what it sent; what we just merged is
+                // also a lower bound on what an ack from us will report.
+                self.peer_seen[i].merge(&seen);
+                ctx.send(
+                    self.peers[i],
+                    CrdtMsg::Ack {
+                        from: self.id,
+                        seen: self.seen.clone(),
+                    },
+                );
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            CrdtMsg::Ack { from: i, seen } => {
+                self.peer_seen[i].merge(&seen);
+                self.settle_pending(ctx);
+                self.arm_timer(ctx);
+            }
+            CrdtMsg::Immediate { .. } | CrdtMsg::Later { .. } => {
+                debug_assert!(false, "replies are addressed to the gateway");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CrdtMsg>, timer: Timer) {
+        if timer.0 != self.timer_gen {
+            return; // superseded generation
+        }
+        match self.mode {
+            Repl::Op => {
+                // Anti-entropy: re-send own effects any peer has not
+                // acknowledged (covers lost effects and lost acks alike).
+                for j in 0..self.n {
+                    if j == self.id || self.covered(j, self.next_seq) {
+                        continue;
+                    }
+                    let floor = self.peer_seen[j].0[self.id];
+                    for e in &self.log {
+                        if e.origin == self.id && e.seq > floor {
+                            ctx.send(self.peers[j], CrdtMsg::Effect { entry: e.clone() });
+                        }
+                    }
+                }
+            }
+            Repl::State => {
+                for j in 0..self.n {
+                    if j != self.id && !self.covered(j, self.next_seq) {
+                        self.broadcast_state(ctx, Some(j));
+                    }
+                }
+            }
+        }
+        self.arm_timer(ctx);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gateway + deployment
+// ---------------------------------------------------------------------
+
+struct Queued {
+    op: CrdtOp,
+    wants: Wants,
+    upcall: Upcall<CrdtVal>,
+}
+
+type OpQueue = Arc<Mutex<VecDeque<Queued>>>;
+
+const KICK: u64 = u64::MAX - 1;
+
+struct Gateway {
+    replicas: Vec<NodeId>,
+    /// Round-robin cursor — each submission originates at the next
+    /// replica, modeling independent client processes.
+    rr: usize,
+    queue: OpQueue,
+    next_seq: u64,
+    pending: BTreeMap<OpId, Upcall<CrdtVal>>,
+    client_timeout: Option<SimDuration>,
+    timer_ops: BTreeMap<u64, OpId>,
+    next_timer: u64,
+}
+
+impl Gateway {
+    fn drain(&mut self, ctx: &mut Ctx<'_, CrdtMsg>) {
+        loop {
+            let Some(q) = self.queue.lock().pop_front() else {
+                return;
+            };
+            let op = OpId(self.next_seq);
+            self.next_seq += 1;
+            let target = self.replicas[self.rr % self.replicas.len()];
+            self.rr += 1;
+            ctx.send(
+                target,
+                CrdtMsg::Submit {
+                    op,
+                    client_op: q.op,
+                    wants: q.wants,
+                },
+            );
+            self.pending.insert(op, q.upcall);
+            if let Some(d) = self.client_timeout {
+                let token = self.next_timer;
+                self.next_timer += 1;
+                self.timer_ops.insert(token, op);
+                ctx.set_timer(d, Timer(token));
+            }
+        }
+    }
+}
+
+impl Node<CrdtMsg> for Gateway {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CrdtMsg>, _from: NodeId, msg: CrdtMsg) {
+        match msg {
+            CrdtMsg::Immediate { op, views, closing } => {
+                if let Some(u) = self.pending.get(&op) {
+                    for (level, val) in views {
+                        u.deliver(val, level);
+                    }
+                    if closing {
+                        self.pending.remove(&op);
+                    }
+                }
+            }
+            CrdtMsg::Later {
+                op,
+                level,
+                val,
+                closing,
+            } => {
+                if let Some(u) = self.pending.get(&op) {
+                    u.deliver(val, level);
+                    if closing {
+                        self.pending.remove(&op);
+                    }
+                }
+            }
+            _ => debug_assert!(false, "protocol messages are addressed to replicas"),
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CrdtMsg>, timer: Timer) {
+        if timer.0 == KICK {
+            self.drain(ctx);
+        } else if let Some(op) = self.timer_ops.remove(&timer.0) {
+            // A reply was lost to faults: fail the close. Views already
+            // delivered stand (the paper's exceptional close).
+            if let Some(u) = self.pending.remove(&op) {
+                u.fail(Error::Timeout);
+            }
+            self.drain(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct NState {
+    engine: Engine<CrdtMsg>,
+    gateway: NodeId,
+    replicas: Vec<NodeId>,
+}
+
+/// A simulated CRDT store: three replicas plus a client gateway.
+#[derive(Clone)]
+pub struct SimCrdtStore {
+    state: Arc<Mutex<NState>>,
+    queue: OpQueue,
+    broken: bool,
+}
+
+impl SimCrdtStore {
+    /// Builds the op-shipping (CmRDT) deployment: one replica per paper
+    /// site, gateway at `client_site`, all driven by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_site` is unknown.
+    pub fn ec2(client_site: &str, seed: u64) -> Self {
+        Self::build(client_site, seed, Repl::Op, false)
+    }
+
+    /// The state-shipping (CvRDT) deployment: full-state anti-entropy
+    /// with [`Crdt::merge`] instead of effect delivery.
+    pub fn ec2_state(client_site: &str, seed: u64) -> Self {
+        Self::build(client_site, seed, Repl::State, false)
+    }
+
+    /// The deliberately broken deployment: counters replicated by
+    /// shipping their new totals ([`crate::types::BrokenCrdt`]), whose
+    /// effects do not commute — the fixture the oracle's SEC checker
+    /// must reject.
+    pub fn ec2_broken(client_site: &str, seed: u64) -> Self {
+        Self::build(client_site, seed, Repl::Op, true)
+    }
+
+    fn build(client_site: &str, seed: u64, mode: Repl, broken: bool) -> Self {
+        let topo = Topology::ec2_frk_irl_vrg();
+        let sites = ["FRK", "IRL", "VRG"];
+        let client_site_id = topo.site_named(client_site).expect("known client site");
+        let mut engine = Engine::new(topo, seed);
+        let n = sites.len();
+        let replicas: Vec<NodeId> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let site = engine.topology().site_named(s).expect("site");
+                engine.add_node(site, Box::new(CrdtReplica::new(i, n, mode, broken)))
+            })
+            .collect();
+        for id in &replicas {
+            engine
+                .node_as::<CrdtReplica>(*id)
+                .set_peers(replicas.clone());
+        }
+        let queue: OpQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let gateway = engine.add_node(
+            client_site_id,
+            Box::new(Gateway {
+                replicas: replicas.clone(),
+                rr: 0,
+                queue: Arc::clone(&queue),
+                next_seq: 0,
+                pending: BTreeMap::new(),
+                client_timeout: None,
+                timer_ops: BTreeMap::new(),
+                next_timer: 0,
+            }),
+        );
+        SimCrdtStore {
+            state: Arc::new(Mutex::new(NState {
+                engine,
+                gateway,
+                replicas,
+            })),
+            queue,
+            broken,
+        }
+    }
+
+    /// The two-level (weak/strong) binding.
+    pub fn binding(&self) -> CrdtBinding {
+        CrdtBinding {
+            store: self.clone(),
+        }
+    }
+
+    /// The state every replica starts from (SEC replay origin).
+    pub fn initial_state(&self) -> CrdtState {
+        if self.broken {
+            CrdtState::new_broken()
+        } else {
+            CrdtState::new()
+        }
+    }
+
+    /// Installs a fault plan.
+    pub fn set_faults(&self, faults: Faults) {
+        self.state.lock().engine.set_faults(faults);
+    }
+
+    /// Sets a client-side deadline per operation (fails the close with
+    /// `Error::Timeout`; already delivered views stand).
+    pub fn set_client_timeout(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let gw = st.gateway;
+        st.engine.node_as::<Gateway>(gw).client_timeout = Some(d);
+    }
+
+    /// The replica node ids (FRK/IRL/VRG order).
+    pub fn replica_ids(&self) -> Vec<NodeId> {
+        self.state.lock().replicas.clone()
+    }
+
+    /// All site ids of the deployment's topology.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let st = self.state.lock();
+        (0..st.engine.topology().len()).map(SiteId).collect()
+    }
+
+    /// Every replica's SEC log, in its local application order — the
+    /// input to the oracle's SEC checker (op mode; state mode logs only
+    /// contain each replica's own updates).
+    pub fn sec_logs(&self) -> Vec<Vec<SecEntry>> {
+        let mut st = self.state.lock();
+        let ids = st.replicas.clone();
+        ids.into_iter()
+            .map(|id| st.engine.node_as::<CrdtReplica>(id).sec_log())
+            .collect()
+    }
+
+    /// Every replica's current composite state.
+    pub fn states(&self) -> Vec<CrdtState> {
+        let mut st = self.state.lock();
+        let ids = st.replicas.clone();
+        ids.into_iter()
+            .map(|id| st.engine.node_as::<CrdtReplica>(id).state())
+            .collect()
+    }
+
+    /// Drives the simulation until every submitted operation resolves.
+    ///
+    /// Runs in bounded virtual-time slices: the replicas' anti-entropy
+    /// timers keep the event queue busy while gossip is lost, so "no
+    /// events left" is not a usable stop condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations cannot resolve within a very large horizon
+    /// (faults active without a client timeout, or a protocol bug).
+    pub fn settle(&self) {
+        let slice = SimDuration::from_millis(5);
+        for _ in 0..2_000_000 {
+            let mut st = self.state.lock();
+            let gw = st.gateway;
+            st.engine.schedule_timer(gw, SimDuration::ZERO, Timer(KICK));
+            let limit = st.engine.now() + slice;
+            st.engine.run_until(limit);
+            let pending_empty = st.engine.node_as::<Gateway>(gw).pending.is_empty();
+            if pending_empty && self.queue.lock().is_empty() {
+                return;
+            }
+        }
+        panic!(
+            "crdt-store operations cannot settle (lost replies without a \
+             client timeout? see SimCrdtStore::set_client_timeout)"
+        );
+    }
+
+    /// Runs the simulation for `d` without submitting anything (lets
+    /// anti-entropy progress).
+    pub fn advance(&self, d: SimDuration) {
+        let mut st = self.state.lock();
+        let until = st.engine.now() + d;
+        st.engine.run_until(until);
+    }
+}
+
+/// The two-level (weak/strong) `Binding` over a [`SimCrdtStore`]:
+/// weak views are coordination-free local reads, strong views close at
+/// anti-entropy quiescence.
+#[derive(Clone)]
+pub struct CrdtBinding {
+    store: SimCrdtStore,
+}
+
+impl Binding for CrdtBinding {
+    type Op = CrdtOp;
+    type Val = CrdtVal;
+
+    fn consistency_levels(&self) -> LevelSet {
+        LevelSet::of(&[ConsistencyLevel::WEAK, ConsistencyLevel::STRONG])
+    }
+
+    fn submit(&self, op: CrdtOp, levels: &[ConsistencyLevel], upcall: Upcall<CrdtVal>) {
+        let wants = Wants {
+            weak: levels.contains(&ConsistencyLevel::WEAK),
+            strong: levels.contains(&ConsistencyLevel::STRONG),
+        };
+        self.store
+            .queue
+            .lock()
+            .push_back(Queued { op, wants, upcall });
+    }
+}

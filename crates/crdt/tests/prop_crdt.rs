@@ -1,0 +1,264 @@
+//! Property tests: the SEC obligations of every shipped CRDT.
+//!
+//! - join-semilattice laws for state-based merge: commutative,
+//!   associative, idempotent — for GCounter, PnCounter, OrSet, LwwMap,
+//!   and the composite `CrdtState`;
+//! - op-commutativity: effects prepared concurrently at independent
+//!   replicas reach the same state under any delivery interleaving that
+//!   respects per-origin order;
+//! - OR-Set add-wins under arbitrary interleavings;
+//! - the `BrokenCrdt` fixture really does violate both obligations
+//!   (the sanity check that these properties have teeth).
+//!
+//! Test cases are decoded from raw `Vec<u64>` words: each word drives
+//! one operation (which replica, which op, which key/value), so the
+//! vendored proptest shim needs nothing beyond integer vectors.
+
+use proptest::prelude::*;
+
+use icg_crdt::types::{
+    BrokenCrdt, Crdt, EffectCtx, GCounter, LwwMap, MapOp, OrSet, PnCounter, SetOp,
+};
+use icg_crdt::{CrdtOp, CrdtState};
+
+const REPLICAS: usize = 3;
+
+/// Deterministic word mixer for interleaving choices (splitmix64).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `words` as ops at round-robin replicas, each replica applying
+/// only its own effects on top of `base` — so all cross-replica effects
+/// are pairwise concurrent. Returns the per-replica effect sequences.
+fn concurrent_effects<C: Crdt, F: Fn(u64) -> C::Op>(
+    base: &C,
+    words: &[u64],
+    decode: F,
+) -> Vec<Vec<C::Effect>> {
+    let mut locals: Vec<C> = (0..REPLICAS).map(|_| base.clone()).collect();
+    let mut seqs = [0u64; REPLICAS];
+    let mut out: Vec<Vec<C::Effect>> = vec![Vec::new(); REPLICAS];
+    for (i, w) in words.iter().enumerate() {
+        let r = i % REPLICAS;
+        seqs[r] += 1;
+        let op = decode(*w);
+        let ctx = EffectCtx {
+            replica: r,
+            seq: seqs[r],
+            lamport: 1 + i as u64,
+        };
+        let e = locals[r].prepare(&op, ctx);
+        locals[r].effect(&e);
+        out[r].push(e);
+    }
+    out
+}
+
+/// Applies the per-replica effect streams to `base` in a seeded riffle
+/// that preserves per-origin order (= one causal delivery order).
+fn riffle_apply<C: Crdt>(base: &C, streams: &[Vec<C::Effect>], seed: u64) -> C {
+    let mut state = base.clone();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut s = seed;
+    loop {
+        let live: Vec<usize> = (0..streams.len())
+            .filter(|&i| cursors[i] < streams[i].len())
+            .collect();
+        if live.is_empty() {
+            return state;
+        }
+        s = mix(s);
+        let pick = live[(s % live.len() as u64) as usize];
+        state.effect(&streams[pick][cursors[pick]]);
+        cursors[pick] += 1;
+    }
+}
+
+/// Builds a state by applying `words` as ops at round-robin replicas,
+/// all effects applied to one shared state (a sequential history).
+fn build<C: Crdt, F: Fn(u64) -> C::Op>(base: &C, words: &[u64], decode: F) -> C {
+    let mut state = base.clone();
+    let mut seqs = [0u64; REPLICAS];
+    for (i, w) in words.iter().enumerate() {
+        let r = i % REPLICAS;
+        seqs[r] += 1;
+        let ctx = EffectCtx {
+            replica: r,
+            seq: seqs[r],
+            lamport: 1 + i as u64,
+        };
+        let e = state.prepare(&decode(*w), ctx);
+        state.effect(&e);
+    }
+    state
+}
+
+fn lattice_laws<C: Crdt>(a: &C, b: &C, c: &C) -> Result<(), TestCaseError> {
+    // Commutative: a ⊔ b == b ⊔ a.
+    let mut ab = a.clone();
+    ab.merge(b);
+    let mut ba = b.clone();
+    ba.merge(a);
+    prop_assert_eq!(&ab, &ba, "merge not commutative");
+    // Associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    let mut ab_c = ab.clone();
+    ab_c.merge(c);
+    let mut bc = b.clone();
+    bc.merge(c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    prop_assert_eq!(&ab_c, &a_bc, "merge not associative");
+    // Idempotent: a ⊔ a == a.
+    let mut aa = a.clone();
+    aa.merge(a);
+    prop_assert_eq!(&aa, a, "merge not idempotent");
+    Ok(())
+}
+
+fn decode_gctr(w: u64) -> u64 {
+    w % 100
+}
+
+fn decode_pnctr(w: u64) -> i64 {
+    (w % 200) as i64 - 100
+}
+
+fn decode_set(w: u64) -> SetOp<u64> {
+    let elem = (w >> 1) % 8;
+    if w & 1 == 0 {
+        SetOp::Add(elem)
+    } else {
+        SetOp::Remove(elem)
+    }
+}
+
+fn decode_map(w: u64) -> MapOp {
+    MapOp::Put((w >> 8) % 4, w % 256)
+}
+
+fn decode_composite(w: u64) -> CrdtOp {
+    let key = (w >> 3) % 4;
+    match w % 5 {
+        0 => CrdtOp::CtrAdd(key, ((w >> 5) % 40) as i64 - 20),
+        1 => CrdtOp::SetAdd(key, (w >> 5) % 8),
+        2 => CrdtOp::SetRemove(key, (w >> 5) % 8),
+        3 => CrdtOp::MapPut(key, (w >> 5) % 4, (w >> 7) % 64),
+        _ => CrdtOp::CtrAdd(key, ((w >> 5) % 7) as i64),
+    }
+}
+
+proptest! {
+    /// Join-semilattice laws for every state-based type, over states
+    /// grown from arbitrary op histories.
+    #[test]
+    fn merge_laws_hold_for_all_types(
+        wa in collection::vec(any::<u64>(), 0..24),
+        wb in collection::vec(any::<u64>(), 0..24),
+        wc in collection::vec(any::<u64>(), 0..24),
+    ) {
+        let g = GCounter::default();
+        lattice_laws(
+            &build(&g, &wa, decode_gctr),
+            &build(&g, &wb, decode_gctr),
+            &build(&g, &wc, decode_gctr),
+        )?;
+        let p = PnCounter::default();
+        lattice_laws(
+            &build(&p, &wa, decode_pnctr),
+            &build(&p, &wb, decode_pnctr),
+            &build(&p, &wc, decode_pnctr),
+        )?;
+        let s = OrSet::<u64>::default();
+        lattice_laws(
+            &build(&s, &wa, decode_set),
+            &build(&s, &wb, decode_set),
+            &build(&s, &wc, decode_set),
+        )?;
+        let m = LwwMap::default();
+        lattice_laws(
+            &build(&m, &wa, decode_map),
+            &build(&m, &wb, decode_map),
+            &build(&m, &wc, decode_map),
+        )?;
+        let k = CrdtState::new();
+        lattice_laws(
+            &build(&k, &wa, decode_composite),
+            &build(&k, &wb, decode_composite),
+            &build(&k, &wc, decode_composite),
+        )?;
+    }
+
+    /// Op-commutativity: concurrent effect streams reach the same state
+    /// under any two per-origin-order-preserving interleavings — for the
+    /// composite store (which exercises every inner type at once).
+    #[test]
+    fn concurrent_effects_commute(
+        words in collection::vec(any::<u64>(), 1..36),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        // A shared causal past everybody has delivered.
+        let base = build(&CrdtState::new(), &words[..words.len() / 2], decode_composite);
+        let streams = concurrent_effects(&base, &words[words.len() / 2..], decode_composite);
+        let one = riffle_apply(&base, &streams, s1);
+        let two = riffle_apply(&base, &streams, s2);
+        prop_assert_eq!(one, two, "concurrent composite effects did not commute");
+    }
+
+    /// OR-Set add-wins: a remove and a concurrent (unobserved) re-add
+    /// leave the element present, in either application order.
+    #[test]
+    fn or_set_add_wins(
+        seed_words in collection::vec(any::<u64>(), 0..12),
+        elem in 0u64..8,
+        s1 in any::<u64>(),
+    ) {
+        let mut base = build(&OrSet::<u64>::default(), &seed_words, decode_set);
+        // Make sure the element is observable, so the remove sees tags.
+        let seed_add = base.prepare(&SetOp::Add(elem), EffectCtx { replica: 0, seq: 1_000, lamport: 1_000 });
+        base.effect(&seed_add);
+        // Concurrent: replica 1 removes what it observed, replica 2
+        // re-adds with a tag the remove never saw.
+        let rm = base.prepare(&SetOp::Remove(elem), EffectCtx { replica: 1, seq: 1_001, lamport: 1_001 });
+        let re = base.prepare(&SetOp::Add(elem), EffectCtx { replica: 2, seq: 1_002, lamport: 1_002 });
+        let streams = vec![vec![rm], vec![re]];
+        let merged = riffle_apply(&base, &streams, s1);
+        prop_assert!(merged.contains(&elem), "concurrent re-add lost to observed-remove");
+        // And both orders agree exactly.
+        let fwd = riffle_apply(&base, &streams, 0);
+        let rev = riffle_apply(&base, &streams, 1);
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// The negative fixture violates both obligations: shipped-total
+    /// effects do not commute, and overwrite-merge is not commutative.
+    /// This is the sanity check that the laws above can fail at all.
+    #[test]
+    fn broken_crdt_fails_the_laws(
+        d1 in 1i64..100,
+        d2 in 1i64..100,
+    ) {
+        // Distinct deltas at two replicas over the same base.
+        let base = BrokenCrdt::default();
+        let e1 = base.prepare(&d1, EffectCtx { replica: 0, seq: 1, lamport: 1 });
+        let e2 = base.prepare(&(d1 + d2), EffectCtx { replica: 1, seq: 1, lamport: 2 });
+        let mut one = base;
+        one.effect(&e1);
+        one.effect(&e2);
+        let mut two = base;
+        two.effect(&e2);
+        two.effect(&e1);
+        prop_assert_ne!(one.value(), two.value(), "shipped-total effects commuted");
+        // Merge is order-dependent too.
+        let mut m1 = one;
+        m1.merge(&two);
+        let mut m2 = two;
+        m2.merge(&one);
+        prop_assert_ne!(m1.value(), m2.value(), "overwrite merge commuted");
+    }
+}

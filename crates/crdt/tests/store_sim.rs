@@ -1,0 +1,246 @@
+//! Simulated-deployment tests: refinement weak → strong, convergence in
+//! both replication modes, the broken fixture's divergence, and the
+//! escrow store's fast path / exhaustion / no-oversell behavior.
+
+use correctables::{Client, ConsistencyLevel, State};
+use icg_crdt::{CrdtOp, CrdtVal, EscrowOp, Sale, SimCrdtStore, SimEscrow};
+use simnet::SimDuration;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn counter_refines_weak_then_strong() {
+    let store = SimCrdtStore::ec2("IRL", 7);
+    let client = Client::new(store.binding());
+    for _ in 0..3 {
+        client.invoke(CrdtOp::CtrAdd(5, 10));
+        store.settle();
+    }
+    let c = client.invoke(CrdtOp::CtrGet(5));
+    store.settle();
+    assert_eq!(c.state(), State::Final);
+    let fin = c.final_view().expect("closed");
+    assert_eq!(fin.level, ConsistencyLevel::STRONG);
+    assert_eq!(fin.value, CrdtVal::Int(30));
+    // The weak prelim arrived first and was served locally.
+    assert_eq!(c.preliminary_views().len(), 1);
+    assert_eq!(c.preliminary_views()[0].level, ConsistencyLevel::WEAK);
+}
+
+#[test]
+fn op_mode_replicas_converge() {
+    let store = SimCrdtStore::ec2("FRK", 21);
+    let client = Client::new(store.binding());
+    // A racing burst across all three origins (round-robin), no settling
+    // in between: genuinely concurrent effects.
+    for i in 0..9u64 {
+        client.invoke_weak(CrdtOp::CtrAdd(1, 1));
+        client.invoke_weak(CrdtOp::SetAdd(2, i % 4));
+        if i % 3 == 0 {
+            client.invoke_weak(CrdtOp::SetRemove(2, i % 4));
+        }
+        client.invoke_weak(CrdtOp::MapPut(3, 0, i));
+    }
+    store.settle();
+    store.advance(secs(10));
+    let states = store.states();
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "op-mode replicas diverged: {states:?}"
+    );
+    assert_eq!(states[0].eval(&CrdtOp::CtrGet(1)), CrdtVal::Int(9));
+    // All logs carry all 9 + adds/removes + puts entries.
+    let logs = store.sec_logs();
+    assert!(logs.windows(2).all(|w| w[0].len() == w[1].len()));
+}
+
+#[test]
+fn state_mode_replicas_converge() {
+    let store = SimCrdtStore::ec2_state("VRG", 3);
+    let client = Client::new(store.binding());
+    for i in 0..6u64 {
+        client.invoke_weak(CrdtOp::CtrAdd(1, 2));
+        client.invoke_weak(CrdtOp::MapPut(9, i % 2, 100 + i));
+    }
+    store.settle();
+    store.advance(secs(10));
+    let states = store.states();
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "state-mode replicas diverged: {states:?}"
+    );
+    assert_eq!(states[0].eval(&CrdtOp::CtrGet(1)), CrdtVal::Int(12));
+}
+
+#[test]
+fn or_set_add_wins_across_origins() {
+    let store = SimCrdtStore::ec2("IRL", 11);
+    let client = Client::new(store.binding());
+    // Seed the element and let it propagate everywhere.
+    client.invoke_weak(CrdtOp::SetAdd(7, 42));
+    store.settle();
+    store.advance(secs(5));
+    // Concurrent: one origin removes (observing the seeded tag), another
+    // re-adds with a fresh tag the remove never saw. Round-robin places
+    // these on different origins.
+    client.invoke_weak(CrdtOp::SetRemove(7, 42));
+    client.invoke_weak(CrdtOp::SetAdd(7, 42));
+    store.settle();
+    store.advance(secs(10));
+    let states = store.states();
+    assert!(states.windows(2).all(|w| w[0] == w[1]));
+    // Add wins: the fresh tag survives the concurrent observed-remove.
+    assert_eq!(
+        states[0].eval(&CrdtOp::SetContains(7, 42)),
+        CrdtVal::Bool(true)
+    );
+}
+
+#[test]
+fn broken_fixture_diverges_under_concurrency() {
+    let store = SimCrdtStore::ec2_broken("IRL", 21);
+    let client = Client::new(store.binding());
+    // Concurrent adds at different origins: the shipped-total "effects"
+    // overwrite each other in arrival order, which differs per replica.
+    // Distinct deltas keep the shipped totals distinct, so divergence
+    // is visible in the value, not just the lost updates.
+    for i in 0..9i64 {
+        client.invoke_weak(CrdtOp::CtrAdd(1, 1 + i));
+    }
+    store.settle();
+    store.advance(secs(10));
+    let states = store.states();
+    assert!(
+        states.windows(2).any(|w| w[0] != w[1]),
+        "broken fixture unexpectedly converged: {states:?}"
+    );
+}
+
+#[test]
+fn escrow_fast_path_sells_coordination_free() {
+    let store = SimEscrow::ec2(vec![4, 4, 4], "FRK", 5, false);
+    let client = Client::new(store.binding());
+    // 12 tickets, 12 buys round-robined: every segment covers its own
+    // sales — all fast.
+    let mut sales = Vec::new();
+    for _ in 0..12 {
+        sales.push(client.invoke(EscrowOp::Buy));
+        store.settle();
+    }
+    for c in &sales {
+        assert_eq!(
+            c.final_view().expect("closed").value,
+            Sale::Confirmed { fast: true }
+        );
+    }
+    // Sold out everywhere: the 13th buy pays a transfer round and fails.
+    let c = client.invoke(EscrowOp::Buy);
+    store.settle();
+    assert_eq!(c.final_view().expect("closed").value, Sale::SoldOut);
+}
+
+#[test]
+fn escrow_transfer_refills_an_exhausted_segment() {
+    // All stock at the far segments; the client's buys round-robin, so
+    // one origin runs dry quickly and must pull a grant.
+    let store = SimEscrow::ec2(vec![0, 6, 6], "FRK", 9, false);
+    store.set_local_origin(true); // all buys at FRK, which owns nothing
+    let client = Client::new(store.binding());
+    let mut confirmed = 0;
+    let mut slow = 0;
+    for _ in 0..12 {
+        let c = client.invoke(EscrowOp::Buy);
+        store.settle();
+        match c.final_view().expect("closed").value {
+            Sale::Confirmed { fast } => {
+                confirmed += 1;
+                if !fast {
+                    slow += 1;
+                }
+            }
+            Sale::SoldOut => {}
+            Sale::Stock(_) => panic!("Buy answered with Stock"),
+        }
+    }
+    // Every ticket is sellable via transfers, and at least the first
+    // buy had to pay a transfer round.
+    assert_eq!(confirmed, 12);
+    assert!(slow >= 1, "no buy used the transfer path");
+    let c = client.invoke(EscrowOp::Buy);
+    store.settle();
+    assert_eq!(c.final_view().expect("closed").value, Sale::SoldOut);
+}
+
+#[test]
+fn escrow_never_oversells() {
+    for seed in [1u64, 7, 23, 99] {
+        let store = SimEscrow::ec2(vec![3, 3, 3], "IRL", seed, false);
+        let client = Client::new(store.binding());
+        let mut confirmed = 0;
+        for _ in 0..15 {
+            let c = client.invoke(EscrowOp::Buy);
+            store.settle();
+            if matches!(
+                c.final_view().expect("closed").value,
+                Sale::Confirmed { .. }
+            ) {
+                confirmed += 1;
+            }
+        }
+        store.advance(secs(10));
+        assert_eq!(confirmed, 9, "seed {seed}: wrong sale count");
+        // Merged ledgers agree and respect the invariant.
+        let states = store.states();
+        assert!(states.windows(2).all(|w| w[0] == w[1]));
+        assert!(states[0].total_sold() <= states[0].total_initial());
+    }
+}
+
+#[test]
+fn escrow_strong_close_confirms_fast_sales() {
+    let store = SimEscrow::ec2(vec![2, 2, 2], "VRG", 13, false);
+    let client = Client::new(store.binding());
+    let c = client.invoke(EscrowOp::Buy);
+    store.settle();
+    let prelims: Vec<_> = c.preliminary_views().iter().map(|v| v.level).collect();
+    assert_eq!(prelims, vec![ConsistencyLevel::WEAK]);
+    let fin = c.final_view().expect("closed");
+    assert_eq!(fin.level, ConsistencyLevel::STRONG);
+    // The strong view confirms the same outcome the weak path promised.
+    assert_eq!(fin.value, Sale::Confirmed { fast: true });
+}
+
+#[test]
+fn escrow_strong_avail_reports_global_stock() {
+    let store = SimEscrow::ec2(vec![5, 0, 0], "IRL", 3, false);
+    let client = Client::new(store.binding());
+    for _ in 0..2 {
+        client.invoke(EscrowOp::Buy);
+        store.settle();
+    }
+    let c = client.invoke_strong(EscrowOp::Avail);
+    store.settle();
+    assert_eq!(c.final_view().expect("closed").value, Sale::Stock(3));
+}
+
+#[test]
+fn escrow_strong_only_pays_coordination_every_buy() {
+    let store = SimEscrow::ec2(vec![3, 3, 3], "FRK", 17, true);
+    let client = Client::new(store.binding());
+    for _ in 0..9 {
+        let c = client.invoke(EscrowOp::Buy);
+        store.settle();
+        // Every sale goes through a transfer round: no fast confirms,
+        // and no weak prelim ever fires.
+        assert_eq!(
+            c.final_view().expect("closed").value,
+            Sale::Confirmed { fast: false }
+        );
+        assert!(c.preliminary_views().is_empty());
+    }
+    let c = client.invoke(EscrowOp::Buy);
+    store.settle();
+    assert_eq!(c.final_view().expect("closed").value, Sale::SoldOut);
+}

@@ -13,10 +13,18 @@
 //! operations themselves, so they apply to every binding uniformly.
 //! (Linearizability — the *value* guarantee of strong views — lives in
 //! [`crate::lin`], which does need a sequential specification.)
+//!
+//! Two further checkers inspect replica state rather than client
+//! histories: [`check_update_consistency`] (a single converged total
+//! order) and [`check_sec`] / [`check_escrow`] (strong eventual
+//! consistency of the CRDT stacks and the escrow no-oversell
+//! invariant).
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use correctables::record::{HistoryEvent, Invocation};
+use icg_crdt::{Crdt, CrdtState, EscrowState, SecEntry};
 
 /// What a structural checker found wrong with one invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +50,19 @@ pub enum ViolationKind {
     /// A replica's applied-update log violates some origin's local
     /// submission order (update-consistency check).
     LocalOrderViolated,
+    /// An accepted update is missing from some replica's delivered log
+    /// at quiescence (SEC eventual-visibility check).
+    NotEventuallyVisible,
+    /// Two replicas delivered the same update set but replaying their
+    /// delivery orders yields different states — the downstream effects
+    /// do not commute (SEC check).
+    EffectNotCommutative,
+    /// Two replicas' quiescent states differ (SEC convergence check, or
+    /// escrow ledger convergence).
+    StateDiverged,
+    /// The merged escrow ledgers sold more than the initial allocation —
+    /// the invariant that segmentation was supposed to preserve.
+    EscrowOversold,
 }
 
 /// One checker finding, tied to an invocation of the history.
@@ -259,6 +280,136 @@ pub fn check_update_consistency(logs: &[Vec<specstore::UpdateId>]) -> Vec<Violat
     out
 }
 
+/// Checks *strong eventual consistency* (Shapiro et al.) over the CRDT
+/// replicas' delivered-effect logs and quiescent states:
+///
+/// 1. **Eventual visibility** — every update accepted anywhere appears
+///    in every replica's delivered log at quiescence;
+/// 2. **Commutativity** — replaying each replica's log (its own
+///    delivery order) from `initial` yields the same state on every
+///    replica that delivered the same update set. Unlike update
+///    consistency, the *orders* may differ — SEC demands the effects
+///    absorb the difference;
+/// 3. **Convergence** — the replicas' live states are pairwise equal
+///    (this also catches in-place divergence the replay can't see).
+///
+/// State-based deployments gossip full states rather than effects, so
+/// their logs carry only locally-originated entries: pass `logs = &[]`
+/// there and the checker reduces to the convergence clause.
+///
+/// `Violation::invocation` carries the offending replica's index, as in
+/// [`check_update_consistency`].
+pub fn check_sec(
+    initial: &CrdtState,
+    logs: &[Vec<SecEntry>],
+    states: &[CrdtState],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !logs.is_empty() {
+        let all_ids: BTreeSet<(usize, u64)> = logs.iter().flatten().map(SecEntry::id).collect();
+        let mut visible_everywhere = true;
+        for (i, log) in logs.iter().enumerate() {
+            let ids: BTreeSet<(usize, u64)> = log.iter().map(SecEntry::id).collect();
+            let missing: Vec<(usize, u64)> = all_ids.difference(&ids).copied().collect();
+            if !missing.is_empty() {
+                visible_everywhere = false;
+                out.push(Violation {
+                    invocation: i,
+                    kind: ViolationKind::NotEventuallyVisible,
+                    detail: format!(
+                        "replica {i} delivered {} of {} updates; missing e.g. \
+                         (origin, seq) = {:?}",
+                        ids.len(),
+                        all_ids.len(),
+                        missing.first(),
+                    ),
+                });
+            }
+        }
+        // Replay only when every replica saw the full set: with gaps the
+        // replays differ trivially and visibility is the real finding.
+        if visible_everywhere {
+            let replayed: Vec<CrdtState> = logs
+                .iter()
+                .map(|log| {
+                    let mut s = initial.clone();
+                    for e in log {
+                        s.effect(&e.effect);
+                    }
+                    s
+                })
+                .collect();
+            for (i, s) in replayed.iter().enumerate().skip(1) {
+                if s != &replayed[0] {
+                    out.push(Violation {
+                        invocation: i,
+                        kind: ViolationKind::EffectNotCommutative,
+                        detail: format!(
+                            "replica {i} replayed its delivery order of the same {} \
+                             updates to a different state than replica 0",
+                            all_ids.len(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (i, s) in states.iter().enumerate().skip(1) {
+        if s != &states[0] {
+            out.push(Violation {
+                invocation: i,
+                kind: ViolationKind::StateDiverged,
+                detail: format!("replica {i} quiescent state differs from replica 0"),
+            });
+        }
+    }
+    out
+}
+
+/// Checks the escrow deployment's invariant and convergence over the
+/// replicas' quiescent ledgers: the pointwise-max merge of all ledgers
+/// must not record more sales than the initial allocation (tickets are
+/// never oversold, no matter how the segments raced), and at quiescence
+/// the ledgers themselves must agree.
+///
+/// `Violation::invocation` carries the offending replica's index (0 for
+/// the merged-ledger invariant, which is global).
+pub fn check_escrow(states: &[EscrowState]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(first) = states.first() else {
+        return out;
+    };
+    let mut merged = first.clone();
+    for s in &states[1..] {
+        merged.merge(s);
+    }
+    if merged.total_sold() > merged.total_initial() {
+        out.push(Violation {
+            invocation: 0,
+            kind: ViolationKind::EscrowOversold,
+            detail: format!(
+                "merged ledgers sold {} of {} allocated tickets",
+                merged.total_sold(),
+                merged.total_initial(),
+            ),
+        });
+    }
+    for (i, s) in states.iter().enumerate().skip(1) {
+        if s != first {
+            out.push(Violation {
+                invocation: i,
+                kind: ViolationKind::StateDiverged,
+                detail: format!(
+                    "replica {i} ledger (sold {}) differs from replica 0 (sold {})",
+                    s.total_sold(),
+                    first.total_sold(),
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +554,126 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].kind, ViolationKind::OrderDiverged);
         assert_eq!(v[0].invocation, 2);
+    }
+
+    fn sec_entry(origin: usize, seq: u64, delta: i64) -> SecEntry {
+        let state = CrdtState::new();
+        let op = icg_crdt::CrdtOp::CtrAdd(0, delta);
+        let ctx = icg_crdt::types::EffectCtx {
+            replica: origin,
+            seq,
+            lamport: seq,
+        };
+        let effect = state.prepare(&op, ctx);
+        let mut vc = causalstore::VectorClock::zero(3);
+        vc.bump(origin);
+        SecEntry {
+            origin,
+            seq,
+            ts: seq,
+            vc,
+            effect,
+        }
+    }
+
+    fn replay(initial: &CrdtState, log: &[SecEntry]) -> CrdtState {
+        let mut s = initial.clone();
+        for e in log {
+            s.effect(&e.effect);
+        }
+        s
+    }
+
+    #[test]
+    fn sec_accepts_commuting_logs_in_any_order() {
+        let initial = CrdtState::new();
+        let a = sec_entry(0, 1, 5);
+        let b = sec_entry(1, 1, 7);
+        let logs = vec![vec![a.clone(), b.clone()], vec![b, a]];
+        let states: Vec<CrdtState> = logs.iter().map(|l| replay(&initial, l)).collect();
+        assert!(check_sec(&initial, &logs, &states).is_empty());
+    }
+
+    #[test]
+    fn sec_rejects_missing_updates() {
+        let initial = CrdtState::new();
+        let a = sec_entry(0, 1, 5);
+        let b = sec_entry(1, 1, 7);
+        let logs = vec![vec![a.clone(), b], vec![a]];
+        let states: Vec<CrdtState> = logs.iter().map(|l| replay(&initial, l)).collect();
+        let v = check_sec(&initial, &logs, &states);
+        assert!(
+            v.iter()
+                .any(|x| x.kind == ViolationKind::NotEventuallyVisible),
+            "{v:?}"
+        );
+        // The lagging replica's state also diverges.
+        assert!(v.iter().any(|x| x.kind == ViolationKind::StateDiverged));
+        // But no commutativity finding: the replay gap explains it all.
+        assert!(v
+            .iter()
+            .all(|x| x.kind != ViolationKind::EffectNotCommutative));
+    }
+
+    #[test]
+    fn sec_rejects_non_commuting_effects() {
+        // Broken-counter effects ship origin-side totals: same update
+        // set, different delivery orders, different replayed states.
+        fn broken_entry(origin: usize, seq: u64, delta: i64) -> SecEntry {
+            let mut e = sec_entry(origin, seq, delta);
+            e.effect =
+                icg_crdt::CrdtEffect::BrokenCtr(0, icg_crdt::types::BrokenSet { total: delta });
+            e
+        }
+        let initial = CrdtState::new_broken();
+        let a = broken_entry(0, 1, 5);
+        let b = broken_entry(1, 1, 7);
+        let logs = vec![vec![a.clone(), b.clone()], vec![b, a]];
+        let states: Vec<CrdtState> = logs.iter().map(|l| replay(&initial, l)).collect();
+        let v = check_sec(&initial, &logs, &states);
+        assert!(
+            v.iter()
+                .any(|x| x.kind == ViolationKind::EffectNotCommutative),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|x| x.kind == ViolationKind::StateDiverged));
+    }
+
+    #[test]
+    fn sec_state_mode_checks_convergence_only() {
+        let initial = CrdtState::new();
+        let diverged = replay(&initial, &[sec_entry(0, 1, 3)]);
+        let v = check_sec(&initial, &[], &[initial.clone(), diverged]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::StateDiverged);
+        assert_eq!(v[0].invocation, 1);
+    }
+
+    #[test]
+    fn escrow_accepts_converged_ledgers_within_allocation() {
+        let mut s = EscrowState::new(vec![2, 2, 2]);
+        assert!(s.sell(0));
+        assert!(s.sell(1));
+        let states = vec![s.clone(), s.clone(), s];
+        assert!(check_escrow(&states).is_empty());
+    }
+
+    #[test]
+    fn escrow_rejects_oversold_merge() {
+        // Replica 0 and replica 1 each sold the whole of segment 0 —
+        // only possible if the single-writer rule was broken, and the
+        // merged ledger shows it even though each ledger looks fine.
+        let mut a = EscrowState::new(vec![1, 0]);
+        assert!(a.sell(0));
+        let mut b = EscrowState::new(vec![1, 0]);
+        b.grant(0, 1, 1);
+        assert!(b.sell(1));
+        let v = check_escrow(&[a, b]);
+        assert!(
+            v.iter().any(|x| x.kind == ViolationKind::EscrowOversold),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|x| x.kind == ViolationKind::StateDiverged));
     }
 
     #[test]

@@ -24,12 +24,15 @@ use simnet::{DetRng, Faults, NodeId, SchedulePlan, SimDuration, SiteId};
 
 use causalstore::{CacheOp, Item, SimCausal};
 use consensusq::{seq_of, QueueOp, QueueView, ServerConfig, SimQueue};
+use icg_crdt::{CrdtOp, CrdtVal, EscrowOp, Sale, SimCrdtStore, SimEscrow};
 use icg_shard::{KvOp, ShardedBinding};
 use quorumstore::{Key, QuorumBinding, ReplicaConfig, SimStore, StoreOp, Value, Versioned};
 use specstore::SimSpecStore;
 
 use crate::buggy::LaggyMem;
-use crate::checkers::{check_convergence, check_monotonicity, check_update_consistency};
+use crate::checkers::{
+    check_convergence, check_escrow, check_monotonicity, check_sec, check_update_consistency,
+};
 use crate::lin::{check_linearizable, LinEntry};
 use crate::spec::{
     CounterSpec, CtrOp, KvStoreSpec, KvsOp, QOp, QRet, QueueSpec, RegOp, RegisterSpec,
@@ -57,6 +60,17 @@ pub enum StackKind {
     SpecRegister,
     /// The spec-generic four-level store over the counter spec.
     SpecCounter,
+    /// The coordination-free CRDT store, checked against strong
+    /// eventual consistency ([`check_sec`]).
+    Crdt {
+        /// Gossip full states (CvRDT anti-entropy) instead of
+        /// causally-delivered downstream effects (CmRDT).
+        state_based: bool,
+    },
+    /// The escrow-segmented ticket store: coordination-free fast sales
+    /// from per-replica segments, transfers at exhaustion — checked
+    /// against the no-oversell invariant ([`check_escrow`]).
+    TicketsEscrow,
     /// The deliberately buggy in-memory binding ([`LaggyMem`]) — the
     /// negative fixture proving the checkers reject real violations.
     BuggyMem,
@@ -64,6 +78,10 @@ pub enum StackKind {
     /// arrival order instead of the agreed total order — the negative
     /// fixture for the update-consistency checker.
     BuggySpec,
+    /// The deliberately broken CRDT: "effects" ship origin-side totals
+    /// and merge by overwrite — the negative fixture for the SEC
+    /// checker.
+    BrokenCrdt,
 }
 
 impl fmt::Display for StackKind {
@@ -76,8 +94,12 @@ impl fmt::Display for StackKind {
             StackKind::ShardedStore { shards } => write!(f, "sharded-store({shards})"),
             StackKind::SpecRegister => write!(f, "spec-register"),
             StackKind::SpecCounter => write!(f, "spec-counter"),
+            StackKind::Crdt { state_based: false } => write!(f, "crdt-op"),
+            StackKind::Crdt { state_based: true } => write!(f, "crdt-state"),
+            StackKind::TicketsEscrow => write!(f, "tickets-escrow"),
             StackKind::BuggyMem => write!(f, "buggy-mem"),
             StackKind::BuggySpec => write!(f, "buggy-spec"),
+            StackKind::BrokenCrdt => write!(f, "broken-crdt"),
         }
     }
 }
@@ -117,7 +139,10 @@ pub struct RunSummary {
     pub invocations: usize,
     /// Operations that closed by error (timeouts under faults).
     pub crashed: usize,
-    /// Operations entered into the linearizability check.
+    /// Operations entered into the stack's semantic check —
+    /// linearizability entries for the lin-checked stacks, replayed
+    /// log entries for the SEC-checked CRDT stacks, confirmed sales
+    /// for the escrow stack.
     pub lin_entries: usize,
 }
 
@@ -274,8 +299,11 @@ fn run_one(
         StackKind::ShardedStore { shards } => run_sharded(seed, schedule, cfg, shards),
         StackKind::SpecRegister => run_spec_register(seed, schedule, cfg),
         StackKind::SpecCounter => run_spec_counter(seed, schedule, cfg),
+        StackKind::Crdt { state_based } => run_crdt(seed, schedule, cfg, state_based),
+        StackKind::TicketsEscrow => run_tickets_escrow(seed, schedule, cfg),
         StackKind::BuggyMem => run_buggy(seed, cfg),
         StackKind::BuggySpec => run_buggy_spec(seed, cfg),
+        StackKind::BrokenCrdt => run_broken_crdt(seed, cfg),
     }
 }
 
@@ -961,6 +989,254 @@ fn run_spec_counter(
             invocations: invs.len(),
             crashed: crashed_count(&invs),
             lin_entries: entries.len(),
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// CRDT store and escrow tickets
+// ---------------------------------------------------------------------
+
+/// SEC violations of the CRDT store, formatted for the report. Returns
+/// the number of entries the checker inspected — replayed log entries
+/// in op mode, compared states in state mode.
+fn sec_violations(store: &SimCrdtStore, state_based: bool) -> (usize, Vec<String>) {
+    // State-based gossip ships merged states, not effects, so the logs
+    // hold only locally-originated entries — the visibility and replay
+    // clauses don't apply, only state convergence does.
+    let logs = if state_based {
+        Vec::new()
+    } else {
+        store.sec_logs()
+    };
+    let states = store.states();
+    let checked = if state_based {
+        states.len()
+    } else {
+        logs.iter().map(Vec::len).sum()
+    };
+    let out = check_sec(&store.initial_state(), &logs, &states)
+        .into_iter()
+        .map(|v| format!("sec: {v}"))
+        .collect();
+    (checked, out)
+}
+
+fn run_crdt(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+    state_based: bool,
+) -> (RunSummary, Vec<String>) {
+    let store = if state_based {
+        SimCrdtStore::ec2_state("IRL", seed)
+    } else {
+        SimCrdtStore::ec2("IRL", seed)
+    };
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+    store.set_client_timeout(ms(cfg.client_timeout_ms));
+    store.set_faults(schedule.clone());
+
+    let history: History<CrdtOp, CrdtVal> = History::new();
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut issued = 0usize;
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch);
+        for _ in 0..batch {
+            let k = wl.below(cfg.keys);
+            match wl.below(10) {
+                0..=2 => {
+                    client.invoke(CrdtOp::CtrAdd(k, (1 + wl.below(9)) as i64));
+                }
+                3 => {
+                    client.invoke(CrdtOp::SetAdd(k, wl.below(8)));
+                }
+                4 => {
+                    client.invoke(CrdtOp::SetRemove(k, wl.below(8)));
+                }
+                5 => {
+                    client.invoke(CrdtOp::MapPut(k, wl.below(4), wl.below(1_000)));
+                }
+                6..=7 => {
+                    client.invoke(CrdtOp::CtrGet(k));
+                }
+                8 => {
+                    client.invoke_weak(CrdtOp::SetContains(k, wl.below(8)));
+                }
+                _ => {
+                    client.invoke_weak(CrdtOp::MapGet(k, wl.below(4)));
+                }
+            }
+            issued += 1;
+        }
+        store.settle();
+        store.advance(ms(wl.range(1, 120)));
+    }
+
+    store.set_faults(Faults::none());
+    store.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    let tail_mark = history.mark();
+    for k in 0..cfg.keys {
+        client.invoke(CrdtOp::CtrGet(k));
+        store.settle();
+    }
+    // Anti-entropy (or effect retransmission) must finish before the
+    // SEC checker samples logs and states: SEC promises convergence at
+    // quiescence, not mid-gossip.
+    store.advance(ms(2_000));
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let (replayed, sec) = sec_violations(&store, state_based);
+    violations.extend(sec);
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: replayed,
+        },
+        violations,
+    )
+}
+
+fn run_tickets_escrow(
+    seed: u64,
+    schedule: &Faults,
+    cfg: &ExplorerConfig,
+) -> (RunSummary, Vec<String>) {
+    // Size the stock so the workload actually exhausts segments and
+    // exercises the transfer path: roughly two buys per ticket, spread
+    // unevenly so one segment runs dry early.
+    let stock = (cfg.ops as u64) / 2;
+    let a = stock / 2;
+    let b = stock / 4;
+    let store = SimEscrow::ec2(vec![a, b, stock - a - b], "IRL", seed, false);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+    store.set_client_timeout(ms(cfg.client_timeout_ms));
+    store.set_faults(schedule.clone());
+
+    let history: History<EscrowOp, Sale> = History::new();
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    let mut issued = 0usize;
+    // Transfer rounds are heavier than quorum reads; cap the bursts.
+    while issued < cfg.ops {
+        let batch = 1 + wl.below(cfg.max_batch.min(3));
+        for _ in 0..batch {
+            match wl.below(10) {
+                0..=6 => {
+                    client.invoke(EscrowOp::Buy);
+                }
+                7..=8 => {
+                    client.invoke_weak(EscrowOp::Avail);
+                }
+                _ => {
+                    client.invoke_strong(EscrowOp::Avail);
+                }
+            }
+            issued += 1;
+        }
+        store.settle();
+        store.advance(ms(wl.range(1, 120)));
+    }
+
+    store.set_faults(Faults::none());
+    store.advance(ms(cfg.plan.horizon_ms + cfg.client_timeout_ms + 1_000));
+    let tail_mark = history.mark();
+    // A weak Avail reads the *local segment* by design, so the quiescent
+    // tail closes strong-only: the escrow convergence guarantee is over
+    // the ledgers, which check_escrow inspects directly.
+    client.invoke_strong(EscrowOp::Avail);
+    store.settle();
+    store.advance(ms(2_000));
+
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let states = store.states();
+    violations.extend(
+        check_escrow(&states)
+            .into_iter()
+            .map(|v| format!("escrow: {v}")),
+    );
+    // Cross-check ledgers against the client's view: every sale the
+    // client saw confirmed must be recorded in the merged ledger.
+    let confirmed = invs
+        .iter()
+        .filter(|i| {
+            matches!(i.op, EscrowOp::Buy)
+                && matches!(i.final_view(), Some((Sale::Confirmed { .. }, _)))
+        })
+        .count();
+    if let Some(first) = states.first() {
+        let mut merged = first.clone();
+        for s in &states[1..] {
+            merged.merge(s);
+        }
+        if (merged.total_sold() as usize) < confirmed {
+            violations.push(format!(
+                "escrow: client saw {confirmed} confirmed sales but the merged ledger \
+                 records only {}",
+                merged.total_sold()
+            ));
+        }
+    }
+    // Strong closes (sales and global Avail reads) entered the semantic
+    // check; the post-heal tail Avail guarantees at least one even when
+    // a hostile schedule times out every workload buy.
+    let strong_closed = invs
+        .iter()
+        .filter(|i| {
+            i.final_view()
+                .is_some_and(|(_, level)| level.at_least(ConsistencyLevel::STRONG))
+        })
+        .count();
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: strong_closed,
+        },
+        violations,
+    )
+}
+
+/// Like the other negative fixtures, the broken CRDT runs without
+/// faults: concurrent bursts from round-robin origins already deliver
+/// the overwrite "effects" in different orders at different replicas,
+/// and the SEC checker must reject. Distinct deltas keep each origin's
+/// shipped totals distinct, so the divergence shows in the values.
+fn run_broken_crdt(seed: u64, cfg: &ExplorerConfig) -> (RunSummary, Vec<String>) {
+    let store = SimCrdtStore::ec2_broken("IRL", seed);
+    assert_fault_targets(store.site_ids(), store.replica_ids());
+
+    let history: History<CrdtOp, CrdtVal> = History::new();
+    let client = Client::new(RecordingBinding::new(store.binding(), history.clone()));
+
+    let mut wl = workload_rng(seed);
+    for i in 0..cfg.ops {
+        let k = wl.below(cfg.keys);
+        client.invoke_weak(CrdtOp::CtrAdd(k, 1 + i as i64));
+        if wl.below(4) == 0 {
+            store.settle();
+        }
+    }
+    store.settle();
+    store.advance(ms(5_000));
+
+    let tail_mark = history.mark();
+    let invs = history.snapshot();
+    let mut violations = structural_violations(&invs, tail_mark);
+    let (replayed, sec) = sec_violations(&store, false);
+    violations.extend(sec);
+    (
+        RunSummary {
+            invocations: invs.len(),
+            crashed: crashed_count(&invs),
+            lin_entries: replayed,
         },
         violations,
     )

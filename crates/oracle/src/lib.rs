@@ -9,7 +9,10 @@
 //! fault schedules:
 //!
 //! - [`checkers`] — view **monotonicity** and quiescent **convergence**
-//!   over [`correctables::History`] snapshots;
+//!   over [`correctables::History`] snapshots, **update consistency**
+//!   over replica logs, **strong eventual consistency** of the CRDT
+//!   stacks (eventual visibility, effect commutativity, convergence),
+//!   and the escrow **no-oversell** invariant;
 //! - [`lin`] + [`spec`] — **linearizability** of strong views (Wing &
 //!   Gong search with memoization and maybe-applied crashed ops)
 //!   against pluggable sequential specs (register, counter, queue,
@@ -41,7 +44,8 @@ pub mod spec {
 
 pub use buggy::LaggyMem;
 pub use checkers::{
-    check_convergence, check_monotonicity, check_update_consistency, Violation, ViolationKind,
+    check_convergence, check_escrow, check_monotonicity, check_sec, check_update_consistency,
+    Violation, ViolationKind,
 };
 pub use explorer::{explore, replay, ExplorerConfig, FailureReport, RunSummary, StackKind};
 pub use lin::{check_linearizable, LinEntry, LinOutcome, LinViolation};

@@ -175,6 +175,38 @@ fn arrival_order_spec_store_fails_update_consistency() {
 }
 
 #[test]
+fn broken_crdt_fails_the_sec_checker() {
+    // The BrokenCrdt fixture ships origin-side totals as "effects" and
+    // merges by overwrite: every replica delivers every update (eventual
+    // visibility holds), but replaying the differing arrival orders
+    // lands on different states — exactly the commutativity obligation
+    // SEC adds, and only the SEC checker catches it.
+    let cfg = ExplorerConfig::default();
+    let report =
+        explore(StackKind::BrokenCrdt, 1, &cfg).expect_err("overwrite effects must be rejected");
+    let all = report.violations.join("\n");
+    assert!(
+        all.contains("EffectNotCommutative") || all.contains("StateDiverged"),
+        "divergence not attributed to SEC:\n{all}"
+    );
+    // The fixture runs fault-free: the shrinker must reduce the
+    // schedule to nothing, so the report is a pure (seed, workload)
+    // repro.
+    assert!(
+        report.schedule.is_fault_free(),
+        "schedule not minimal: {}",
+        report.schedule
+    );
+    // Replaying the shrunk pair reproduces the identical findings.
+    let replayed = replay(StackKind::BrokenCrdt, report.seed, &report.schedule, &cfg)
+        .expect_err("replay must reproduce the violation");
+    assert_eq!(replayed.violations, report.violations);
+    // The healthy CRDT store passes the same seed in both modes.
+    assert!(explore(StackKind::Crdt { state_based: false }, 1, &cfg).is_ok());
+    assert!(explore(StackKind::Crdt { state_based: true }, 1, &cfg).is_ok());
+}
+
+#[test]
 fn failure_report_prints_a_replayable_seed_schedule_pair() {
     let cfg = ExplorerConfig::default();
     let report = explore(StackKind::BuggyMem, 7, &cfg).expect_err("LaggyMem must be rejected");

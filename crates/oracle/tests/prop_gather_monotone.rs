@@ -1,9 +1,12 @@
-//! Property test: `ShardedBinding`'s scatter/gather merge emits view
+//! Property tests: `ShardedBinding`'s scatter/gather merge emits view
 //! sequences that are themselves monotone — the merged level floor
 //! never descends across emissions and the merge closes exactly once —
 //! verified with the oracle's own monotonicity checker, for arbitrary
 //! per-part level subsets and arbitrary interleavings of part
-//! deliveries.
+//! deliveries; and the same merge over CRDT-backed shards of arbitrary
+//! *freshness* (each shard's weak views lag its fresh state by a
+//! different depth) stays monotone, with the strong merged reads seeing
+//! every prior write.
 
 use proptest::prelude::*;
 
@@ -14,8 +17,10 @@ const CAUSAL: ConsistencyLevel = ConsistencyLevel::CAUSAL;
 const STRONG: ConsistencyLevel = ConsistencyLevel::STRONG;
 const WEAK: ConsistencyLevel = ConsistencyLevel::WEAK;
 use correctables::Correctable;
+use icg_crdt::{CrdtOp, CrdtVal, LocalCrdt};
 use icg_oracle::check_monotonicity;
 use icg_shard::router::gather;
+use icg_shard::ShardedBinding;
 use simnet::DetRng;
 
 const PRELIMS: [ConsistencyLevel; 3] = [CACHE, WEAK, CAUSAL];
@@ -87,6 +92,58 @@ proptest! {
             if let correctables::record::HistoryEvent::View { value, .. } = e {
                 prop_assert_eq!(value.len(), n);
             }
+        }
+    }
+
+    /// Scatter over CRDT-backed shards whose weak views lag their fresh
+    /// state by *different* depths: the merged stream must still be
+    /// monotone (weakest-common floor, single close at STRONG), and the
+    /// strong merged reads must see every previously scattered write no
+    /// matter how stale each shard's weak shadow is.
+    #[test]
+    fn scatter_over_crdt_shards_is_monotone_at_any_freshness(
+        lags in proptest::collection::vec(0usize..5, 1..4),
+        words in proptest::collection::vec(any::<u64>(), 1..16),
+        ring_seed in any::<u64>(),
+    ) {
+        const KEYS: u64 = 6;
+        let shards: Vec<LocalCrdt> = lags.iter().map(|&l| LocalCrdt::new(l)).collect();
+        let router = ShardedBinding::inline(shards, 16, ring_seed);
+        let history: History<&'static str, Vec<CrdtVal>> = History::new();
+
+        // Round 1: counter bumps decoded from the words (key routes the
+        // op to its owning shard; same key, same shard).
+        let delta = |w: u64| ((w >> 3) % 50) as i64;
+        let writes: Vec<CrdtOp> = words
+            .iter()
+            .map(|&w| CrdtOp::CtrAdd(w % KEYS, delta(w)))
+            .collect();
+        let w = router.scatter(writes);
+        history.observe("scatter-writes", vec![WEAK, STRONG], &w);
+
+        // Round 2: read every key back through the merge.
+        let reads: Vec<CrdtOp> = (0..KEYS).map(CrdtOp::CtrGet).collect();
+        let r = router.scatter(reads);
+        let read_id = history.observe("scatter-reads", vec![WEAK, STRONG], &r);
+
+        let invs = history.snapshot();
+        let violations = check_monotonicity(&invs, true);
+        prop_assert!(violations.is_empty(), "merged stream not monotone: {violations:?}");
+
+        let inv = invs.iter().find(|i| i.id == read_id).unwrap();
+        let (vals, close_level) = inv.final_view().expect("merged read must close");
+        prop_assert_eq!(close_level, STRONG);
+        prop_assert_eq!(vals.len(), KEYS as usize);
+        // Freshness doesn't bend the strong path: each key's final read
+        // is the full sum of its bumps, even on shards whose weak
+        // shadow still lags behind.
+        for (k, v) in vals.iter().enumerate() {
+            let expected: i64 = words
+                .iter()
+                .filter(|&&w| w % KEYS == k as u64)
+                .map(|&w| delta(w))
+                .sum();
+            prop_assert_eq!(v, &CrdtVal::Int(expected), "key {}", k);
         }
     }
 }

@@ -7,7 +7,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale sharded_counters oracle_explore)
+examples=(quickstart ad_serving bitcoin_watch news_reader reddit_messages ticket_sale sharded_counters oracle_explore ticket_escrow)
 
 total_start=$(date +%s%N)
 for ex in "${examples[@]}"; do

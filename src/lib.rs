@@ -15,6 +15,8 @@
 //! - [`quorumstore`] — Correctable Cassandra (CC, *CC);
 //! - [`consensusq`] — Correctable ZooKeeper (CZK) and replicated queues;
 //! - [`causalstore`] — causal replication with a client cache;
+//! - [`crdt`] — coordination-free CRDT bindings (GCounter/PN, OR-Set,
+//!   LWW-Map), SEC-checkable replication, escrow-segmented tickets;
 //! - [`shard`] — the sharded multi-object routing layer;
 //! - [`net`] — the TCP wire codec, transport, replica server, and
 //!   client binding serving the quorum store over real sockets;
@@ -37,6 +39,7 @@ pub use causalstore;
 pub use consensusq;
 pub use correctables;
 pub use icg_apps as apps;
+pub use icg_crdt as crdt;
 pub use icg_net as net;
 pub use icg_oracle as oracle;
 pub use icg_shard as shard;

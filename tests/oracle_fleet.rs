@@ -87,6 +87,22 @@ fleet! {
     spec_ctr_seed5: StackKind::SpecCounter, 5;
     spec_ctr_seed6: StackKind::SpecCounter, 6;
     spec_ctr_seed7: StackKind::SpecCounter, 7;
+    crdt_seed0: StackKind::Crdt { state_based: false }, 0;
+    crdt_seed1: StackKind::Crdt { state_based: true }, 1;
+    crdt_seed2: StackKind::Crdt { state_based: false }, 2;
+    crdt_seed3: StackKind::Crdt { state_based: true }, 3;
+    crdt_seed4: StackKind::Crdt { state_based: false }, 4;
+    crdt_seed5: StackKind::Crdt { state_based: true }, 5;
+    crdt_seed6: StackKind::Crdt { state_based: false }, 6;
+    crdt_seed7: StackKind::Crdt { state_based: true }, 7;
+    escrow_seed0: StackKind::TicketsEscrow, 0;
+    escrow_seed1: StackKind::TicketsEscrow, 1;
+    escrow_seed2: StackKind::TicketsEscrow, 2;
+    escrow_seed3: StackKind::TicketsEscrow, 3;
+    escrow_seed4: StackKind::TicketsEscrow, 4;
+    escrow_seed5: StackKind::TicketsEscrow, 5;
+    escrow_seed6: StackKind::TicketsEscrow, 6;
+    escrow_seed7: StackKind::TicketsEscrow, 7;
 }
 
 /// Wide-range soak: 64 seeds per stack. Run with
@@ -104,6 +120,9 @@ fn oracle_soak_wide_seed_range() {
         StackKind::ShardedStore { shards: 2 },
         StackKind::SpecRegister,
         StackKind::SpecCounter,
+        StackKind::Crdt { state_based: false },
+        StackKind::Crdt { state_based: true },
+        StackKind::TicketsEscrow,
     ] {
         for seed in 0..64u64 {
             if let Err(report) = explore(stack, seed, &cfg) {
